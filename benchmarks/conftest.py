@@ -1,0 +1,58 @@
+"""Shared fixtures for the per-figure/table benchmarks.
+
+The testbed-comparison figures (7–10) and Table III slice the *same* runs,
+so runs are cached per (variant, channel, seed) for the whole benchmark
+session. Code-construction runs (Figure 6, Table II) are cached per
+topology. Benchmarks print the paper-style rows so the regenerated
+table/figure data is visible in the benchmark log.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.experiments.codestats import code_construction_run
+from repro.experiments.comparison import ComparisonResult, run_comparison
+
+#: Kept modest so the whole benchmark suite stays in the minutes range; raise
+#: for tighter confidence intervals.
+N_CONTROLS = 25
+CONTROL_INTERVAL_S = 60.0
+CONVERGE_SECONDS = 240.0
+SEED = 1
+
+
+@lru_cache(maxsize=None)
+def comparison(variant: str, channel: int, seed: int = SEED) -> ComparisonResult:
+    return run_comparison(
+        variant,
+        zigbee_channel=channel,
+        seed=seed,
+        n_controls=N_CONTROLS,
+        control_interval_s=CONTROL_INTERVAL_S,
+        converge_seconds=CONVERGE_SECONDS,
+    )
+
+
+@lru_cache(maxsize=None)
+def construction(topology: str, seed: int = SEED):
+    max_seconds = 400.0 if topology != "indoor-testbed" else 240.0
+    return code_construction_run(topology=topology, seed=seed, max_seconds=max_seconds)
+
+
+@pytest.fixture(scope="session")
+def get_comparison():
+    return comparison
+
+
+@pytest.fixture(scope="session")
+def get_construction():
+    return construction
+
+
+def print_rows(title: str, rows) -> None:
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("   ", row)

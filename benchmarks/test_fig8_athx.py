@@ -1,0 +1,44 @@
+"""Figure 8: accumulated transmission hop count (ATHX) vs CTP hop count.
+
+Paper's claims: TeleAdjusting's ATHX is often *below* the CTP hop count
+(opportunistic shortcuts); RPL's ATHX tracks the CTP hop count almost
+exactly (strict routing-table forwarding); Drip floods, so ATHX is not a
+per-path quantity (its redundancy shows up in Table III instead).
+"""
+
+from repro.metrics.stats import mean
+
+from .conftest import print_rows
+
+
+def test_fig8_athx_vs_ctp_hops(benchmark, get_comparison):
+    def run():
+        return {v: get_comparison(v, 26) for v in ("tele", "rpl")}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    ratios = {}
+    for variant, result in results.items():
+        samples = [(h, a) for h, a in result.athx_samples if h > 0]
+        ratio = mean([a / h for h, a in samples]) if samples else None
+        ratios[variant] = ratio
+        rows.append(
+            (
+                variant,
+                f"n={len(samples)}",
+                f"avg ATHX/CTP-hops={ratio:.2f}" if ratio else "n/a",
+                "samples:" + ",".join(f"({h},{a})" for h, a in samples[:12]),
+            )
+        )
+    print_rows("Fig 8: ATHX vs CTP hop count (channel 26)", rows)
+    assert ratios["tele"] is not None and ratios["rpl"] is not None
+    # RPL follows the tree almost exactly.
+    assert 0.9 <= ratios["rpl"] <= 1.2, ratios["rpl"]
+    # TeleAdjusting's opportunism keeps ATHX at or below tree depth on
+    # average (shortcuts vs occasional detours roughly cancel; the paper's
+    # Figure 8(a) shows ATHX ≲ hop count).
+    assert ratios["tele"] <= ratios["rpl"] + 0.25, ratios
+    # And some individual deliveries genuinely beat the tree depth.
+    tele_samples = [(h, a) for h, a in results["tele"].athx_samples if h > 1]
+    if tele_samples:
+        assert any(a < h for h, a in tele_samples) or ratios["tele"] <= 1.0

@@ -1,0 +1,89 @@
+"""Simulator performance: event throughput and stack costs.
+
+Unlike the figure benches (one expensive round, pedantic), these measure the
+kernel's raw speed across rounds — the regression canaries for "why did the
+whole suite get slow".
+"""
+
+from repro.mac import LPLMac
+from repro.radio.channel import Channel
+from repro.radio.frame import Frame, FrameType
+from repro.radio.noise import ConstantNoise, CPMNoiseModel, synthesize_meyer_like_trace
+from repro.radio.propagation import LogDistancePathLoss
+from repro.radio.radio import Radio
+from repro.sim import SECOND, Simulator
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule/dispatch cost of the bare kernel (100k chained events)."""
+
+    def run():
+        sim = Simulator(seed=1)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 100_000:
+                sim.schedule(10, tick)
+
+        sim.schedule(0, tick)
+        sim.run()
+        return count[0]
+
+    events = benchmark(run)
+    assert events == 100_000
+
+
+def test_timer_churn(benchmark):
+    """Cancel/restart-heavy timer usage (the Trickle pattern)."""
+    from repro.sim import Timer
+
+    def run():
+        sim = Simulator(seed=1)
+        fired = [0]
+        timer = Timer(sim, lambda: fired.__setitem__(0, fired[0] + 1))
+        for i in range(20_000):
+            timer.start_one_shot(5)  # restart cancels the previous
+        sim.run()
+        return fired[0]
+
+    assert benchmark(run) == 1
+
+
+def test_unicast_train_cost(benchmark):
+    """Full-stack cost of one LPL unicast exchange (two live radios)."""
+
+    def run():
+        sim = Simulator(seed=1)
+        gains = LogDistancePathLoss(pl_d0=40.0, seed=1, shadowing_sigma=0.0).gain_matrix(
+            [(0.0, 0.0), (8.0, 0.0)]
+        )
+        channel = Channel(sim, gains, noise_model=ConstantNoise())
+        a = LPLMac(sim, Radio(sim, channel, 0), always_on=True)
+        b = LPLMac(sim, Radio(sim, channel, 1), always_on=True)
+        a.start()
+        b.start()
+        done = []
+        for i in range(20):
+            sim.schedule(
+                i * 50_000,
+                lambda: a.send(
+                    Frame(src=0, dst=1, type=FrameType.DATA, length=40), done.append
+                ),
+            )
+        sim.run(until=5 * SECOND)
+        return sum(1 for r in done if r.ok)
+
+    assert benchmark(run) == 20
+
+
+def test_cpm_sampling_rate(benchmark):
+    """Noise-model sampling — the hottest per-CCA call in big runs."""
+    trace = synthesize_meyer_like_trace(length=10_000, seed=1)
+    model = CPMNoiseModel(trace, seed=2)
+
+    def run():
+        return sum(model.sample() for _ in range(50_000))
+
+    total = benchmark(run)
+    assert total < 0  # dBm readings are negative

@@ -1,0 +1,45 @@
+"""Table III: average network-wide transmission count per control packet.
+
+Paper's measurements (ch26 / ch19): TeleAdjusting 4.43 / 4.59,
+Drip 109.35 / 116.35, RPL 5.17 / 5.52.
+
+Shape to hold: Drip is 20–30× the structured protocols; TeleAdjusting and
+RPL sit in the single digits.
+"""
+
+from .conftest import print_rows
+
+PAPER = {"tele": (4.43, 4.59), "drip": (109.35, 116.35), "rpl": (5.17, 5.52)}
+
+
+def test_table3_transmission_counts(benchmark, get_comparison):
+    def run():
+        return {
+            (variant, channel): get_comparison(variant, channel)
+            for variant in ("tele", "drip", "rpl")
+            for channel in (26, 19)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for (variant, channel), result in results.items():
+        paper = PAPER[variant][0 if channel == 26 else 1]
+        rows.append(
+            (
+                variant,
+                f"ch{channel}",
+                f"tx/control={result.tx_per_control:.2f}",
+                f"paper={paper}",
+            )
+        )
+    print_rows("Table III: network-wide transmissions per control packet", rows)
+    for channel in (26, 19):
+        tele = results[("tele", channel)].tx_per_control
+        drip = results[("drip", channel)].tx_per_control
+        rpl = results[("rpl", channel)].tx_per_control
+        # Flooding pays an order of magnitude more than structured delivery.
+        assert drip > 10 * tele, (channel, drip, tele)
+        assert drip > 10 * rpl, (channel, drip, rpl)
+        # Structured protocols stay in the single digits, as in the paper.
+        assert tele < 15, (channel, tele)
+        assert rpl < 15, (channel, rpl)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Battery-lifetime projection per protocol (the stakes behind Figure 9).
+
+Duty cycle is the paper's energy proxy; this example converts it into what a
+deployment engineer actually budgets: milliamp-hours and months on a pair of
+AA cells, using CC2420 datasheet currents (`repro.radio.energy`).
+
+Usage::
+
+    python examples/battery_lifetime.py [n_controls]
+"""
+
+import sys
+
+from repro.experiments.harness import Network, NetworkConfig
+from repro.radio.energy import network_energy
+from repro.sim.units import SECOND
+from repro.workloads.control import ControlSchedule
+
+
+def measure(protocol: str, n_controls: int) -> tuple:
+    net = Network(
+        NetworkConfig(topology="indoor-testbed", protocol=protocol, seed=1)
+    )
+    net.converge(max_seconds=240)
+    net.metrics.mark()
+    mark = net.sim.now
+    schedule = ControlSchedule(
+        net.sim,
+        send=lambda destination, index: net.send_control(destination, payload=index),
+        destinations=net.non_sink_nodes(),
+        interval=60 * SECOND,
+        count=n_controls,
+        rng_name=f"battery-{protocol}",
+    )
+    schedule.start(initial_delay=1 * SECOND)
+    net.run(n_controls * 60.0 + 60.0)
+    radios = {
+        node_id: stack.radio
+        for node_id, stack in net.stacks.items()
+        if not stack.is_root  # the sink is mains-powered
+    }
+    reports = network_energy(radios, net.sim.now - mark)
+    currents = [r.average_current_ma for r in reports.values()]
+    lifetimes = [r.lifetime_days(battery_mah=2600.0) for r in reports.values()]
+    return (
+        sum(currents) / len(currents),
+        min(lifetimes),
+        sum(lifetimes) / len(lifetimes),
+    )
+
+
+def main() -> None:
+    n_controls = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    print(
+        f"{'protocol':10s} {'avg current':>12s} {'worst node':>11s} {'avg lifetime':>13s}"
+    )
+    for protocol in ("tele", "rpl", "drip"):
+        avg_ma, worst_days, avg_days = measure(protocol, n_controls)
+        print(
+            f"{protocol:10s} {avg_ma:10.3f} mA {worst_days:8.0f} d {avg_days:10.0f} d"
+        )
+    print(
+        "\nOne control packet per minute, 2xAA (2600 mAh). The ~2x lifetime\n"
+        "gap between flooding and TeleAdjusting is the paper's Figure 9\n"
+        "expressed in replacement-visits saved."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Interference study: the paper's channel-26 vs channel-19 comparison.
+
+Reruns the Figure 7 / Figure 9 experiment in miniature: each remote-control
+protocol (TeleAdjusting, Re-Tele, RPL downward, Drip flooding) delivers a
+series of control packets on a clean ZigBee channel (26) and on one
+overlapped by WiFi (19). Prints a compact table of PDR, transmissions per
+control packet, duty cycle, and latency.
+
+Usage::
+
+    python examples/interference_study.py [n_controls]
+
+(Defaults to a small run; ~1–3 minutes of wall time.)
+"""
+
+import sys
+
+from repro.experiments import run_comparison
+
+
+def main() -> None:
+    n_controls = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    print(
+        f"{'protocol':10s} {'chan':>4s} {'PDR':>6s} {'tx/ctrl':>8s} "
+        f"{'duty':>7s} {'latency':>8s}"
+    )
+    for channel in (26, 19):
+        for variant in ("tele", "re-tele", "rpl", "drip"):
+            result = run_comparison(
+                variant,
+                zigbee_channel=channel,
+                seed=1,
+                n_controls=n_controls,
+                control_interval_s=45.0,
+                converge_seconds=200.0,
+            )
+            print(
+                f"{variant:10s} {channel:>4d} "
+                f"{result.pdr:6.2f} "
+                f"{result.tx_per_control:8.2f} "
+                f"{result.duty_cycle * 100:6.2f}% "
+                f"{(result.mean_latency or 0):7.2f}s"
+            )
+    print(
+        "\nExpected shape (paper Fig.7/9, Table III): Drip is near-perfectly\n"
+        "reliable but pays ~25x the transmissions and the highest duty cycle;\n"
+        "RPL is cheap but loses the most packets under WiFi; TeleAdjusting\n"
+        "combines flooding-grade reliability with routing-grade cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""TeleAdjusting reproduction: path coding and opportunistic forwarding for WSN remote control.
+
+This package reproduces the system described in "TeleAdjusting: Using Path
+Coding and Opportunistic Forwarding for Remote Control in WSNs" (ICDCS 2015),
+including every substrate the paper depends on: a discrete-event simulation
+kernel (``repro.sim``), a CC2420-style radio and channel model
+(``repro.radio``), a duty-cycled low-power-listening MAC (``repro.mac``),
+CTP with Trickle beaconing (``repro.net``), the TeleAdjusting protocol itself
+(``repro.core``), and the Drip / RPL baselines (``repro.baselines``).
+
+Quickstart::
+
+    from repro import build_network, TeleAdjustingStack
+    net = build_network(topology="tight-grid", seed=1)
+    net.run_until_converged()
+    result = net.remote_control(destination=42, payload=b"set-ipi=600")
+    print(result.delivered, result.latency_s, result.tx_count)
+"""
+
+from repro.api import (
+    NetworkBuilder,
+    RemoteControlResult,
+    build_network,
+    run_experiment,
+)
+from repro.version import __version__
+
+__all__ = [
+    "NetworkBuilder",
+    "RemoteControlResult",
+    "build_network",
+    "run_experiment",
+    "__version__",
+]

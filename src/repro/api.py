@@ -1,0 +1,74 @@
+"""High-level public API: build a network, run it, send remote-control packets.
+
+This facade wires the full stack (radio, MAC, CTP, TeleAdjusting or a
+baseline) for a chosen topology::
+
+    import repro
+
+    net = repro.build_network(topology="indoor-testbed", seed=1)
+    net.converge()
+    record = net.send_control(destination=7, payload={"ipi_s": 600})
+    net.run(30)
+    print(record.delivered, record.latency_s)
+
+The lower-level packages (``repro.sim``, ``repro.radio``, ``repro.mac``,
+``repro.net``, ``repro.core``, ``repro.baselines``) stay importable for users
+who need to customise a layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.comparison import ComparisonResult, run_comparison
+from repro.experiments.harness import Network, NetworkConfig
+from repro.metrics.control import ControlRecord
+
+#: Re-exported so ``repro.RemoteControlResult`` keeps a stable name.
+RemoteControlResult = ControlRecord
+
+#: Builder alias: ``NetworkBuilder().build()`` style is served by NetworkConfig.
+NetworkBuilder = NetworkConfig
+
+
+def build_network(
+    topology: str = "indoor-testbed",
+    protocol: str = "tele",
+    seed: int = 0,
+    zigbee_channel: int = 26,
+    re_tele: bool = False,
+    config: Optional[NetworkConfig] = None,
+    **overrides: object,
+) -> Network:
+    """Build a fully wired simulated WSN.
+
+    ``topology``: ``"indoor-testbed"`` (40 nodes, ≤6 hops), ``"tight-grid"``
+    (225 nodes), ``"sparse-linear"`` (225 nodes), or a
+    :class:`repro.topology.Deployment`.
+    ``protocol``: ``"tele"`` (TeleAdjusting), ``"drip"``, ``"rpl"``, or
+    ``"none"`` (bare CTP).
+    Any other :class:`NetworkConfig` field may be passed as a keyword.
+    """
+    if config is None:
+        config = NetworkConfig(
+            topology=topology,
+            protocol=protocol,
+            seed=seed,
+            zigbee_channel=zigbee_channel,
+            re_tele=re_tele,
+        )
+    return Network(config, **overrides)
+
+
+def run_experiment(
+    variant: str,
+    zigbee_channel: int = 26,
+    seed: int = 0,
+    n_controls: int = 30,
+    **kwargs: object,
+) -> ComparisonResult:
+    """Run one cell of the paper's evaluation matrix; see
+    :func:`repro.experiments.comparison.run_comparison`."""
+    return run_comparison(
+        variant, zigbee_channel=zigbee_channel, seed=seed, n_controls=n_controls, **kwargs
+    )

@@ -1,0 +1,26 @@
+"""Baseline remote-control protocols the paper compares against.
+
+- :mod:`repro.baselines.drip` — Drip (Tolle & Culler, EWSN'05): reliable
+  Trickle-governed network-wide dissemination. Maximally reliable, pays a
+  network-wide flood per control message.
+- :mod:`repro.baselines.rpl` — RPL downward routing (RFC 6550), storing
+  mode: DAO-propagated hop-by-hop routing tables on the collection DODAG,
+  deterministic unicast downwards. Efficient but brittle under dynamics.
+- :mod:`repro.baselines.orpl` — ORPL (SenSys'13): opportunistic downward
+  routing over bloom-filter sub-tree summaries; included so the paper's
+  false-positive criticism can be measured.
+"""
+
+from repro.baselines.drip import Drip, DripParams
+from repro.baselines.orpl import BloomFilter, OrplDownward, OrplParams
+from repro.baselines.rpl import RplDownward, RplParams
+
+__all__ = [
+    "Drip",
+    "DripParams",
+    "RplDownward",
+    "RplParams",
+    "OrplDownward",
+    "OrplParams",
+    "BloomFilter",
+]

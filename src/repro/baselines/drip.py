@@ -1,0 +1,214 @@
+"""Drip: reliable dissemination (network-wide flooding) for remote control.
+
+Drip (Tolle & Culler, EWSN'05) maintains one Trickle timer per dissemination
+key. Every node periodically advertises its newest ``(key, version)``; a node
+hearing a newer version adopts it and resets its timer, an older version also
+resets (to repair the straggler), an equal version counts toward Trickle
+suppression. For remote control the disseminated value carries the intended
+destination, which applies the payload and (in our harness, for symmetric
+measurement) returns an end-to-end acknowledgement over CTP.
+
+Reliability is eventually perfect — every connected node converges to the
+newest version — at the cost of a network-wide flood per control message,
+which is exactly the trade-off Table III / Figure 9 of the paper quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.net.messages import COLLECT_E2E_ACK, DataPacket
+from repro.net.trickle import TrickleTimer
+from repro.radio.frame import Frame, FrameType
+from repro.sim.simulator import Simulator
+from repro.sim.units import MILLISECOND, SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import NodeStack
+
+
+@dataclass
+class DripParams:
+    """Trickle configuration for dissemination.
+
+    ``i_min`` must exceed one LPL broadcast train (a wake interval), or a
+    node would fire again while its previous train is still on the air.
+    """
+
+    i_min: int = 600 * MILLISECOND
+    i_max_doublings: int = 7  # up to ~77 s steady-state
+    #: Weak suppression: Drip trades redundant floods for speed and
+    #: reliability (the paper measures ~2.7 transmissions per node per
+    #: control message and the lowest latency of the three protocols).
+    k: int = 3
+
+
+@dataclass
+class DripValue:
+    """One disseminated (key, version) value."""
+    key: int
+    version: int
+    destination: Optional[int]
+    payload: object
+    origin_time: int = 0
+
+    LENGTH = 32
+
+
+@dataclass
+class DripAck:
+    """End-to-end acknowledgement payload (rides CTP, mirrors TeleAdjusting)."""
+
+    key: int
+    version: int
+    destination: int
+
+
+@dataclass
+class PendingDissemination:
+    """Sink-side bookkeeping for one dissemination."""
+    value: DripValue
+    sent_at: int
+    done: Optional[Callable[["PendingDissemination"], None]] = None
+    delivered: bool = False
+    acked_at: Optional[int] = None
+    failed: bool = False
+
+
+class Drip:
+    """Per-node Drip instance; the sink's instance originates."""
+
+    #: Single dissemination key used for remote control messages.
+    CONTROL_KEY = 1
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: "NodeStack",
+        params: Optional[DripParams] = None,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.node_id = stack.node_id
+        self.params = params or DripParams()
+        self._values: Dict[int, DripValue] = {}
+        self._timers: Dict[int, TrickleTimer] = {}
+        self._version = 0
+        #: Sink side: (key, version) -> pending bookkeeping.
+        self.pending: Dict[tuple, PendingDissemination] = {}
+        #: Destination-side observer (value) on every targeted delivery.
+        self.on_delivered: Optional[Callable[[DripValue], None]] = None
+        self.on_apply: Optional[Callable[[object], None]] = None
+        self.values_adopted = 0
+        stack.register_handler(FrameType.DISSEMINATION, self._on_dissemination)
+        if stack.is_root:
+            stack.forwarding.collect_handlers[COLLECT_E2E_ACK] = self._on_ack
+        self._started = False
+
+    # ------------------------------------------------------------------ start
+    def start(self) -> None:
+        """Start this component (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._timer_for(self.CONTROL_KEY).start()
+
+    def _timer_for(self, key: int) -> TrickleTimer:
+        timer = self._timers.get(key)
+        if timer is None:
+            timer = TrickleTimer(
+                self.sim,
+                lambda: self._broadcast(key),
+                i_min=self.params.i_min,
+                i_max_doublings=self.params.i_max_doublings,
+                k=self.params.k,
+                rng_name=f"drip-{self.node_id}-{key}",
+            )
+            self._timers[key] = timer
+        return timer
+
+    # -------------------------------------------------------------- originate
+    def disseminate(
+        self,
+        payload: object,
+        destination: Optional[int] = None,
+        done: Optional[Callable[[PendingDissemination], None]] = None,
+        e2e_timeout: int = 120 * SECOND,
+    ) -> PendingDissemination:
+        """Sink API: flood ``payload``; ``destination`` marks the target node."""
+        if not self.stack.is_root:
+            raise RuntimeError("disseminate is a sink-side operation")
+        self._version += 1
+        value = DripValue(
+            key=self.CONTROL_KEY,
+            version=self._version,
+            destination=destination,
+            payload=payload,
+            origin_time=self.sim.now,
+        )
+        self._values[value.key] = value
+        pending = PendingDissemination(value=value, sent_at=self.sim.now, done=done)
+        self.pending[(value.key, value.version)] = pending
+        self._timer_for(value.key).reset()
+        self.sim.schedule(e2e_timeout, self._check_timeout, (value.key, value.version))
+        return pending
+
+    def _check_timeout(self, pending_key: tuple) -> None:
+        pending = self.pending.get(pending_key)
+        if pending is None or pending.acked_at is not None or pending.failed:
+            return
+        pending.failed = True
+        if pending.done is not None:
+            pending.done(pending)
+
+    # --------------------------------------------------------------- trickle
+    def _broadcast(self, key: int) -> None:
+        value = self._values.get(key)
+        if value is None:
+            value = DripValue(key=key, version=0, destination=None, payload=None)
+        self.stack.send_broadcast(
+            FrameType.DISSEMINATION, value, length=DripValue.LENGTH
+        )
+
+    def _on_dissemination(self, frame: Frame, rssi: float) -> None:
+        incoming: DripValue = frame.payload
+        timer = self._timer_for(incoming.key)
+        mine = self._values.get(incoming.key)
+        my_version = mine.version if mine is not None else 0
+        if incoming.version > my_version:
+            self._values[incoming.key] = incoming
+            self.values_adopted += 1
+            timer.hear_inconsistent()
+            if incoming.destination == self.node_id:
+                self._deliver(incoming)
+        elif incoming.version < my_version:
+            timer.hear_inconsistent()  # help the straggler quickly
+        else:
+            timer.hear_consistent()
+
+    # --------------------------------------------------------------- delivery
+    def _deliver(self, value: DripValue) -> None:
+        if self.on_apply is not None:
+            self.on_apply(value.payload)
+        if self.on_delivered is not None:
+            self.on_delivered(value)
+        ack = DripAck(key=value.key, version=value.version, destination=self.node_id)
+        self.stack.forwarding.send(COLLECT_E2E_ACK, ack, origin_seqno=value.version)
+
+    def _on_ack(self, packet: DataPacket) -> None:
+        ack = packet.payload
+        if not isinstance(ack, DripAck):
+            return
+        pending = self.pending.get((ack.key, ack.version))
+        if pending is None or pending.acked_at is not None:
+            return
+        pending.delivered = True
+        pending.acked_at = self.sim.now
+        if pending.done is not None:
+            pending.done(pending)
+
+    # ------------------------------------------------------------------ query
+    def current_value(self, key: int = CONTROL_KEY) -> Optional[DripValue]:
+        """The newest adopted value for a key."""
+        return self._values.get(key)

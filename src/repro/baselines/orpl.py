@@ -1,0 +1,366 @@
+"""ORPL-style opportunistic downward routing (Duquennoy et al., SenSys'13).
+
+The paper's related work contrasts TeleAdjusting with ORPL, which supports
+any-to-any traffic by having every node summarise its routing *sub-tree* in
+a bloom filter ("bitmaps and bloom filters to represent and propagate
+sub-tree in a space-efficient way") and letting any awake node whose filter
+contains the destination take a downward packet over — at the cost of bloom
+*false positives*, which "can incur multiple rounds of ineffectual
+transmissions, especially in large-scale networks".
+
+This module implements that design so the criticism can be measured:
+
+- :class:`BloomFilter` — fixed-size bit array with ``k`` deterministic
+  hashes (double hashing).
+- Sub-tree summaries ride on CTP routing beacons (like TeleAdjusting's
+  piggybacks); parents merge children's filters into their own.
+- Downward control packets are MAC anycasts: a node acknowledges when its
+  filter claims the destination and it sits deeper than the current holder.
+  A false-positive holder discovers it cannot progress, drops the packet
+  after a few silent trains, and the sink retries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
+
+from repro.mac.lpl import AnycastDecision, SendResult
+from repro.net.messages import COLLECT_E2E_ACK, DataPacket, RoutingBeacon
+from repro.radio.frame import Frame, FrameType
+from repro.sim.simulator import Simulator
+from repro.sim.units import SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import NodeStack
+
+_serials = itertools.count(1)
+
+
+class BloomFilter:
+    """A small bloom filter over node ids (double hashing, FNV-style)."""
+
+    def __init__(self, m_bits: int = 64, k_hashes: int = 2) -> None:
+        if m_bits <= 0 or k_hashes <= 0:
+            raise ValueError("bloom filter needs positive size and hash count")
+        self.m = m_bits
+        self.k = k_hashes
+        self.bits = 0
+
+    def _indexes(self, item: int):
+        h1 = (item * 2654435761) & 0xFFFFFFFF
+        h2 = ((item ^ 0x9E3779B9) * 40503) & 0xFFFFFFFF | 1
+        for i in range(self.k):
+            yield (h1 + i * h2) % self.m
+
+    def add(self, item: int) -> None:
+        """Add one element/record."""
+        for index in self._indexes(item):
+            self.bits |= 1 << index
+
+    def __contains__(self, item: int) -> bool:
+        return all(self.bits >> index & 1 for index in self._indexes(item))
+
+    def merge(self, other: "BloomFilter") -> None:
+        """Union another filter into this one in place."""
+        if other.m != self.m or other.k != self.k:
+            raise ValueError("incompatible bloom filters")
+        self.bits |= other.bits
+
+    def copy(self) -> "BloomFilter":
+        """Independent copy of this filter."""
+        clone = BloomFilter(self.m, self.k)
+        clone.bits = self.bits
+        return clone
+
+    def clear(self) -> None:
+        """Reset to empty."""
+        self.bits = 0
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set (false-positive-rate proxy)."""
+        return bin(self.bits).count("1") / self.m
+
+
+@dataclass
+class OrplParams:
+    #: Bloom size per node (ORPL sizes this to the network; 128 bits keeps
+    #: the false-positive rate tolerable for ~40 nodes while still fitting
+    #: in a beacon).
+    """ORPL knobs: bloom size, epoch, retries, timeouts."""
+    bloom_bits: int = 128
+    bloom_hashes: int = 2
+    #: Sub-tree summaries are rebuilt each epoch to purge departed nodes.
+    #: Must comfortably exceed the steady-state beacon interval (Trickle
+    #: doubles to ~4 min), or a rotation wipes summaries before children's
+    #: beacons can refill them.
+    epoch: int = 600 * SECOND
+    #: Anycast trains a holder attempts before concluding false positive.
+    max_tries: int = 3
+    e2e_timeout: int = 60 * SECOND
+    sink_retry_interval: int = 10 * SECOND
+
+
+@dataclass
+class OrplControl:
+    """Downward control packet payload."""
+    destination: int
+    payload: object
+    serial: int = field(default_factory=lambda: next(_serials))
+    #: Tree depth of the current holder (receivers must be deeper).
+    holder_depth: int = 0
+    athx: int = 0
+    origin_time: int = 0
+
+    LENGTH = 32
+
+
+@dataclass
+class OrplAck:
+    """End-to-end acknowledgement payload (rides CTP)."""
+    serial: int
+    destination: int
+
+
+@dataclass
+class PendingOrplControl:
+    """Sink-side bookkeeping for one control packet."""
+    control: OrplControl
+    sent_at: int
+    done: Optional[Callable[["PendingOrplControl"], None]] = None
+    delivered: bool = False
+    acked_at: Optional[int] = None
+    failed: bool = False
+
+
+@dataclass
+class _HolderState:
+    control: OrplControl
+    tries: int = 0
+    done_with_it: bool = False
+    held_at: int = 0
+
+
+class OrplDownward:
+    """Per-node ORPL downward routing over the LPL anycast primitive."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: "NodeStack",
+        params: Optional[OrplParams] = None,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.node_id = stack.node_id
+        self.params = params or OrplParams()
+        #: Current epoch's sub-tree summary (self + descendants heard).
+        self.subtree = BloomFilter(self.params.bloom_bits, self.params.bloom_hashes)
+        self.subtree.add(self.node_id)
+        #: Next epoch's summary under construction.
+        self._building = BloomFilter(self.params.bloom_bits, self.params.bloom_hashes)
+        self._building.add(self.node_id)
+        self._states: Dict[int, _HolderState] = {}
+        self._delivered: Set[int] = set()
+        self.pending: Dict[int, PendingOrplControl] = {}
+        self.on_delivered: Optional[Callable[[OrplControl], None]] = None
+        self.on_apply: Optional[Callable[[object], None]] = None
+        self.false_positive_drops = 0
+        self.controls_forwarded = 0
+        stack.register_handler(FrameType.CONTROL, self._on_control)
+        stack.set_anycast_handler(self._anycast_decision)
+        stack.beacon_fillers.append(self._fill_beacon)
+        stack.beacon_observers.append(self._observe_beacon)
+        if stack.is_root:
+            stack.forwarding.collect_handlers[COLLECT_E2E_ACK] = self._on_ack
+        self._started = False
+
+    # ------------------------------------------------------------------ start
+    def start(self) -> None:
+        """Start this component (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        jitter = self.sim.rng(f"orpl-{self.node_id}").randrange(self.params.epoch)
+        self.sim.schedule(jitter, self._rotate_epoch)
+
+    def _rotate_epoch(self) -> None:
+        self.sim.schedule(self.params.epoch, self._rotate_epoch)
+        # Keep one epoch of hysteresis: current = last built; start fresh.
+        merged = self._building.copy()
+        self.subtree = merged
+        self._building = BloomFilter(self.params.bloom_bits, self.params.bloom_hashes)
+        self._building.add(self.node_id)
+
+    # --------------------------------------------------------------- beacons
+    def _fill_beacon(self, beacon: RoutingBeacon) -> None:
+        # Reuse the tele_code slot to carry the bloom bits (one experiment
+        # runs one protocol, so the slots never collide).
+        beacon.tele_code = (self.subtree.bits, self.subtree.m)
+
+    def _observe_beacon(self, beacon: RoutingBeacon, rssi: float) -> None:
+        if beacon.parent != self.node_id or beacon.tele_code is None:
+            return
+        bits, m = beacon.tele_code
+        if m != self.subtree.m:
+            return
+        child_filter = BloomFilter(self.params.bloom_bits, self.params.bloom_hashes)
+        child_filter.bits = bits
+        self.subtree.merge(child_filter)
+        self._building.merge(child_filter)
+
+    # --------------------------------------------------------------- queries
+    @property
+    def depth(self) -> int:
+        """This node's tree depth (0 at/near the sink)."""
+        hop = self.stack.routing.hop_count
+        return hop if hop < 0xFFFF else 0
+
+    def claims(self, destination: int) -> bool:
+        """Does our sub-tree summary (possibly falsely) contain the node?"""
+        return destination in self.subtree
+
+    # ------------------------------------------------------------- originate
+    def send_control(
+        self,
+        destination: int,
+        payload: object = None,
+        done: Optional[Callable[[PendingOrplControl], None]] = None,
+    ) -> PendingOrplControl:
+        """Originate a downward control packet from the sink."""
+        if not self.stack.is_root:
+            raise RuntimeError("send_control is a sink-side operation")
+        control = OrplControl(
+            destination=destination, payload=payload, origin_time=self.sim.now
+        )
+        pending = PendingOrplControl(control=control, sent_at=self.sim.now, done=done)
+        self.pending[control.serial] = pending
+        self._states[control.serial] = _HolderState(control=control)
+        self._forward(control.serial)
+        self.sim.schedule(self.params.e2e_timeout, self._check_timeout, control.serial)
+        self.sim.schedule(
+            self.params.sink_retry_interval, self._watchdog, control.serial
+        )
+        return pending
+
+    def _watchdog(self, serial: int) -> None:
+        pending = self.pending.get(serial)
+        if pending is None or pending.acked_at is not None or pending.failed:
+            return
+        if self.sim.now >= pending.sent_at + self.params.e2e_timeout:
+            return
+        self._states[serial] = _HolderState(control=pending.control)
+        self._forward(serial)
+        self.sim.schedule(self.params.sink_retry_interval, self._watchdog, serial)
+
+    def _check_timeout(self, serial: int) -> None:
+        pending = self.pending.get(serial)
+        if pending is None or pending.acked_at is not None or pending.failed:
+            return
+        pending.failed = True
+        if pending.done is not None:
+            pending.done(pending)
+
+    # ------------------------------------------------------------- forwarding
+    def _forward(self, serial: int) -> None:
+        state = self._states.get(serial)
+        if state is None or state.done_with_it:
+            return
+        control = state.control
+        forwarded = OrplControl(
+            destination=control.destination,
+            payload=control.payload,
+            serial=control.serial,
+            holder_depth=self.depth,
+            athx=control.athx + 1,
+            origin_time=control.origin_time,
+        )
+        state.control = forwarded
+        self.controls_forwarded += 1
+        self.stack.send_anycast(
+            FrameType.CONTROL,
+            forwarded,
+            length=OrplControl.LENGTH,
+            done=lambda result: self._sent(serial, result),
+        )
+
+    def _sent(self, serial: int, result: SendResult) -> None:
+        state = self._states.get(serial)
+        if state is None or state.done_with_it:
+            return
+        if result.ok or result.reason == "cancelled":
+            state.done_with_it = True
+            return
+        state.tries += 1
+        if state.tries < self.params.max_tries:
+            backoff = 200_000 + self.sim.rng(f"orpl-rt-{self.node_id}").randrange(
+                400_000
+            )
+            self.sim.schedule(backoff, self._forward, serial)
+            return
+        # Our bloom claimed the destination but nobody deeper answers: the
+        # classic false-positive dead end the paper criticises.
+        state.done_with_it = True
+        if not self.stack.is_root:
+            self.false_positive_drops += 1
+
+    # ---------------------------------------------------------------- receive
+    def _anycast_decision(self, frame: Frame, rssi: float) -> AnycastDecision:
+        if frame.type is not FrameType.CONTROL:
+            return AnycastDecision.reject()
+        control = frame.payload
+        if not isinstance(control, OrplControl):
+            return AnycastDecision.reject()
+        if control.destination == self.node_id:
+            return AnycastDecision(True, slot=0)
+        state = self._states.get(control.serial)
+        if state is not None and (
+            not state.done_with_it or self.sim.now - state.held_at < 5 * SECOND
+        ):
+            return AnycastDecision.reject()  # we already hold/held this one
+        if self.depth <= control.holder_depth:
+            return AnycastDecision.reject()  # only downward progress
+        if self.claims(control.destination):
+            return AnycastDecision(True, slot=2)
+        return AnycastDecision.reject()
+
+    def _on_control(self, frame: Frame, rssi: float) -> None:
+        control: OrplControl = frame.payload
+        if not isinstance(control, OrplControl):
+            return
+        if control.destination == self.node_id:
+            self._deliver(control)
+            return
+        state = self._states.get(control.serial)
+        if state is not None and (
+            not state.done_with_it or self.sim.now - state.held_at < 5 * SECOND
+        ):
+            return
+        self._states[control.serial] = _HolderState(
+            control=control, held_at=self.sim.now
+        )
+        self._forward(control.serial)
+
+    def _deliver(self, control: OrplControl) -> None:
+        if control.serial in self._delivered:
+            return
+        self._delivered.add(control.serial)
+        if self.on_apply is not None:
+            self.on_apply(control.payload)
+        if self.on_delivered is not None:
+            self.on_delivered(control)
+        ack = OrplAck(serial=control.serial, destination=self.node_id)
+        self.stack.forwarding.send(COLLECT_E2E_ACK, ack, origin_seqno=control.serial)
+
+    def _on_ack(self, packet: DataPacket) -> None:
+        ack = packet.payload
+        if not isinstance(ack, OrplAck):
+            return
+        pending = self.pending.get(ack.serial)
+        if pending is None or pending.acked_at is not None:
+            return
+        pending.delivered = True
+        pending.acked_at = self.sim.now
+        if pending.done is not None:
+            pending.done(pending)

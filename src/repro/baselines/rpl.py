@@ -1,0 +1,302 @@
+"""RPL downward routing (RFC 6550), storing mode, on the collection DODAG.
+
+The paper compares against "only the downward part of RPL": destinations
+advertise themselves with DAOs that propagate up the DODAG (here: the CTP
+tree); every node stores ``destination → next-hop child`` routes; the sink
+forwards control packets hop by hop strictly according to these tables.
+Deterministic table-driven forwarding is efficient but brittle: when the
+real topology drifts from the stored state (link burstiness, WiFi
+interference, parent changes), packets are dropped — the effect behind RPL's
+PDR collapse in the paper's Figure 7(b).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Optional, Set
+
+from repro.mac.lpl import SendResult
+from repro.net.messages import COLLECT_E2E_ACK, DataPacket
+from repro.radio.frame import Frame, FrameType
+from repro.sim.simulator import Simulator
+from repro.sim.units import SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import NodeStack
+
+_serials = itertools.count(1)
+
+
+@dataclass
+class RplParams:
+    """DAO and forwarding knobs."""
+
+    #: Periodic DAO refresh interval.
+    dao_interval: int = 30 * SECOND
+    #: Debounce for change-triggered DAOs.
+    dao_debounce: int = 2 * SECOND
+    #: Unicast trains per hop before the packet is dropped. CTP-era stacks
+    #: retransmit persistently (TinyOS CTP uses up to 30 link retries); each
+    #: of our tries is already a full LPL train.
+    max_hop_tries: int = 6
+    #: Sink-side end-to-end timeout.
+    e2e_timeout: int = 60 * SECOND
+    #: Entries not refreshed within this window are purged.
+    route_lifetime: int = 180 * SECOND
+    #: Hop budget per control packet. Stored routes can transiently loop
+    #: (A→B while B→A after re-parenting); real RPL detects loops by rank,
+    #: we bound them by TTL.
+    max_hops: int = 16
+
+
+@dataclass
+class DaoMessage:
+    """Destination advertisement: the sender's reachable sub-DODAG."""
+
+    origin: int
+    destinations: FrozenSet[int]
+    seqno: int
+
+    LENGTH = 32
+
+
+@dataclass
+class RplControl:
+    """Downward control packet payload."""
+
+    destination: int
+    payload: object
+    serial: int = field(default_factory=lambda: next(_serials))
+    hops: int = 0
+    origin_time: int = 0
+
+    LENGTH = 30
+
+
+@dataclass
+class RplAck:
+    """End-to-end acknowledgement payload (rides CTP)."""
+    serial: int
+    destination: int
+
+
+@dataclass
+class PendingRplControl:
+    """Sink-side bookkeeping for one control packet."""
+    control: RplControl
+    sent_at: int
+    done: Optional[Callable[["PendingRplControl"], None]] = None
+    delivered: bool = False
+    acked_at: Optional[int] = None
+    failed: bool = False
+    fail_reason: str = ""
+
+
+@dataclass
+class _RouteEntry:
+    next_hop: int
+    refreshed_at: int
+
+
+class RplDownward:
+    """Per-node RPL storing-mode downward routing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: "NodeStack",
+        params: Optional[RplParams] = None,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.node_id = stack.node_id
+        self.params = params or RplParams()
+        self.routes: Dict[int, _RouteEntry] = {}
+        self._dao_seqno = 0
+        self._dao_scheduled = False
+        self.pending: Dict[int, PendingRplControl] = {}
+        self.on_delivered: Optional[Callable[[RplControl], None]] = None
+        self.on_apply: Optional[Callable[[object], None]] = None
+        self.daos_sent = 0
+        self.controls_forwarded = 0
+        self.controls_dropped = 0
+        stack.register_handler(FrameType.RPL_DAO, self._on_dao)
+        stack.register_handler(FrameType.CONTROL, self._on_control)
+        if stack.is_root:
+            stack.forwarding.collect_handlers[COLLECT_E2E_ACK] = self._on_ack
+        stack.routing.on_parent_change.append(self._on_parent_change)
+        self._started = False
+
+    # ------------------------------------------------------------------ start
+    def start(self) -> None:
+        """Start this component (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        if not self.stack.is_root:
+            self.sim.schedule(
+                self.sim.rng(f"rpl-{self.node_id}").randrange(self.params.dao_interval),
+                self._periodic_dao,
+            )
+
+    # ------------------------------------------------------------------- DAO
+    def _reachable_set(self) -> FrozenSet[int]:
+        """Ourselves plus every destination our stored routes cover."""
+        now = self.sim.now
+        live = {
+            dest
+            for dest, entry in self.routes.items()
+            if now - entry.refreshed_at <= self.params.route_lifetime
+        }
+        live.add(self.node_id)
+        return frozenset(live)
+
+    def _periodic_dao(self) -> None:
+        self.sim.schedule(self.params.dao_interval, self._periodic_dao)
+        self._send_dao()
+
+    def _schedule_dao(self) -> None:
+        if self._dao_scheduled:
+            return
+        self._dao_scheduled = True
+        self.sim.schedule(self.params.dao_debounce, self._debounced_dao)
+
+    def _debounced_dao(self) -> None:
+        self._dao_scheduled = False
+        self._send_dao()
+
+    def _send_dao(self) -> None:
+        parent = self.stack.routing.parent
+        if parent is None or self.stack.is_root:
+            return
+        self._dao_seqno += 1
+        dao = DaoMessage(
+            origin=self.node_id,
+            destinations=self._reachable_set(),
+            seqno=self._dao_seqno,
+        )
+        self.daos_sent += 1
+        self.stack.send_unicast(parent, FrameType.RPL_DAO, dao, length=DaoMessage.LENGTH)
+
+    def _on_dao(self, frame: Frame, rssi: float) -> None:
+        dao: DaoMessage = frame.payload
+        changed = False
+        for dest in dao.destinations:
+            if dest == self.node_id:
+                continue
+            entry = self.routes.get(dest)
+            if entry is None or entry.next_hop != dao.origin:
+                changed = True
+            self.routes[dest] = _RouteEntry(next_hop=dao.origin, refreshed_at=self.sim.now)
+        # Storing mode aggregates upward: cascade only on changes; unchanged
+        # refreshes are covered by each node's own periodic DAO.
+        if changed:
+            self._schedule_dao()
+
+    def _on_parent_change(self, old: Optional[int], new: Optional[int]) -> None:
+        if new is not None:
+            self._schedule_dao()
+
+    # ------------------------------------------------------------- forwarding
+    def send_control(
+        self,
+        destination: int,
+        payload: object = None,
+        done: Optional[Callable[[PendingRplControl], None]] = None,
+    ) -> PendingRplControl:
+        """Sink API: unicast ``payload`` down the stored route."""
+        if not self.stack.is_root:
+            raise RuntimeError("send_control is a sink-side operation")
+        control = RplControl(
+            destination=destination, payload=payload, origin_time=self.sim.now
+        )
+        pending = PendingRplControl(control=control, sent_at=self.sim.now, done=done)
+        self.pending[control.serial] = pending
+        self._forward(control)
+        self.sim.schedule(self.params.e2e_timeout, self._check_timeout, control.serial)
+        return pending
+
+    def _check_timeout(self, serial: int) -> None:
+        pending = self.pending.get(serial)
+        if pending is None or pending.acked_at is not None or pending.failed:
+            return
+        pending.failed = True
+        pending.fail_reason = pending.fail_reason or "timeout"
+        if pending.done is not None:
+            pending.done(pending)
+
+    def _forward(self, control: RplControl, tries: int = 0) -> None:
+        if control.hops >= self.params.max_hops:
+            self._drop(control, "ttl-exceeded")
+            return
+        entry = self.routes.get(control.destination)
+        if entry is None:
+            self._drop(control, "no-route")
+            return
+        next_hop = entry.next_hop
+        forwarded = RplControl(
+            destination=control.destination,
+            payload=control.payload,
+            serial=control.serial,
+            hops=control.hops + 1,
+            origin_time=control.origin_time,
+        )
+        self.controls_forwarded += 1
+        self.stack.send_unicast(
+            next_hop,
+            FrameType.CONTROL,
+            forwarded,
+            length=RplControl.LENGTH,
+            done=lambda result: self._sent(control, tries, result),
+        )
+
+    def _sent(self, control: RplControl, tries: int, result: SendResult) -> None:
+        if result.ok:
+            return
+        tries += 1
+        if tries < self.params.max_hop_tries:
+            self._forward(control, tries)
+            return
+        self._drop(control, "hop-failure")
+
+    def _drop(self, control: RplControl, reason: str) -> None:
+        self.controls_dropped += 1
+        pending = self.pending.get(control.serial)
+        if pending is not None and not pending.failed and pending.acked_at is None:
+            pending.failed = True
+            pending.fail_reason = reason
+            if pending.done is not None:
+                pending.done(pending)
+
+    def _on_control(self, frame: Frame, rssi: float) -> None:
+        control: RplControl = frame.payload
+        if control.destination == self.node_id:
+            self._deliver(control)
+            return
+        self._forward(control)
+
+    # --------------------------------------------------------------- delivery
+    def _deliver(self, control: RplControl) -> None:
+        if self.on_apply is not None:
+            self.on_apply(control.payload)
+        if self.on_delivered is not None:
+            self.on_delivered(control)
+        ack = RplAck(serial=control.serial, destination=self.node_id)
+        self.stack.forwarding.send(COLLECT_E2E_ACK, ack, origin_seqno=control.serial)
+
+    def _on_ack(self, packet: DataPacket) -> None:
+        ack = packet.payload
+        if not isinstance(ack, RplAck):
+            return
+        pending = self.pending.get(ack.serial)
+        if pending is None or pending.acked_at is not None:
+            return
+        pending.delivered = True
+        pending.acked_at = self.sim.now
+        if pending.failed:
+            # The packet got through although a hop reported failure (e.g. a
+            # lost link-layer ack); count the delivery.
+            pending.failed = False
+        if pending.done is not None:
+            pending.done(pending)

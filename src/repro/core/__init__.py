@@ -1,0 +1,43 @@
+"""TeleAdjusting core: path coding, position allocation, and forwarding.
+
+- :mod:`repro.core.pathcode` — the variable-length binary path code
+  (paper §III-B1): a parent's valid code is a strict prefix of every
+  child's code.
+- :mod:`repro.core.childtable` — the child-node table (paper Table I).
+- :mod:`repro.core.neighbortable` — neighbour code table with old-code
+  retention and unreachable flags.
+- :mod:`repro.core.allocation` — position allocation engine implementing
+  Algorithms 1–3 plus space extension and position maintenance.
+- :mod:`repro.core.forwarding` — opportunistic prefix-match downward
+  forwarding with backtracking and the destination-unreachable
+  countermeasure (Re-Tele).
+- :mod:`repro.core.controller` — the remote controller's global view.
+- :mod:`repro.core.protocol` — per-node glue; :class:`TeleAdjusting`.
+- :mod:`repro.core.multicast` — one-to-many delivery via shared code
+  prefixes (the extension the paper's introduction claims).
+"""
+
+from repro.core.allocation import AllocationEngine, AllocationParams
+from repro.core.childtable import ChildEntry, ChildTable
+from repro.core.controller import Controller
+from repro.core.forwarding import ForwardingParams, TeleForwarding
+from repro.core.messages import ControlPacket, FeedbackPacket, TeleBeacon
+from repro.core.neighbortable import NeighborCodeTable
+from repro.core.pathcode import PathCode
+from repro.core.protocol import TeleAdjusting
+
+__all__ = [
+    "AllocationEngine",
+    "AllocationParams",
+    "ChildEntry",
+    "ChildTable",
+    "Controller",
+    "ForwardingParams",
+    "TeleForwarding",
+    "ControlPacket",
+    "FeedbackPacket",
+    "TeleBeacon",
+    "NeighborCodeTable",
+    "PathCode",
+    "TeleAdjusting",
+]

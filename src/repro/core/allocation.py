@@ -1,0 +1,447 @@
+"""Position allocation engine: Algorithms 1–3 of the paper.
+
+Each node runs one :class:`AllocationEngine`. The sink starts with code ``0``
+(one valid bit); every other node waits for the CTP "routing found" event,
+then obtains a *position* from its parent — via the parent's TeleAdjusting
+beacon, a position request, or an allocation acknowledgement — and derives
+its path code as ``parent_code + position``. Parents size their bit space
+after the child set has been stable for ten beacon rounds (Algorithm 1),
+maintain consistency through routing-beacon piggybacks (Algorithm 2 /
+§III-B5), and extend the space by one bit when it fills (§III-B6), which
+cascades code updates down the subtree (Algorithm 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.childtable import ChildTable, SpaceExhausted
+from repro.core.messages import (
+    AllocationAck,
+    Confirmation,
+    PositionRequest,
+    TeleBeacon,
+    TeleBeaconEntry,
+)
+from repro.core.neighbortable import NeighborCodeTable
+from repro.core.pathcode import PathCode
+from repro.net.messages import RoutingBeacon
+from repro.radio.frame import Frame, FrameType
+from repro.sim.simulator import Simulator
+from repro.sim.units import MILLISECOND, SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import NodeStack
+
+
+@dataclass
+class AllocationParams:
+    """Timing knobs for the allocation process."""
+
+    #: One "round" — the paper uses the wake-up interval (512 ms).
+    round_duration: int = 512 * MILLISECOND
+    #: Rounds without a new child before Algorithm 1 runs.
+    stability_rounds: int = 10
+    #: Consecutive TeleAdjusting beacons broadcast after initial allocation.
+    initial_beacons: int = 2
+    #: Minimum spacing between position requests to the same parent.
+    request_interval: int = 2 * SECOND
+    #: Retention of superseded own/neighbour codes.
+    old_code_ttl: int = 60 * SECOND
+    #: Debounce for change-triggered TeleAdjusting beacons (coalesces the
+    #: cascade when several children/extensions change at once; each beacon
+    #: is a full LPL train, so coalescing is an energy lever).
+    beacon_debounce: int = 150 * MILLISECOND
+
+
+class AllocationEngine:
+    """Per-node path-code construction and maintenance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: "NodeStack",
+        params: Optional[AllocationParams] = None,
+        is_sink: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.node_id = stack.node_id
+        self.params = params or AllocationParams()
+        self.is_sink = is_sink
+        self.children = ChildTable()
+        self.neighbor_codes = NeighborCodeTable(old_code_ttl=self.params.old_code_ttl)
+        self.code: Optional[PathCode] = None
+        self.old_code: Optional[PathCode] = None
+        self._old_code_expires = 0
+        #: Position allocated to *us* by our parent, and the space it lives in.
+        self.position: Optional[int] = None
+        self.position_space: int = 0
+        self._position_parent: Optional[int] = None  # who allocated it
+        self._last_request_at = -(10**12)
+        self._initial_done = False
+        self._last_new_child_at: Optional[int] = None
+        self._known_children_count = 0
+        #: Parents we have evidence of having run their position allocation
+        #: (§III-B4: a child only *requests* once the parent demonstrably
+        #: allocated — via its TeleAdjusting beacon, an allocation ack, or a
+        #: sibling's beacon carrying a position).
+        self._alloc_seen_from: set = set()
+        self._beacon_scheduled = False
+        self._pending_extension_flag = False
+        # --- metrics (Figure 6) ---
+        self.triggered_at: Optional[int] = None  # routing-found event time
+        self.code_assigned_at: Optional[int] = None  # first code acquisition
+        self.code_changes = 0
+        self.tele_beacons_sent = 0
+        #: Hooks fired whenever our own code changes (new value or None).
+        self.on_code_change: List[Callable[[Optional[PathCode]], None]] = []
+
+    # ------------------------------------------------------------------ start
+    def start(self) -> None:
+        """Arm the engine; the sink self-assigns its one-bit code."""
+        if self.is_sink:
+            self._set_code(PathCode.sink())
+            self.triggered_at = self.sim.now
+            self._last_new_child_at = self.sim.now
+            self._schedule_round_check()
+        else:
+            self.stack.routing.on_parent_found.append(self._on_routing_found)
+            self.stack.routing.on_parent_change.append(self._on_parent_change)
+
+    def _on_routing_found(self) -> None:
+        self.triggered_at = self.sim.now
+        self._last_new_child_at = self.sim.now
+        self._schedule_round_check()
+
+    def _schedule_round_check(self) -> None:
+        self.sim.schedule(self.params.round_duration, self._round_check)
+
+    # --------------------------------------------------- Algorithm 1: initial
+    def _round_check(self) -> None:
+        """Periodic: initial allocation once stable; repair a missing code.
+
+        The stability countdown runs *concurrently* at every node from its
+        own routing-found event — position allocation does not wait for the
+        node's own code (positions are independent of the prefix; codes
+        cascade down afterwards). This is what keeps network-wide
+        convergence within ~10–20 beacon rounds (paper Figure 6(c)) instead
+        of 10 rounds per tree level.
+        """
+        self._schedule_round_check()
+        if self.code is None:
+            self._maybe_request_position()
+        if self._initial_done:
+            return
+        assert self._last_new_child_at is not None
+        # "No further finding of new child node for ten rounds" (§III-B2):
+        # the clock restarts only when the routing child set actually grows.
+        current = len(self.stack.routing.children)
+        if current > self._known_children_count:
+            self._known_children_count = current
+            self._last_new_child_at = self.sim.now
+            return
+        stable_for = self.sim.now - self._last_new_child_at
+        if stable_for < self.params.stability_rounds * self.params.round_duration:
+            return
+        self._initial_allocation()
+
+    def _initial_allocation(self) -> None:
+        """Algorithm 1: size the space, allocate, broadcast two beacons."""
+        self._initial_done = True
+        known_children = list(self.stack.routing.children)
+        if not known_children:
+            return  # leaf for now; Algorithm 2 handles late arrivals
+        self.children.size_space(len(known_children))
+        for child in known_children:
+            self.children.allocate(child, now=self.sim.now)
+        for i in range(self.params.initial_beacons):
+            self.sim.schedule(
+                i * 60 * MILLISECOND + 1, self._broadcast_tele_beacon, False
+            )
+
+    # -------------------------------------------------------------- own code
+    def _set_code(self, code: Optional[PathCode]) -> None:
+        if code == self.code:
+            return
+        if self.code is not None:
+            self.old_code = self.code
+            self._old_code_expires = self.sim.now + self.params.old_code_ttl
+            self.code_changes += 1
+        self.code = code
+        if code is not None and self.code_assigned_at is None:
+            self.code_assigned_at = self.sim.now
+        for hook in self.on_code_change:
+            hook(code)
+
+    def valid_old_code(self) -> Optional[PathCode]:
+        """The retained previous code while its grace period lasts."""
+        if self.old_code is not None and self.sim.now < self._old_code_expires:
+            return self.old_code
+        return None
+
+    def _adopt(
+        self,
+        parent: int,
+        position: int,
+        space_bits: int,
+        parent_code: Optional[PathCode],
+    ) -> None:
+        """Take an allocated position and derive our code from it.
+
+        The position is stored even when the parent's own code is still
+        unknown (codes cascade top-down after positions settle); a later
+        beacon carrying the parent's code completes the derivation.
+        """
+        self.position = position
+        self.position_space = space_bits
+        self._position_parent = parent
+        if parent_code is None:
+            self._send_confirmation(parent, position)
+            return  # cannot derive a code yet; a later beacon will carry it
+        new_code = parent_code.extend(position, space_bits)
+        changed = new_code != self.code
+        self._set_code(new_code)
+        self._send_confirmation(parent, position)
+        if changed and len(self.children) > 0:
+            # Our prefix changed, so every descendant's code must change too.
+            self._schedule_tele_beacon(extension=True)
+
+    # ------------------------------------------------- TeleAdjusting beacons
+    def _schedule_tele_beacon(self, extension: bool = False) -> None:
+        self._pending_extension_flag = self._pending_extension_flag or extension
+        if self._beacon_scheduled:
+            return
+        self._beacon_scheduled = True
+        self.sim.schedule(
+            self.params.beacon_debounce, self._broadcast_tele_beacon, None
+        )
+
+    def _broadcast_tele_beacon(self, extension: Optional[bool]) -> None:
+        """Broadcast our allocations; ``extension=None`` consumes the debounce."""
+        if extension is None:
+            self._beacon_scheduled = False
+            extension = self._pending_extension_flag
+            self._pending_extension_flag = False
+        beacon = TeleBeacon(
+            origin=self.node_id,
+            code=self.code,
+            space_bits=self.children.space_bits,
+            entries=[
+                TeleBeaconEntry(e.child, e.position, e.confirmed)
+                for e in self.children.entries()
+            ],
+            extension=extension,
+        )
+        self.tele_beacons_sent += 1
+        self.stack.send_broadcast(FrameType.TELE_BEACON, beacon, length=beacon.length())
+
+    def handle_tele_beacon(self, frame: Frame, rssi: float) -> None:
+        """Algorithm 3 (child side) plus neighbour-table maintenance."""
+        beacon: TeleBeacon = frame.payload
+        if beacon.code is not None:
+            self.neighbor_codes.update_code(beacon.origin, beacon.code, self.sim.now)
+        self.neighbor_codes.heard_from(beacon.origin, self.sim.now)
+        self._alloc_seen_from.add(beacon.origin)
+        if beacon.origin != self.stack.routing.parent:
+            return
+        for entry in beacon.entries:
+            if entry.child != self.node_id:
+                continue
+            if (
+                entry.position != self.position
+                or beacon.space_bits != self.position_space
+                or beacon.extension
+                or self.code is None
+                or (
+                    beacon.code is not None
+                    and not beacon.code.is_prefix_of(self.code)
+                )
+            ):
+                self._adopt(
+                    beacon.origin, entry.position, beacon.space_bits, beacon.code
+                )
+            elif not entry.confirmed:
+                self._send_confirmation(beacon.origin, entry.position)
+            return
+        # Not in the allocation set although this is our parent: request.
+        self._maybe_request_position(force=True)
+
+    # --------------------------------------------- position request / ack path
+    def _maybe_request_position(self, force: bool = False, repair: bool = False) -> None:
+        """§III-B4: ask our parent for a position (rate-limited).
+
+        ``repair`` bypasses the have-a-code short-circuit: our code exists but
+        was detected inconsistent with the parent's, so a fresh allocation
+        acknowledgement is needed to re-derive it.
+        """
+        if self.is_sink:
+            return
+        if not repair and self.position is not None:
+            # We hold a position; the code arrives with the parent's beacons
+            # (or the parent-side repair below) — don't spam requests.
+            return
+        parent = self.stack.routing.parent
+        if parent is None:
+            return
+        if not repair and parent not in self._alloc_seen_from:
+            return  # no evidence yet that the parent has allocated (§III-B4)
+        if repair and self.sim.now - self._last_request_at < self.params.request_interval:
+            return  # repair requests stay rate-limited even when forced
+        if not force and self.sim.now - self._last_request_at < self.params.request_interval:
+            return
+        self._last_request_at = self.sim.now
+        request = PositionRequest(child=self.node_id, parent=parent)
+        self.stack.send_unicast(
+            parent, FrameType.POSITION_REQUEST, request, length=PositionRequest.LENGTH
+        )
+
+    def handle_position_request(self, frame: Frame, rssi: float) -> None:
+        """Algorithm 2, ``ID ∉ S`` branch (parent side)."""
+        request: PositionRequest = frame.payload
+        if request.parent != self.node_id:
+            return
+        self._allocate_and_ack(request.child)
+
+    def _allocate_and_ack(self, child: int) -> None:
+        space_before = self.children.space_bits
+        try:
+            entry = self.children.allocate(child, now=self.sim.now)
+        except SpaceExhausted:
+            return
+        entry.confirmed = False
+        if self.children.space_bits != space_before and space_before != 0:
+            # §III-B6: the extension re-encodes every child's suffix; notify.
+            self._schedule_tele_beacon(extension=True)
+        ack = AllocationAck(
+            parent=self.node_id,
+            child=child,
+            position=entry.position,
+            space_bits=self.children.space_bits,
+            parent_code=self.code,
+        )
+        self.stack.send_unicast(
+            child, FrameType.ALLOCATION_ACK, ack, length=AllocationAck.LENGTH
+        )
+
+    def handle_allocation_ack(self, frame: Frame, rssi: float) -> None:
+        """Adopt a position from a parent's allocation ack."""
+        ack: AllocationAck = frame.payload
+        if ack.child != self.node_id:
+            return
+        self._alloc_seen_from.add(ack.parent)
+        if ack.parent != self.stack.routing.parent:
+            return  # stale: we re-parented since the request
+        if ack.parent_code is not None:
+            self.neighbor_codes.update_code(ack.parent, ack.parent_code, self.sim.now)
+        self._adopt(ack.parent, ack.position, ack.space_bits, ack.parent_code)
+
+    def _send_confirmation(self, parent: int, position: int) -> None:
+        confirmation = Confirmation(
+            child=self.node_id, parent=parent, position=position
+        )
+        self.stack.send_unicast(
+            parent, FrameType.CONFIRMATION, confirmation, length=Confirmation.LENGTH
+        )
+
+    def handle_confirmation(self, frame: Frame, rssi: float) -> None:
+        """Mark a child's position as confirmed."""
+        confirmation: Confirmation = frame.payload
+        if confirmation.parent != self.node_id:
+            return
+        self.children.confirm(confirmation.child, confirmation.position)
+
+    # ------------------------------------- routing-beacon piggyback (§III-B5)
+    def fill_routing_beacon(self, beacon: RoutingBeacon) -> None:
+        """Piggyback our position/code on an outgoing beacon."""
+        beacon.tele_position = self.position
+        if self.code is not None:
+            beacon.tele_code = (self.code.value, self.code.length)
+
+    def observe_routing_beacon(self, beacon: RoutingBeacon, rssi: float) -> None:
+        """Algorithm 2 (parent side) driven by child routing beacons."""
+        origin = beacon.origin
+        self.neighbor_codes.heard_from(origin, self.sim.now)
+        if beacon.tele_code is not None:
+            value, length = beacon.tele_code
+            self.neighbor_codes.update_code(
+                origin, PathCode(value, length), self.sim.now
+            )
+        if beacon.tele_position is not None and beacon.parent is not None:
+            # A sibling (or any node) carrying a position proves its parent
+            # has allocated — the §III-B4 trigger for position requests.
+            self._alloc_seen_from.add(beacon.parent)
+        if beacon.parent == self.node_id:
+            if not self._initial_done:
+                return  # _round_check tracks growth; allocation covers this child
+            claimed = beacon.tele_position
+            if origin in self.children:
+                if claimed is None:
+                    # Post-initial child still positionless: it missed our
+                    # TeleAdjusting beacons — repair with a unicast ack.
+                    self._allocate_and_ack(origin)
+                    return
+                if not self.children.confirm(origin, claimed):
+                    # Mismatch: deterministically reallocate (Algorithm 2 l.4-6).
+                    self.children.reallocate(origin, now=self.sim.now)
+                    self._allocate_and_ack(origin)
+                    return
+                # Position is right — but the child's code may be an orphan
+                # (it missed a cascade after our own code changed) or still
+                # missing entirely. Verify the derivation and repair with a
+                # fresh allocation ack.
+                if self.code is not None and self.children.space_bits > 0:
+                    derived = self.code.extend(claimed, self.children.space_bits)
+                    if beacon.tele_code is None:
+                        self._allocate_and_ack(origin)  # child has no code yet
+                    else:
+                        value, length = beacon.tele_code
+                        if PathCode(value, length) != derived:
+                            self._allocate_and_ack(origin)
+            else:
+                self._allocate_and_ack(origin)
+        else:
+            # The node claims a different parent: free its position with us.
+            if origin in self.children:
+                self.children.remove(origin)
+            # Child side: our own parent's beacon carries its current code; if
+            # it is no longer a prefix of ours, our code is an orphan — ask
+            # for a fresh allocation (the ack re-derives our code).
+            if (
+                origin == self.stack.routing.parent
+                and beacon.tele_code is not None
+                and self.code is not None
+            ):
+                value, length = beacon.tele_code
+                parent_code = PathCode(value, length)
+                if not parent_code.is_prefix_of(self.code):
+                    self._maybe_request_position(force=True, repair=True)
+
+    # ------------------------------------------------------- parent changes
+    def _on_parent_change(self, old: Optional[int], new: Optional[int]) -> None:
+        if new == self._position_parent and self.position is not None:
+            return  # returned to the parent that allocated our position
+        self.position = None
+        self.position_space = 0
+        self._position_parent = None
+        self._set_code(None)
+        if new is not None:
+            self._maybe_request_position(force=True)
+
+    # ---------------------------------------------------------------- queries
+    def current_codes(self) -> List[PathCode]:
+        """Our valid codes, newest first (old code while it lives)."""
+        codes = []
+        if self.code is not None:
+            codes.append(self.code)
+        old = self.valid_old_code()
+        if old is not None:
+            codes.append(old)
+        return codes
+
+    def beacons_to_converge(self) -> Optional[float]:
+        """Rounds (512 ms beacons) from the routing-found trigger to a code."""
+        if self.triggered_at is None or self.code_assigned_at is None:
+            return None
+        return (self.code_assigned_at - self.triggered_at) / self.params.round_duration

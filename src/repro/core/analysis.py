@@ -1,0 +1,124 @@
+"""Analytical model of path-code length (validates Algorithm 1's sizing).
+
+The paper observes (Fig 6(a)/(b), Table II) that code length grows linearly
+with hop count at a slope set by per-hop child counts: each hop contributes
+``required_space_bits(N)`` bits, where ``N`` is the parent's child count.
+This module computes that expectation exactly for a known tree — and from a
+child-count distribution — so simulated code lengths can be checked against
+the model rather than against magic numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.childtable import ChildTable
+from repro.metrics.stats import mean
+
+
+def bits_for_children(n_children: int) -> int:
+    """Bits one hop contributes when the parent has ``n_children`` children.
+
+    Delegates to Algorithm 1's sizing (including the hidden-child reserve
+    and the reserved zero position).
+    """
+    return ChildTable.required_space_bits(n_children)
+
+
+def expected_code_length(child_counts_along_path: Sequence[int]) -> int:
+    """Exact code length of a node whose ancestors (sink first) have the
+    given child counts. The sink's own 1-bit code is included."""
+    return 1 + sum(bits_for_children(n) for n in child_counts_along_path)
+
+
+def expected_length_by_hop(
+    mean_children_by_hop: Mapping[int, float], max_hop: Optional[int] = None
+) -> Dict[int, float]:
+    """Model curve for Figure 6(a): expected code bits at each hop.
+
+    ``mean_children_by_hop[h]`` is the average child count of the nodes at
+    hop ``h`` (hop 0 = sink). The expected length at hop ``h`` accumulates
+    the per-hop bit space down the ancestor chain; fractional child counts
+    interpolate between the two adjacent integer space sizes.
+    """
+    if max_hop is None:
+        max_hop = max(mean_children_by_hop, default=0)
+    lengths: Dict[int, float] = {0: 1.0}
+    running = 1.0
+    for hop in range(0, max_hop):
+        children = mean_children_by_hop.get(hop, 1.0)
+        running += _fractional_bits(children)
+        lengths[hop + 1] = running
+    return lengths
+
+
+def _fractional_bits(children: float) -> float:
+    """Interpolated Algorithm-1 space size for a fractional child count."""
+    if children <= 0:
+        children = 1.0
+    low = int(children)
+    frac = children - low
+    bits_low = bits_for_children(max(low, 1))
+    if frac == 0:
+        return float(bits_low)
+    bits_high = bits_for_children(low + 1)
+    return bits_low + frac * (bits_high - bits_low)
+
+
+def tree_code_lengths(parents: Mapping[int, Optional[int]], sink: int) -> Dict[int, int]:
+    """Exact code lengths for a whole static tree.
+
+    ``parents[node]`` is the node's parent (``None``/missing for the sink).
+    Returns bits per node, assuming every parent sizes its space once with
+    its full child set — the steady state Algorithm 1 converges to.
+    """
+    children: Dict[int, List[int]] = {}
+    for node, parent in parents.items():
+        if parent is not None:
+            children.setdefault(parent, []).append(node)
+    space: Dict[int, int] = {
+        parent: bits_for_children(len(kids)) for parent, kids in children.items()
+    }
+    lengths: Dict[int, int] = {sink: 1}
+
+    def resolve(node: int) -> int:
+        """Code length of one node, memoised up the tree."""
+        if node in lengths:
+            return lengths[node]
+        parent = parents[node]
+        assert parent is not None
+        lengths[node] = resolve(parent) + space[parent]
+        return lengths[node]
+
+    for node in parents:
+        resolve(node)
+    return lengths
+
+
+def model_vs_measured(
+    measured_by_hop: Mapping[int, Sequence[int]],
+    children_by_hop: Mapping[int, Sequence[int]],
+) -> Dict[int, Dict[str, float]]:
+    """Compare simulated code lengths against the analytic expectation.
+
+    Takes Figure 6(a)-style groupings (hop → list of code lengths) and
+    Figure 6(b)-style groupings (hop → list of child counts); returns per
+    hop: measured mean, modelled mean, and their ratio.
+    """
+    mean_children = {
+        hop: (mean([float(c) for c in counts]) or 1.0)
+        for hop, counts in children_by_hop.items()
+    }
+    modelled = expected_length_by_hop(mean_children, max_hop=max(measured_by_hop, default=0))
+    out: Dict[int, Dict[str, float]] = {}
+    for hop, lengths in measured_by_hop.items():
+        if hop not in modelled or not lengths:
+            continue
+        measured = mean([float(x) for x in lengths]) or 0.0
+        model = modelled[hop]
+        out[hop] = {
+            "measured": measured,
+            "model": model,
+            "ratio": measured / model if model else float("inf"),
+        }
+    return out

@@ -1,0 +1,697 @@
+"""Downward control-packet forwarding (paper §III-C).
+
+A relay holding a control packet attaches an *expected relay* — the next hop
+on the encoded path — and anycasts the packet. Any awake overhearing node
+acknowledges and takes the packet over if it satisfies one of the paper's
+three conditions:
+
+1. it *is* the expected relay;
+2. its own (or retained old) path code is a prefix of the destination's code
+   and longer than the expected relay's valid length — it is on the path and
+   strictly closer;
+3. one of its neighbour-table codes satisfies condition 2 — it can haul the
+   packet toward such a neighbour even though it is off the path itself.
+
+Acknowledgement slots order the competition: the destination acks first,
+then on-path nodes by progress, then the expected relay, then condition-3
+helpers. After ``max_tries`` unacknowledged trains the relay *backtracks*,
+returning the packet upstream with a feedback packet and marking the failed
+neighbours unreachable until their next routing beacon (§III-C3). When the
+sink itself gives up, the Re-Tele countermeasure (§III-C4) asks the
+controller for a neighbour of the destination with a maximally different
+path code and routes through it, finishing with a direct unicast.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.core import multicast as multicast_ext
+from repro.core.allocation import AllocationEngine
+from repro.core.messages import ControlPacket, EndToEndAck, FeedbackPacket
+from repro.core.pathcode import PathCode
+from repro.mac.lpl import AnycastDecision, SendResult
+from repro.net.messages import COLLECT_E2E_ACK
+from repro.radio.frame import Frame, FrameType
+from repro.sim.simulator import Simulator
+from repro.sim.units import SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.controller import Controller
+    from repro.net.node import NodeStack
+
+
+@dataclass
+class ForwardingParams:
+    """Knobs for the forwarding strategy."""
+
+    #: Anycast trains per relay before backtracking. The paper repeats "more
+    #: than 5 times"; one of our tries is already a full LPL train (a wake
+    #: interval of back-to-back copies), so 3 trains bound the stall while
+    #: still covering transient fades.
+    max_tries: int = 3
+    #: Sink-side end-to-end timeout before declaring failure / trying Re-Tele.
+    e2e_timeout: int = 60 * SECOND
+    #: Sink watchdog: with no end-to-end ack after this long, start the
+    #: forwarding over from the sink (the controller retries until
+    #: ``e2e_timeout``). Backtrack-to-sink also waits this way via a short
+    #: pause rather than failing outright.
+    sink_retry_interval: int = 8 * SECOND
+    #: Enable the destination-unreachable countermeasure (Re-Tele).
+    re_tele: bool = False
+    #: Enable opportunistic forwarding; off = strict encoded-path relaying
+    #: (ablation: only the expected relay may acknowledge).
+    opportunistic: bool = True
+    #: Remember this many recent serials per node.
+    state_cache: int = 64
+    #: How long a "we already pushed this serial further" verdict stays
+    #: binding; after this a relay may handle the serial afresh (so a genuine
+    #: backtrack retry is not starved by stale duplicate suppression).
+    stale_ttl: int = 10 * SECOND
+    #: A node only volunteers on neighbour evidence (condition 3) — or picks a
+    #: neighbour-table next hop — heard within this window. Stale entries make
+    #: a node grab packets it cannot advance.
+    neighbor_fresh_ttl: int = 30 * SECOND
+    #: Figure 5(a): a node overhearing a feedback packet that *can* still
+    #: make progress toward the destination takes the packet over instead of
+    #: letting it backtrack all the way.
+    feedback_overhearing: bool = True
+
+
+@dataclass
+class _RelayState:
+    control: ControlPacket
+    came_from: Optional[int]
+    tries: int = 0
+    handed_over: bool = False
+    #: Highest expected_length this node has transmitted for the serial.
+    sent_expected: int = -1
+    #: Last time we transmitted (for stale-suppression expiry).
+    sent_at: int = 0
+    #: The expected_length attached to the copy we *received* (0 when we
+    #: originated). Our own next-hop selection anchors here, never on what we
+    #: attached ourselves — otherwise retries would walk the requirement past
+    #: every reachable candidate.
+    base_length: int = 0
+    #: True when we positively know the packet progressed beyond us (our
+    #: forward was acknowledged, or we overheard a farther copy). False after
+    #: a backtrack: the packet is *behind* us again and retries through us
+    #: must not be swallowed.
+    safe_downstream: bool = False
+
+
+@dataclass
+class PendingControl:
+    """Sink-side bookkeeping for one remote-control request."""
+
+    control: ControlPacket
+    destination: int
+    sent_at: int
+    done: Optional[Callable[["PendingControl"], None]] = None
+    delivered: bool = False
+    acked_at: Optional[int] = None
+    re_tele_used: bool = False
+    failed: bool = False
+
+
+class TeleForwarding:
+    """Per-node forwarding engine (the sink's instance also originates)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: "NodeStack",
+        allocation: AllocationEngine,
+        params: Optional[ForwardingParams] = None,
+        controller: Optional["Controller"] = None,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.allocation = allocation
+        self.params = params or ForwardingParams()
+        self.controller = controller
+        self.node_id = stack.node_id
+        self._states: "OrderedDict[int, _RelayState]" = OrderedDict()
+        self._delivered_serials: "OrderedDict[int, int]" = OrderedDict()
+        #: frame_id -> serial for anycast copies we won, so a HANDOVER
+        #: announce naming someone else can demote us.
+        self._won_frames: "OrderedDict[int, int]" = OrderedDict()
+        #: Sink side: serial -> PendingControl.
+        self.pending: Dict[int, PendingControl] = {}
+        #: Destination-side observer: (control, via_unicast) on every delivery.
+        self.on_delivered: Optional[Callable[[ControlPacket, bool], None]] = None
+        #: Payload applicator at the destination (the actual "adjusting").
+        self.on_apply: Optional[Callable[[object], None]] = None
+        self.controls_received = 0
+        self.controls_forwarded = 0
+        self.backtracks = 0
+        #: One-to-many extension state (repro.core.multicast).
+        self.multicast_state = multicast_ext.MulticastMixinState()
+
+    # --------------------------------------------------------------- plumbing
+    def _state(self, serial: int) -> Optional[_RelayState]:
+        return self._states.get(serial)
+
+    def _put_state(self, serial: int, state: _RelayState) -> None:
+        self._states[serial] = state
+        while len(self._states) > self.params.state_cache:
+            self._states.popitem(last=False)
+
+    def _my_match(self, target: PathCode) -> int:
+        """Longest of our valid codes that is a prefix of ``target``, or -1."""
+        best = -1
+        for code in self.allocation.current_codes():
+            if code.is_prefix_of(target) and code.length > best:
+                best = code.length
+        return best
+
+    def _candidates(
+        self, target: PathCode, base_length: int
+    ) -> List[Tuple[int, PathCode]]:
+        """Known on-path next hops strictly beyond ``base_length`` bits."""
+        table = self.allocation.neighbor_codes
+        out: List[Tuple[int, PathCode]] = []
+        seen: Dict[int, int] = {}
+        now = self.sim.now
+        for neighbor, code in table.codes(now):
+            entry = table.entry(neighbor)
+            if entry is not None and now - entry.last_heard > self.params.neighbor_fresh_ttl:
+                continue
+            if code.is_prefix_of(target) and code.length > base_length:
+                if seen.get(neighbor, -1) < code.length:
+                    seen[neighbor] = code.length
+        # Children: their codes derive from ours even if never overheard.
+        my_code = self.allocation.code
+        if my_code is not None and self.allocation.children.space_bits > 0:
+            space = self.allocation.children.space_bits
+            for entry in self.allocation.children.entries():
+                code = my_code.extend(entry.position, space)
+                if code.is_prefix_of(target) and code.length > base_length:
+                    table_entry = table.entry(entry.child)
+                    if table_entry is not None and table_entry.is_unreachable(self.sim.now):
+                        continue
+                    if seen.get(entry.child, -1) < code.length:
+                        seen[entry.child] = code.length
+        for neighbor, length in seen.items():
+            entry = table.entry(neighbor)
+            if entry is not None and entry.is_unreachable(self.sim.now):
+                continue
+            out.append((neighbor, target.prefix(length)))
+        return out
+
+    def _pick_expected(
+        self, target: PathCode, base_length: int
+    ) -> Tuple[Optional[int], int]:
+        """The next hop on the encoded path: the shortest candidate code
+        strictly beyond ``base_length`` (keeping the eligible-acker set as
+        large as possible, per Figure 4(c))."""
+        candidates = self._candidates(target, base_length)
+        if not candidates:
+            return None, base_length + 1
+        best = min(candidates, key=lambda item: item[1].length)
+        return best[0], best[1].length
+
+    # ------------------------------------------------------------ origination
+    def send_control(
+        self,
+        destination: int,
+        destination_code: PathCode,
+        payload: object = None,
+        done: Optional[Callable[[PendingControl], None]] = None,
+    ) -> PendingControl:
+        """Sink API: deliver ``payload`` to ``destination`` (§III-A)."""
+        control = ControlPacket(
+            destination=destination,
+            destination_code=destination_code,
+            expected_relay=None,
+            expected_length=0,
+            payload=payload,
+            origin_time=self.sim.now,
+        )
+        pending = PendingControl(
+            control=control,
+            destination=destination,
+            sent_at=self.sim.now,
+            done=done,
+        )
+        self.pending[control.serial] = pending
+        self._put_state(
+            control.serial, _RelayState(control=control, came_from=None)
+        )
+        self._forward(control.serial)
+        self.sim.schedule(
+            self.params.e2e_timeout, self._check_timeout, control.serial
+        )
+        self.sim.schedule(
+            self.params.sink_retry_interval, self._sink_watchdog, control.serial
+        )
+        return pending
+
+    def _sink_watchdog(self, serial: int) -> None:
+        """No end-to-end ack yet: restart forwarding from the sink."""
+        pending = self.pending.get(serial)
+        if pending is None or pending.acked_at is not None or pending.failed:
+            return
+        remaining = (pending.sent_at + self.params.e2e_timeout) - self.sim.now
+        if remaining <= self.params.sink_retry_interval // 2:
+            return  # the timeout handler will resolve it
+        # The controller keeps receiving code reports; if the destination's
+        # code changed since we sent, retry with the fresh address.
+        if self.controller is not None and pending.control.final_unicast_to is None:
+            fresh = self.controller.code_of(pending.destination)
+            if fresh is not None and fresh != pending.control.destination_code:
+                pending.control = ControlPacket(
+                    destination=pending.destination,
+                    destination_code=fresh,
+                    expected_relay=None,
+                    expected_length=0,
+                    payload=pending.control.payload,
+                    serial=serial,
+                    athx=pending.control.athx,
+                    origin_time=pending.control.origin_time,
+                )
+        self._put_state(
+            serial, _RelayState(control=pending.control, came_from=None)
+        )
+        self._forward(serial)
+        self.sim.schedule(self.params.sink_retry_interval, self._sink_watchdog, serial)
+
+    def send_multicast(self, prefix: PathCode, payload: object = None) -> ControlPacket:
+        """One-to-many: address every node under ``prefix`` (repro.core.multicast)."""
+        return multicast_ext.send_multicast(self, prefix, payload)
+
+    def _check_timeout(self, serial: int) -> None:
+        pending = self.pending.get(serial)
+        if pending is None or pending.acked_at is not None or pending.failed:
+            return
+        self._sink_give_up(serial)
+
+    # -------------------------------------------------------------- forwarding
+    def _forward(self, serial: int) -> None:
+        state = self._state(serial)
+        if state is None or state.handed_over:
+            return
+        control = state.control
+        target = control.destination_code
+        base = max(self._my_match(target), state.base_length)
+        expected_relay, expected_length = self._pick_expected(target, base)
+        if expected_relay is None and not self.params.opportunistic:
+            # Strict mode cannot progress without a known next hop.
+            self._backtrack(serial)
+            return
+        next_control = control.advanced(expected_relay, expected_length)
+        state.control = next_control
+        state.sent_expected = max(state.sent_expected, expected_length)
+        state.sent_at = self.sim.now
+        self.controls_forwarded += 1
+        self.sim.tracer.emit(
+            "tele.forward",
+            "anycast control packet",
+            node=self.node_id,
+            serial=serial,
+            expected_relay=expected_relay,
+            expected_length=expected_length,
+            athx=next_control.athx,
+            tries=state.tries,
+        )
+        self.stack.send_anycast(
+            FrameType.CONTROL,
+            next_control,
+            length=ControlPacket.LENGTH,
+            done=lambda result: self._forward_done(serial, result),
+        )
+
+    def _forward_done(self, serial: int, result: SendResult) -> None:
+        state = self._state(serial)
+        if state is None or state.handed_over:
+            return
+        if not result.ok and result.reason == "cancelled":
+            # Another relay was overheard carrying this packet at least as
+            # far; it owns the delivery now.
+            state.handed_over = True
+            state.safe_downstream = True
+            return
+        if result.ok:
+            state.handed_over = True
+            state.safe_downstream = True
+            if result.acker is not None:
+                self.allocation.neighbor_codes.heard_from(result.acker, self.sim.now)
+            return
+        state.tries += 1
+        # Nobody acknowledged a full train: whatever next hop we advertised is
+        # not answering right now — exclude it so the retry explores another
+        # branch instead of hammering the same silent candidate.
+        if state.control.expected_relay is not None:
+            self.allocation.neighbor_codes.mark_unreachable(
+                state.control.expected_relay, self.sim.now
+            )
+        if state.tries < self.params.max_tries:
+            # Back off before retrying: a silent neighbourhood often means a
+            # neighbour was deaf inside its own (beacon) train; immediate
+            # retries land in the same deafness window.
+            backoff = 200_000 + self.sim.rng(f"fwd-retry-{self.node_id}").randrange(
+                600_000
+            )
+            self.sim.schedule(backoff, self._forward, serial)
+            return
+        self._backtrack(serial)
+
+    # -------------------------------------------------------------- backtrack
+    def _backtrack(self, serial: int) -> None:
+        state = self._state(serial)
+        if state is None:
+            return
+        control = state.control
+        # Mark the neighbours we tried toward as temporarily unreachable.
+        dead: List[int] = []
+        for neighbor, _code in self._candidates(
+            control.destination_code, self._my_match(control.destination_code)
+        ):
+            self.allocation.neighbor_codes.mark_unreachable(neighbor, self.sim.now)
+            dead.append(neighbor)
+        if control.expected_relay is not None:
+            self.allocation.neighbor_codes.mark_unreachable(
+                control.expected_relay, self.sim.now
+            )
+            if control.expected_relay not in dead:
+                dead.append(control.expected_relay)
+        self.backtracks += 1
+        self.sim.tracer.emit(
+            "tele.backtrack",
+            "relay gives up, returning packet upstream",
+            node=self.node_id,
+            serial=serial,
+            came_from=state.came_from,
+            dead=tuple(dead),
+        )
+        if state.came_from is None:
+            # We are the sink: destination-unreachable (§III-C4).
+            self._sink_give_up(serial)
+            return
+        feedback = FeedbackPacket(
+            serial=serial,
+            destination=control.destination,
+            control=control,
+            failed_relay=self.node_id,
+            dead_neighbors=tuple(dead),
+        )
+        self.stack.send_unicast(
+            state.came_from,
+            FrameType.FEEDBACK,
+            feedback,
+            length=FeedbackPacket.LENGTH,
+        )
+        state.handed_over = True  # upstream owns it again
+
+    def snoop(self, frame: Frame, rssi: float) -> None:
+        """Promiscuous MAC hook: feedback overhearing (paper Fig 5(a)).
+
+        A relay overhearing someone else's feedback packet — i.e. the packet
+        is backtracking — takes it over if it is on the destination's path
+        beyond the failed relay's anchor and can still name a next hop. This
+        shortcuts the full backtrack to the sink.
+        """
+        if not self.params.feedback_overhearing:
+            return
+        if frame.type is not FrameType.FEEDBACK or frame.dst == self.node_id:
+            return
+        feedback: FeedbackPacket = frame.payload
+        if feedback.failed_relay == self.node_id:
+            return
+        control = feedback.control
+        my_match = self._my_match(control.destination_code)
+        if my_match < 0:
+            return  # not on the path; let the normal backtrack proceed
+        state = self._state(feedback.serial)
+        if state is not None and not state.handed_over:
+            return  # already working on it
+        for neighbor in feedback.dead_neighbors:
+            self.allocation.neighbor_codes.mark_unreachable(neighbor, self.sim.now)
+        if not self._candidates(control.destination_code, my_match):
+            return  # no way to make progress either
+        self.sim.tracer.emit(
+            "tele.snoop-takeover",
+            "overheard feedback; continuing the forwarding ourselves",
+            node=self.node_id,
+            serial=feedback.serial,
+            failed_relay=feedback.failed_relay,
+        )
+        self._put_state(
+            feedback.serial,
+            _RelayState(
+                control=control,
+                came_from=frame.dst,  # the upstream node the feedback targets
+                base_length=my_match,
+            ),
+        )
+        self._forward(feedback.serial)
+
+    def handle_feedback(self, frame: Frame, rssi: float) -> None:
+        """Process a backtracking feedback packet addressed to us."""
+        feedback: FeedbackPacket = frame.payload
+        state = self._state(feedback.serial)
+        for neighbor in (feedback.failed_relay, *feedback.dead_neighbors):
+            self.allocation.neighbor_codes.mark_unreachable(neighbor, self.sim.now)
+        if state is None:
+            # We never held this packet (e.g. state evicted); recover it from
+            # the feedback itself and take ownership as a fresh relay.
+            state = _RelayState(
+                control=feedback.control, came_from=None
+            )
+            self._put_state(feedback.serial, state)
+        state.handed_over = False
+        state.safe_downstream = False
+        state.tries = 0
+        # Re-anchor at our own position on the path so the retry may pick a
+        # different branch than the one that just failed.
+        my_match = self._my_match(state.control.destination_code)
+        if my_match >= 0:
+            state.base_length = my_match
+        self._forward(feedback.serial)
+
+    # ----------------------------------------------------- Re-Tele (§III-C4)
+    def _sink_give_up(self, serial: int) -> None:
+        pending = self.pending.get(serial)
+        if pending is None or pending.acked_at is not None or pending.failed:
+            return
+        if (
+            self.params.re_tele
+            and self.controller is not None
+            and not pending.re_tele_used
+        ):
+            helper = self.controller.pick_helper(
+                pending.destination, avoid_code=pending.control.destination_code
+            )
+            if helper is not None:
+                helper_id, helper_code = helper
+                pending.re_tele_used = True
+                rerouted = ControlPacket(
+                    destination=helper_id,
+                    destination_code=helper_code,
+                    expected_relay=None,
+                    expected_length=0,
+                    payload=pending.control.payload,
+                    serial=serial,
+                    athx=pending.control.athx,
+                    final_unicast_to=pending.destination,
+                    origin_time=pending.control.origin_time,
+                )
+                pending.control = rerouted
+                self._put_state(serial, _RelayState(control=rerouted, came_from=None))
+                self._forward(serial)
+                self.sim.schedule(
+                    self.params.e2e_timeout, self._check_timeout, serial
+                )
+                return
+        if self.sim.now < pending.sent_at + self.params.e2e_timeout:
+            return  # the sink watchdog keeps retrying until the deadline
+        pending.failed = True
+        if pending.done is not None:
+            pending.done(pending)
+
+    # ----------------------------------------------------------------- receive
+    def anycast_decision(self, frame: Frame, rssi: float) -> AnycastDecision:
+        """MAC hook: should we acknowledge this overheard control packet?"""
+        if frame.type is not FrameType.CONTROL:
+            return AnycastDecision.reject()
+        control: ControlPacket = frame.payload
+        multicast_verdict = multicast_ext.multicast_decision(self, control, rssi)
+        if multicast_verdict is not None:
+            return multicast_verdict
+        if control.destination == self.node_id:
+            return AnycastDecision(True, slot=0)
+        if not self.params.opportunistic:
+            # Strict encoded-path mode: only the named expected relay helps.
+            if control.expected_relay == self.node_id:
+                return AnycastDecision(True, slot=1)
+            return AnycastDecision.reject()
+        state = self._state(control.serial)
+        if state is not None and not state.handed_over:
+            # We hold (or are transmitting) this very packet and overhear
+            # another relay carrying it at least as far: duplicate detected —
+            # cede to them (DOF-style suppression). Ties break by node id so
+            # two co-winners never both cancel.
+            ours = max(state.sent_expected, state.control.expected_length)
+            ahead = control.expected_length > ours or (
+                control.expected_length == ours and frame.src < self.node_id
+            )
+            if ahead:
+                serial = control.serial
+                self.stack.mac.cancel_matching(
+                    lambda f: f.type is FrameType.CONTROL
+                    and isinstance(f.payload, ControlPacket)
+                    and f.payload.serial == serial
+                )
+                state.handed_over = True
+                state.safe_downstream = True
+                return AnycastDecision.reject()
+        if (
+            state is not None
+            and state.sent_expected >= control.expected_length
+            and self.sim.now - state.sent_at < self.params.stale_ttl
+        ):
+            if state.safe_downstream:
+                # Stale copy from behind us — typically a co-winner that never
+                # learned the packet moved on. Accept (a "courtesy ack") so the
+                # sender stops its train immediately; handle_control will then
+                # drop the duplicate without re-forwarding.
+                return AnycastDecision(True, slot=1)
+            return AnycastDecision.reject()
+        target = control.destination_code
+        my_match = self._my_match(target)
+        if my_match > control.expected_length:
+            progress = my_match - control.expected_length
+            return AnycastDecision(True, slot=max(1, 4 - min(progress, 3)))
+        if control.expected_relay == self.node_id:
+            return AnycastDecision(True, slot=5)
+        # Condition 3: a neighbour of ours is strictly beyond the expected relay.
+        neighbor, length = self.allocation.neighbor_codes.best_on_path(
+            target,
+            self.sim.now,
+            min_length=control.expected_length,
+            fresh_within=self.params.neighbor_fresh_ttl,
+        )
+        if neighbor is not None and length > control.expected_length:
+            return AnycastDecision(True, slot=6)
+        return AnycastDecision.reject()
+
+    def handle_handover(self, frame: Frame, rssi: float) -> None:
+        """Anycast winner announcement: demote ourselves if we also 'won'."""
+        frame_id, winner = frame.payload
+        if winner == self.node_id:
+            return
+        serial = self._won_frames.get(frame_id)
+        if serial is None:
+            return
+        state = self._state(serial)
+        if state is None or state.handed_over:
+            return
+        self.stack.mac.cancel_matching(
+            lambda f: f.type is FrameType.CONTROL
+            and isinstance(f.payload, ControlPacket)
+            and f.payload.serial == serial
+        )
+        state.handed_over = True
+        state.safe_downstream = True
+
+    def handle_control(self, frame: Frame, rssi: float) -> None:
+        """We won an anycast (or received the final unicast hop)."""
+        control: ControlPacket = frame.payload
+        self.controls_received += 1
+        if multicast_ext.handle_multicast(self, self.multicast_state, frame, rssi):
+            return
+        if frame.is_broadcast:
+            self._won_frames[frame.frame_id] = control.serial
+            while len(self._won_frames) > self.params.state_cache:
+                self._won_frames.popitem(last=False)
+        is_final_unicast = (
+            not frame.is_broadcast and control.final_unicast_to == self.node_id
+        )
+        if control.destination == self.node_id and control.final_unicast_to is None:
+            self._deliver(control, via_unicast=False, from_neighbor=frame.src)
+            return
+        if is_final_unicast:
+            self._deliver(control, via_unicast=True, from_neighbor=frame.src)
+            return
+        if (
+            control.destination == self.node_id
+            and control.final_unicast_to is not None
+        ):
+            # We are the Re-Tele helper: hand over directly (§III-C4).
+            self.stack.send_unicast(
+                control.final_unicast_to,
+                FrameType.CONTROL,
+                control.advanced(control.final_unicast_to, control.destination_code.length),
+                length=ControlPacket.LENGTH,
+            )
+            return
+        state = self._state(control.serial)
+        if (
+            state is not None
+            and state.sent_expected >= control.expected_length
+            and self.sim.now - state.sent_at < self.params.stale_ttl
+        ):
+            return  # we already pushed this packet further
+        self._put_state(
+            control.serial,
+            _RelayState(
+                control=control,
+                came_from=frame.src,
+                base_length=control.expected_length,
+            ),
+        )
+        self._forward(control.serial)
+
+    # ------------------------------------------------------------- delivery
+    def _deliver(
+        self, control: ControlPacket, via_unicast: bool, from_neighbor: int
+    ) -> None:
+        serial = control.serial
+        if serial in self._delivered_serials:
+            return
+        self._delivered_serials[serial] = self.sim.now
+        while len(self._delivered_serials) > self.params.state_cache:
+            self._delivered_serials.popitem(last=False)
+        self.sim.tracer.emit(
+            "tele.deliver",
+            "control packet reached its destination",
+            node=self.node_id,
+            serial=serial,
+            via_unicast=via_unicast,
+            athx=control.athx,
+        )
+        if self.on_apply is not None:
+            self.on_apply(control.payload)
+        if self.on_delivered is not None:
+            self.on_delivered(control, via_unicast)
+        ack = EndToEndAck(
+            serial=serial, destination=self.node_id, received_at=self.sim.now
+        )
+        if via_unicast:
+            # §III-C5: our upward path may be blocked; return the ack through
+            # the neighbour that delivered, who forwards it up its own tree.
+            from repro.net.messages import DataPacket
+
+            packet = DataPacket(
+                origin=self.node_id,
+                origin_seqno=serial,
+                collect_id=COLLECT_E2E_ACK,
+                payload=ack,
+            )
+            self.stack.send_unicast(
+                from_neighbor, FrameType.DATA, packet, length=DataPacket.LENGTH
+            )
+        else:
+            self.stack.forwarding.send(COLLECT_E2E_ACK, ack, origin_seqno=serial)
+
+    def e2e_ack_received(self, ack: EndToEndAck) -> None:
+        """Sink side: CTP delivered an end-to-end acknowledgement."""
+        pending = self.pending.get(ack.serial)
+        if pending is None or pending.acked_at is not None:
+            return
+        pending.acked_at = self.sim.now
+        pending.delivered = True
+        if pending.done is not None:
+            pending.done(pending)

@@ -1,0 +1,143 @@
+"""TeleAdjusting message payloads."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.pathcode import PathCode
+
+_serials = itertools.count(1)
+
+
+@dataclass
+class TeleBeaconEntry:
+    """One ``<child, position, flag>`` row carried in a TeleAdjusting beacon."""
+
+    child: int
+    position: int
+    confirmed: bool
+
+
+@dataclass
+class TeleBeacon:
+    """TeleAdjusting beacon (paper §III-B3): the parent's allocations.
+
+    Carries the sender's own path code and space width so children can derive
+    their codes and neighbours can maintain their code tables; ``extension``
+    flags a space-extension event children must react to (Algorithm 3 line 7).
+    """
+
+    origin: int
+    code: Optional[PathCode]
+    space_bits: int
+    entries: List[TeleBeaconEntry] = field(default_factory=list)
+    extension: bool = False
+
+    #: ~8 B header + 4 B per entry, capped by the 127 B CC2420 frame.
+    BASE_LENGTH = 24
+
+    def length(self) -> int:
+        """On-air length in bytes."""
+        return min(self.BASE_LENGTH + 4 * len(self.entries), 120)
+
+
+@dataclass
+class PositionRequest:
+    """Child → parent: "allocate me a position" (paper §III-B4)."""
+
+    child: int
+    parent: int
+
+    LENGTH = 14
+
+
+@dataclass
+class AllocationAck:
+    """Parent → child unicast allocation acknowledgement (paper §III-B4)."""
+
+    parent: int
+    child: int
+    position: int
+    space_bits: int
+    parent_code: Optional[PathCode]
+
+    LENGTH = 20
+
+
+@dataclass
+class Confirmation:
+    """Child → parent: confirms receipt of an allocated position."""
+
+    child: int
+    parent: int
+    position: int
+
+    LENGTH = 14
+
+
+@dataclass
+class ControlPacket:
+    """The downward remote-control packet (paper §III-C).
+
+    Per the forwarding strategy a relay attaches the *expected relay* and the
+    expected relay's valid code length; overhearing nodes compare their own
+    (or a neighbour's) prefix match against ``expected_length``.
+    """
+
+    destination: int
+    destination_code: PathCode
+    expected_relay: Optional[int]
+    expected_length: int  # valid code length of the expected relay
+    payload: object = None
+    serial: int = field(default_factory=lambda: next(_serials))
+    #: Accumulated transmission hop count (ATHX, Figure 8): how many relay
+    #: transmissions this copy has undergone.
+    athx: int = 0
+    #: When set, the addressed node must hand the packet to ``final_unicast_to``
+    #: by direct unicast (the Re-Tele countermeasure, §III-C4).
+    final_unicast_to: Optional[int] = None
+    origin_time: int = 0
+
+    LENGTH = 36
+
+    def advanced(
+        self, expected_relay: Optional[int], expected_length: int
+    ) -> "ControlPacket":
+        """Copy for the next hop: same serial, bumped ATHX, new expected relay."""
+        return ControlPacket(
+            destination=self.destination,
+            destination_code=self.destination_code,
+            expected_relay=expected_relay,
+            expected_length=expected_length,
+            payload=self.payload,
+            serial=self.serial,
+            athx=self.athx + 1,
+            final_unicast_to=self.final_unicast_to,
+            origin_time=self.origin_time,
+        )
+
+
+@dataclass
+class FeedbackPacket:
+    """Backtracking feedback (paper §III-C3): return the packet upstream."""
+
+    serial: int
+    destination: int
+    control: ControlPacket
+    failed_relay: int  # the node giving up
+    #: Neighbours the failed relay found unreachable (so the upstream node
+    #: can avoid immediately re-selecting them).
+    dead_neighbors: Tuple[int, ...] = ()
+
+    LENGTH = 24
+
+
+@dataclass
+class EndToEndAck:
+    """Destination → sink acknowledgement riding on CTP data (§III-C5)."""
+
+    serial: int
+    destination: int
+    received_at: int = 0

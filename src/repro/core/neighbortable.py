@@ -1,0 +1,154 @@
+"""Neighbour code table: (neighbour, new code, old code) plus liveness flags.
+
+Paper §III-B6 end: "each node also maintains its own path code and records
+all neighbors' path codes in a *neighbor code table* with entries of form
+(neighbor, new code, old code). The old code for each neighbor will be
+remained for a period of time to guarantee reliable control against code
+change caused by network dynamics." The unreachable flag supports the
+backtracking strategy (§III-C3): a relay that failed toward a neighbour marks
+it until the neighbour's next routing beacon is heard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.pathcode import PathCode
+
+
+@dataclass
+class NeighborCodeEntry:
+    """One neighbour's code state (new/old codes, liveness)."""
+    neighbor: int
+    new_code: Optional[PathCode] = None
+    old_code: Optional[PathCode] = None
+    old_code_expires: int = 0
+    #: Unreachable until this tick (0 = reachable). Cleared early by any
+    #: routing beacon from the neighbour (paper §III-C3).
+    unreachable_until: int = 0
+    last_heard: int = 0
+
+    def is_unreachable(self, now: int) -> bool:
+        """True while the backtracking exclusion is in force."""
+        return now < self.unreachable_until
+
+    # Backward-compatible boolean view used by forwarding internals/tests.
+    @property
+    def unreachable(self) -> bool:
+        """Boolean view of the unreachable state (legacy/tests)."""
+        return self.unreachable_until > 0
+
+    @unreachable.setter
+    def unreachable(self, value: bool) -> None:
+        """Boolean view of the unreachable state (legacy/tests)."""
+        self.unreachable_until = (1 << 62) if value else 0
+
+
+class NeighborCodeTable:
+    """Per-node view of neighbours' path codes."""
+
+    #: How long a superseded code stays usable (ticks); 60 s default.
+    OLD_CODE_TTL = 60_000_000
+    #: Backtracking penalty: how long a failed neighbour stays excluded when
+    #: no beacon arrives to clear it sooner. Kept short: a "failure" is often
+    #: just the neighbour being deaf inside its own transmission train.
+    UNREACHABLE_TTL = 5_000_000
+
+    def __init__(
+        self,
+        old_code_ttl: int = OLD_CODE_TTL,
+        unreachable_ttl: int = UNREACHABLE_TTL,
+    ) -> None:
+        self._entries: Dict[int, NeighborCodeEntry] = {}
+        self.old_code_ttl = old_code_ttl
+        self.unreachable_ttl = unreachable_ttl
+
+    def __contains__(self, neighbor: int) -> bool:
+        return neighbor in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, neighbor: int) -> Optional[NeighborCodeEntry]:
+        """The entry for one key, or None."""
+        return self._entries.get(neighbor)
+
+    def update_code(self, neighbor: int, code: PathCode, now: int) -> None:
+        """Record ``neighbor``'s current code, demoting any previous one."""
+        entry = self._entries.setdefault(neighbor, NeighborCodeEntry(neighbor))
+        if entry.new_code is not None and entry.new_code != code:
+            entry.old_code = entry.new_code
+            entry.old_code_expires = now + self.old_code_ttl
+        entry.new_code = code
+        entry.last_heard = now
+
+    def heard_from(self, neighbor: int, now: int) -> None:
+        """Any routing beacon clears the unreachable flag (paper §III-C3)."""
+        entry = self._entries.get(neighbor)
+        if entry is not None:
+            entry.unreachable_until = 0
+            entry.last_heard = now
+
+    def mark_unreachable(self, neighbor: int, now: int = 0) -> None:
+        """Exclude ``neighbor`` until its next beacon or the TTL, whichever
+        comes first (``now`` anchors the TTL; 0 keeps legacy sticky marking)."""
+        entry = self._entries.get(neighbor)
+        if entry is not None:
+            entry.unreachable_until = (
+                now + self.unreachable_ttl if now else (1 << 62)
+            )
+
+    def code_of(self, neighbor: int) -> Optional[PathCode]:
+        """The neighbour's current code, or None."""
+        entry = self._entries.get(neighbor)
+        return entry.new_code if entry is not None else None
+
+    def codes(
+        self, now: int, include_old: bool = True, include_unreachable: bool = False
+    ) -> Iterator[Tuple[int, PathCode]]:
+        """Yield ``(neighbor, code)`` pairs, optionally including live old codes."""
+        for entry in self._entries.values():
+            if entry.is_unreachable(now) and not include_unreachable:
+                continue
+            if entry.new_code is not None:
+                yield entry.neighbor, entry.new_code
+            if (
+                include_old
+                and entry.old_code is not None
+                and now < entry.old_code_expires
+            ):
+                yield entry.neighbor, entry.old_code
+
+    def best_on_path(
+        self,
+        target: PathCode,
+        now: int,
+        min_length: int = -1,
+        fresh_within: Optional[int] = None,
+    ) -> Tuple[Optional[int], int]:
+        """The reachable neighbour whose code is the longest prefix of
+        ``target`` strictly longer than ``min_length`` bits.
+
+        ``fresh_within`` restricts to neighbours heard within that many
+        ticks — stale entries are how a node volunteers for forwarding work
+        it cannot actually perform.
+
+        Returns ``(neighbor, matched_length)`` or ``(None, -1)``.
+        """
+        best: Optional[int] = None
+        best_len = min_length
+        for neighbor, code in self.codes(now):
+            if fresh_within is not None:
+                entry = self._entries[neighbor]
+                if now - entry.last_heard > fresh_within:
+                    continue
+            if code.is_prefix_of(target) and code.length > best_len:
+                best, best_len = neighbor, code.length
+        if best is None:
+            return None, -1
+        return best, best_len
+
+    def neighbors(self) -> List[int]:
+        """All neighbours with any recorded state."""
+        return list(self._entries)

@@ -1,0 +1,162 @@
+"""Per-node TeleAdjusting protocol: allocation + forwarding wired to a stack."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.allocation import AllocationEngine, AllocationParams
+from repro.core.controller import Controller
+from repro.core.forwarding import ForwardingParams, PendingControl, TeleForwarding
+from repro.core.messages import EndToEndAck
+from repro.core.pathcode import PathCode
+from repro.net.messages import COLLECT_CODE_REPORT, COLLECT_E2E_ACK, DataPacket
+from repro.radio.frame import FrameType
+from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import NodeStack
+
+
+class TeleAdjusting:
+    """One node's TeleAdjusting instance.
+
+    Construct one per :class:`~repro.net.node.NodeStack` (after the stack,
+    before ``start()``). The sink's instance exposes :meth:`remote_control`;
+    every instance exposes its :attr:`allocation` (path code state) and
+    :attr:`forwarding` engines.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: "NodeStack",
+        controller: Optional[Controller] = None,
+        allocation_params: Optional[AllocationParams] = None,
+        forwarding_params: Optional[ForwardingParams] = None,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.node_id = stack.node_id
+        self.controller = controller
+        self.allocation = AllocationEngine(
+            sim, stack, params=allocation_params, is_sink=stack.is_root
+        )
+        self.forwarding = TeleForwarding(
+            sim,
+            stack,
+            self.allocation,
+            params=forwarding_params,
+            controller=controller,
+        )
+        stack.register_handler(FrameType.TELE_BEACON, self.allocation.handle_tele_beacon)
+        stack.register_handler(
+            FrameType.POSITION_REQUEST, self.allocation.handle_position_request
+        )
+        stack.register_handler(
+            FrameType.ALLOCATION_ACK, self.allocation.handle_allocation_ack
+        )
+        stack.register_handler(FrameType.CONFIRMATION, self.allocation.handle_confirmation)
+        stack.register_handler(FrameType.CONTROL, self.forwarding.handle_control)
+        stack.register_handler(FrameType.FEEDBACK, self.forwarding.handle_feedback)
+        stack.register_handler(FrameType.HANDOVER, self.forwarding.handle_handover)
+        stack.set_anycast_handler(self.forwarding.anycast_decision)
+        stack.mac.snoop_handler = self.forwarding.snoop
+        stack.beacon_fillers.append(self.allocation.fill_routing_beacon)
+        stack.beacon_observers.append(self.allocation.observe_routing_beacon)
+        if stack.is_root:
+            stack.forwarding.collect_handlers[COLLECT_E2E_ACK] = self._e2e_ack
+            if controller is not None:
+                stack.forwarding.collect_handlers[COLLECT_CODE_REPORT] = (
+                    self._code_report
+                )
+                stack.forwarding.deliver_observers.append(self._piggyback_report)
+        else:
+            # Figure 1: nodes report their path code to the remote
+            # controller. The code rides piggybacked on every data packet
+            # the node originates (collection traffic, acks) — near-zero
+            # cost — plus a rare explicit periodic report as a floor for
+            # silent nodes.
+            stack.forwarding.origin_decorators.append(self._stamp_code)
+        self._report_scheduled = False
+        self.code_report_interval = 30 * 60 * 1_000_000  # 30 min
+        self._started = False
+
+    # ------------------------------------------------------------------ start
+    def start(self) -> None:
+        """Start this component (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.allocation.start()
+        if not self.stack.is_root:
+            jitter = self.sim.rng(f"code-report-{self.node_id}").randrange(
+                self.code_report_interval
+            )
+            self.sim.schedule(jitter, self._periodic_code_report)
+
+    def _periodic_code_report(self) -> None:
+        self.sim.schedule(self.code_report_interval, self._periodic_code_report)
+        self.report_code_to_controller()
+
+    def _stamp_code(self, packet: DataPacket) -> None:
+        """Origin decorator: piggyback our current code on outgoing data."""
+        code = self.allocation.code
+        if code is not None:
+            packet.tele_code = (code.value, code.length)
+
+    def _piggyback_report(self, packet: DataPacket) -> None:
+        """Sink observer: harvest piggybacked codes into the controller."""
+        if packet.tele_code is None or self.controller is None:
+            return
+        value, length = packet.tele_code
+        self.controller.report_code(packet.origin, PathCode(value, length))
+
+    # ------------------------------------------------------------- sink side
+    def remote_control(
+        self,
+        destination: int,
+        payload: object = None,
+        done: Optional[Callable[[PendingControl], None]] = None,
+        destination_code: Optional[PathCode] = None,
+    ) -> PendingControl:
+        """Send a control packet from the sink to ``destination``.
+
+        The destination's path code comes from the controller's registry
+        unless given explicitly. Raises ``LookupError`` when unknown.
+        """
+        if not self.stack.is_root:
+            raise RuntimeError("remote_control is a sink-side operation")
+        if destination_code is None:
+            if self.controller is None:
+                raise LookupError("no controller to resolve the destination code")
+            destination_code = self.controller.code_of(destination)
+            if destination_code is None:
+                raise LookupError(f"no path code known for node {destination}")
+        return self.forwarding.send_control(destination, destination_code, payload, done)
+
+    def _e2e_ack(self, packet: DataPacket) -> None:
+        ack = packet.payload
+        if isinstance(ack, EndToEndAck):
+            self.forwarding.e2e_ack_received(ack)
+
+    def _code_report(self, packet: DataPacket) -> None:
+        code = packet.payload
+        if isinstance(code, PathCode) and self.controller is not None:
+            self.controller.report_code(packet.origin, code)
+
+    # ------------------------------------------------------------- node side
+    def report_code_to_controller(self) -> bool:
+        """Send our current code up the tree as a data packet (Figure 1).
+
+        Returns False when we have no code yet.
+        """
+        code = self.allocation.code
+        if code is None:
+            return False
+        self.stack.forwarding.send(COLLECT_CODE_REPORT, code)
+        return True
+
+    @property
+    def path_code(self) -> Optional[PathCode]:
+        """This node's current path code, or None."""
+        return self.allocation.code

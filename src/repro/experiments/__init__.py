@@ -1,0 +1,28 @@
+"""Experiment drivers: one entry point per table/figure of the paper.
+
+All drivers build on :class:`repro.experiments.harness.Network`, which wires
+the full stack for a deployment and one control protocol. See DESIGN.md §4
+for the experiment-to-module index.
+"""
+
+from repro.experiments.harness import Network, NetworkConfig
+from repro.experiments.codestats import (
+    code_construction_run,
+    code_length_by_hop,
+    children_by_hop,
+    convergence_beacons,
+    reverse_hop_counts,
+)
+from repro.experiments.comparison import ComparisonResult, run_comparison
+
+__all__ = [
+    "Network",
+    "NetworkConfig",
+    "code_construction_run",
+    "code_length_by_hop",
+    "children_by_hop",
+    "convergence_beacons",
+    "reverse_hop_counts",
+    "ComparisonResult",
+    "run_comparison",
+]

@@ -1,0 +1,125 @@
+"""Path-code construction statistics: Figure 6 and Table II analyses."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.protocol import TeleAdjusting
+from repro.experiments.harness import Network, NetworkConfig
+
+
+def code_construction_run(
+    topology: str = "tight-grid",
+    seed: int = 0,
+    max_seconds: float = 400.0,
+    target: float = 0.99,
+) -> Network:
+    """Build and converge a TeleAdjusting network for code statistics.
+
+    Matches the paper's Figure 6 setup: code construction rides on CTP with
+    512 ms beacon rounds. Radios run always-on here (the TOSSIM simulations
+    measure the construction process, not duty cycling), which keeps 225-node
+    fields tractable.
+    """
+    net = Network(
+        NetworkConfig(
+            topology=topology,
+            protocol="tele",
+            seed=seed,
+            always_on=True,
+            collection_ipi=None,
+            # TOSSIM's per-link gains are static: the paper's Figure 6 runs
+            # see CPM noise but no fading. Matching that keeps the deep
+            # Sparse-linear chains from churning mid-construction.
+            fading_sigma_db=0.0,
+        )
+    )
+    net.converge(max_seconds=max_seconds, target=target)
+    return net
+
+
+def _tele(net: Network, node_id: int) -> TeleAdjusting:
+    protocol = net.protocols[node_id]
+    assert isinstance(protocol, TeleAdjusting)
+    return protocol
+
+
+def code_length_by_hop(net: Network) -> Dict[int, List[int]]:
+    """Figure 6(a) / Table II: valid path-code length grouped by CTP hop count."""
+    grouped: Dict[int, List[int]] = defaultdict(list)
+    for node_id in net.stacks:
+        tele = _tele(net, node_id)
+        if tele.allocation.code is None:
+            continue
+        hop = net.stacks[node_id].routing.hop_count
+        grouped[hop].append(tele.allocation.code.length)
+    return dict(sorted(grouped.items()))
+
+
+def children_by_hop(net: Network) -> Dict[int, List[int]]:
+    """Figure 6(b): number of allocated children per node, by hop count."""
+    grouped: Dict[int, List[int]] = defaultdict(list)
+    for node_id in net.stacks:
+        tele = _tele(net, node_id)
+        hop = net.stacks[node_id].routing.hop_count
+        grouped[hop].append(len(tele.allocation.children))
+    return dict(sorted(grouped.items()))
+
+
+def convergence_beacons(net: Network) -> List[float]:
+    """Figure 6(c): beacon rounds from the routing-found trigger to a code."""
+    out: List[float] = []
+    for node_id in net.stacks:
+        if node_id == net.sink:
+            continue
+        beacons = _tele(net, node_id).allocation.beacons_to_converge()
+        if beacons is not None:
+            out.append(beacons)
+    return out
+
+
+def reverse_hop_counts(net: Network) -> List[Tuple[int, int]]:
+    """Figure 6(d): (CTP hop count, reverse/downward hop count) per node.
+
+    The reverse hop count is the depth in the *allocation* tree — the chain
+    of parents that handed out positions, i.e. the encoded path — which can
+    differ from the current CTP parent chain because codes are not re-issued
+    on every routing change.
+    """
+    samples: List[Tuple[int, int]] = []
+    for node_id in net.stacks:
+        if node_id == net.sink:
+            continue
+        depth = _allocation_depth(net, node_id)
+        if depth is None:
+            continue
+        ctp_hop = net.stacks[node_id].routing.hop_count
+        samples.append((ctp_hop, depth))
+    return samples
+
+
+def _allocation_depth(net: Network, node_id: int, limit: int = 128) -> Optional[int]:
+    depth = 0
+    current = node_id
+    seen = set()
+    while current != net.sink:
+        if current in seen or depth > limit:
+            return None
+        seen.add(current)
+        allocation = _tele(net, current).allocation
+        parent = allocation._position_parent
+        if parent is None:
+            return None
+        current = parent
+        depth += 1
+    return depth
+
+
+def mean_reverse_ratio(samples: List[Tuple[int, int]]) -> Optional[float]:
+    """The paper's headline: avg reverse hops / avg CTP hops ≈ 1.08."""
+    ctp = [h for h, _ in samples if h > 0]
+    reverse = [r for h, r in samples if h > 0]
+    if not ctp:
+        return None
+    return (sum(reverse) / len(reverse)) / (sum(ctp) / len(ctp))

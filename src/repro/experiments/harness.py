@@ -1,0 +1,378 @@
+"""The experiment harness: a fully wired network with one control protocol.
+
+:class:`Network` assembles deployment → channel (+ optional WiFi interferer)
+→ per-node stacks → one of the three control protocols (``"tele"``,
+``"drip"``, ``"rpl"``), and offers convergence helpers plus a uniform
+``send_control`` that records a :class:`~repro.metrics.control.ControlRecord`
+per request. Examples and benchmarks all build on this class; the public
+``repro.build_network`` returns one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.baselines.drip import Drip, DripParams
+from repro.baselines.orpl import OrplDownward, OrplParams
+from repro.baselines.rpl import RplDownward, RplParams
+from repro.core import Controller, TeleAdjusting
+from repro.core.allocation import AllocationParams
+from repro.core.forwarding import ForwardingParams
+from repro.mac.lpl import MacParams
+from repro.metrics.control import ControlMetrics, ControlRecord
+from repro.metrics.network import NetworkMetrics
+from repro.net.node import NodeStack
+from repro.radio.channel import Channel
+from repro.radio.noise import ConstantNoise, CPMNoiseModel, synthesize_meyer_like_trace
+from repro.sim.simulator import Simulator
+from repro.sim.units import MINUTE, SECOND
+from repro.topology import (
+    Deployment,
+    indoor_testbed,
+    random_uniform,
+    sparse_linear,
+    tight_grid,
+)
+from repro.workloads.collection import CollectionWorkload
+from repro.workloads.interference import WifiInterferer, WifiParams
+
+_TOPOLOGIES: Dict[str, Callable[[int], Deployment]] = {
+    "tight-grid": tight_grid,
+    "sparse-linear": sparse_linear,
+    "indoor-testbed": indoor_testbed,
+}
+
+
+@dataclass
+class NetworkConfig:
+    """Everything needed to build a network."""
+
+    topology: Union[str, Deployment] = "indoor-testbed"
+    protocol: str = "tele"  # "tele" | "drip" | "rpl" | "none"
+    seed: int = 0
+    #: ZigBee channel: 26 (clean) or 19 (WiFi-interfered), per the paper.
+    zigbee_channel: int = 26
+    #: Noise model: "cpm" (synthetic meyer-like trace) or "constant".
+    noise: str = "cpm"
+    #: All radios always on (used by the Figure 6 construction experiments;
+    #: TOSSIM's default CTP runs are not duty-cycled either).
+    always_on: bool = False
+    mac_params: Optional[MacParams] = None
+    allocation_params: Optional[AllocationParams] = None
+    forwarding_params: Optional[ForwardingParams] = None
+    drip_params: Optional[DripParams] = None
+    rpl_params: Optional[RplParams] = None
+    orpl_params: Optional[OrplParams] = None
+    #: Enable the §III-C4 countermeasure ("Re-Tele" in Figure 7).
+    re_tele: bool = False
+    #: Disable to ablate opportunistic forwarding (strict encoded path).
+    opportunistic: bool = True
+    #: Collection traffic inter-packet interval; None disables collection.
+    collection_ipi: Optional[int] = 10 * MINUTE
+    #: WiFi interferer overrides (position, intensity); channel decides coupling.
+    wifi_params: Optional[WifiParams] = None
+    #: Slow flat fading sigma (dB); the link burstiness behind the paper's
+    #: dynamics. 0 disables. The clean-channel testbed behaves like a gentle
+    #: environment; WiFi interference (channel 19) adds the harsher bursts.
+    fading_sigma_db: float = 2.0
+
+
+class Network:
+    """A runnable simulated WSN with one remote-control protocol."""
+
+    def __init__(self, config: Optional[NetworkConfig] = None, **overrides: object) -> None:
+        if config is None:
+            config = NetworkConfig()
+        for key, value in overrides.items():
+            if not hasattr(config, key):
+                raise TypeError(f"unknown NetworkConfig field: {key}")
+            setattr(config, key, value)
+        self.config = config
+        if isinstance(config.topology, Deployment):
+            self.deployment = config.topology
+        else:
+            try:
+                factory = _TOPOLOGIES[config.topology]
+            except KeyError:
+                raise ValueError(
+                    f"unknown topology {config.topology!r}; "
+                    f"choose from {sorted(_TOPOLOGIES)} or pass a Deployment"
+                ) from None
+            self.deployment = factory(config.seed)
+        self.sim = Simulator(seed=config.seed)
+        if config.noise == "cpm":
+            trace = synthesize_meyer_like_trace(seed=config.seed)
+            noise_model = CPMNoiseModel(trace, seed=config.seed)
+        elif config.noise == "constant":
+            noise_model = ConstantNoise()
+        else:
+            raise ValueError(f"unknown noise model {config.noise!r}")
+        self.channel = Channel(
+            self.sim,
+            self.deployment.gains(),
+            noise_model=noise_model,
+            fading_sigma_db=config.fading_sigma_db,
+        )
+        self.interferer: Optional[WifiInterferer] = None
+        if config.zigbee_channel != 26 or config.wifi_params is not None:
+            params = config.wifi_params or WifiParams.zigbee_channel(
+                config.zigbee_channel
+            )
+            if config.wifi_params is None:
+                # Put the access point just outside the field's corner.
+                xs = [p[0] for p in self.deployment.positions]
+                ys = [p[1] for p in self.deployment.positions]
+                params.position = (max(xs) * 0.6, max(ys) * 0.6)
+            self.interferer = WifiInterferer(
+                self.sim, self.deployment.positions, self.deployment.propagation, params
+            )
+            self.channel.add_interferer(self.interferer)
+        mac_params = config.mac_params
+        if mac_params is None and config.always_on:
+            mac_params = MacParams.always_on_network()
+        self.sink = self.deployment.sink
+        self.stacks: Dict[int, NodeStack] = {}
+        for node_id in range(self.deployment.size):
+            self.stacks[node_id] = NodeStack(
+                self.sim,
+                self.channel,
+                node_id,
+                is_root=(node_id == self.sink),
+                tx_power_dbm=self.deployment.node_tx_power(node_id),
+                mac_params=mac_params,
+                always_on=True if config.always_on else None,
+            )
+        self.controller = Controller(channel=self.channel)
+        self.protocols: Dict[int, object] = {}
+        self._build_protocol()
+        self.collection: Optional[CollectionWorkload] = None
+        if config.collection_ipi is not None:
+            self.collection = CollectionWorkload(
+                self.sim, self.stacks, ipi=config.collection_ipi
+            )
+        self.metrics = NetworkMetrics(self.sim, self.stacks)
+        self.control_metrics = ControlMetrics()
+        self._records_by_key: Dict[object, ControlRecord] = {}
+        self._next_index = 0
+        self._started = False
+
+    # ---------------------------------------------------------------- wiring
+    def _build_protocol(self) -> None:
+        protocol = self.config.protocol
+        if protocol == "none":
+            return
+        if protocol == "tele":
+            forwarding_params = self.config.forwarding_params or ForwardingParams(
+                re_tele=self.config.re_tele,
+                opportunistic=self.config.opportunistic,
+            )
+            for node_id, stack in self.stacks.items():
+                tele = TeleAdjusting(
+                    self.sim,
+                    stack,
+                    controller=self.controller,
+                    allocation_params=self.config.allocation_params,
+                    forwarding_params=forwarding_params,
+                )
+                tele.forwarding.on_delivered = self._tele_delivered
+                self.protocols[node_id] = tele
+        elif protocol == "drip":
+            for node_id, stack in self.stacks.items():
+                drip = Drip(self.sim, stack, params=self.config.drip_params)
+                drip.on_delivered = self._drip_delivered
+                self.protocols[node_id] = drip
+        elif protocol == "rpl":
+            for node_id, stack in self.stacks.items():
+                rpl = RplDownward(self.sim, stack, params=self.config.rpl_params)
+                rpl.on_delivered = self._rpl_delivered
+                self.protocols[node_id] = rpl
+        elif protocol == "orpl":
+            for node_id, stack in self.stacks.items():
+                orpl = OrplDownward(self.sim, stack, params=self.config.orpl_params)
+                orpl.on_delivered = self._orpl_delivered
+                self.protocols[node_id] = orpl
+        else:
+            raise ValueError(f"unknown protocol {protocol!r}")
+
+    # ----------------------------------------------------------------- start
+    def start(self) -> None:
+        """Start every stack, protocol, workload, and the interferer."""
+        if self._started:
+            return
+        self._started = True
+        for stack in self.stacks.values():
+            stack.start()
+        for protocol in self.protocols.values():
+            protocol.start()  # type: ignore[attr-defined]
+        if self.collection is not None:
+            self.collection.start()
+        if self.interferer is not None:
+            self.interferer.start()
+
+    def run(self, seconds: float) -> None:
+        """Advance the simulation by ``seconds`` (starting it if needed)."""
+        self.start()
+        self.sim.run(until=self.sim.now + round(seconds * SECOND))
+
+    # ------------------------------------------------------------ convergence
+    def routed_fraction(self) -> float:
+        """Fraction of nodes with a CTP route."""
+        return sum(1 for s in self.stacks.values() if s.routing.has_route) / len(
+            self.stacks
+        )
+
+    def coded_fraction(self) -> float:
+        """Fraction of nodes holding a TeleAdjusting path code."""
+        if self.config.protocol != "tele":
+            return 0.0
+        coded = sum(
+            1
+            for p in self.protocols.values()
+            if p.allocation.code is not None  # type: ignore[attr-defined]
+        )
+        return coded / len(self.protocols)
+
+    def rpl_routed_fraction(self) -> float:
+        """Fraction of destinations in the sink's RPL table."""
+        if self.config.protocol != "rpl":
+            return 0.0
+        sink_rpl: RplDownward = self.protocols[self.sink]  # type: ignore[assignment]
+        return len(sink_rpl.routes) / max(len(self.stacks) - 1, 1)
+
+    def orpl_coverage_fraction(self) -> float:
+        """Fraction of nodes the sink's bloom claims."""
+        if self.config.protocol != "orpl":
+            return 0.0
+        sink_orpl: OrplDownward = self.protocols[self.sink]  # type: ignore[assignment]
+        covered = sum(1 for n in self.non_sink_nodes() if sink_orpl.claims(n))
+        return covered / max(len(self.stacks) - 1, 1)
+
+    def converge(
+        self,
+        max_seconds: float = 600.0,
+        check_interval: float = 10.0,
+        target: float = 1.0,
+    ) -> bool:
+        """Run until the protocol's addressing state covers ``target`` of nodes.
+
+        For TeleAdjusting: path codes assigned (the controller is snapshotted
+        on success). For RPL: sink routing table coverage. For Drip and bare
+        CTP: route acquisition.
+        """
+        self.start()
+        deadline = self.sim.now + round(max_seconds * SECOND)
+        check = {
+            "tele": self.coded_fraction,
+            "rpl": self.rpl_routed_fraction,
+            "orpl": self.orpl_coverage_fraction,
+        }.get(self.config.protocol, self.routed_fraction)
+        while True:
+            if check() >= target:
+                break
+            if self.sim.now >= deadline:
+                break
+            self.sim.run(
+                until=min(self.sim.now + round(check_interval * SECOND), deadline)
+            )
+        converged = check() >= target
+        if self.config.protocol == "tele":
+            self.controller.snapshot(self.protocols)  # type: ignore[arg-type]
+        return converged
+
+    # ------------------------------------------------------------- controls
+    def send_control(self, destination: int, payload: object = None) -> ControlRecord:
+        """Issue one remote-control request and return its live record.
+
+        The record fills in as the simulation advances (delivery at the
+        destination, end-to-end ack at the sink).
+        """
+        record = ControlRecord(
+            index=self._next_index,
+            destination=destination,
+            hop_count=self.stacks[destination].routing.hop_count,
+            sent_at=self.sim.now,
+        )
+        self._next_index += 1
+        self.control_metrics.add(record)
+        protocol = self.config.protocol
+        if protocol == "tele":
+            sink_tele: TeleAdjusting = self.protocols[self.sink]  # type: ignore[assignment]
+            # Refresh the controller's code registry (nodes keep reporting in
+            # the real system; the snapshot stands in for that).
+            self.controller.snapshot(self.protocols)  # type: ignore[arg-type]
+            if self.controller.code_of(destination) is None:
+                return record  # unaddressable: an honest delivery failure
+            pending = sink_tele.remote_control(
+                destination, payload=payload, done=lambda p: self._tele_done(record, p)
+            )
+            self._records_by_key[("tele", pending.control.serial)] = record
+        elif protocol == "drip":
+            sink_drip: Drip = self.protocols[self.sink]  # type: ignore[assignment]
+            pending = sink_drip.disseminate(
+                payload, destination=destination, done=lambda p: self._drip_done(record, p)
+            )
+            self._records_by_key[("drip", pending.value.version)] = record
+        elif protocol == "rpl":
+            sink_rpl: RplDownward = self.protocols[self.sink]  # type: ignore[assignment]
+            if destination not in sink_rpl.routes:
+                return record  # no stored route: RPL drops at the sink
+            pending = sink_rpl.send_control(
+                destination, payload=payload, done=lambda p: self._rpl_done(record, p)
+            )
+            self._records_by_key[("rpl", pending.control.serial)] = record
+        elif protocol == "orpl":
+            sink_orpl: OrplDownward = self.protocols[self.sink]  # type: ignore[assignment]
+            pending = sink_orpl.send_control(
+                destination, payload=payload, done=lambda p: self._rpl_done(record, p)
+            )
+            self._records_by_key[("orpl", pending.control.serial)] = record
+        else:
+            raise RuntimeError(f"protocol {protocol!r} cannot send controls")
+        return record
+
+    # -------------------------------------------------- delivery observation
+    def _tele_delivered(self, control, via_unicast: bool) -> None:
+        record = self._records_by_key.get(("tele", control.serial))
+        if record is not None and record.delivered_at is None:
+            record.delivered_at = self.sim.now
+            record.athx = control.athx
+            record.via_unicast = via_unicast
+
+    def _drip_delivered(self, value) -> None:
+        record = self._records_by_key.get(("drip", value.version))
+        if record is not None and record.delivered_at is None:
+            record.delivered_at = self.sim.now
+
+    def _rpl_delivered(self, control) -> None:
+        record = self._records_by_key.get(("rpl", control.serial))
+        if record is not None and record.delivered_at is None:
+            record.delivered_at = self.sim.now
+            record.athx = control.hops
+
+    def _orpl_delivered(self, control) -> None:
+        record = self._records_by_key.get(("orpl", control.serial))
+        if record is not None and record.delivered_at is None:
+            record.delivered_at = self.sim.now
+            record.athx = control.athx
+
+    def _tele_done(self, record: ControlRecord, pending) -> None:
+        if pending.acked_at is not None:
+            record.acked_at = pending.acked_at
+
+    def _drip_done(self, record: ControlRecord, pending) -> None:
+        if pending.acked_at is not None:
+            record.acked_at = pending.acked_at
+
+    def _rpl_done(self, record: ControlRecord, pending) -> None:
+        if pending.acked_at is not None:
+            record.acked_at = pending.acked_at
+
+    # -------------------------------------------------------------- helpers
+    def non_sink_nodes(self) -> List[int]:
+        """Every node id except the sink's."""
+        return [n for n in self.stacks if n != self.sink]
+
+    def protocol_at(self, node_id: int):
+        """The control-protocol instance running on a node."""
+        return self.protocols.get(node_id)

@@ -1,0 +1,114 @@
+"""Per-packet forwarding timelines from tracer records.
+
+Enable tracing on a network, run some control traffic, and render what
+happened to each packet — which relays anycast it, where it backtracked,
+when it was delivered. The observability tool you reach for when a delivery
+looks wrong.
+
+Usage::
+
+    net = repro.build_network(...)
+    net.sim.tracer.enable(categories={"tele.forward", "tele.backtrack",
+                                      "tele.deliver"})
+    net.converge(); record = net.send_control(7); net.run(30)
+    print(render_timeline(net.sim.tracer, serial=1))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.trace import TraceRecord, Tracer
+from repro.sim.units import to_seconds
+
+#: Tracer categories the forwarding engine emits.
+TELE_CATEGORIES = {"tele.forward", "tele.backtrack", "tele.deliver"}
+
+
+@dataclass
+class TimelineEvent:
+    """One step in a packet's journey."""
+
+    time_s: float
+    node: int
+    kind: str  # "forward" | "backtrack" | "deliver"
+    detail: str
+
+
+def packet_timeline(tracer: Tracer, serial: int) -> List[TimelineEvent]:
+    """All forwarding events for one control packet serial, time-ordered."""
+    events: List[TimelineEvent] = []
+    for record in tracer.records:
+        if record.category not in TELE_CATEGORIES:
+            continue
+        if record.data.get("serial") != serial:
+            continue
+        kind = record.category.split(".", 1)[1]
+        if kind == "forward":
+            detail = (
+                f"expected={record.data.get('expected_relay')} "
+                f"len={record.data.get('expected_length')} "
+                f"athx={record.data.get('athx')} try={record.data.get('tries')}"
+            )
+        elif kind == "backtrack":
+            detail = f"to={record.data.get('came_from')} dead={record.data.get('dead')}"
+        else:
+            detail = (
+                f"athx={record.data.get('athx')} "
+                f"{'via helper unicast' if record.data.get('via_unicast') else 'via anycast'}"
+            )
+        events.append(
+            TimelineEvent(
+                time_s=to_seconds(record.time),
+                node=record.node if record.node is not None else -1,
+                kind=kind,
+                detail=detail,
+            )
+        )
+    events.sort(key=lambda e: e.time_s)
+    return events
+
+
+def render_timeline(tracer: Tracer, serial: int) -> str:
+    """Human-readable timeline for one packet."""
+    events = packet_timeline(tracer, serial)
+    if not events:
+        return f"serial {serial}: no trace records (is tracing enabled?)"
+    t0 = events[0].time_s
+    lines = [f"control packet serial={serial}"]
+    for event in events:
+        marker = {"forward": "→", "backtrack": "↩", "deliver": "✔"}[event.kind]
+        lines.append(
+            f"  +{event.time_s - t0:7.3f}s {marker} node {event.node:<3d} "
+            f"{event.kind:<9s} {event.detail}"
+        )
+    return "\n".join(lines)
+
+
+def serials_seen(tracer: Tracer) -> List[int]:
+    """Every control-packet serial with at least one trace record."""
+    out = []
+    seen = set()
+    for record in tracer.records:
+        if record.category in TELE_CATEGORIES:
+            serial = record.data.get("serial")
+            if serial is not None and serial not in seen:
+                seen.add(serial)
+                out.append(serial)
+    return out
+
+
+def summarize(tracer: Tracer) -> Dict[int, Dict[str, int]]:
+    """Per-serial event counts: forwards / backtracks / deliveries."""
+    counts: Dict[int, Dict[str, int]] = {}
+    for record in tracer.records:
+        if record.category not in TELE_CATEGORIES:
+            continue
+        serial = record.data.get("serial")
+        if serial is None:
+            continue
+        kind = record.category.split(".", 1)[1]
+        counts.setdefault(serial, {"forward": 0, "backtrack": 0, "deliver": 0})
+        counts[serial][kind] += 1
+    return counts

@@ -1,0 +1,15 @@
+"""Duty-cycled MAC layer (low-power listening, BoX-MAC style).
+
+The paper's stack is "CTP built upon LPL" with a 512 ms wake-up interval.
+:class:`LPLMac` reproduces that: nodes sleep and briefly sample the channel
+every wake interval; senders transmit a packetised preamble (back-to-back
+copies of the frame) until the receiver wakes and acknowledges, or for the
+full interval for broadcasts. Anycast sends — the primitive TeleAdjusting's
+opportunistic forwarding rides on — let any eligible awake node win the
+packet by acknowledging first, with earlier ack slots given to nodes offering
+more routing progress.
+"""
+
+from repro.mac.lpl import AnycastDecision, LPLMac, MacParams, SendResult
+
+__all__ = ["LPLMac", "MacParams", "SendResult", "AnycastDecision"]

@@ -1,0 +1,110 @@
+"""Per-request remote-control outcome records and aggregations."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.stats import mean
+from repro.sim.units import to_seconds
+
+
+@dataclass
+class ControlRecord:
+    """One sink→node remote-control request, as measured."""
+
+    index: int
+    destination: int
+    #: CTP hop count of the destination when the request was issued.
+    hop_count: int
+    sent_at: int
+    #: Destination-side delivery time (one-way), None if never delivered.
+    delivered_at: Optional[int] = None
+    #: Sink-side end-to-end acknowledgement time, None if never acked.
+    acked_at: Optional[int] = None
+    #: Accumulated transmission hop count of the delivered copy (Figure 8).
+    athx: Optional[int] = None
+    #: Whether delivery happened through the Re-Tele final unicast.
+    via_unicast: bool = False
+
+    @property
+    def delivered(self) -> bool:
+        """True once the destination received the packet."""
+        return self.delivered_at is not None
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """One-way delivery latency in seconds, or None."""
+        if self.delivered_at is None:
+            return None
+        return to_seconds(self.delivered_at - self.sent_at)
+
+    @property
+    def rtt_s(self) -> Optional[float]:
+        """Send-to-end-to-end-ack round trip in seconds, or None."""
+        if self.acked_at is None:
+            return None
+        return to_seconds(self.acked_at - self.sent_at)
+
+
+class ControlMetrics:
+    """Collects :class:`ControlRecord` objects and aggregates by hop count."""
+
+    def __init__(self) -> None:
+        self.records: List[ControlRecord] = []
+
+    def add(self, record: ControlRecord) -> None:
+        """Add one element/record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------ aggregates
+    def pdr(self) -> Optional[float]:
+        """Overall packet delivery ratio (destination-side deliveries)."""
+        if not self.records:
+            return None
+        return sum(1 for r in self.records if r.delivered) / len(self.records)
+
+    def pdr_by_hop(self) -> Dict[int, float]:
+        """Figure 7: delivery ratio grouped by destination hop count."""
+        grouped: Dict[int, List[ControlRecord]] = defaultdict(list)
+        for record in self.records:
+            grouped[record.hop_count].append(record)
+        return {
+            hop: sum(1 for r in records if r.delivered) / len(records)
+            for hop, records in sorted(grouped.items())
+        }
+
+    def latency_by_hop(self) -> Dict[int, float]:
+        """Figure 10: mean one-way delivery latency (s) by hop count."""
+        grouped: Dict[int, List[float]] = defaultdict(list)
+        for record in self.records:
+            latency = record.latency_s
+            if latency is not None:
+                grouped[record.hop_count].append(latency)
+        return {
+            hop: mean(latencies) or 0.0 for hop, latencies in sorted(grouped.items())
+        }
+
+    def athx_samples(self) -> List[Tuple[int, int]]:
+        """Figure 8: (CTP hop count, ATHX) for every delivered packet."""
+        return [
+            (r.hop_count, r.athx)
+            for r in self.records
+            if r.delivered and r.athx is not None
+        ]
+
+    def mean_athx_ratio(self) -> Optional[float]:
+        """Mean ATHX / hop-count over delivered packets (<1 ⇒ shortcuts)."""
+        samples = [(h, a) for h, a in self.athx_samples() if h > 0]
+        if not samples:
+            return None
+        return mean([a / h for h, a in samples])
+
+    def mean_latency(self) -> Optional[float]:
+        """Mean one-way delivery latency in seconds."""
+        latencies = [r.latency_s for r in self.records if r.latency_s is not None]
+        return mean([x for x in latencies if x is not None])

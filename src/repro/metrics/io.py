@@ -1,0 +1,71 @@
+"""Persisting experiment results as JSON.
+
+Comparison and sweep results serialise to plain dicts so runs can be saved,
+diffed across code versions, and re-plotted without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.experiments.comparison import ComparisonResult
+from repro.metrics.control import ControlMetrics, ControlRecord
+
+
+def control_record_to_dict(record: ControlRecord) -> Dict[str, Any]:
+    """JSON-ready dict of one control record."""
+    return {
+        "index": record.index,
+        "destination": record.destination,
+        "hop_count": record.hop_count,
+        "sent_at": record.sent_at,
+        "delivered_at": record.delivered_at,
+        "acked_at": record.acked_at,
+        "athx": record.athx,
+        "via_unicast": record.via_unicast,
+        "latency_s": record.latency_s,
+    }
+
+
+def comparison_to_dict(result: ComparisonResult) -> Dict[str, Any]:
+    """JSON-ready dict of one comparison run (records included)."""
+    out: Dict[str, Any] = {
+        "variant": result.variant,
+        "zigbee_channel": result.zigbee_channel,
+        "seed": result.seed,
+        "n_controls": result.n_controls,
+        "pdr": result.pdr,
+        "pdr_by_hop": {str(k): v for k, v in result.pdr_by_hop.items()},
+        "latency_by_hop": {str(k): v for k, v in result.latency_by_hop.items()},
+        "mean_latency": result.mean_latency,
+        "tx_per_control": result.tx_per_control,
+        "duty_cycle": result.duty_cycle,
+        "athx_samples": [list(sample) for sample in result.athx_samples],
+    }
+    if result.control_metrics is not None:
+        out["records"] = [
+            control_record_to_dict(r) for r in result.control_metrics.records
+        ]
+    return out
+
+
+def save_results(
+    results: Union[ComparisonResult, List[ComparisonResult]],
+    path: Union[str, Path],
+) -> Path:
+    """Write one or many comparison results to a JSON file."""
+    if isinstance(results, ComparisonResult):
+        payload: Any = comparison_to_dict(results)
+    else:
+        payload = [comparison_to_dict(r) for r in results]
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_results(path: Union[str, Path]) -> Any:
+    """Read back what :func:`save_results` wrote (plain dicts/lists)."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,88 @@
+"""Network-wide counters: duty cycle and transmission counts.
+
+:class:`NetworkMetrics` snapshots per-node state at a *mark* (warm-up
+boundary) and reports deltas since, which is how Table III (transmissions per
+control packet) and Figure 9 (duty cycle) exclude the construction phase.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+from repro.metrics.stats import mean
+from repro.radio.frame import FrameType
+from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import NodeStack
+
+
+class NetworkMetrics:
+    """Snapshot/delta counters over a set of node stacks."""
+
+    def __init__(self, sim: Simulator, stacks: Dict[int, "NodeStack"]) -> None:
+        self.sim = sim
+        self.stacks = stacks
+        self._mark_time = 0
+        self._mark_tx: Dict[int, Dict[FrameType, int]] = {}
+        self.mark()
+
+    def mark(self) -> None:
+        """Start a measurement window now (duty cycle and tx counts reset)."""
+        self._mark_time = self.sim.now
+        self._mark_tx = {
+            node_id: dict(stack.tx_by_type) for node_id, stack in self.stacks.items()
+        }
+        for stack in self.stacks.values():
+            stack.radio.reset_on_time()
+
+    # ------------------------------------------------------------ duty cycle
+    def duty_cycles(self, include_root: bool = False) -> Dict[int, float]:
+        """Per-node radio duty cycle since the mark (root excluded by default:
+        the paper's sink is mains-powered and always on)."""
+        elapsed = self.sim.now - self._mark_time
+        out: Dict[int, float] = {}
+        for node_id, stack in self.stacks.items():
+            if stack.is_root and not include_root:
+                continue
+            if elapsed <= 0:
+                out[node_id] = 0.0
+            else:
+                out[node_id] = min(stack.radio.on_time() / elapsed, 1.0)
+        return out
+
+    def mean_duty_cycle(self) -> Optional[float]:
+        """Figure 9: the network's average radio duty cycle."""
+        return mean(list(self.duty_cycles().values()))
+
+    # ------------------------------------------------------- transmissions
+    def tx_since_mark(
+        self, frame_types: Optional[Iterable[FrameType]] = None
+    ) -> int:
+        """Total logical transmissions (LPL trains) since the mark."""
+        wanted = set(frame_types) if frame_types is not None else None
+        total = 0
+        for node_id, stack in self.stacks.items():
+            base = self._mark_tx.get(node_id, {})
+            for frame_type, count in stack.tx_by_type.items():
+                if wanted is not None and frame_type not in wanted:
+                    continue
+                total += count - base.get(frame_type, 0)
+        return total
+
+    def control_tx_since_mark(self) -> int:
+        """Transmissions attributable to delivering control packets.
+
+        For TeleAdjusting this is CONTROL + FEEDBACK; for RPL, CONTROL; for
+        Drip, DISSEMINATION. Counting all three families is safe because an
+        experiment runs exactly one control protocol.
+        """
+        return self.tx_since_mark(
+            (FrameType.CONTROL, FrameType.FEEDBACK, FrameType.DISSEMINATION)
+        )
+
+    def tx_per_control_packet(self, n_controls: int) -> Optional[float]:
+        """Table III: average network-wide transmissions per control packet."""
+        if n_controls <= 0:
+            return None
+        return self.control_tx_since_mark() / n_controls

@@ -1,0 +1,32 @@
+"""Network substrate: Trickle, link estimation, and CTP.
+
+The paper builds TeleAdjusting on top of the Collection Tree Protocol (CTP,
+Gnawali et al. SenSys'09) with Trickle-timed routing beacons. This package
+implements that substrate:
+
+- :mod:`repro.net.trickle` — the Trickle algorithm (Levis et al. NSDI'04).
+- :mod:`repro.net.linkest` — beacon- and data-driven ETX link estimator.
+- :mod:`repro.net.messages` — beacon / data payload types.
+- :mod:`repro.net.ctp` — routing engine (parent selection) and forwarding
+  engine (upward data delivery with retransmissions and duplicate filtering).
+- :mod:`repro.net.node` — per-node stack bundling radio + MAC + CTP and
+  dispatching frames to the protocol registered on top (TeleAdjusting, Drip,
+  RPL downward).
+"""
+
+from repro.net.ctp import CtpForwarding, CtpRouting, RouteEntry
+from repro.net.linkest import LinkEstimator
+from repro.net.messages import DataPacket, RoutingBeacon
+from repro.net.node import NodeStack
+from repro.net.trickle import TrickleTimer
+
+__all__ = [
+    "CtpForwarding",
+    "CtpRouting",
+    "RouteEntry",
+    "LinkEstimator",
+    "DataPacket",
+    "RoutingBeacon",
+    "NodeStack",
+    "TrickleTimer",
+]

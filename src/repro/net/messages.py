@@ -1,0 +1,60 @@
+"""Payload types carried inside link-layer frames by the network stacks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Path ETX advertised by a node with no route.
+NO_ROUTE = 0xFFFF
+
+
+@dataclass
+class RoutingBeacon:
+    """CTP routing beacon, optionally piggybacking TeleAdjusting state.
+
+    The paper attaches the child's allocated *position* to routing beacons so
+    the parent can confirm or repair it (Section III-B5), without touching the
+    beacon schedule of the original stack.
+    """
+
+    origin: int
+    parent: Optional[int]
+    path_etx: float  # accumulated ETX to the sink (NO_ROUTE if none)
+    hop_count: int  # hops to sink along the current parent chain
+    seqno: int
+    #: TeleAdjusting piggyback: this node's claimed (position, parent) pair.
+    tele_position: Optional[int] = None
+    #: TeleAdjusting piggyback: this node's current valid path code bits, so
+    #: neighbours can maintain their neighbour-code tables.
+    tele_code: Optional[Tuple[int, ...]] = None
+
+    #: Approximate on-air size in bytes (CTP beacon ~ 20 B + piggyback).
+    LENGTH = 28
+
+
+@dataclass
+class DataPacket:
+    """CTP data frame payload (collection traffic; e2e acks ride on this)."""
+
+    origin: int
+    origin_seqno: int
+    collect_id: int  # multiplexing id, like CTP's AM collect id
+    thl: int = 0  # time-has-lived, incremented per hop
+    payload: Any = None
+    #: TeleAdjusting piggyback: the origin's current path code as
+    #: ``(value, length)``. Riding the controller's code reports on data
+    #: packets that flow anyway keeps the reporting cost near zero.
+    tele_code: Optional[Tuple[int, int]] = None
+
+    LENGTH = 50
+
+    def key(self) -> Tuple[int, int, int]:
+        """Duplicate-suppression key (origin, seqno, collect_id)."""
+        return (self.origin, self.origin_seqno, self.collect_id)
+
+
+#: Collection ids used by the stacks in this package.
+COLLECT_APP_DATA = 1  # periodic sensed data (IPI traffic)
+COLLECT_E2E_ACK = 2  # TeleAdjusting end-to-end acknowledgements
+COLLECT_CODE_REPORT = 3  # nodes reporting their path code to the controller

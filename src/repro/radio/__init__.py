@@ -1,0 +1,36 @@
+"""Radio substrate: propagation, noise, CC2420 PHY, channel, and radio devices.
+
+This package replaces the TOSSIM radio stack the paper simulated on:
+
+- :mod:`repro.radio.propagation` — log-distance path loss (exponent 4 in the
+  paper's setup) with static per-link shadowing.
+- :mod:`repro.radio.noise` — CPM-style (closest-pattern-matching) noise model
+  trained on a synthetic heavy-tailed trace shaped like ``meyer-heavy.txt``.
+- :mod:`repro.radio.cc2420` — CC2420 radio constants and the O-QPSK/DSSS
+  SNR→PRR curve TOSSIM uses.
+- :mod:`repro.radio.channel` — shared medium with SINR-based reception and
+  external interferers (e.g. WiFi).
+- :mod:`repro.radio.radio` — per-node half-duplex radio device with
+  on/off/TX/RX states and energy (on-time) accounting.
+"""
+
+from repro.radio.cc2420 import CC2420, packet_airtime
+from repro.radio.channel import Channel
+from repro.radio.frame import BROADCAST, Frame, FrameType
+from repro.radio.noise import CPMNoiseModel, synthesize_meyer_like_trace
+from repro.radio.propagation import LogDistancePathLoss
+from repro.radio.radio import Radio, RadioState
+
+__all__ = [
+    "CC2420",
+    "packet_airtime",
+    "Channel",
+    "BROADCAST",
+    "Frame",
+    "FrameType",
+    "CPMNoiseModel",
+    "synthesize_meyer_like_trace",
+    "LogDistancePathLoss",
+    "Radio",
+    "RadioState",
+]

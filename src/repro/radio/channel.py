@@ -1,0 +1,275 @@
+"""Shared wireless medium with SINR-based packet reception.
+
+Reception model
+---------------
+When a transmission starts, every powered-on, idle radio whose received power
+clears the deaf threshold begins decoding it (the strongest-first frame locks
+the receiver; later-starting overlaps become interference). When the airtime
+ends, the channel computes
+
+    SINR = P_rx  -  10 log10( noise_mw + sum(interferer_mw) + sum(overlap_mw) )
+
+with noise drawn from the CPM model and external interferers (e.g. the WiFi
+generator) queried for their current in-band power. The frame is delivered
+with probability ``PRR(SINR, length)`` from the CC2420 curve. Interference
+from concurrent packets is weighted by their temporal overlap with the frame.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Set, Tuple
+
+from repro.radio.cc2420 import CC2420, packet_airtime
+from repro.radio.frame import Frame
+from repro.radio.noise import CPMNoiseModel, ConstantNoise
+from repro.radio.radio import Radio, RadioState
+from repro.sim.simulator import Simulator
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert milliwatts to dBm (floored at -200)."""
+    if mw <= 0.0:
+        return -200.0
+    return 10.0 * math.log10(mw)
+
+
+class Interferer(Protocol):
+    """External in-band energy source (e.g. WiFi)."""
+
+    def interference_dbm_at(self, node_id: int) -> Optional[float]:
+        """Current in-band power at ``node_id`` in dBm, or None when idle."""
+
+
+@dataclass
+class _Transmission:
+    src: int
+    frame: Frame
+    start: int
+    end: int
+    #: Received power per potential receiver (dBm), filled at start.
+    rx_power_dbm: Dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class _PendingReception:
+    transmission: _Transmission
+    rx_power_dbm: float
+    #: mW·ticks of interference accumulated from overlapping packets.
+    interference_mw_ticks: float = 0.0
+
+
+class Channel:
+    """The single 802.15.4 channel all radios share.
+
+    ``gains[(a, b)]`` is the channel gain in dB from ``a`` to ``b``; pairs
+    missing from the dict are out of range. The channel derives static
+    neighbour sets from the gains to avoid all-pairs scans per packet.
+    """
+
+    #: Below this received power a transmission is inaudible (not even noise).
+    DEAF_THRESHOLD_DBM = -110.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gains: Dict[Tuple[int, int], float],
+        noise_model: Optional[CPMNoiseModel] = None,
+        cca_threshold_dbm: float = CC2420.CCA_THRESHOLD_DBM,
+        fading_sigma_db: float = 0.0,
+        fading_coherence: int = 5_000_000,
+    ) -> None:
+        self.sim = sim
+        self.gains = gains
+        self.cca_threshold_dbm = cca_threshold_dbm
+        #: Slow flat fading: a zero-mean Gaussian offset per (link, coherence
+        #: bucket), symmetric across directions. This is the "link
+        #: burstiness" (Srinivasan et al., the paper's [21]) that makes
+        #: distant links transiently usable — the raw material of
+        #: opportunistic forwarding — and stored routes transiently wrong.
+        self.fading_sigma_db = fading_sigma_db
+        self.fading_coherence = fading_coherence
+        self._fading_cache: Dict[Tuple[int, int], Tuple[int, float]] = {}
+        self._radios: Dict[int, Radio] = {}
+        self._on_radios: Set[int] = set()
+        self._noise_master = noise_model if noise_model is not None else ConstantNoise()
+        self._noise: Dict[int, object] = {}
+        self._active: List[_Transmission] = []
+        self._pending: Dict[int, _PendingReception] = {}  # receiver -> reception
+        self._interferers: List[Interferer] = []
+        self._rng = sim.rng("channel")
+        # Static audible-neighbour lists derived from gains (tx power agnostic:
+        # assume max 0 dBm; per-packet power still gates actual reception).
+        # Fading can lift a link a few sigma above its mean, so keep margin.
+        audible_floor = self.DEAF_THRESHOLD_DBM - 3.0 * fading_sigma_db
+        self._audible: Dict[int, List[Tuple[int, float]]] = {}
+        for (a, b), gain in gains.items():
+            if gain >= audible_floor:
+                self._audible.setdefault(a, []).append((b, gain))
+        #: Observers called for every delivered frame: (receiver, frame, rssi).
+        self.delivery_observers: List[Callable[[int, Frame, float], None]] = []
+
+    # ------------------------------------------------------------ attachment
+    def attach(self, radio: Radio) -> None:
+        """Register a radio with this channel."""
+        if radio.node_id in self._radios:
+            raise ValueError(f"duplicate radio for node {radio.node_id}")
+        self._radios[radio.node_id] = radio
+        self._noise[radio.node_id] = self._noise_master.fork(
+            seed=(self.sim.seed << 20) ^ radio.node_id
+        )
+
+    def add_interferer(self, interferer: Interferer) -> None:
+        """Register an external in-band energy source."""
+        self._interferers.append(interferer)
+
+    def note_radio_on(self, radio: Radio) -> None:
+        """Track that a radio powered on (channel bookkeeping)."""
+        self._on_radios.add(radio.node_id)
+
+    def note_radio_off(self, radio: Radio) -> None:
+        """Track that a radio powered off (channel bookkeeping)."""
+        self._on_radios.discard(radio.node_id)
+        self._pending.pop(radio.node_id, None)
+
+    # ---------------------------------------------------------------- energy
+    def _noise_dbm(self, node_id: int) -> float:
+        return self._noise[node_id].sample()  # type: ignore[union-attr]
+
+    def _interference_mw(self, node_id: int) -> float:
+        total = 0.0
+        for interferer in self._interferers:
+            dbm = interferer.interference_dbm_at(node_id)
+            if dbm is not None:
+                total += dbm_to_mw(dbm)
+        return total
+
+    def energy_dbm_at(self, node_id: int) -> float:
+        """Instantaneous in-band energy a CCA at ``node_id`` would read."""
+        total_mw = dbm_to_mw(self._noise_dbm(node_id))
+        total_mw += self._interference_mw(node_id)
+        for tx in self._active:
+            power = tx.rx_power_dbm.get(node_id)
+            if power is not None:
+                total_mw += dbm_to_mw(power)
+        return mw_to_dbm(total_mw)
+
+    # ----------------------------------------------------------------- fading
+    def fading_db(self, a: int, b: int) -> float:
+        """Current fading offset for the (unordered) link ``a``–``b``."""
+        if self.fading_sigma_db <= 0.0:
+            return 0.0
+        key = (a, b) if a <= b else (b, a)
+        bucket = self.sim.now // self.fading_coherence
+        cached = self._fading_cache.get(key)
+        if cached is not None and cached[0] == bucket:
+            return cached[1]
+        # Deterministic per (seed, link, bucket): replays are reproducible.
+        rng = random.Random(
+            (self.sim.seed << 48) ^ (key[0] << 34) ^ (key[1] << 20) ^ bucket
+        )
+        value = rng.gauss(0.0, self.fading_sigma_db)
+        self._fading_cache[key] = (bucket, value)
+        return value
+
+    # ------------------------------------------------------------- transmit
+    def start_transmission(
+        self, radio: Radio, frame: Frame, done: Optional[Callable[[], None]]
+    ) -> None:
+        """Put a frame on the air from ``radio``."""
+        airtime = packet_airtime(frame.length)
+        now = self.sim.now
+        tx = _Transmission(radio.node_id, frame, now, now + airtime)
+        for neighbor_id, gain in self._audible.get(radio.node_id, ()):
+            rx_power = (
+                radio.tx_power_dbm + gain + self.fading_db(radio.node_id, neighbor_id)
+            )
+            if rx_power >= self.DEAF_THRESHOLD_DBM:
+                tx.rx_power_dbm[neighbor_id] = rx_power
+        # Account this new packet as interference against in-flight receptions,
+        # and try to lock idle receivers onto it.
+        for receiver_id, rx_power in tx.rx_power_dbm.items():
+            pending = self._pending.get(receiver_id)
+            if pending is not None:
+                overlap = min(pending.transmission.end, tx.end) - now
+                if overlap > 0:
+                    pending.interference_mw_ticks += dbm_to_mw(rx_power) * overlap
+                continue
+            receiver = self._radios.get(receiver_id)
+            if receiver is None:
+                continue  # position known but no radio attached
+            if receiver.state is RadioState.IDLE and rx_power >= CC2420.SENSITIVITY_DBM:
+                receiver.state = RadioState.RECEIVING
+                receiver.locked_frame_id = frame.frame_id
+                self._pending[receiver_id] = _PendingReception(tx, rx_power)
+        # Pre-existing overlapping transmissions interfere with this packet's
+        # receivers too; fold their remaining overlap in now.
+        for other in self._active:
+            for receiver_id, _ in tx.rx_power_dbm.items():
+                pending = self._pending.get(receiver_id)
+                if pending is None or pending.transmission is not tx:
+                    continue
+                other_power = other.rx_power_dbm.get(receiver_id)
+                if other_power is not None:
+                    overlap = min(other.end, tx.end) - now
+                    if overlap > 0:
+                        pending.interference_mw_ticks += dbm_to_mw(other_power) * overlap
+        self._active.append(tx)
+        self.sim.schedule(airtime, self._end_transmission, tx, radio, done)
+
+    def _end_transmission(
+        self, tx: _Transmission, radio: Radio, done: Optional[Callable[[], None]]
+    ) -> None:
+        self._active.remove(tx)
+        radio.finish_tx()
+        airtime = tx.end - tx.start
+        # Resolve receptions locked onto this transmission.
+        for receiver_id in list(self._pending):
+            pending = self._pending[receiver_id]
+            if pending.transmission is not tx:
+                continue
+            del self._pending[receiver_id]
+            receiver = self._radios.get(receiver_id)
+            if receiver is None or receiver.state is not RadioState.RECEIVING:
+                continue
+            receiver.state = RadioState.IDLE
+            receiver.locked_frame_id = None
+            noise_mw = dbm_to_mw(self._noise_dbm(receiver_id))
+            noise_mw += self._interference_mw(receiver_id)
+            if airtime > 0:
+                noise_mw += pending.interference_mw_ticks / airtime
+            sinr_db = pending.rx_power_dbm - mw_to_dbm(noise_mw)
+            prr = CC2420.prr(sinr_db, tx.frame.length)
+            if self._rng.random() < prr:
+                receiver.deliver(tx.frame, pending.rx_power_dbm)
+                for observer in self.delivery_observers:
+                    observer(receiver_id, tx.frame, pending.rx_power_dbm)
+        radio._transmission_done(done)
+
+    # --------------------------------------------------------------- queries
+    def link_gain(self, src: int, dst: int) -> Optional[float]:
+        """Static gain in dB from ``src`` to ``dst``, or None if out of range."""
+        return self.gains.get((src, dst))
+
+    def audible_neighbors(self, node_id: int) -> List[int]:
+        """Nodes that can hear ``node_id`` at all (static, power-agnostic)."""
+        return [n for n, _ in self._audible.get(node_id, ())]
+
+    def expected_prr(self, src: int, dst: int, frame_bytes: int = 40) -> float:
+        """Clean-channel PRR estimate for a link (no interference), for tests."""
+        gain = self.gains.get((src, dst))
+        if gain is None:
+            return 0.0
+        radio = self._radios.get(src)
+        tx_power = radio.tx_power_dbm if radio is not None else 0.0
+        snr_db = (tx_power + gain) - CC2420.NOISE_FLOOR_DBM
+        if tx_power + gain < CC2420.SENSITIVITY_DBM:
+            return 0.0
+        return CC2420.prr(snr_db, frame_bytes)

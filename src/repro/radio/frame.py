@@ -1,0 +1,72 @@
+"""Link-layer frames exchanged over the simulated channel."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any, Optional
+
+#: Link-layer broadcast address.
+BROADCAST: int = 0xFFFF
+
+_frame_ids = itertools.count(1)
+
+
+class FrameType(Enum):
+    """What a frame carries; dispatch key for the protocol stacks."""
+
+    DATA = auto()  # CTP data (collection traffic, e2e acks ride on this)
+    ROUTING_BEACON = auto()  # CTP routing beacon (Trickle-timed)
+    TELE_BEACON = auto()  # TeleAdjusting beacon (position allocations)
+    POSITION_REQUEST = auto()  # child asking its parent for a position
+    ALLOCATION_ACK = auto()  # parent's unicast allocation acknowledgement
+    CONFIRMATION = auto()  # child's confirmation of an allocated position
+    CONTROL = auto()  # downward remote-control packet
+    FEEDBACK = auto()  # backtracking feedback packet
+    ACK = auto()  # link-layer acknowledgement
+    HANDOVER = auto()  # anycast winner announcement (one copy, post-train)
+    DISSEMINATION = auto()  # Drip dissemination payload
+    RPL_DAO = auto()  # RPL destination advertisement
+    WIFI = auto()  # foreign interference burst (never decoded)
+
+
+@dataclass
+class Frame:
+    """A frame on the air.
+
+    ``payload`` is an arbitrary protocol-defined object; ``length`` is the
+    on-air size in bytes (MAC header + payload) used for airtime and PRR.
+    """
+
+    src: int
+    dst: int
+    type: FrameType
+    payload: Any = None
+    length: int = 40
+    seqno: int = 0
+    #: Set by the MAC on unicast frames that want a link-layer ack.
+    ack_requested: bool = False
+    #: Unique identity for duplicate suppression and tracing.
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"frame length must be positive, got {self.length}")
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for broadcast-addressed frames."""
+        return self.dst == BROADCAST
+
+    def clone(self) -> "Frame":
+        """Copy with a fresh frame_id (payload is shared, frames are logical)."""
+        return Frame(
+            src=self.src,
+            dst=self.dst,
+            type=self.type,
+            payload=self.payload,
+            length=self.length,
+            seqno=self.seqno,
+            ack_requested=self.ack_requested,
+        )

@@ -1,0 +1,115 @@
+"""Event and event-queue primitives for the simulation kernel.
+
+Events are ordered by ``(time, sequence)``: two events scheduled for the same
+instant fire in the order they were scheduled, which keeps protocol runs
+deterministic. Cancellation is O(1) (a tombstone flag); cancelled events are
+skipped when popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`repro.sim.simulator.Simulator.schedule`;
+    user code normally only keeps them around to call :meth:`cancel`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and neither fired nor cancelled."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time}, seq={self.seq}, {name}, {state})"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` objects ordered by ``(time, seq)``."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: int, callback: Callable[..., Any], args: tuple = ()) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time`` and return the event."""
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest pending event, or None if empty.
+
+        Cancelled events are discarded transparently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Return the timestamp of the earliest pending event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            self._live = 0
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Inform the queue that one pending event was cancelled externally.
+
+        The simulator calls this so ``len(queue)`` stays an upper bound that
+        converges to the true count; the heap entry itself is lazily dropped.
+        """
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every event, cancelling them."""
+        for event in self._heap:
+            event.cancelled = True
+        self._heap.clear()
+        self._live = 0

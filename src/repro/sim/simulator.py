@@ -1,0 +1,125 @@
+"""The simulator: clock, event loop, and seeded RNG tree."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.trace import Tracer
+from repro.sim.units import to_seconds
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (negative delays, running a stopped sim)."""
+
+
+class Simulator:
+    """Discrete-event simulator with deterministic, seeded randomness.
+
+    Components ask for named child RNGs via :meth:`rng`; each name maps to an
+    independent ``random.Random`` seeded from the master seed, so adding a new
+    component (or reordering calls within one) does not perturb the random
+    streams of the others.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._queue = EventQueue()
+        self._now = 0
+        self._running = False
+        self._stopped = False
+        self._rngs: Dict[str, random.Random] = {}
+        self.tracer = Tracer(self)
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> int:
+        """Current simulation time in integer microseconds."""
+        return self._now
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulation time in float seconds (display/metrics only)."""
+        return to_seconds(self._now)
+
+    # ------------------------------------------------------------- randomness
+    def rng(self, name: str) -> random.Random:
+        """Return the named child RNG, creating it deterministically on first use."""
+        rng = self._rngs.get(name)
+        if rng is None:
+            # Derive a stable per-name seed from the master seed; hash() is
+            # salted per-process for str, so use a explicit stable digest.
+            digest = 0
+            for ch in name:
+                digest = (digest * 131 + ord(ch)) % (2**61 - 1)
+            rng = random.Random((self.seed << 16) ^ digest)
+            self._rngs[name] = rng
+        return rng
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(self, delay: int, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self._queue.push(self._now + delay, callback, args)
+
+    def schedule_at(self, time: int, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time`` microseconds."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self._now}")
+        return self._queue.push(time, callback, args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (no-op if already fired or cancelled)."""
+        if event.pending:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    # -------------------------------------------------------------- execution
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run the event loop.
+
+        Stops when the queue drains, when the clock would pass ``until``
+        (the clock is then advanced exactly to ``until``), after
+        ``max_events`` events, or when :meth:`stop` is called. Returns the
+        number of events executed.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run())")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                event.fired = True
+                event.callback(*event.args)
+                executed += 1
+            else:  # pragma: no cover - unreachable
+                pass
+            if until is not None and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self._running = False
+        return executed
+
+    def stop(self) -> None:
+        """Stop the running event loop after the current event returns."""
+        self._stopped = True
+
+    def pending_events(self) -> int:
+        """Number of events still scheduled (upper bound under lazy cancel)."""
+        return len(self._queue)

@@ -1,0 +1,55 @@
+"""One-shot and periodic timers built on the simulator."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+
+
+class Timer:
+    """A restartable timer in the style of TinyOS's ``Timer`` interface.
+
+    ``start_one_shot(dt)`` fires the callback once after ``dt``;
+    ``start_periodic(dt)`` fires it every ``dt`` until stopped. Restarting a
+    running timer cancels the outstanding firing first.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self._period: Optional[int] = None
+
+    @property
+    def running(self) -> bool:
+        """True if a firing is scheduled."""
+        return self._event is not None and self._event.pending
+
+    def start_one_shot(self, delay: int) -> None:
+        """(Re)arm the timer to fire once after ``delay`` microseconds."""
+        self.stop()
+        self._period = None
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def start_periodic(self, period: int) -> None:
+        """(Re)arm the timer to fire every ``period`` microseconds."""
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.stop()
+        self._period = period
+        self._event = self._sim.schedule(period, self._fire)
+
+    def stop(self) -> None:
+        """Cancel any scheduled firing."""
+        if self._event is not None and self._event.pending:
+            self._sim.cancel(self._event)
+        self._event = None
+
+    def _fire(self) -> None:
+        if self._period is not None:
+            self._event = self._sim.schedule(self._period, self._fire)
+        else:
+            self._event = None
+        self._callback()

@@ -1,0 +1,81 @@
+"""Structured tracing for simulations.
+
+Protocol components emit trace records (time, node, category, message, data);
+tests and experiment drivers filter them instead of scraping log text.
+Tracing is off by default and costs one attribute check per call when off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event."""
+
+    time: int
+    node: Optional[int]
+    category: str
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, optionally filtered by category."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self.enabled = False
+        self.records: List[TraceRecord] = []
+        self._categories: Optional[Set[str]] = None
+        self._sinks: List[Callable[[TraceRecord], None]] = []
+
+    def enable(self, categories: Optional[Set[str]] = None) -> None:
+        """Start recording; restrict to ``categories`` if given."""
+        self.enabled = True
+        self._categories = set(categories) if categories else None
+
+    def disable(self) -> None:
+        """Stop recording (existing records are kept)."""
+        self.enabled = False
+
+    def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Also push every recorded record to ``sink`` (e.g. print)."""
+        self._sinks.append(sink)
+
+    def emit(
+        self,
+        category: str,
+        message: str,
+        node: Optional[int] = None,
+        **data: Any,
+    ) -> None:
+        """Record a trace event if tracing is enabled for ``category``."""
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        record = TraceRecord(self._sim.now, node, category, message, data)
+        self.records.append(record)
+        for sink in self._sinks:
+            sink(record)
+
+    def filter(
+        self, category: Optional[str] = None, node: Optional[int] = None
+    ) -> List[TraceRecord]:
+        """Return recorded events matching the given category and/or node."""
+        out = self.records
+        if category is not None:
+            out = [r for r in out if r.category == category]
+        if node is not None:
+            out = [r for r in out if r.node == node]
+        return list(out)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.records.clear()

@@ -1,0 +1,26 @@
+"""Deployment topologies used in the paper's evaluation.
+
+- ``tight_grid`` — 225 nodes in a 200 m × 200 m field divided 15×15, high
+  gain, sink at the centre (paper's *Tight-grid*).
+- ``sparse_linear`` — 225 nodes in a 60 m × 600 m strip divided 5×45, low
+  gain, sink at one endpoint (paper's *Sparse-linear*).
+- ``indoor_testbed`` — 40 TelosB-like nodes: 22 on a 2×11 board plus 18
+  scattered nearby, CC2420 power level 2, up to 6 hops.
+- ``random_uniform`` — generic random deployment for examples and tests.
+"""
+
+from repro.topology.deployments import (
+    Deployment,
+    indoor_testbed,
+    random_uniform,
+    sparse_linear,
+    tight_grid,
+)
+
+__all__ = [
+    "Deployment",
+    "tight_grid",
+    "sparse_linear",
+    "indoor_testbed",
+    "random_uniform",
+]

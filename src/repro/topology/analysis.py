@@ -1,0 +1,98 @@
+"""Topology analysis helpers (connectivity, expected tree shape).
+
+Built on :mod:`networkx` (one of the allowed dependencies) so deployments
+can be sanity-checked *before* spending simulation time: is the network
+connected at this power level, how deep will the tree be, where are the
+articulation points whose failure partitions the field — the questions the
+paper's testbed construction answers empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.radio.cc2420 import CC2420
+from repro.topology.deployments import Deployment
+
+
+def link_graph(
+    deployment: Deployment, min_prr: float = 0.5, frame_bytes: int = 40
+) -> "nx.Graph":
+    """Undirected graph of links whose clean-channel PRR is ≥ ``min_prr``.
+
+    PRR is computed from the deployment's propagation model and each node's
+    transmit power, exactly like :meth:`repro.radio.channel.Channel.expected_prr`
+    but without building a simulator.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(range(deployment.size))
+    gains = deployment.gains()
+    for (a, b), gain in gains.items():
+        if a >= b:
+            continue
+        power_ab = deployment.node_tx_power(a) + gain
+        power_ba = deployment.node_tx_power(b) + gains[(b, a)]
+        rx = min(power_ab, power_ba)
+        if rx < CC2420.SENSITIVITY_DBM:
+            continue
+        snr = rx - CC2420.NOISE_FLOOR_DBM
+        prr = CC2420.prr(snr, frame_bytes)
+        if prr >= min_prr:
+            graph.add_edge(a, b, prr=prr)
+    return graph
+
+
+def is_connected(deployment: Deployment, min_prr: float = 0.5) -> bool:
+    """True when every node can reach the sink over usable links."""
+    graph = link_graph(deployment, min_prr)
+    if deployment.size == 0:
+        return True
+    return nx.is_connected(graph)
+
+
+def hop_counts(deployment: Deployment, min_prr: float = 0.5) -> Dict[int, int]:
+    """Shortest-path hop count from each node to the sink (graph distance).
+
+    Nodes disconnected at ``min_prr`` are absent from the result. This is
+    the lower bound the CTP tree converges toward on clean channels.
+    """
+    graph = link_graph(deployment, min_prr)
+    return dict(nx.single_source_shortest_path_length(graph, deployment.sink))
+
+
+def expected_max_depth(deployment: Deployment, min_prr: float = 0.5) -> int:
+    """The deepest reachable node's hop count (0 when nothing is reachable)."""
+    counts = hop_counts(deployment, min_prr)
+    return max(counts.values(), default=0)
+
+
+def articulation_nodes(deployment: Deployment, min_prr: float = 0.5) -> Set[int]:
+    """Nodes whose failure disconnects part of the network.
+
+    These are where the paper's backtracking / Re-Tele countermeasures earn
+    their keep: a control packet crossing an articulation point has no
+    opportunistic alternatives.
+    """
+    graph = link_graph(deployment, min_prr)
+    return set(nx.articulation_points(graph))
+
+
+def unreachable_nodes(deployment: Deployment, min_prr: float = 0.5) -> List[int]:
+    """Nodes with no usable path to the sink at this PRR threshold."""
+    reachable = hop_counts(deployment, min_prr)
+    return sorted(set(range(deployment.size)) - set(reachable))
+
+
+def degree_stats(deployment: Deployment, min_prr: float = 0.5) -> Dict[str, float]:
+    """Min/mean/max usable-neighbour counts."""
+    graph = link_graph(deployment, min_prr)
+    degrees = [d for _, d in graph.degree()]
+    if not degrees:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "min": float(min(degrees)),
+        "mean": sum(degrees) / len(degrees),
+        "max": float(max(degrees)),
+    }

@@ -1,0 +1,170 @@
+"""Concrete deployments: node placement plus radio parameters."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.radio.cc2420 import CC2420
+from repro.radio.propagation import LogDistancePathLoss
+
+Position = Tuple[float, float]
+
+
+@dataclass
+class Deployment:
+    """A placed network: positions, sink, and propagation parameters.
+
+    ``tx_power_dbm`` applies to every node; per-node overrides can be set
+    after construction via :attr:`tx_power_overrides`.
+    """
+
+    name: str
+    positions: List[Position]
+    sink: int
+    tx_power_dbm: float
+    propagation: LogDistancePathLoss
+    tx_power_overrides: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the deployment."""
+        return len(self.positions)
+
+    def node_tx_power(self, node_id: int) -> float:
+        """Transmit power for one node (override-aware)."""
+        return self.tx_power_overrides.get(node_id, self.tx_power_dbm)
+
+    def gains(self) -> Dict[Tuple[int, int], float]:
+        """All-pairs link gains (dB) from the propagation model."""
+        return self.propagation.gain_matrix(self.positions)
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between two nodes (metres)."""
+        ax, ay = self.positions[a]
+        bx, by = self.positions[b]
+        return ((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5
+
+
+def _jittered_grid(
+    columns: int,
+    rows: int,
+    cell_w: float,
+    cell_h: float,
+    rng: random.Random,
+    jitter: float = 0.8,
+) -> List[Position]:
+    """One node per grid cell, placed uniformly inside the (shrunken) cell.
+
+    ``jitter`` scales how much of the cell the node may wander within; the
+    paper deploys nodes "randomly ... divided into 15×15" grids, i.e. a
+    jittered grid, not a perfect lattice.
+    """
+    positions: List[Position] = []
+    for row in range(rows):
+        for col in range(columns):
+            cx = (col + 0.5) * cell_w
+            cy = (row + 0.5) * cell_h
+            dx = (rng.random() - 0.5) * cell_w * jitter
+            dy = (rng.random() - 0.5) * cell_h * jitter
+            positions.append((cx + dx, cy + dy))
+    return positions
+
+
+def tight_grid(seed: int = 0) -> Deployment:
+    """Paper's *Tight-grid*: 225 nodes, 200 m × 200 m, 15×15, high gain.
+
+    The sink is the node whose cell is at the centre of the field.
+    """
+    rng = random.Random(seed)
+    positions = _jittered_grid(15, 15, 200.0 / 15, 200.0 / 15, rng)
+    sink = 7 * 15 + 7  # centre cell of the 15×15 grid
+    return Deployment(
+        name="tight-grid",
+        positions=positions,
+        sink=sink,
+        tx_power_dbm=0.0,  # "high gain"
+        propagation=LogDistancePathLoss(
+            path_loss_exponent=4.0, pl_d0=40.0, shadowing_sigma=3.2, seed=seed
+        ),
+    )
+
+
+def sparse_linear(seed: int = 0) -> Deployment:
+    """Paper's *Sparse-linear*: 225 nodes, 60 m × 600 m, 5×45, low gain.
+
+    The sink sits at one endpoint of the strip (first column).
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    positions = _jittered_grid(45, 5, 600.0 / 45, 60.0 / 5, rng)
+    # Node ids are row-major over (5 rows × 45 cols); the sink is the middle
+    # row's first column: row 2, col 0.
+    sink = 2 * 45 + 0
+    return Deployment(
+        name="sparse-linear",
+        positions=positions,
+        sink=sink,
+        tx_power_dbm=-5.0,  # "low gain"
+        propagation=LogDistancePathLoss(
+            path_loss_exponent=4.0, pl_d0=40.0, shadowing_sigma=3.2, seed=seed
+        ),
+    )
+
+
+def indoor_testbed(seed: int = 0) -> Deployment:
+    """Paper's indoor testbed: 22 board nodes (2×11) + 18 scattered, power 2.
+
+    CC2420 power level 2 keeps links to a few metres so the 40-node network
+    spans up to 6 hops, as in the paper's experiments.
+    """
+    rng = random.Random(seed ^ 0xB0A2D)
+    positions: List[Position] = []
+    # Board: 2 rows × 11 columns, 2 m spacing, at y = 4 and 6.
+    for row in range(2):
+        for col in range(11):
+            positions.append((2.0 + col * 2.0, 4.0 + row * 2.0))
+    # 18 nodes scattered around the board inside a 30 m × 12 m room.
+    for _ in range(18):
+        positions.append((rng.uniform(0.0, 30.0), rng.uniform(0.0, 12.0)))
+    sink = 0  # first board node, at one end of the room
+    return Deployment(
+        name="indoor-testbed",
+        positions=positions,
+        sink=sink,
+        tx_power_dbm=CC2420.power_level_to_dbm(2),
+        propagation=LogDistancePathLoss(
+            path_loss_exponent=4.0, pl_d0=40.0, shadowing_sigma=3.2, seed=seed
+        ),
+    )
+
+
+def random_uniform(
+    n: int,
+    width: float,
+    height: float,
+    seed: int = 0,
+    sink: Optional[int] = None,
+    tx_power_dbm: float = 0.0,
+) -> Deployment:
+    """Uniformly random deployment for examples and tests."""
+    if n < 2:
+        raise ValueError("need at least a sink and one node")
+    rng = random.Random(seed ^ 0xAB1E)
+    positions = [(rng.uniform(0, width), rng.uniform(0, height)) for _ in range(n)]
+    if sink is None:
+        # Pick the node closest to the field centre as sink.
+        cx, cy = width / 2, height / 2
+        sink = min(
+            range(n),
+            key=lambda i: (positions[i][0] - cx) ** 2 + (positions[i][1] - cy) ** 2,
+        )
+    return Deployment(
+        name=f"random-{n}",
+        positions=positions,
+        sink=sink,
+        tx_power_dbm=tx_power_dbm,
+        propagation=LogDistancePathLoss(
+            path_loss_exponent=4.0, pl_d0=40.0, shadowing_sigma=3.2, seed=seed
+        ),
+    )

@@ -1,0 +1,90 @@
+"""ASCII rendering of deployments and converged trees.
+
+Terminal-friendly maps for examples and debugging: where the nodes sit,
+which one is the sink, and how deep each node's route is. No plotting
+dependencies — the output pastes into issues and logs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.topology.deployments import Deployment
+
+#: Glyph for hop counts 0-15; deeper and unknown get distinct markers.
+_HOP_GLYPHS = "S123456789abcdef"
+
+
+def render_deployment(
+    deployment: Deployment,
+    width: int = 60,
+    height: int = 22,
+    hop_counts: Optional[Dict[int, int]] = None,
+    label: Optional[Callable[[int], str]] = None,
+) -> str:
+    """Map the field onto a ``width`` × ``height`` character grid.
+
+    Each node renders as one character: ``S`` for the sink, its hop count
+    (hex digit) when ``hop_counts`` is given, else ``o``. ``label`` overrides
+    per-node glyphs entirely (first character of its return value is used).
+    Collisions (several nodes in one cell) show the *shallowest* node.
+    """
+    if width < 4 or height < 4:
+        raise ValueError("grid too small to render anything useful")
+    xs = [p[0] for p in deployment.positions]
+    ys = [p[1] for p in deployment.positions]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    depth: List[List[int]] = [[1 << 30] * width for _ in range(height)]
+
+    def glyph_for(node: int) -> str:
+        """Glyph for one node under the current options."""
+        if label is not None:
+            text = label(node)
+            return text[0] if text else "o"
+        if node == deployment.sink:
+            return "S"
+        if hop_counts is not None:
+            hop = hop_counts.get(node)
+            if hop is None or hop >= 0xFFFF:
+                return "?"
+            if hop < len(_HOP_GLYPHS):
+                return _HOP_GLYPHS[hop]
+            return "+"
+        return "o"
+
+    for node, (x, y) in enumerate(deployment.positions):
+        col = round((x - min_x) / span_x * (width - 1))
+        row = round((y - min_y) / span_y * (height - 1))
+        node_depth = (
+            hop_counts.get(node, 1 << 29) if hop_counts is not None else node
+        )
+        if node == deployment.sink:
+            node_depth = -1  # the sink always wins its cell
+        if node_depth < depth[row][col]:
+            depth[row][col] = node_depth
+            grid[row][col] = glyph_for(node)
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    legend = (
+        f"{deployment.name}: {deployment.size} nodes over "
+        f"{span_x:.0f} m x {span_y:.0f} m; S = sink"
+    )
+    if hop_counts is not None:
+        legend += ", digits = hop count, ? = unrouted"
+    return "\n".join([legend, border, body, border])
+
+
+def render_network(network: object, **kwargs: object) -> str:
+    """Render a harness :class:`~repro.experiments.harness.Network` with its
+    current CTP hop counts."""
+    deployment: Deployment = network.deployment  # type: ignore[attr-defined]
+    hop_counts = {
+        node_id: stack.routing.hop_count
+        for node_id, stack in network.stacks.items()  # type: ignore[attr-defined]
+    }
+    return render_deployment(deployment, hop_counts=hop_counts, **kwargs)

@@ -1,0 +1,21 @@
+"""Workloads: WiFi interference, collection traffic, and control schedules.
+
+- :mod:`repro.workloads.interference` — bursty 802.11-like interferer. The
+  paper runs the testbed on ZigBee channel 19 (overlapping home WiFi) and
+  channel 26 (clean); we reproduce that with a coupling factor per channel.
+- :mod:`repro.workloads.collection` — periodic sensed-data traffic with the
+  paper's inter-packet interval (10 minutes).
+- :mod:`repro.workloads.control` — the sink's control-packet schedule (one
+  packet to a random destination per interval).
+"""
+
+from repro.workloads.collection import CollectionWorkload
+from repro.workloads.control import ControlSchedule
+from repro.workloads.interference import WifiInterferer, WifiParams
+
+__all__ = [
+    "CollectionWorkload",
+    "ControlSchedule",
+    "WifiInterferer",
+    "WifiParams",
+]

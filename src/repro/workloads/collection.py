@@ -1,0 +1,62 @@
+"""Periodic data-collection traffic (the network's day job).
+
+The paper's testbed runs collection with a 10-minute inter-packet interval
+alongside the control traffic; the collection load keeps the link estimator
+fed and makes the duty-cycle comparison (Figure 9) realistic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.net.messages import COLLECT_APP_DATA, DataPacket
+from repro.sim.simulator import Simulator
+from repro.sim.units import MINUTE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import NodeStack
+
+
+class CollectionWorkload:
+    """Every non-sink node originates a reading each ``ipi`` (with phase jitter)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stacks: Dict[int, "NodeStack"],
+        ipi: int = 10 * MINUTE,
+    ) -> None:
+        self.sim = sim
+        self.stacks = stacks
+        self.ipi = ipi
+        self.generated = 0
+        self.delivered: List[DataPacket] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Start this component (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        rng = self.sim.rng("collection-phase")
+        for node_id, stack in self.stacks.items():
+            if stack.is_root:
+                stack.forwarding.collect_handlers[COLLECT_APP_DATA] = (
+                    self.delivered.append
+                )
+                continue
+            self.sim.schedule(rng.randrange(self.ipi), self._generate, node_id)
+
+    def _generate(self, node_id: int) -> None:
+        self.sim.schedule(self.ipi, self._generate, node_id)
+        stack = self.stacks[node_id]
+        if stack.routing.has_route:
+            stack.forwarding.send(COLLECT_APP_DATA, {"reading": self.sim.now_seconds})
+            self.generated += 1
+
+    @property
+    def delivery_ratio(self) -> Optional[float]:
+        """Delivered / generated, or None before any traffic."""
+        if self.generated == 0:
+            return None
+        return len(self.delivered) / self.generated

@@ -1,0 +1,198 @@
+"""Integration tests for path-code allocation (Algorithms 1–3) on live stacks."""
+
+import pytest
+
+from repro.core import Controller, TeleAdjusting
+from repro.core.allocation import AllocationParams
+from repro.core.pathcode import PathCode
+from repro.net import NodeStack
+from repro.radio.channel import Channel
+from repro.radio.noise import ConstantNoise
+from repro.radio.propagation import LogDistancePathLoss
+from repro.sim import SECOND, Simulator
+
+
+def build(positions, seed=1, fading=0.0, always_on=True):
+    sim = Simulator(seed=seed)
+    gains = LogDistancePathLoss(pl_d0=40.0, seed=seed, shadowing_sigma=0.0).gain_matrix(
+        positions
+    )
+    channel = Channel(sim, gains, noise_model=ConstantNoise(), fading_sigma_db=fading)
+    controller = Controller(channel=channel)
+    stacks, protocols = [], {}
+    for i in range(len(positions)):
+        stack = NodeStack(sim, channel, i, is_root=(i == 0), always_on=always_on)
+        protocols[i] = TeleAdjusting(sim, stack, controller=controller)
+        stacks.append(stack)
+    for stack, protocol in zip(stacks, protocols.values()):
+        stack.start()
+        protocol.start()
+    return sim, channel, stacks, protocols, controller
+
+
+def line(n, spacing=12.0):
+    return [(i * spacing, 0.0) for i in range(n)]
+
+
+def star(n_leaves, radius=8.0):
+    import math
+
+    positions = [(0.0, 0.0)]
+    for i in range(n_leaves):
+        angle = 2 * math.pi * i / n_leaves
+        positions.append((radius * math.cos(angle), radius * math.sin(angle)))
+    return positions
+
+
+class TestSinkBootstrap:
+    def test_sink_code_is_single_zero_bit(self):
+        sim, _, _, protocols, _ = build(line(2))
+        assert protocols[0].allocation.code == PathCode.sink()
+
+    def test_sink_never_requests_positions(self):
+        sim, _, _, protocols, _ = build(line(2))
+        sim.run(until=60 * SECOND)
+        assert protocols[0].allocation.position is None
+
+
+class TestLineAllocation:
+    def test_every_node_gets_a_code(self):
+        sim, _, _, protocols, _ = build(line(4))
+        sim.run(until=90 * SECOND)
+        for node, protocol in protocols.items():
+            assert protocol.allocation.code is not None, f"node {node} uncoded"
+
+    def test_parent_code_prefixes_child_code(self):
+        sim, _, stacks, protocols, _ = build(line(4))
+        sim.run(until=90 * SECOND)
+        for node in (1, 2, 3):
+            parent = stacks[node].routing.parent
+            parent_code = protocols[parent].allocation.code
+            child_code = protocols[node].allocation.code
+            assert parent_code.is_prefix_of(child_code), (node, parent)
+            assert parent_code.length < child_code.length
+
+    def test_codes_are_unique(self):
+        sim, _, _, protocols, _ = build(line(5))
+        sim.run(until=120 * SECOND)
+        codes = [p.allocation.code for p in protocols.values()]
+        assert len(set(codes)) == len(codes)
+
+    def test_positions_confirmed(self):
+        sim, _, _, protocols, _ = build(line(3))
+        sim.run(until=120 * SECOND)
+        for node in (0, 1):
+            for entry in protocols[node].allocation.children.entries():
+                assert entry.confirmed, (node, entry)
+
+    def test_convergence_metrics_recorded(self):
+        sim, _, _, protocols, _ = build(line(3))
+        sim.run(until=90 * SECOND)
+        for node in (1, 2):
+            beacons = protocols[node].allocation.beacons_to_converge()
+            assert beacons is not None
+            assert beacons >= 0
+
+
+class TestStarAllocation:
+    def test_star_children_all_under_sink(self):
+        sim, _, _, protocols, _ = build(star(6))
+        sim.run(until=90 * SECOND)
+        sink_code = protocols[0].allocation.code
+        positions = set()
+        for node in range(1, 7):
+            allocation = protocols[node].allocation
+            assert allocation.code is not None
+            assert sink_code.is_prefix_of(allocation.code)
+            assert allocation.position not in positions
+            positions.add(allocation.position)
+
+    def test_space_sized_for_child_count(self):
+        sim, _, _, protocols, _ = build(star(6))
+        sim.run(until=90 * SECOND)
+        space = protocols[0].allocation.children.space_bits
+        # 6 children + reserve(≥3) + reserved position 0 ⇒ ≥ 4 bits.
+        assert space >= 4
+        assert space <= 6
+
+
+class TestNeighborCodeLearning:
+    def test_neighbors_learn_codes_from_beacons(self):
+        sim, _, _, protocols, _ = build(line(3))
+        sim.run(until=120 * SECOND)
+        # Node 1 should know node 2's code (and vice versa) via beacons.
+        table = protocols[1].allocation.neighbor_codes
+        assert table.code_of(2) == protocols[2].allocation.code
+
+    def test_controller_snapshot_collects_codes(self):
+        sim, _, _, protocols, controller = build(line(3))
+        sim.run(until=90 * SECOND)
+        count = controller.snapshot(protocols)
+        assert count == 3
+        assert controller.code_of(2) == protocols[2].allocation.code
+
+
+class TestCodeReporting:
+    def test_codes_piggyback_on_data_traffic(self):
+        sim, _, stacks, protocols, controller = build(line(3))
+        sim.run(until=90 * SECOND)
+        # Any data packet the node originates carries its code to the sink.
+        stacks[2].forwarding.send(1, {"reading": 42})
+        sim.run(until=sim.now + 30 * SECOND)
+        # No snapshot: the registry must have been fed by the piggyback.
+        assert controller.code_of(2) == protocols[2].allocation.code
+
+    def test_explicit_report_api_still_works(self):
+        sim, _, _, protocols, controller = build(line(3))
+        sim.run(until=90 * SECOND)
+        assert protocols[1].report_code_to_controller()
+        sim.run(until=sim.now + 30 * SECOND)
+        assert controller.code_of(1) == protocols[1].allocation.code
+
+
+class TestOrphanRepair:
+    def test_orphaned_child_code_gets_repaired(self):
+        sim, _, stacks, protocols, _ = build(line(4))
+        sim.run(until=120 * SECOND)
+        victim = protocols[2].allocation
+        correct = victim.code
+        # Corrupt node 2's code directly (simulates a missed cascade). Repair
+        # rides on routing beacons, whose Trickle interval can reach ~4 min
+        # at steady state — give it time.
+        victim._set_code(PathCode.from_bits("111111"))
+        sim.run(until=sim.now + 600 * SECOND)
+        # Parent-side verification against beacon piggybacks must restore a
+        # consistent code (prefix-derivable from the parent).
+        parent = stacks[2].routing.parent
+        parent_code = protocols[parent].allocation.code
+        assert victim.code is not None
+        assert parent_code.is_prefix_of(victim.code)
+        del correct
+
+    def test_old_code_retained_after_change(self):
+        sim, _, _, protocols, _ = build(line(3))
+        sim.run(until=90 * SECOND)
+        allocation = protocols[2].allocation
+        before = allocation.code
+        allocation._set_code(PathCode.from_bits("10101"))
+        assert allocation.valid_old_code() == before
+        assert before in allocation.current_codes()
+
+
+class TestParams:
+    def test_custom_stability_rounds(self):
+        params = AllocationParams(stability_rounds=2)
+        sim = Simulator(seed=1)
+        positions = line(3)
+        gains = LogDistancePathLoss(pl_d0=40.0, seed=1, shadowing_sigma=0.0).gain_matrix(
+            positions
+        )
+        channel = Channel(sim, gains, noise_model=ConstantNoise())
+        protocols = {}
+        for i in range(3):
+            stack = NodeStack(sim, channel, i, is_root=(i == 0), always_on=True)
+            protocols[i] = TeleAdjusting(sim, stack, allocation_params=params)
+            stack.start()
+            protocols[i].start()
+        sim.run(until=60 * SECOND)
+        assert all(p.allocation.code is not None for p in protocols.values())

@@ -1,0 +1,267 @@
+"""Unit-level tests of Algorithms 2 and 3 with a scripted fake stack.
+
+The integration tests exercise allocation over real radios; these drive the
+engine's handlers directly with crafted frames so each branch of the paper's
+pseudocode is pinned down deterministically.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+import pytest
+
+from repro.core.allocation import AllocationEngine, AllocationParams
+from repro.core.messages import (
+    AllocationAck,
+    Confirmation,
+    PositionRequest,
+    TeleBeacon,
+    TeleBeaconEntry,
+)
+from repro.core.pathcode import PathCode
+from repro.net.messages import RoutingBeacon
+from repro.radio.frame import BROADCAST, Frame, FrameType
+from repro.sim import Simulator
+
+
+@dataclass
+class SentFrame:
+    kind: str  # "broadcast" | "unicast"
+    dst: Optional[int]
+    frame_type: FrameType
+    payload: Any
+
+
+class FakeRouting:
+    def __init__(self):
+        self.parent: Optional[int] = None
+        self.children = {}
+        self.on_parent_found: List = []
+        self.on_parent_change: List = []
+
+
+class FakeStack:
+    """Just enough NodeStack surface for an AllocationEngine."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.routing = FakeRouting()
+        self.sent: List[SentFrame] = []
+        self.beacon_fillers: List = []
+        self.beacon_observers: List = []
+
+    def send_broadcast(self, frame_type, payload, length, done=None):
+        self.sent.append(SentFrame("broadcast", None, frame_type, payload))
+
+    def send_unicast(self, dst, frame_type, payload, length, done=None):
+        self.sent.append(SentFrame("unicast", dst, frame_type, payload))
+
+    def sent_of(self, frame_type):
+        return [s for s in self.sent if s.frame_type is frame_type]
+
+
+def make_engine(node_id=5, parent=1, is_sink=False, with_code="00101"):
+    sim = Simulator(seed=1)
+    stack = FakeStack(node_id)
+    engine = AllocationEngine(sim, stack, params=AllocationParams(), is_sink=is_sink)
+    if parent is not None:
+        stack.routing.parent = parent
+    if with_code is not None and not is_sink:
+        engine.position = 1
+        engine.position_space = 2
+        engine._position_parent = parent
+        engine._set_code(PathCode.from_bits(with_code))
+    if is_sink:
+        engine.start()
+    return sim, stack, engine
+
+
+def tele_beacon_frame(origin, code, space_bits, entries, extension=False):
+    beacon = TeleBeacon(
+        origin=origin,
+        code=code,
+        space_bits=space_bits,
+        entries=entries,
+        extension=extension,
+    )
+    return Frame(
+        src=origin, dst=BROADCAST, type=FrameType.TELE_BEACON, payload=beacon, length=30
+    )
+
+
+class TestAlgorithm3ChildSide:
+    """Children reacting to a parent's TeleAdjusting beacon."""
+
+    def test_adopts_allocated_position_and_confirms(self):
+        sim, stack, engine = make_engine(with_code=None)
+        parent_code = PathCode.from_bits("001")
+        frame = tele_beacon_frame(
+            1, parent_code, 3, [TeleBeaconEntry(5, 4, False)]
+        )
+        engine.handle_tele_beacon(frame, -70)
+        assert engine.position == 4
+        assert engine.code == parent_code.extend(4, 3)
+        confirmations = stack.sent_of(FrameType.CONFIRMATION)
+        assert confirmations and confirmations[0].payload.position == 4
+
+    def test_position_change_readopts(self):
+        sim, stack, engine = make_engine(with_code="00101")
+        parent_code = PathCode.from_bits("001")
+        frame = tele_beacon_frame(1, parent_code, 3, [TeleBeaconEntry(5, 6, False)])
+        engine.handle_tele_beacon(frame, -70)
+        assert engine.position == 6
+        assert engine.code == parent_code.extend(6, 3)
+
+    def test_space_extension_widens_code(self):
+        sim, stack, engine = make_engine(with_code=None)
+        parent_code = PathCode.from_bits("001")
+        engine.handle_tele_beacon(
+            tele_beacon_frame(1, parent_code, 2, [TeleBeaconEntry(5, 1, False)]), -70
+        )
+        narrow = engine.code
+        engine.handle_tele_beacon(
+            tele_beacon_frame(
+                1, parent_code, 3, [TeleBeaconEntry(5, 1, False)], extension=True
+            ),
+            -70,
+        )
+        assert engine.code.length == narrow.length + 1
+        assert engine.code == parent_code.extend(1, 3)
+
+    def test_not_in_entries_requests_position(self):
+        sim, stack, engine = make_engine(with_code=None)
+        frame = tele_beacon_frame(
+            1, PathCode.from_bits("001"), 3, [TeleBeaconEntry(99, 2, False)]
+        )
+        engine.handle_tele_beacon(frame, -70)
+        requests = stack.sent_of(FrameType.POSITION_REQUEST)
+        assert requests and requests[0].dst == 1
+
+    def test_beacon_from_non_parent_only_updates_neighbor_table(self):
+        sim, stack, engine = make_engine(with_code=None)
+        other_code = PathCode.from_bits("010")
+        engine.handle_tele_beacon(
+            tele_beacon_frame(7, other_code, 2, [TeleBeaconEntry(5, 1, False)]), -70
+        )
+        assert engine.position is None  # not adopted: 7 is not our parent
+        assert engine.neighbor_codes.code_of(7) == other_code
+
+
+class TestAlgorithm2ParentSide:
+    """Parents reacting to children's routing beacons / requests."""
+
+    def _parent_engine(self):
+        sim, stack, engine = make_engine(node_id=1, parent=0, with_code="001")
+        engine._initial_done = True
+        engine.children.size_space(2)
+        return sim, stack, engine
+
+    def _routing_beacon(self, origin, parent, position, code=None):
+        beacon = RoutingBeacon(
+            origin=origin, parent=parent, path_etx=2.0, hop_count=2, seqno=1
+        )
+        beacon.tele_position = position
+        if code is not None:
+            beacon.tele_code = (code.value, code.length)
+        return beacon
+
+    def test_consistent_claim_confirms(self):
+        sim, stack, engine = self._parent_engine()
+        entry = engine.children.allocate(9)
+        derived = engine.code.extend(entry.position, engine.children.space_bits)
+        engine.observe_routing_beacon(
+            self._routing_beacon(9, 1, entry.position, derived), -70
+        )
+        assert engine.children.entry(9).confirmed
+
+    def test_mismatched_claim_reallocates_and_acks(self):
+        sim, stack, engine = self._parent_engine()
+        entry = engine.children.allocate(9)
+        wrong = entry.position + 1
+        engine.observe_routing_beacon(self._routing_beacon(9, 1, wrong), -70)
+        acks = stack.sent_of(FrameType.ALLOCATION_ACK)
+        assert acks and acks[0].dst == 9
+        assert not engine.children.entry(9).confirmed
+
+    def test_unknown_child_gets_allocation(self):
+        sim, stack, engine = self._parent_engine()
+        engine.observe_routing_beacon(self._routing_beacon(42, 1, None), -70)
+        assert 42 in engine.children
+        # claimed None for a *new* child → allocation + unicast ack
+        acks = stack.sent_of(FrameType.ALLOCATION_ACK)
+        assert acks and acks[-1].dst == 42
+
+    def test_departed_child_frees_position(self):
+        sim, stack, engine = self._parent_engine()
+        engine.children.allocate(9)
+        engine.observe_routing_beacon(self._routing_beacon(9, 777, 1), -70)
+        assert 9 not in engine.children
+
+    def test_orphan_code_repaired(self):
+        sim, stack, engine = self._parent_engine()
+        entry = engine.children.allocate(9)
+        bogus = PathCode.from_bits("111111")
+        engine.observe_routing_beacon(
+            self._routing_beacon(9, 1, entry.position, bogus), -70
+        )
+        acks = stack.sent_of(FrameType.ALLOCATION_ACK)
+        assert acks and acks[-1].dst == 9  # repair ack re-derives the code
+
+    def test_position_request_answered(self):
+        sim, stack, engine = self._parent_engine()
+        request = PositionRequest(child=33, parent=1)
+        frame = Frame(
+            src=33, dst=1, type=FrameType.POSITION_REQUEST, payload=request, length=14
+        )
+        engine.handle_position_request(frame, -70)
+        assert 33 in engine.children
+        acks = stack.sent_of(FrameType.ALLOCATION_ACK)
+        assert acks[-1].payload.child == 33
+        assert acks[-1].payload.parent_code == engine.code
+
+    def test_request_for_other_parent_ignored(self):
+        sim, stack, engine = self._parent_engine()
+        request = PositionRequest(child=33, parent=999)
+        frame = Frame(
+            src=33, dst=1, type=FrameType.POSITION_REQUEST, payload=request, length=14
+        )
+        engine.handle_position_request(frame, -70)
+        assert 33 not in engine.children
+
+    def test_confirmation_sets_flag(self):
+        sim, stack, engine = self._parent_engine()
+        entry = engine.children.allocate(9)
+        confirmation = Confirmation(child=9, parent=1, position=entry.position)
+        frame = Frame(
+            src=9, dst=1, type=FrameType.CONFIRMATION, payload=confirmation, length=14
+        )
+        engine.handle_confirmation(frame, -70)
+        assert engine.children.entry(9).confirmed
+
+
+class TestAllocationAckChildSide:
+    def test_ack_adopts_and_updates_neighbor_code(self):
+        sim, stack, engine = make_engine(with_code=None)
+        parent_code = PathCode.from_bits("001")
+        ack = AllocationAck(
+            parent=1, child=5, position=3, space_bits=3, parent_code=parent_code
+        )
+        frame = Frame(
+            src=1, dst=5, type=FrameType.ALLOCATION_ACK, payload=ack, length=20
+        )
+        engine.handle_allocation_ack(frame, -70)
+        assert engine.code == parent_code.extend(3, 3)
+        assert engine.neighbor_codes.code_of(1) == parent_code
+
+    def test_stale_ack_from_old_parent_ignored(self):
+        sim, stack, engine = make_engine(with_code=None)
+        stack.routing.parent = 2  # re-parented since the request
+        ack = AllocationAck(
+            parent=1, child=5, position=3, space_bits=3,
+            parent_code=PathCode.from_bits("001"),
+        )
+        frame = Frame(
+            src=1, dst=5, type=FrameType.ALLOCATION_ACK, payload=ack, length=20
+        )
+        engine.handle_allocation_ack(frame, -70)
+        assert engine.code is None

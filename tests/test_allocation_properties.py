@@ -1,0 +1,111 @@
+"""Allocation invariants over randomized topologies.
+
+Rather than driving hypothesis through whole simulations (too slow), these
+tests sweep seeds/sizes of random deployments and assert the structural
+invariants the protocol must deliver on every one of them.
+"""
+
+import pytest
+
+from repro.core import Controller, TeleAdjusting
+from repro.core.pathcode import PathCode
+from repro.net import NodeStack
+from repro.radio.channel import Channel
+from repro.radio.noise import ConstantNoise
+from repro.sim import SECOND, Simulator
+from repro.topology import random_uniform
+from repro.topology.analysis import unreachable_nodes
+
+
+def converged_network(seed: int, n: int = 12, size: float = 45.0):
+    deployment = random_uniform(n=n, width=size, height=size, seed=seed)
+    sim = Simulator(seed=seed)
+    channel = Channel(sim, deployment.gains(), noise_model=ConstantNoise())
+    controller = Controller(channel=channel)
+    protocols, stacks = {}, {}
+    for i in range(deployment.size):
+        stack = NodeStack(
+            sim,
+            channel,
+            i,
+            is_root=(i == deployment.sink),
+            tx_power_dbm=deployment.node_tx_power(i),
+            always_on=True,
+        )
+        protocols[i] = TeleAdjusting(sim, stack, controller=controller)
+        stacks[i] = stack
+    for i in stacks:
+        stacks[i].start()
+        protocols[i].start()
+    sim.run(until=180 * SECOND)
+    reachable = set(range(deployment.size)) - set(unreachable_nodes(deployment, 0.3))
+    return deployment, sim, stacks, protocols, reachable
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+class TestInvariantsAcrossTopologies:
+    def test_reachable_nodes_get_codes(self, seed):
+        deployment, sim, stacks, protocols, reachable = converged_network(seed)
+        for node in reachable:
+            if stacks[node].routing.has_route:
+                assert protocols[node].allocation.code is not None, (seed, node)
+
+    def test_codes_unique_networkwide(self, seed):
+        _, _, _, protocols, _ = converged_network(seed)
+        codes = [
+            p.allocation.code for p in protocols.values() if p.allocation.code
+        ]
+        assert len(set(codes)) == len(codes), seed
+
+    def test_prefix_chain_reaches_sink(self, seed):
+        deployment, sim, stacks, protocols, reachable = converged_network(seed)
+        sink_code = PathCode.sink()
+        for node, protocol in protocols.items():
+            code = protocol.allocation.code
+            if code is None or node == deployment.sink:
+                continue
+            assert sink_code.is_prefix_of(code), (seed, node, str(code))
+            # Walk the allocation chain to the sink; prefixes must nest.
+            current = node
+            hops = 0
+            while current != deployment.sink and hops < 50:
+                parent = protocols[current].allocation._position_parent
+                if parent is None:
+                    break
+                parent_code = protocols[parent].allocation.code
+                child_code = protocols[current].allocation.code
+                if parent_code is not None and child_code is not None:
+                    # Mid-churn a parent may have renumbered; then its old
+                    # code must cover the child instead.
+                    covering = [
+                        c
+                        for c in protocols[parent].allocation.current_codes()
+                        if c.is_prefix_of(child_code)
+                    ]
+                    assert covering or protocols[parent].allocation.code_changes, (
+                        seed,
+                        current,
+                        parent,
+                    )
+                current = parent
+                hops += 1
+
+    def test_positions_unique_per_parent(self, seed):
+        _, _, _, protocols, _ = converged_network(seed)
+        for node, protocol in protocols.items():
+            entries = protocol.allocation.children.entries()
+            positions = [e.position for e in entries]
+            assert len(set(positions)) == len(positions), (seed, node)
+            assert all(p >= 1 for p in positions), (seed, node)
+
+    def test_code_lengths_bounded_by_depth(self, seed):
+        deployment, sim, stacks, protocols, _ = converged_network(seed)
+        for node, protocol in protocols.items():
+            code = protocol.allocation.code
+            if code is None:
+                continue
+            hop = stacks[node].routing.hop_count
+            if hop >= 0xFFFF:
+                continue
+            # Each hop contributes at least 1 and at most ~15 bits.
+            assert code.length <= 1 + 15 * max(hop, 1), (seed, node)

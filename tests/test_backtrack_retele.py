@@ -1,0 +1,140 @@
+"""Backtracking (§III-C3) and the destination-unreachable countermeasure
+(§III-C4, "Re-Tele")."""
+
+import pytest
+
+from repro.core import Controller, TeleAdjusting
+from repro.core.forwarding import ForwardingParams
+from repro.core.pathcode import PathCode
+from repro.net import NodeStack
+from repro.radio.channel import Channel
+from repro.radio.noise import ConstantNoise
+from repro.radio.propagation import LogDistancePathLoss
+from repro.sim import SECOND, Simulator
+
+
+def diamond(seed=1, re_tele=False):
+    """Sink 0; two parallel relays 1 (path) and 2 (helper); destination 3.
+
+    Positions put 1 and 2 both within range of 0 and 3, so the encoded path
+    runs through one of them while the other can serve as the Re-Tele helper.
+    """
+    # Sink↔dest distance (26 m ⇒ below sensitivity) forces two real hops.
+    positions = [(0.0, 0.0), (13.0, 5.0), (13.0, -5.0), (26.0, 0.0)]
+    sim = Simulator(seed=seed)
+    gains = LogDistancePathLoss(pl_d0=40.0, seed=seed, shadowing_sigma=0.0).gain_matrix(
+        positions
+    )
+    channel = Channel(sim, gains, noise_model=ConstantNoise())
+    controller = Controller(channel=channel)
+    params = ForwardingParams(
+        re_tele=re_tele,
+        e2e_timeout=25 * SECOND,
+        sink_retry_interval=6 * SECOND,
+    )
+    protocols, stacks = {}, {}
+    for i in range(4):
+        stack = NodeStack(sim, channel, i, is_root=(i == 0), always_on=True)
+        protocols[i] = TeleAdjusting(
+            sim, stack, controller=controller, forwarding_params=params
+        )
+        stacks[i] = stack
+    for i in range(4):
+        stacks[i].start()
+        protocols[i].start()
+    sim.run(until=90 * SECOND)
+    controller.snapshot(protocols)
+    return sim, channel, stacks, protocols, controller
+
+
+class TestBacktrack:
+    def test_relay_with_dead_subtree_returns_feedback(self):
+        sim, channel, stacks, protocols, controller = diamond()
+        # Kill the destination's radio entirely: nobody downstream answers.
+        dest_code = protocols[3].allocation.code
+        stacks[3].radio.fail()
+        pending = protocols[0].remote_control(3, destination_code=dest_code)
+        relay_backtracks_before = sum(
+            p.forwarding.backtracks for p in protocols.values()
+        )
+        sim.run(until=sim.now + 40 * SECOND)
+        backtracks = sum(p.forwarding.backtracks for p in protocols.values())
+        assert backtracks > relay_backtracks_before
+        assert not pending.delivered
+        assert pending.failed
+
+    def test_unreachable_marks_set_on_failure(self):
+        sim, channel, stacks, protocols, controller = diamond()
+        stacks[3].radio.fail()
+        protocols[0].remote_control(3)
+        sim.run(until=sim.now + 20 * SECOND)
+        marked = [
+            entry.neighbor
+            for p in protocols.values()
+            for entry in [
+                p.allocation.neighbor_codes.entry(n)
+                for n in p.allocation.neighbor_codes.neighbors()
+            ]
+            if entry is not None and entry.unreachable
+        ]
+        assert marked, "no neighbour was marked unreachable"
+
+    def test_delivery_resumes_after_transient_failure(self):
+        sim, channel, stacks, protocols, controller = diamond()
+        # Take the destination down briefly; the sink watchdog must recover.
+        stacks[3].radio.fail()
+        pending = protocols[0].remote_control(3)
+
+        def revive():
+            stacks[3].radio.recover()
+            stacks[3].radio.turn_on()
+
+        sim.schedule(10 * SECOND, revive)
+        sim.run(until=sim.now + 30 * SECOND)
+        assert pending.delivered
+
+
+class TestReTele:
+    def test_helper_selection_prefers_different_prefix(self):
+        controller = Controller()
+        controller.set_neighbors(9, [1, 2])
+        controller.report_code(1, PathCode.from_bits("00101"))  # shares prefix
+        controller.report_code(2, PathCode.from_bits("0111"))  # diverges early
+        helper = controller.pick_helper(9, avoid_code=PathCode.from_bits("0010110"))
+        assert helper is not None
+        assert helper[0] == 2
+
+    def test_helper_requires_known_code(self):
+        controller = Controller()
+        controller.set_neighbors(9, [1])
+        assert controller.pick_helper(9, avoid_code=PathCode.sink()) is None
+
+    def test_re_tele_rescues_stale_destination_code(self):
+        sim, channel, stacks, protocols, controller = diamond(re_tele=True)
+        # The controller's registry holds a bogus (stale) code for the
+        # destination — e.g. its reports were lost after a re-parenting — so
+        # neither the encoded path nor the watchdog's code refresh can
+        # resolve it. Only the §III-C4 helper detour remains.
+        stale = PathCode.from_bits("1111111111")
+        controller.report_code(3, stale)
+        # …and its future reports keep getting lost:
+        protocols[3].report_code_to_controller = lambda: False
+        delivered = []
+        protocols[3].forwarding.on_delivered = (
+            lambda control, via_unicast: delivered.append(via_unicast)
+        )
+        pending = protocols[0].remote_control(3)
+        sim.run(until=sim.now + 60 * SECOND)
+        assert delivered, "Re-Tele never delivered"
+        assert pending.re_tele_used
+        assert delivered[0] is True  # final hop was the helper's unicast
+
+    def test_plain_tele_fails_on_stale_code(self):
+        sim, channel, stacks, protocols, controller = diamond(re_tele=False)
+        stale = PathCode.from_bits("1111111111")
+        controller.report_code(3, stale)
+        protocols[3].report_code_to_controller = lambda: False
+        pending = protocols[0].remote_control(3)
+        sim.run(until=sim.now + 60 * SECOND)
+        assert not pending.delivered
+        assert pending.failed

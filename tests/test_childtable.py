@@ -1,0 +1,150 @@
+"""Tests for the child-node table (paper Table I, Algorithm 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.childtable import ChildTable, SpaceExhausted
+
+
+class TestSpaceSizing:
+    """Algorithm 1 lines 1–6."""
+
+    def test_space_covers_children_plus_reserve(self):
+        for n in range(1, 40):
+            bits = ChildTable.required_space_bits(n)
+            capacity = (1 << bits) - 1  # position 0 reserved
+            assert capacity >= n, f"{n} children won't fit {bits} bits"
+
+    def test_reserve_is_capped_at_ten(self):
+        # For 40 children the reserve must be 10, not 20.
+        bits = ChildTable.required_space_bits(40)
+        assert (1 << bits) >= 40 + 10 + 1
+        assert ChildTable.required_space_bits(40) <= 6
+
+    def test_two_children_get_two_bits(self):
+        # The paper's Figure 2: two discovered children → 2-bit space.
+        assert ChildTable.required_space_bits(2) == 2
+
+    def test_size_space_is_idempotent(self):
+        table = ChildTable()
+        first = table.size_space(3)
+        second = table.size_space(30)
+        assert first == second  # initial sizing happens once
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_property_capacity_sufficient(self, n):
+        bits = ChildTable.required_space_bits(n)
+        assert (1 << bits) - 1 >= n
+        assert bits <= ChildTable.MAX_SPACE_BITS or n > 2**14
+
+
+class TestAllocation:
+    def test_positions_unique(self):
+        table = ChildTable()
+        table.size_space(5)
+        positions = {table.allocate(child).position for child in range(5)}
+        assert len(positions) == 5
+
+    def test_position_zero_never_allocated(self):
+        table = ChildTable()
+        table.size_space(10)
+        for child in range(10):
+            assert table.allocate(child).position != 0
+
+    def test_reallocation_returns_existing(self):
+        table = ChildTable()
+        table.size_space(2)
+        first = table.allocate(7)
+        second = table.allocate(7)
+        assert first is second
+        assert len(table) == 1
+
+    def test_allocate_extends_space_when_full(self):
+        table = ChildTable()
+        table.size_space(1)
+        bits = table.space_bits
+        for child in range(table.capacity()):
+            table.allocate(child)
+        table.allocate(999)  # overflow triggers extension
+        assert table.space_bits == bits + 1
+        assert 999 in table
+
+    def test_extension_keeps_positions(self):
+        table = ChildTable()
+        table.size_space(2)
+        before = {e.child: e.position for e in table.entries()}
+        for child in range(table.capacity()):
+            table.allocate(child)
+        snapshot = {e.child: e.position for e in table.entries()}
+        table.extend_space()
+        after = {e.child: e.position for e in table.entries()}
+        assert snapshot == after
+        del before
+
+    def test_extension_cap(self):
+        table = ChildTable()
+        table.space_bits = ChildTable.MAX_SPACE_BITS
+        with pytest.raises(SpaceExhausted):
+            table.extend_space()
+
+    def test_allocate_without_sizing_bootstraps(self):
+        table = ChildTable()
+        entry = table.allocate(1)
+        assert entry.position >= 1
+        assert table.space_bits >= 1
+
+
+class TestConfirmation:
+    """Algorithm 2 consistency handling."""
+
+    def test_confirm_matching_entry(self):
+        table = ChildTable()
+        entry = table.allocate(5)
+        assert not entry.confirmed
+        assert table.confirm(5, entry.position)
+        assert entry.confirmed
+
+    def test_confirm_wrong_position_fails(self):
+        table = ChildTable()
+        entry = table.allocate(5)
+        assert not table.confirm(5, entry.position + 1)
+        assert not entry.confirmed
+
+    def test_confirm_unknown_child_fails(self):
+        table = ChildTable()
+        assert not table.confirm(42, 1)
+
+    def test_reallocate_gives_fresh_unconfirmed_entry(self):
+        table = ChildTable()
+        table.size_space(4)
+        old = table.allocate(5)
+        old.confirmed = True
+        table.allocate(6)
+        new = table.reallocate(5)
+        assert not new.confirmed
+        # Fresh position must not collide with other children.
+        assert new.position != table.entry(6).position
+
+    def test_remove_frees_position(self):
+        table = ChildTable()
+        table.size_space(1)
+        entry = table.allocate(5)
+        position = entry.position
+        table.remove(5)
+        assert 5 not in table
+        # The freed position is reusable.
+        table.allocate(6)
+        assert table.entry(6).position in {position, *range(1, 1 << table.space_bits)}
+
+
+class TestPropertyAllocation:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60, unique=True))
+    def test_property_all_positions_unique_and_nonzero(self, children):
+        table = ChildTable()
+        table.size_space(len(children) // 2 + 1)
+        entries = [table.allocate(child) for child in children]
+        positions = [e.position for e in entries]
+        assert len(set(positions)) == len(children)
+        assert all(p >= 1 for p in positions)
+        assert all(p < (1 << table.space_bits) for p in positions)

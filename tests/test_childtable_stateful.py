@@ -1,0 +1,103 @@
+"""Stateful property test: the child table under arbitrary operation orders.
+
+Hypothesis drives random sequences of allocate / confirm / remove / extend
+and checks the table's core invariants after every step — position
+uniqueness, the reserved zero position, capacity bounds, and confirmation
+monotonicity.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.childtable import ChildTable, SpaceExhausted
+
+
+class ChildTableMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.table = ChildTable()
+        self.next_child = 0
+        self.removed = set()
+
+    @rule()
+    def allocate_new_child(self):
+        child = self.next_child
+        self.next_child += 1
+        try:
+            entry = self.table.allocate(child, now=child)
+        except SpaceExhausted:
+            return
+        assert entry.child == child
+        assert not entry.confirmed
+
+    @rule(data=st.data())
+    def reallocate_existing(self, data):
+        entries = self.table.entries()
+        if not entries:
+            return
+        victim = data.draw(st.sampled_from([e.child for e in entries]))
+        entry = self.table.reallocate(victim)
+        assert entry.child == victim
+        assert not entry.confirmed
+
+    @rule(data=st.data())
+    def confirm_right_position(self, data):
+        entries = self.table.entries()
+        if not entries:
+            return
+        entry = data.draw(st.sampled_from(entries))
+        assert self.table.confirm(entry.child, entry.position)
+        assert entry.confirmed
+
+    @rule(data=st.data())
+    def confirm_wrong_position_fails(self, data):
+        entries = self.table.entries()
+        if not entries:
+            return
+        entry = data.draw(st.sampled_from(entries))
+        wrong = entry.position + 1 + (1 << self.table.space_bits)
+        assert not self.table.confirm(entry.child, wrong)
+
+    @rule(data=st.data())
+    def remove_child(self, data):
+        entries = self.table.entries()
+        if not entries:
+            return
+        victim = data.draw(st.sampled_from([e.child for e in entries]))
+        self.table.remove(victim)
+        self.removed.add(victim)
+        assert victim not in self.table
+
+    @rule()
+    def extend(self):
+        if self.table.space_bits >= ChildTable.MAX_SPACE_BITS:
+            return
+        positions_before = {e.child: e.position for e in self.table.entries()}
+        self.table.extend_space()
+        positions_after = {e.child: e.position for e in self.table.entries()}
+        assert positions_before == positions_after  # §III-B6
+
+    @invariant()
+    def positions_unique_and_nonzero(self):
+        positions = [e.position for e in self.table.entries()]
+        assert len(set(positions)) == len(positions)
+        assert all(p >= 1 for p in positions)
+
+    @invariant()
+    def positions_fit_space(self):
+        if self.table.space_bits == 0:
+            assert len(self.table) == 0
+            return
+        limit = 1 << self.table.space_bits
+        assert all(e.position < limit for e in self.table.entries())
+
+    @invariant()
+    def size_within_capacity(self):
+        assert len(self.table) <= max(self.table.capacity(), 0)
+
+
+TestChildTableStateful = ChildTableMachine.TestCase
+TestChildTableStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,60 @@
+"""Execution tests for the CLI's light experiment paths and the harness glue.
+
+The heavyweight comparison commands are exercised by the benchmarks; here we
+drive the fast code-construction commands end to end through ``cli.main`` on
+the small indoor topology, which keeps the suite quick while covering the
+argument plumbing, table rendering, and CSV output for real data.
+"""
+
+import pytest
+
+from repro import cli
+
+
+@pytest.fixture(scope="module")
+def indoor_args():
+    return ["--topology", "indoor-testbed", "--seed", "1"]
+
+
+class TestConstructionCommands:
+    def test_table2_executes(self, capsys, indoor_args):
+        rc = cli.main(["table2", *indoor_args])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "avg_bits" in out
+        assert "1 " in out  # at least the 1-hop row
+
+    def test_fig6b_executes(self, capsys, indoor_args):
+        rc = cli.main(["fig6b", *indoor_args])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "avg_children" in out
+
+    def test_fig6c_executes(self, capsys, indoor_args):
+        rc = cli.main(["fig6c", *indoor_args])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "median" in out
+
+    def test_fig6d_executes(self, capsys, indoor_args):
+        rc = cli.main(["fig6d", *indoor_args])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ratio" in out
+
+    def test_csv_written(self, tmp_path, capsys, indoor_args):
+        csv_path = tmp_path / "t2.csv"
+        rc = cli.main(["table2", *indoor_args, "--csv", str(csv_path)])
+        capsys.readouterr()
+        assert rc == 0
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0] == "hop,n,avg_bits,min_bits,max_bits"
+        assert len(lines) > 3
+
+
+class TestQuickstartCommand:
+    def test_quickstart_delivers(self, capsys):
+        rc = cli.main(["quickstart", "--topology", "indoor-testbed", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "delivered=True" in out

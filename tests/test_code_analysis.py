@@ -1,0 +1,82 @@
+"""Tests for the analytical code-length model, including model-vs-simulation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    bits_for_children,
+    expected_code_length,
+    expected_length_by_hop,
+    model_vs_measured,
+    tree_code_lengths,
+)
+from repro.core.childtable import ChildTable
+
+
+class TestBitsForChildren:
+    def test_matches_algorithm1(self):
+        for n in (1, 2, 5, 10, 31):
+            assert bits_for_children(n) == ChildTable.required_space_bits(n)
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_capacity_sufficient(self, n):
+        assert (1 << bits_for_children(n)) - 1 >= n
+
+
+class TestExpectedLength:
+    def test_single_hop(self):
+        # Sink with 2 children: 1 (sink bit) + 2 bits space.
+        assert expected_code_length([2]) == 1 + bits_for_children(2)
+
+    def test_chain(self):
+        assert expected_code_length([2, 1, 1]) == 1 + bits_for_children(2) + 2 * bits_for_children(1)
+
+    def test_by_hop_curve_is_monotone(self):
+        curve = expected_length_by_hop({0: 4.0, 1: 2.0, 2: 1.5, 3: 1.0}, max_hop=4)
+        values = [curve[h] for h in sorted(curve)]
+        assert values == sorted(values)
+        assert curve[0] == 1.0
+
+    def test_fractional_children_interpolate(self):
+        lo = expected_length_by_hop({0: 2.0}, max_hop=1)[1]
+        mid = expected_length_by_hop({0: 2.5}, max_hop=1)[1]
+        hi = expected_length_by_hop({0: 3.0}, max_hop=1)[1]
+        assert lo <= mid <= hi
+
+
+class TestTreeLengths:
+    def test_line_tree(self):
+        parents = {0: None, 1: 0, 2: 1, 3: 2}
+        lengths = tree_code_lengths(parents, sink=0)
+        per_hop = bits_for_children(1)
+        assert lengths == {0: 1, 1: 1 + per_hop, 2: 1 + 2 * per_hop, 3: 1 + 3 * per_hop}
+
+    def test_star_tree(self):
+        parents = {0: None, 1: 0, 2: 0, 3: 0}
+        lengths = tree_code_lengths(parents, sink=0)
+        space = bits_for_children(3)
+        assert lengths[1] == lengths[2] == lengths[3] == 1 + space
+
+
+class TestModelVsSimulation:
+    def test_against_live_construction(self):
+        """The analytic curve must track a real converged network within ~35 %
+        (the model ignores reallocation churn and position-request timing)."""
+        from repro.experiments.codestats import (
+            children_by_hop,
+            code_construction_run,
+            code_length_by_hop,
+        )
+
+        net = code_construction_run(topology="indoor-testbed", seed=1)
+        comparison = model_vs_measured(
+            {h: v for h, v in code_length_by_hop(net).items() if 1 <= h <= 6},
+            {h: v for h, v in children_by_hop(net).items() if h < 10**4},
+        )
+        assert comparison, "no comparable hops"
+        for hop, row in comparison.items():
+            assert 0.65 <= row["ratio"] <= 1.5, (hop, row)
+
+    def test_empty_inputs(self):
+        assert model_vs_measured({}, {}) == {}

@@ -1,0 +1,187 @@
+"""Tests for CTP routing and forwarding over the full radio/MAC stack."""
+
+import pytest
+
+from repro.net import NodeStack
+from repro.net.messages import COLLECT_APP_DATA, NO_ROUTE
+from repro.radio.channel import Channel
+from repro.radio.noise import ConstantNoise
+from repro.radio.propagation import LogDistancePathLoss
+from repro.sim import SECOND, Simulator
+
+
+def build_line(n=4, spacing=12.0, seed=1, always_on=True):
+    """A line topology where only adjacent nodes can talk."""
+    sim = Simulator(seed=seed)
+    positions = [(i * spacing, 0.0) for i in range(n)]
+    gains = LogDistancePathLoss(pl_d0=40.0, seed=seed, shadowing_sigma=0.0).gain_matrix(
+        positions
+    )
+    channel = Channel(sim, gains, noise_model=ConstantNoise())
+    stacks = [
+        NodeStack(
+            sim,
+            channel,
+            i,
+            is_root=(i == 0),
+            always_on=always_on,
+        )
+        for i in range(n)
+    ]
+    return sim, channel, stacks
+
+
+class TestRouteFormation:
+    def test_line_forms_a_chain(self):
+        sim, _, stacks = build_line(n=4)
+        for s in stacks:
+            s.start()
+        sim.run(until=60 * SECOND)
+        assert all(s.routing.has_route for s in stacks)
+        assert stacks[1].routing.parent == 0
+        assert stacks[2].routing.parent == 1
+        assert stacks[3].routing.parent == 2
+        assert [s.routing.hop_count for s in stacks] == [0, 1, 2, 3]
+
+    def test_path_etx_monotone_along_chain(self):
+        sim, _, stacks = build_line(n=4)
+        for s in stacks:
+            s.start()
+        sim.run(until=60 * SECOND)
+        etx = [s.routing.path_etx for s in stacks]
+        assert etx[0] == 0.0
+        assert etx[0] < etx[1] < etx[2] < etx[3]
+
+    def test_root_advertises_zero(self):
+        sim, _, stacks = build_line(n=2)
+        for s in stacks:
+            s.start()
+        sim.run(until=20 * SECOND)
+        assert stacks[0].routing.path_etx == 0.0
+        assert stacks[0].routing.hop_count == 0
+
+    def test_children_tracked(self):
+        sim, _, stacks = build_line(n=3)
+        for s in stacks:
+            s.start()
+        sim.run(until=60 * SECOND)
+        assert 1 in stacks[0].routing.children
+        assert 2 in stacks[1].routing.children
+
+    def test_no_route_without_root(self):
+        sim = Simulator(seed=1)
+        positions = [(0.0, 0.0), (8.0, 0.0)]
+        gains = LogDistancePathLoss(pl_d0=40.0, seed=1, shadowing_sigma=0.0).gain_matrix(
+            positions
+        )
+        channel = Channel(sim, gains, noise_model=ConstantNoise())
+        stacks = [
+            NodeStack(sim, channel, i, is_root=False, always_on=True) for i in range(2)
+        ]
+        for s in stacks:
+            s.start()
+        sim.run(until=30 * SECOND)
+        assert all(not s.routing.has_route for s in stacks)
+        assert all(s.routing.path_etx >= NO_ROUTE for s in stacks)
+
+    def test_parent_found_event_fires_once(self):
+        sim, _, stacks = build_line(n=3)
+        fired = []
+        stacks[2].routing.on_parent_found.append(lambda: fired.append(sim.now))
+        for s in stacks:
+            s.start()
+        sim.run(until=120 * SECOND)
+        assert len(fired) == 1
+
+
+class TestDataForwarding:
+    def test_multihop_delivery_to_sink(self):
+        sim, _, stacks = build_line(n=4)
+        delivered = []
+        stacks[0].forwarding.on_deliver = delivered.append
+        for s in stacks:
+            s.start()
+        sim.run(until=60 * SECOND)
+        stacks[3].forwarding.send(COLLECT_APP_DATA, {"v": 42})
+        sim.run(until=sim.now + 30 * SECOND)
+        assert len(delivered) == 1
+        assert delivered[0].origin == 3
+        assert delivered[0].payload == {"v": 42}
+        assert delivered[0].thl == 2  # incremented at nodes 2 and 1
+
+    def test_duplicate_suppression(self):
+        sim, _, stacks = build_line(n=3)
+        delivered = []
+        stacks[0].forwarding.on_deliver = delivered.append
+        for s in stacks:
+            s.start()
+        sim.run(until=60 * SECOND)
+        # Same origin seqno sent twice: the second is a duplicate upstream.
+        stacks[2].forwarding.send(COLLECT_APP_DATA, "x", origin_seqno=7)
+        sim.run(until=sim.now + 20 * SECOND)
+        stacks[2].forwarding.send(COLLECT_APP_DATA, "y", origin_seqno=7)
+        sim.run(until=sim.now + 20 * SECOND)
+        assert len(delivered) == 1
+
+    def test_collect_handler_multiplexing(self):
+        sim, _, stacks = build_line(n=2)
+        by_id = {1: [], 2: []}
+        stacks[0].forwarding.collect_handlers[1] = by_id[1].append
+        stacks[0].forwarding.collect_handlers[2] = by_id[2].append
+        for s in stacks:
+            s.start()
+        sim.run(until=30 * SECOND)
+        stacks[1].forwarding.send(1, "a")
+        stacks[1].forwarding.send(2, "b")
+        sim.run(until=sim.now + 20 * SECOND)
+        assert [p.payload for p in by_id[1]] == ["a"]
+        assert [p.payload for p in by_id[2]] == ["b"]
+
+    def test_root_originates_to_itself(self):
+        sim, _, stacks = build_line(n=2)
+        delivered = []
+        stacks[0].forwarding.on_deliver = delivered.append
+        for s in stacks:
+            s.start()
+        sim.run(until=10 * SECOND)
+        stacks[0].forwarding.send(COLLECT_APP_DATA, "self")
+        sim.run(until=sim.now + 1 * SECOND)
+        assert len(delivered) == 1
+
+    def test_queue_limit_drops(self):
+        sim, _, stacks = build_line(n=2)
+        for s in stacks:
+            s.start()
+        sim.run(until=30 * SECOND)
+        for i in range(stacks[1].forwarding.QUEUE_LIMIT + 5):
+            stacks[1].forwarding.send(COLLECT_APP_DATA, i)
+        assert stacks[1].forwarding.packets_dropped >= 1
+
+
+class TestBeaconPiggyback:
+    def test_fillers_and_observers_run(self):
+        sim, _, stacks = build_line(n=2)
+        seen = []
+        stacks[0].beacon_fillers.append(lambda b: setattr(b, "tele_position", 9))
+        stacks[1].beacon_observers.append(
+            lambda b, rssi: seen.append((b.origin, b.tele_position))
+        )
+        for s in stacks:
+            s.start()
+        sim.run(until=30 * SECOND)
+        assert (0, 9) in seen
+
+    def test_duplicate_handler_rejected(self):
+        sim, _, stacks = build_line(n=2)
+        from repro.radio.frame import FrameType
+
+        stacks[0].register_handler(FrameType.CONTROL, lambda f, r: None)
+        with pytest.raises(ValueError):
+            stacks[0].register_handler(FrameType.CONTROL, lambda f, r: None)
+
+    def test_ctp_owned_types_rejected(self):
+        sim, _, stacks = build_line(n=2)
+        from repro.radio.frame import FrameType
+
+        with pytest.raises(ValueError):
+            stacks[0].register_handler(FrameType.DATA, lambda f, r: None)

@@ -1,0 +1,31 @@
+"""The documentation's interactive examples must actually work."""
+
+import doctest
+from pathlib import Path
+
+import pytest
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+
+def test_protocol_walkthrough_doctests():
+    results = doctest.testfile(
+        str(DOCS / "protocol.md"),
+        module_relative=False,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.attempted >= 5, "walkthrough lost its examples"
+    assert results.failed == 0
+
+
+def test_readme_quickstart_snippet_is_valid():
+    """The README's quickstart must keep working verbatim."""
+    import repro
+
+    net = repro.build_network(topology="indoor-testbed", protocol="tele", seed=1)
+    net.converge()
+    record = net.send_control(7, payload={"ipi_s": 600})
+    net.run(30)
+    assert record.destination == 7
+    # `delivered`, `latency_s`, `athx` are the advertised fields.
+    _ = (record.delivered, record.latency_s, record.athx)

@@ -1,0 +1,127 @@
+"""Tests for the Drip dissemination baseline."""
+
+import pytest
+
+from repro.baselines.drip import Drip, DripParams
+from repro.net import NodeStack
+from repro.radio.channel import Channel
+from repro.radio.frame import FrameType
+from repro.radio.noise import ConstantNoise
+from repro.radio.propagation import LogDistancePathLoss
+from repro.sim import SECOND, Simulator
+
+
+def build(n=4, spacing=12.0, seed=1, always_on=True, params=None):
+    sim = Simulator(seed=seed)
+    positions = [(i * spacing, 0.0) for i in range(n)]
+    gains = LogDistancePathLoss(pl_d0=40.0, seed=seed, shadowing_sigma=0.0).gain_matrix(
+        positions
+    )
+    channel = Channel(sim, gains, noise_model=ConstantNoise())
+    stacks, drips = {}, {}
+    for i in range(n):
+        stack = NodeStack(sim, channel, i, is_root=(i == 0), always_on=always_on)
+        drips[i] = Drip(sim, stack, params=params)
+        stacks[i] = stack
+    for i in range(n):
+        stacks[i].start()
+        drips[i].start()
+    return sim, channel, stacks, drips
+
+
+class TestDissemination:
+    def test_value_reaches_every_node(self):
+        sim, _, _, drips = build(n=4)
+        sim.run(until=20 * SECOND)
+        drips[0].disseminate({"fw": 2}, destination=None)
+        sim.run(until=sim.now + 60 * SECOND)
+        for node, drip in drips.items():
+            value = drip.current_value()
+            assert value is not None and value.version == 1, node
+            assert value.payload == {"fw": 2}
+
+    def test_targeted_value_delivers_and_acks(self):
+        sim, _, _, drips = build(n=4)
+        sim.run(until=30 * SECOND)
+        seen = []
+        drips[3].on_delivered = seen.append
+        pending = drips[0].disseminate("cmd", destination=3)
+        sim.run(until=sim.now + 90 * SECOND)
+        assert seen and seen[0].destination == 3
+        assert pending.delivered
+        assert pending.acked_at is not None
+
+    def test_newer_version_supersedes(self):
+        sim, _, _, drips = build(n=3)
+        sim.run(until=20 * SECOND)
+        drips[0].disseminate("old")
+        sim.run(until=sim.now + 40 * SECOND)
+        drips[0].disseminate("new")
+        sim.run(until=sim.now + 60 * SECOND)
+        for drip in drips.values():
+            assert drip.current_value().payload == "new"
+
+    def test_on_apply_called_at_target_only(self):
+        sim, _, _, drips = build(n=3)
+        sim.run(until=20 * SECOND)
+        applied = {}
+        for node, drip in drips.items():
+            drip.on_apply = lambda payload, me=node: applied.setdefault(me, payload)
+        drips[0].disseminate("x", destination=2)
+        sim.run(until=sim.now + 60 * SECOND)
+        assert applied == {2: "x"}
+
+    def test_disseminate_from_non_root_rejected(self):
+        sim, _, _, drips = build(n=2)
+        with pytest.raises(RuntimeError):
+            drips[1].disseminate("x")
+
+    def test_timeout_reports_failure(self):
+        sim, _, stacks, drips = build(n=3)
+        sim.run(until=20 * SECOND)
+        stacks[2].radio.fail()
+        outcomes = []
+        drips[0].disseminate("x", destination=2, done=outcomes.append, e2e_timeout=30 * SECOND)
+        sim.run(until=sim.now + 60 * SECOND)
+        assert outcomes and outcomes[0].failed
+
+
+class TestTrickleBehaviour:
+    def test_steady_state_traffic_decays(self):
+        sim, _, stacks, drips = build(n=3)
+        sim.run(until=20 * SECOND)
+        drips[0].disseminate("x")
+        sim.run(until=sim.now + 30 * SECOND)
+        early = sum(s.tx_by_type.get(FrameType.DISSEMINATION, 0) for s in stacks.values())
+        sim.run(until=sim.now + 30 * SECOND)
+        mid = sum(s.tx_by_type.get(FrameType.DISSEMINATION, 0) for s in stacks.values())
+        sim.run(until=sim.now + 120 * SECOND)
+        late = sum(s.tx_by_type.get(FrameType.DISSEMINATION, 0) for s in stacks.values())
+        burst = mid - early
+        steady_rate = (late - mid) / 4.0  # per 30 s
+        assert steady_rate <= max(burst, 1), (burst, steady_rate)
+
+    def test_new_version_resets_trickle(self):
+        params = DripParams()
+        sim, _, stacks, drips = build(n=3, params=params)
+        sim.run(until=60 * SECOND)
+        interval_before = drips[1]._timer_for(Drip.CONTROL_KEY).interval
+        assert interval_before > params.i_min  # doubled by now
+        drips[0].disseminate("fresh")
+        sim.run(until=sim.now + 10 * SECOND)
+        # Having adopted a new version, node 1's timer restarted small.
+        assert drips[1].current_value().payload == "fresh"
+
+    def test_straggler_gets_repaired(self):
+        sim, _, stacks, drips = build(n=3)
+        sim.run(until=20 * SECOND)
+        # Node 2 misses the initial wave.
+        stacks[2].radio.fail()
+        drips[0].disseminate("v1")
+        sim.run(until=sim.now + 40 * SECOND)
+        assert drips[2].current_value() is None
+        stacks[2].radio.recover()
+        stacks[2].radio.turn_on()
+        sim.run(until=sim.now + 180 * SECOND)
+        value = drips[2].current_value()
+        assert value is not None and value.payload == "v1"

@@ -1,0 +1,47 @@
+"""Smoke tests: the shipped examples run end to end.
+
+These execute the example modules' ``main()`` in-process (fast paths only);
+they are the same flows a new user runs first, so breakage here is a
+release blocker.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(path: str, argv: list) -> None:
+    old_argv = sys.argv
+    sys.argv = [path, *argv]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    run_example("examples/quickstart.py", ["1"])
+    out = capsys.readouterr().out
+    assert "delivered: True" in out
+    assert "code" in out
+
+
+def test_subtree_multicast_runs(capsys):
+    run_example("examples/subtree_multicast.py", ["1"])
+    out = capsys.readouterr().out
+    assert "Deliveries outside the subtree: []" in out
+    assert "coverage" in out
+
+
+def test_forest_monitoring_runs(capsys):
+    run_example("examples/forest_monitoring.py", ["3"])
+    out = capsys.readouterr().out
+    assert "Remote adjustment successful." in out
+
+
+def test_debugging_example_runs(capsys):
+    run_example("examples/debugging_a_delivery.py", ["1"])
+    out = capsys.readouterr().out
+    assert "Implicitly encoded relay chain" in out
+    assert "delivered=True" in out

@@ -1,0 +1,145 @@
+"""Failure-injection behaviours across the stack."""
+
+import pytest
+
+from repro.net import NodeStack
+from repro.radio.channel import Channel
+from repro.radio.frame import Frame, FrameType
+from repro.radio.noise import ConstantNoise
+from repro.radio.propagation import LogDistancePathLoss
+from repro.radio.radio import Radio, RadioState
+from repro.sim import MILLISECOND, SECOND, Simulator
+
+
+def pair(distance=8.0, seed=1):
+    sim = Simulator(seed=seed)
+    gains = LogDistancePathLoss(pl_d0=40.0, seed=seed, shadowing_sigma=0.0).gain_matrix(
+        [(0.0, 0.0), (distance, 0.0)]
+    )
+    channel = Channel(sim, gains, noise_model=ConstantNoise())
+    return sim, channel
+
+
+class TestRadioFailure:
+    def test_failed_radio_ignores_turn_on(self):
+        sim, channel = pair()
+        radio = Radio(sim, channel, 0)
+        radio.fail()
+        radio.turn_on()
+        assert radio.state is RadioState.OFF
+
+    def test_fail_while_listening_powers_down(self):
+        sim, channel = pair()
+        radio = Radio(sim, channel, 0)
+        radio.turn_on()
+        radio.fail()
+        assert radio.state is RadioState.OFF
+
+    def test_fail_mid_transmission_defers_power_down(self):
+        sim, channel = pair()
+        radio = Radio(sim, channel, 0)
+        radio.turn_on()
+        radio.transmit(Frame(src=0, dst=1, type=FrameType.DATA, length=100))
+        radio.fail()
+        assert radio.state is RadioState.TX  # frame still on the air
+        sim.run(until=1 * SECOND)
+        assert radio.state is RadioState.OFF
+
+    def test_recover_restores_operation(self):
+        sim, channel = pair()
+        radio = Radio(sim, channel, 0)
+        radio.fail()
+        radio.recover()
+        radio.turn_on()
+        assert radio.is_on
+
+    def test_failed_node_receives_nothing(self):
+        sim, channel = pair(distance=5.0)
+        a = Radio(sim, channel, 0)
+        b = Radio(sim, channel, 1)
+        received = []
+        b.on_receive = lambda frame, rssi: received.append(frame)
+        a.turn_on()
+        b.fail()
+        b.turn_on()
+        a.transmit(Frame(src=0, dst=1, type=FrameType.DATA))
+        sim.run(until=1 * SECOND)
+        assert received == []
+
+
+class TestMacUnderFailure:
+    def test_mac_train_aborts_when_node_dies(self):
+        from repro.mac import LPLMac
+
+        sim, channel = pair(distance=8.0)
+        a = Radio(sim, channel, 0)
+        b = Radio(sim, channel, 1)
+        mac_a = LPLMac(sim, a, always_on=True)
+        mac_b = LPLMac(sim, b)  # never started: b is silent
+        mac_a.start()
+        results = []
+        sim.schedule(
+            0,
+            lambda: mac_a.send(
+                Frame(src=0, dst=1, type=FrameType.DATA, length=40), results.append
+            ),
+        )
+        # Kill the sender mid-train.
+        sim.schedule(100 * MILLISECOND, a.fail)
+        sim.run(until=2 * SECOND)
+        assert results and not results[0].ok
+        assert results[0].reason in ("dead", "timeout")
+
+    def test_sink_side_stack_survives_neighbor_failure(self):
+        sim = Simulator(seed=2)
+        gains = LogDistancePathLoss(pl_d0=40.0, seed=2, shadowing_sigma=0.0).gain_matrix(
+            [(0.0, 0.0), (12.0, 0.0), (24.0, 0.0)]
+        )
+        channel = Channel(sim, gains, noise_model=ConstantNoise())
+        stacks = [
+            NodeStack(sim, channel, i, is_root=(i == 0), always_on=True)
+            for i in range(3)
+        ]
+        for s in stacks:
+            s.start()
+        sim.run(until=60 * SECOND)
+        assert stacks[2].routing.parent == 1
+        stacks[1].radio.fail()
+        sim.run(until=sim.now + 400 * SECOND)
+        # Node 2 cannot reach the sink at this spacing; it must either have
+        # dropped its route or re-pointed away from the dead node.
+        if stacks[2].routing.parent is not None:
+            assert stacks[2].routing.parent != 1
+
+
+class TestChannelEdgeCases:
+    def test_delivery_to_node_that_turned_off_is_dropped_silently(self):
+        sim, channel = pair(distance=5.0)
+        a = Radio(sim, channel, 0)
+        b = Radio(sim, channel, 1)
+        b.on_receive = lambda frame, rssi: pytest.fail("must not deliver")
+        a.turn_on()
+        b.turn_on()
+        a.transmit(Frame(src=0, dst=1, type=FrameType.DATA, length=120))
+        sim.schedule(1 * MILLISECOND, b.turn_off)
+        sim.run(until=1 * SECOND)
+
+    def test_energy_reading_includes_interferers(self):
+        sim, channel = pair()
+
+        class FakeInterferer:
+            def interference_dbm_at(self, node_id):
+                return -60.0
+
+        radio = Radio(sim, channel, 0)
+        radio.turn_on()
+        quiet = channel.energy_dbm_at(0)
+        channel.add_interferer(FakeInterferer())
+        loud = channel.energy_dbm_at(0)
+        assert loud > quiet
+        assert loud == pytest.approx(-60.0, abs=1.0)
+
+    def test_audible_neighbors_listing(self):
+        sim, channel = pair(distance=5.0)
+        assert 1 in channel.audible_neighbors(0)
+        assert 0 in channel.audible_neighbors(1)

@@ -1,0 +1,222 @@
+"""Integration tests for TeleAdjusting's forwarding strategy (§III-C)."""
+
+import pytest
+
+from repro.core import Controller, TeleAdjusting
+from repro.core.forwarding import ForwardingParams
+from repro.core.messages import ControlPacket
+from repro.core.pathcode import PathCode
+from repro.mac.lpl import AnycastDecision
+from repro.net import NodeStack
+from repro.radio.channel import Channel
+from repro.radio.frame import BROADCAST, Frame, FrameType
+from repro.radio.noise import ConstantNoise
+from repro.radio.propagation import LogDistancePathLoss
+from repro.sim import SECOND, Simulator
+
+
+def build(positions, seed=1, re_tele=False, opportunistic=True, always_on=True):
+    sim = Simulator(seed=seed)
+    gains = LogDistancePathLoss(pl_d0=40.0, seed=seed, shadowing_sigma=0.0).gain_matrix(
+        positions
+    )
+    channel = Channel(sim, gains, noise_model=ConstantNoise())
+    controller = Controller(channel=channel)
+    params = ForwardingParams(re_tele=re_tele, opportunistic=opportunistic)
+    protocols = {}
+    stacks = {}
+    for i in range(len(positions)):
+        stack = NodeStack(sim, channel, i, is_root=(i == 0), always_on=always_on)
+        protocols[i] = TeleAdjusting(
+            sim, stack, controller=controller, forwarding_params=params
+        )
+        stacks[i] = stack
+    for i in range(len(positions)):
+        stacks[i].start()
+        protocols[i].start()
+    return sim, channel, stacks, protocols, controller
+
+
+def converge(sim, protocols, controller, seconds=120):
+    sim.run(until=sim.now + seconds * SECOND)
+    controller.snapshot(protocols)
+
+
+def line(n, spacing=12.0):
+    return [(i * spacing, 0.0) for i in range(n)]
+
+
+class TestEndToEndDelivery:
+    def test_multihop_control_delivery(self):
+        sim, _, _, protocols, controller = build(line(4))
+        converge(sim, protocols, controller)
+        delivered = []
+        protocols[3].forwarding.on_delivered = (
+            lambda control, via_unicast: delivered.append(control)
+        )
+        pending = protocols[0].remote_control(3, payload={"x": 1})
+        sim.run(until=sim.now + 30 * SECOND)
+        assert delivered, "control never reached node 3"
+        assert delivered[0].payload == {"x": 1}
+        assert pending.delivered
+        assert pending.acked_at is not None
+
+    def test_on_apply_invoked_at_destination_only(self):
+        sim, _, _, protocols, controller = build(line(4))
+        converge(sim, protocols, controller)
+        applied = {}
+        for node, protocol in protocols.items():
+            protocol.forwarding.on_apply = (
+                lambda payload, me=node: applied.setdefault(me, payload)
+            )
+        protocols[0].remote_control(2, payload="set")
+        sim.run(until=sim.now + 30 * SECOND)
+        assert applied == {2: "set"}
+
+    def test_duplicate_serial_applied_once(self):
+        sim, _, _, protocols, controller = build(line(3))
+        converge(sim, protocols, controller)
+        count = [0]
+        protocols[2].forwarding.on_apply = lambda payload: count.__setitem__(0, count[0] + 1)
+        protocols[0].remote_control(2, payload="x")
+        sim.run(until=sim.now + 40 * SECOND)
+        assert count[0] == 1
+
+    def test_unknown_destination_raises(self):
+        sim, _, _, protocols, controller = build(line(2))
+        converge(sim, protocols, controller, seconds=30)
+        with pytest.raises(LookupError):
+            protocols[0].remote_control(999)
+
+    def test_remote_control_from_non_sink_rejected(self):
+        sim, _, _, protocols, controller = build(line(2))
+        converge(sim, protocols, controller, seconds=30)
+        with pytest.raises(RuntimeError):
+            protocols[1].remote_control(0)
+
+    def test_explicit_destination_code(self):
+        sim, _, _, protocols, controller = build(line(3))
+        converge(sim, protocols, controller)
+        code = protocols[2].allocation.code
+        delivered = []
+        protocols[2].forwarding.on_delivered = (
+            lambda control, via: delivered.append(control)
+        )
+        protocols[0].remote_control(2, destination_code=code)
+        sim.run(until=sim.now + 30 * SECOND)
+        assert delivered
+
+
+class TestAnycastConditions:
+    """The three acceptance conditions of §III-C against crafted frames."""
+
+    def _context(self):
+        sim, _, stacks, protocols, controller = build(line(4))
+        converge(sim, protocols, controller)
+        return sim, protocols
+
+    def _frame(self, control):
+        return Frame(
+            src=0, dst=BROADCAST, type=FrameType.CONTROL, payload=control, length=36
+        )
+
+    def test_destination_accepts_slot_zero(self):
+        sim, protocols = self._context()
+        target = protocols[3].allocation.code
+        control = ControlPacket(
+            destination=3, destination_code=target, expected_relay=1, expected_length=3
+        )
+        verdict = protocols[3].forwarding.anycast_decision(self._frame(control), -70)
+        assert verdict.accept and verdict.slot == 0
+
+    def test_condition1_expected_relay_accepts(self):
+        sim, protocols = self._context()
+        target = protocols[3].allocation.code
+        my_len = protocols[1].allocation.code.length
+        control = ControlPacket(
+            destination=3,
+            destination_code=target,
+            expected_relay=1,
+            expected_length=my_len,
+        )
+        verdict = protocols[1].forwarding.anycast_decision(self._frame(control), -70)
+        assert verdict.accept
+
+    def test_condition2_on_path_closer_node_accepts(self):
+        sim, protocols = self._context()
+        target = protocols[3].allocation.code
+        # Expected relay is node 1 (short prefix); node 2 is strictly closer.
+        len1 = protocols[1].allocation.code.length
+        control = ControlPacket(
+            destination=3,
+            destination_code=target,
+            expected_relay=1,
+            expected_length=len1,
+        )
+        verdict = protocols[2].forwarding.anycast_decision(self._frame(control), -70)
+        assert verdict.accept
+        # Better progress ⇒ earlier slot than the expected relay's slot 5.
+        assert verdict.slot < 5
+
+    def test_off_path_node_rejects(self):
+        sim, protocols = self._context()
+        # Craft a target under a nonexistent subtree: nobody is on its path.
+        fake = PathCode.from_bits("1111111")
+        control = ControlPacket(
+            destination=99, destination_code=fake, expected_relay=None, expected_length=3
+        )
+        verdict = protocols[2].forwarding.anycast_decision(self._frame(control), -70)
+        assert not verdict.accept
+
+    def test_non_control_frames_rejected(self):
+        sim, protocols = self._context()
+        frame = Frame(src=0, dst=BROADCAST, type=FrameType.DATA, payload=None)
+        verdict = protocols[1].forwarding.anycast_decision(frame, -70)
+        assert not verdict.accept
+
+    def test_strict_mode_only_expected_relay(self):
+        sim, _, stacks, protocols, controller = build(line(4), opportunistic=False)
+        converge(sim, protocols, controller)
+        target = protocols[3].allocation.code
+        len1 = protocols[1].allocation.code.length
+        control = ControlPacket(
+            destination=3,
+            destination_code=target,
+            expected_relay=1,
+            expected_length=len1,
+        )
+        frame = Frame(
+            src=0, dst=BROADCAST, type=FrameType.CONTROL, payload=control, length=36
+        )
+        assert protocols[1].forwarding.anycast_decision(frame, -70).accept
+        assert not protocols[2].forwarding.anycast_decision(frame, -70).accept
+
+
+class TestExpectedRelaySelection:
+    def test_sink_picks_shortest_on_path_candidate(self):
+        sim, _, _, protocols, controller = build(line(4))
+        converge(sim, protocols, controller)
+        target = protocols[3].allocation.code
+        forwarding = protocols[0].forwarding
+        expected, length = forwarding._pick_expected(target, base_length=1)
+        assert expected == 1  # the direct child on the path
+        assert length == protocols[1].allocation.code.length
+
+    def test_fallback_without_candidates(self):
+        sim, _, _, protocols, controller = build(line(2))
+        converge(sim, protocols, controller, seconds=30)
+        fake = PathCode.from_bits("101010")
+        expected, length = protocols[0].forwarding._pick_expected(fake, base_length=1)
+        assert expected is None
+        assert length == 2  # base + 1
+
+
+class TestEndToEndAck:
+    def test_ack_reaches_sink_as_data(self):
+        sim, _, _, protocols, controller = build(line(3))
+        converge(sim, protocols, controller)
+        pending = protocols[0].remote_control(2, payload="x")
+        sim.run(until=sim.now + 30 * SECOND)
+        assert pending.delivered
+        assert pending.acked_at is not None
+        assert pending.acked_at >= pending.sent_at

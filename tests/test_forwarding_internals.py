@@ -1,0 +1,187 @@
+"""Focused tests for forwarding-engine internals: suppression, watchdog,
+candidate filtering, courtesy acks."""
+
+import pytest
+
+from repro.core import Controller, TeleAdjusting
+from repro.core.forwarding import ForwardingParams, _RelayState
+from repro.core.messages import ControlPacket
+from repro.core.pathcode import PathCode
+from repro.net import NodeStack
+from repro.radio.channel import Channel
+from repro.radio.frame import BROADCAST, Frame, FrameType
+from repro.radio.noise import ConstantNoise
+from repro.radio.propagation import LogDistancePathLoss
+from repro.sim import SECOND, Simulator
+
+
+@pytest.fixture()
+def net():
+    """A converged 4-node line with always-on radios."""
+    sim = Simulator(seed=3)
+    positions = [(i * 12.0, 0.0) for i in range(4)]
+    gains = LogDistancePathLoss(pl_d0=40.0, seed=3, shadowing_sigma=0.0).gain_matrix(
+        positions
+    )
+    channel = Channel(sim, gains, noise_model=ConstantNoise())
+    controller = Controller(channel=channel)
+    protocols, stacks = {}, {}
+    for i in range(4):
+        stack = NodeStack(sim, channel, i, is_root=(i == 0), always_on=True)
+        protocols[i] = TeleAdjusting(sim, stack, controller=controller)
+        stacks[i] = stack
+    for i in range(4):
+        stacks[i].start()
+        protocols[i].start()
+    sim.run(until=120 * SECOND)
+    controller.snapshot(protocols)
+    return sim, stacks, protocols, controller
+
+
+def control_for(protocols, dest, expected_relay=None, expected_length=0):
+    return ControlPacket(
+        destination=dest,
+        destination_code=protocols[dest].allocation.code,
+        expected_relay=expected_relay,
+        expected_length=expected_length,
+    )
+
+
+def frame_for(control, src=0):
+    return Frame(
+        src=src, dst=BROADCAST, type=FrameType.CONTROL, payload=control, length=36
+    )
+
+
+class TestStaleSuppression:
+    def test_fresh_copy_from_behind_rejected_while_working(self, net):
+        sim, stacks, protocols, _ = net
+        fwd = protocols[1].forwarding
+        control = control_for(protocols, 3)
+        state = _RelayState(control=control, came_from=0)
+        state.sent_expected = 8
+        state.sent_at = sim.now
+        state.handed_over = True
+        state.safe_downstream = False  # e.g. we backtracked
+        fwd._put_state(control.serial, state)
+        behind = control.advanced(None, 2)
+        verdict = fwd.anycast_decision(frame_for(behind), -70)
+        assert not verdict.accept  # not safe: no courtesy ack either
+
+    def test_courtesy_ack_when_safely_forwarded(self, net):
+        sim, stacks, protocols, _ = net
+        fwd = protocols[1].forwarding
+        control = control_for(protocols, 3)
+        state = _RelayState(control=control, came_from=0)
+        state.sent_expected = 8
+        state.sent_at = sim.now
+        state.handed_over = True
+        state.safe_downstream = True
+        fwd._put_state(control.serial, state)
+        behind = control.advanced(None, 2)
+        verdict = fwd.anycast_decision(frame_for(behind), -70)
+        assert verdict.accept  # courtesy ack stops the flailing sender
+
+    def test_suppression_expires_after_ttl(self, net):
+        sim, stacks, protocols, _ = net
+        params = protocols[1].forwarding.params
+        fwd = protocols[1].forwarding
+        control = control_for(protocols, 3)
+        state = _RelayState(control=control, came_from=0)
+        state.sent_expected = 8
+        state.sent_at = sim.now - params.stale_ttl - 1
+        state.handed_over = True
+        state.safe_downstream = False
+        fwd._put_state(control.serial, state)
+        my_len = protocols[1].allocation.code.length
+        behind = control.advanced(None, max(my_len - 1, 0))
+        verdict = fwd.anycast_decision(frame_for(behind), -70)
+        # TTL expired: node 1 may participate again (it is on the path).
+        assert verdict.accept
+
+
+class TestOverhearCancellation:
+    def test_holder_cedes_to_farther_copy(self, net):
+        sim, stacks, protocols, _ = net
+        fwd = protocols[1].forwarding
+        control = control_for(protocols, 3)
+        state = _RelayState(control=control.advanced(None, 5), came_from=0)
+        state.sent_expected = 5
+        state.sent_at = sim.now
+        fwd._put_state(control.serial, state)
+        farther = control.advanced(None, 9)
+        verdict = fwd.anycast_decision(frame_for(farther, src=2), -70)
+        assert not verdict.accept
+        assert state.handed_over
+        assert state.safe_downstream
+
+    def test_tie_breaks_by_node_id(self, net):
+        sim, stacks, protocols, _ = net
+        fwd = protocols[2].forwarding  # node id 2
+        control = control_for(protocols, 3)
+        state = _RelayState(control=control.advanced(None, 5), came_from=0)
+        state.sent_expected = 5
+        state.sent_at = sim.now
+        fwd._put_state(control.serial, state)
+        equal = control.advanced(None, 5)
+        equal_from_lower = frame_for(equal, src=1)
+        fwd.anycast_decision(equal_from_lower, -70)
+        assert state.handed_over  # lower id wins the tie; we cede
+
+    def test_tie_from_higher_id_keeps_ours(self, net):
+        sim, stacks, protocols, _ = net
+        fwd = protocols[1].forwarding  # node id 1
+        control = control_for(protocols, 3)
+        state = _RelayState(control=control.advanced(None, 5), came_from=0)
+        state.sent_expected = 5
+        state.sent_at = sim.now
+        fwd._put_state(control.serial, state)
+        equal_from_higher = frame_for(control.advanced(None, 5), src=2)
+        fwd.anycast_decision(equal_from_higher, -70)
+        assert not state.handed_over
+
+
+class TestSinkWatchdog:
+    def test_watchdog_refreshes_stale_destination_code(self, net):
+        sim, stacks, protocols, controller = net
+        fwd = protocols[0].forwarding
+        real_code = protocols[3].allocation.code
+        stale = PathCode.from_bits("1" * 8)
+        pending = fwd.send_control(3, stale, payload="x")
+        assert pending.control.destination_code == stale
+        # Controller knows the real code (snapshotted in the fixture).
+        sim.run(until=sim.now + fwd.params.sink_retry_interval + 2 * SECOND)
+        assert pending.control.destination_code == real_code
+
+    def test_watchdog_stops_after_ack(self, net):
+        sim, stacks, protocols, _ = net
+        fwd = protocols[0].forwarding
+        pending = protocols[0].remote_control(2)
+        sim.run(until=sim.now + 30 * SECOND)
+        assert pending.acked_at is not None
+        forwards_after_ack = fwd.controls_forwarded
+        sim.run(until=sim.now + 30 * SECOND)
+        assert fwd.controls_forwarded == forwards_after_ack
+
+
+class TestCandidateFiltering:
+    def test_unreachable_candidates_skipped(self, net):
+        sim, stacks, protocols, _ = net
+        fwd = protocols[0].forwarding
+        target = protocols[3].allocation.code
+        before = fwd._candidates(target, base_length=1)
+        assert before
+        for neighbor, _ in before:
+            fwd.allocation.neighbor_codes.mark_unreachable(neighbor, sim.now)
+        after = fwd._candidates(target, base_length=1)
+        assert after == []
+
+    def test_unreachable_expires(self, net):
+        sim, stacks, protocols, _ = net
+        fwd = protocols[0].forwarding
+        target = protocols[3].allocation.code
+        for neighbor, _ in fwd._candidates(target, base_length=1):
+            fwd.allocation.neighbor_codes.mark_unreachable(neighbor, sim.now)
+        ttl = fwd.allocation.neighbor_codes.unreachable_ttl
+        sim.run(until=sim.now + ttl + SECOND)
+        assert fwd._candidates(target, base_length=1)

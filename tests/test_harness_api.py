@@ -1,0 +1,99 @@
+"""Tests for the experiment harness and the public API facade."""
+
+import pytest
+
+import repro
+from repro.experiments.harness import Network, NetworkConfig
+from repro.topology import Deployment, random_uniform
+
+
+class TestBuildNetwork:
+    def test_default_build(self):
+        net = repro.build_network(seed=1)
+        assert net.deployment.name == "indoor-testbed"
+        assert net.config.protocol == "tele"
+        assert net.sink == net.deployment.sink
+        assert len(net.stacks) == 40
+
+    def test_custom_deployment_object(self):
+        deployment = random_uniform(n=10, width=50, height=50, seed=2)
+        net = repro.build_network(config=NetworkConfig(topology=deployment, seed=2))
+        assert net.deployment is deployment
+        assert len(net.stacks) == 10
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            repro.build_network(topology="mars-base")
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            repro.build_network(protocol="carrier-pigeon")
+
+    def test_unknown_config_override_rejected(self):
+        with pytest.raises(TypeError):
+            Network(NetworkConfig(), not_a_field=True)
+
+    def test_bare_ctp_network(self):
+        net = repro.build_network(protocol="none", seed=1)
+        assert net.protocols == {}
+        net.run(1.0)
+        assert net.sim.now_seconds >= 1.0
+
+    def test_wifi_interferer_only_on_overlapped_channel(self):
+        clean = repro.build_network(zigbee_channel=26, seed=1)
+        noisy = repro.build_network(zigbee_channel=19, seed=1)
+        assert clean.interferer is None
+        assert noisy.interferer is not None
+
+    def test_drip_and_rpl_protocols_construct(self):
+        for protocol in ("drip", "rpl"):
+            net = repro.build_network(protocol=protocol, seed=1)
+            assert len(net.protocols) == 40
+
+
+class TestConvergenceHelpers:
+    @pytest.fixture(scope="class")
+    def small_net(self):
+        deployment = random_uniform(n=12, width=40, height=40, seed=4)
+        net = Network(
+            NetworkConfig(
+                topology=deployment, seed=4, always_on=True, collection_ipi=None
+            )
+        )
+        net.converge(max_seconds=200)
+        return net
+
+    def test_fractions(self, small_net):
+        assert small_net.routed_fraction() == 1.0
+        assert small_net.coded_fraction() == 1.0
+
+    def test_controller_snapshotted(self, small_net):
+        for node in small_net.non_sink_nodes():
+            assert small_net.controller.code_of(node) is not None
+
+    def test_send_control_roundtrip(self, small_net):
+        destination = small_net.non_sink_nodes()[0]
+        record = small_net.send_control(destination, payload={"x": 1})
+        small_net.run(30)
+        assert record.delivered
+        assert record.latency_s is not None
+        assert record.athx is not None
+        assert record in small_net.control_metrics.records
+
+    def test_metrics_accumulate(self, small_net):
+        assert len(small_net.control_metrics) >= 1
+        assert small_net.metrics.mean_duty_cycle() is not None
+
+
+class TestRecordsPlumbing:
+    def test_unaddressable_destination_counts_as_failure(self):
+        deployment = random_uniform(n=6, width=30, height=30, seed=5)
+        net = Network(
+            NetworkConfig(topology=deployment, seed=5, always_on=True, collection_ipi=None)
+        )
+        net.start()
+        net.run(1.0)  # nowhere near converged: no codes yet
+        destination = net.non_sink_nodes()[0]
+        record = net.send_control(destination)
+        net.run(5.0)
+        assert not record.delivered

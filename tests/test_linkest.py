@@ -1,0 +1,91 @@
+"""Tests for the ETX link estimator."""
+
+from repro.net.linkest import UNKNOWN_ETX, LinkEstimator
+
+
+class TestBeaconEstimation:
+    def test_unknown_neighbor_has_max_etx(self):
+        est = LinkEstimator()
+        assert est.link_etx(42) == UNKNOWN_ETX
+        assert not est.is_usable(42)
+
+    def test_first_beacon_bootstraps_optimistically(self):
+        est = LinkEstimator()
+        est.beacon_received(1, seqno=1, rssi=-80)
+        assert est.link_etx(1) < UNKNOWN_ETX
+        assert est.is_usable(1)
+
+    def test_perfect_reception_approaches_etx_one(self):
+        est = LinkEstimator()
+        for seqno in range(1, 21):
+            est.beacon_received(1, seqno, rssi=-80)
+        assert est.link_etx(1) <= 1.3
+
+    def test_gaps_raise_etx(self):
+        perfect, lossy = LinkEstimator(), LinkEstimator()
+        for i in range(1, 21):
+            perfect.beacon_received(1, i, rssi=-80)
+        for i in range(1, 21):
+            lossy.beacon_received(1, i * 3, rssi=-80)  # 2 of 3 missed
+        assert lossy.link_etx(1) > perfect.link_etx(1) * 2
+
+    def test_seqno_regression_tolerated(self):
+        est = LinkEstimator()
+        est.beacon_received(1, 10, rssi=-80)
+        est.beacon_received(1, 3, rssi=-80)  # reboot / wrap
+        assert est.link_etx(1) < UNKNOWN_ETX
+
+    def test_rssi_tracked(self):
+        est = LinkEstimator()
+        est.beacon_received(1, 1, rssi=-72.5)
+        assert est.rssi(1) == -72.5
+        assert est.rssi(99) == -100.0
+
+
+class TestDataEstimation:
+    def test_data_overrides_beacons(self):
+        est = LinkEstimator()
+        for i in range(1, 11):
+            est.beacon_received(1, i, rssi=-80)
+        beacon_etx = est.link_etx(1)
+        for _ in range(6):
+            est.data_sent(1, success=False)
+        assert est.link_etx(1) > beacon_etx
+
+    def test_successful_data_lowers_etx(self):
+        est = LinkEstimator()
+        for _ in range(6):
+            est.data_sent(1, success=True)
+        assert est.link_etx(1) <= 1.5
+
+    def test_all_failures_make_link_unusable(self):
+        est = LinkEstimator()
+        for _ in range(9):
+            est.data_sent(1, success=False)
+        assert not est.is_usable(1)
+
+    def test_ewma_smooths_recovery(self):
+        est = LinkEstimator()
+        for _ in range(6):
+            est.data_sent(1, success=False)
+        bad = est.link_etx(1)
+        for _ in range(3):
+            est.data_sent(1, success=True)
+        recovering = est.link_etx(1)
+        assert recovering < bad
+        assert recovering > 1.0
+
+
+class TestHousekeeping:
+    def test_neighbors_listing(self):
+        est = LinkEstimator()
+        est.beacon_received(1, 1, rssi=-80)
+        est.data_sent(2, success=True)
+        assert sorted(est.neighbors()) == [1, 2]
+
+    def test_forget(self):
+        est = LinkEstimator()
+        est.beacon_received(1, 1, rssi=-80)
+        est.forget(1)
+        assert est.link_etx(1) == UNKNOWN_ETX
+        est.forget(999)  # no-op

@@ -1,0 +1,131 @@
+"""MAC contract battery: the same behavioural guarantees across configs.
+
+The protocols above the MAC rely on a handful of invariants — unicast
+delivers-or-times-out within one train window, broadcast reaches awake
+neighbours, anycast picks an acceptor, duplicates never reach the upper
+layer twice. This battery asserts them across materially different MAC
+configurations (wake intervals, always-on, announce off, broadcast caps).
+"""
+
+import pytest
+
+from repro.mac import AnycastDecision, LPLMac, MacParams
+from repro.radio.channel import Channel
+from repro.radio.frame import BROADCAST, Frame, FrameType
+from repro.radio.noise import ConstantNoise
+from repro.radio.propagation import LogDistancePathLoss
+from repro.radio.radio import Radio
+from repro.sim import MILLISECOND, SECOND, Simulator
+
+CONFIGS = {
+    "default": MacParams(),
+    "fast-wake": MacParams(wake_interval=256 * MILLISECOND),
+    "slow-wake": MacParams(wake_interval=1024 * MILLISECOND),
+    "no-announce": MacParams(handover_announce=False),
+    "capped-broadcast": MacParams(broadcast_copies_cap=4),
+}
+
+
+def build(params, n=3, spacing=8.0, seed=2, always_on_ids=(0,)):
+    sim = Simulator(seed=seed)
+    positions = [(i * spacing, 0.0) for i in range(n)]
+    gains = LogDistancePathLoss(pl_d0=40.0, seed=seed, shadowing_sigma=0.0).gain_matrix(
+        positions
+    )
+    channel = Channel(sim, gains, noise_model=ConstantNoise())
+    macs = []
+    for i in range(n):
+        mac = LPLMac(sim, Radio(sim, channel, i), params=params, always_on=(i in always_on_ids))
+        macs.append(mac)
+    for mac in macs:
+        mac.start()
+    return sim, macs
+
+
+@pytest.fixture(params=sorted(CONFIGS), ids=sorted(CONFIGS))
+def config(request):
+    return CONFIGS[request.param]
+
+
+class TestContract:
+    def test_unicast_resolves_within_one_train_window(self, config):
+        sim, macs = build(config)
+        results = []
+        sim.schedule(
+            0,
+            lambda: macs[0].send(
+                Frame(src=0, dst=1, type=FrameType.DATA, length=40), results.append
+            ),
+        )
+        horizon = config.wake_interval * 3
+        sim.run(until=horizon)
+        assert results, "send never resolved"
+        result = results[0]
+        assert result.ok
+        assert result.finished - result.started <= config.wake_interval + config.train_slack
+
+    def test_unicast_to_silent_node_times_out(self, config):
+        sim, macs = build(config, spacing=200.0)
+        results = []
+        sim.schedule(
+            0,
+            lambda: macs[0].send(
+                Frame(src=0, dst=1, type=FrameType.DATA, length=40), results.append
+            ),
+        )
+        sim.run(until=config.wake_interval * 4)
+        assert results and not results[0].ok
+
+    def test_broadcast_reaches_duty_cycled_neighbor(self, config):
+        if config.broadcast_copies_cap is not None:
+            pytest.skip("capped broadcast targets always-on networks")
+        sim, macs = build(config)
+        received = []
+        macs[1].receive_handler = lambda frame, rssi: received.append(frame.frame_id)
+        sim.schedule(
+            0,
+            lambda: macs[0].send(
+                Frame(src=0, dst=BROADCAST, type=FrameType.ROUTING_BEACON, length=28)
+            ),
+        )
+        sim.run(until=config.wake_interval * 4)
+        assert received
+
+    def test_anycast_resolves_to_an_acceptor(self, config):
+        sim, macs = build(config)
+        macs[1].anycast_handler = lambda frame, rssi: AnycastDecision(True, slot=1)
+        macs[2].anycast_handler = lambda frame, rssi: AnycastDecision.reject()
+        macs[1].receive_handler = lambda frame, rssi: None
+        results = []
+        sim.schedule(
+            0,
+            lambda: macs[0].send_anycast(
+                Frame(src=0, dst=BROADCAST, type=FrameType.CONTROL, length=36),
+                results.append,
+            ),
+        )
+        sim.run(until=config.wake_interval * 4)
+        assert results and results[0].ok
+        assert results[0].acker == 1
+
+    def test_no_duplicate_deliveries(self, config):
+        sim, macs = build(config)
+        delivered = []
+        macs[1].receive_handler = lambda frame, rssi: delivered.append(frame.frame_id)
+        for _ in range(3):
+            sim.schedule(
+                0,
+                lambda: macs[0].send(
+                    Frame(src=0, dst=1, type=FrameType.DATA, length=40)
+                ),
+            )
+        sim.run(until=config.wake_interval * 8)
+        assert len(delivered) == len(set(delivered))
+
+    def test_duty_cycle_of_idle_node_scales_with_wake_interval(self, config):
+        sim, macs = build(config)
+        sim.run(until=60 * SECOND)
+        idle_duty = macs[2].duty_cycle()
+        # Roughly listen_window / wake_interval, within generous bounds.
+        expected = config.listen_window / config.wake_interval
+        assert idle_duty < expected * 4 + 0.02

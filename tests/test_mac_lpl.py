@@ -1,0 +1,279 @@
+"""Tests for the LPL duty-cycled MAC."""
+
+import pytest
+
+from repro.mac import AnycastDecision, LPLMac, MacParams
+from repro.radio.channel import Channel
+from repro.radio.frame import BROADCAST, Frame, FrameType
+from repro.radio.noise import ConstantNoise
+from repro.radio.propagation import LogDistancePathLoss
+from repro.radio.radio import Radio
+from repro.sim import MILLISECOND, SECOND, Simulator
+
+
+def build_network(n=3, spacing=6.0, seed=1, always_on_ids=(0,), params=None):
+    sim = Simulator(seed=seed)
+    positions = [(i * spacing, 0.0) for i in range(n)]
+    gains = LogDistancePathLoss(pl_d0=40.0, seed=seed, shadowing_sigma=0.0).gain_matrix(
+        positions
+    )
+    channel = Channel(sim, gains, noise_model=ConstantNoise())
+    macs = []
+    for i in range(n):
+        radio = Radio(sim, channel, i)
+        mac = LPLMac(sim, radio, params=params, always_on=(i in always_on_ids))
+        macs.append(mac)
+    return sim, channel, macs
+
+
+class TestUnicast:
+    def test_delivery_and_ack(self):
+        sim, _, macs = build_network()
+        received = []
+        for mac in macs:
+            mac.receive_handler = (
+                lambda frame, rssi, me=mac.node_id: received.append((me, frame.src))
+            )
+            mac.start()
+        results = []
+        sim.schedule(
+            10 * MILLISECOND,
+            lambda: macs[0].send(
+                Frame(src=0, dst=1, type=FrameType.DATA, length=40), results.append
+            ),
+        )
+        sim.run(until=3 * SECOND)
+        assert results[0].ok
+        assert results[0].acker == 1
+        assert (1, 0) in received
+
+    def test_unicast_latency_bounded_by_wake_interval(self):
+        sim, _, macs = build_network()
+        for mac in macs:
+            mac.start()
+        results = []
+        sim.schedule(
+            0,
+            lambda: macs[0].send(
+                Frame(src=0, dst=1, type=FrameType.DATA, length=40), results.append
+            ),
+        )
+        sim.run(until=3 * SECOND)
+        assert results[0].ok
+        duration = results[0].finished - results[0].started
+        assert duration <= macs[0].params.wake_interval + macs[0].params.train_slack
+
+    def test_unreachable_destination_times_out(self):
+        sim, _, macs = build_network(spacing=100.0)
+        for mac in macs:
+            mac.start()
+        results = []
+        sim.schedule(
+            0,
+            lambda: macs[0].send(
+                Frame(src=0, dst=1, type=FrameType.DATA, length=40), results.append
+            ),
+        )
+        sim.run(until=3 * SECOND)
+        assert not results[0].ok
+        assert results[0].reason == "timeout"
+
+    def test_duplicate_copies_delivered_once(self):
+        sim, _, macs = build_network()
+        delivered = []
+        macs[1].receive_handler = lambda frame, rssi: delivered.append(frame.frame_id)
+        for mac in macs:
+            mac.start()
+        sim.schedule(
+            0, lambda: macs[0].send(Frame(src=0, dst=1, type=FrameType.DATA, length=40))
+        )
+        sim.run(until=3 * SECOND)
+        assert len(delivered) == len(set(delivered))
+
+
+class TestBroadcast:
+    def test_reaches_all_neighbors(self):
+        sim, _, macs = build_network(n=4, spacing=4.0)
+        received = set()
+        for mac in macs:
+            mac.receive_handler = (
+                lambda frame, rssi, me=mac.node_id: received.add(me)
+            )
+            mac.start()
+        sim.schedule(
+            0,
+            lambda: macs[0].send(
+                Frame(src=0, dst=BROADCAST, type=FrameType.ROUTING_BEACON, length=28)
+            ),
+        )
+        sim.run(until=3 * SECOND)
+        assert received == {1, 2, 3}
+
+    def test_broadcast_train_fills_wake_interval(self):
+        sim, _, macs = build_network()
+        for mac in macs:
+            mac.start()
+        results = []
+        sim.schedule(
+            0,
+            lambda: macs[0].send(
+                Frame(src=0, dst=BROADCAST, type=FrameType.ROUTING_BEACON, length=28),
+                results.append,
+            ),
+        )
+        sim.run(until=3 * SECOND)
+        assert results[0].ok
+        assert results[0].copies > 50  # many copies over 512 ms
+
+    def test_broadcast_copies_cap(self):
+        params = MacParams(broadcast_copies_cap=3)
+        sim, _, macs = build_network(params=params, always_on_ids=(0, 1, 2))
+        for mac in macs:
+            mac.start()
+        results = []
+        sim.schedule(
+            0,
+            lambda: macs[0].send(
+                Frame(src=0, dst=BROADCAST, type=FrameType.ROUTING_BEACON, length=28),
+                results.append,
+            ),
+        )
+        sim.run(until=3 * SECOND)
+        assert results[0].copies == 3
+
+
+class TestAnycast:
+    def test_best_slot_wins(self):
+        sim, _, macs = build_network(n=3, spacing=4.0, always_on_ids=(0, 1, 2))
+        macs[1].anycast_handler = lambda frame, rssi: AnycastDecision(True, slot=3)
+        macs[2].anycast_handler = lambda frame, rssi: AnycastDecision(True, slot=0)
+        delivered = []
+        for mac in macs:
+            mac.receive_handler = (
+                lambda frame, rssi, me=mac.node_id: delivered.append(me)
+                if frame.type is FrameType.CONTROL
+                else None
+            )
+            mac.start()
+        results = []
+        sim.schedule(
+            0,
+            lambda: macs[0].send_anycast(
+                Frame(src=0, dst=BROADCAST, type=FrameType.CONTROL, length=36),
+                results.append,
+            ),
+        )
+        sim.run(until=3 * SECOND)
+        assert results[0].ok
+        assert results[0].acker == 2
+        assert delivered == [2]  # the loser suppressed itself
+
+    def test_no_acceptor_times_out(self):
+        sim, _, macs = build_network(n=3, spacing=4.0)
+        for mac in macs:
+            mac.anycast_handler = lambda frame, rssi: AnycastDecision.reject()
+            mac.start()
+        results = []
+        sim.schedule(
+            0,
+            lambda: macs[0].send_anycast(
+                Frame(src=0, dst=BROADCAST, type=FrameType.CONTROL, length=36),
+                results.append,
+            ),
+        )
+        sim.run(until=3 * SECOND)
+        assert not results[0].ok
+
+    def test_sleeping_acceptor_wakes_and_wins(self):
+        sim, _, macs = build_network(n=2, spacing=4.0, always_on_ids=(0,))
+        macs[1].anycast_handler = lambda frame, rssi: AnycastDecision(True, slot=0)
+        macs[1].receive_handler = lambda frame, rssi: None
+        for mac in macs:
+            mac.start()
+        results = []
+        sim.schedule(
+            0,
+            lambda: macs[0].send_anycast(
+                Frame(src=0, dst=BROADCAST, type=FrameType.CONTROL, length=36),
+                results.append,
+            ),
+        )
+        sim.run(until=3 * SECOND)
+        assert results[0].ok
+        assert results[0].acker == 1
+
+
+class TestCancel:
+    def test_cancel_queued_send(self):
+        sim, _, macs = build_network()
+        for mac in macs:
+            mac.start()
+        results = []
+        frame_a = Frame(src=0, dst=1, type=FrameType.DATA, length=40)
+        frame_b = Frame(src=0, dst=1, type=FrameType.CONTROL, length=40)
+        sim.schedule(0, lambda: macs[0].send(frame_a, results.append))
+        sim.schedule(0, lambda: macs[0].send(frame_b, results.append))
+        sim.schedule(
+            1 * MILLISECOND,
+            lambda: macs[0].cancel_matching(lambda f: f.type is FrameType.CONTROL),
+        )
+        sim.run(until=3 * SECOND)
+        assert len(results) == 2
+        cancelled = [r for r in results if r.reason == "cancelled"]
+        assert len(cancelled) == 1
+        assert cancelled[0].frame.type is FrameType.CONTROL
+
+    def test_cancel_current_train(self):
+        sim, _, macs = build_network(spacing=100.0)  # nobody can hear: train runs long
+        for mac in macs:
+            mac.start()
+        results = []
+        frame = Frame(src=0, dst=1, type=FrameType.DATA, length=40)
+        sim.schedule(0, lambda: macs[0].send(frame, results.append))
+        sim.schedule(
+            100 * MILLISECOND, lambda: macs[0].cancel_matching(lambda f: True)
+        )
+        sim.run(until=3 * SECOND)
+        assert results[0].reason == "cancelled"
+
+    def test_cancel_nonmatching_is_noop(self):
+        sim, _, macs = build_network()
+        for mac in macs:
+            mac.start()
+        count = macs[0].cancel_matching(lambda f: False)
+        assert count == 0
+
+
+class TestDutyCycle:
+    def test_always_on_node_is_at_one(self):
+        sim, _, macs = build_network()
+        for mac in macs:
+            mac.start()
+        sim.run(until=10 * SECOND)
+        assert macs[0].duty_cycle() == pytest.approx(1.0)
+
+    def test_idle_duty_cycled_node_is_low(self):
+        sim, _, macs = build_network()
+        for mac in macs:
+            mac.start()
+        sim.run(until=60 * SECOND)
+        # listen_window / wake_interval = 6/512 ≈ 1.2 %, plus slack.
+        assert macs[2].duty_cycle() < 0.05
+
+    def test_handover_announce_off(self):
+        params = MacParams(handover_announce=False)
+        sim, _, macs = build_network(params=params, always_on_ids=(0, 1))
+        macs[1].anycast_handler = lambda frame, rssi: AnycastDecision(True, slot=0)
+        macs[1].receive_handler = lambda frame, rssi: None
+        for mac in macs:
+            mac.start()
+        results = []
+        sim.schedule(
+            0,
+            lambda: macs[0].send_anycast(
+                Frame(src=0, dst=BROADCAST, type=FrameType.CONTROL, length=36),
+                results.append,
+            ),
+        )
+        sim.run(until=2 * SECOND)
+        assert results[0].ok

@@ -1,0 +1,115 @@
+"""Edge-case tests for frames and protocol message payloads."""
+
+import pytest
+
+from repro.core.messages import (
+    AllocationAck,
+    Confirmation,
+    ControlPacket,
+    FeedbackPacket,
+    PositionRequest,
+    TeleBeacon,
+    TeleBeaconEntry,
+)
+from repro.core.pathcode import PathCode
+from repro.net.messages import DataPacket, RoutingBeacon
+from repro.radio.frame import BROADCAST, Frame, FrameType
+
+
+class TestFrame:
+    def test_unique_frame_ids(self):
+        a = Frame(src=0, dst=1, type=FrameType.DATA)
+        b = Frame(src=0, dst=1, type=FrameType.DATA)
+        assert a.frame_id != b.frame_id
+
+    def test_clone_gets_fresh_id_but_same_fields(self):
+        a = Frame(src=3, dst=BROADCAST, type=FrameType.CONTROL, payload="p", length=50)
+        b = a.clone()
+        assert b.frame_id != a.frame_id
+        assert (b.src, b.dst, b.type, b.payload, b.length) == (
+            3,
+            BROADCAST,
+            FrameType.CONTROL,
+            "p",
+            50,
+        )
+
+    def test_broadcast_detection(self):
+        assert Frame(src=0, dst=BROADCAST, type=FrameType.DATA).is_broadcast
+        assert not Frame(src=0, dst=5, type=FrameType.DATA).is_broadcast
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(src=0, dst=1, type=FrameType.DATA, length=0)
+
+
+class TestTeleBeacon:
+    def test_length_grows_with_entries(self):
+        empty = TeleBeacon(origin=1, code=PathCode.sink(), space_bits=2)
+        full = TeleBeacon(
+            origin=1,
+            code=PathCode.sink(),
+            space_bits=2,
+            entries=[TeleBeaconEntry(i, i + 1, False) for i in range(5)],
+        )
+        assert full.length() > empty.length()
+
+    def test_length_capped_at_frame_size(self):
+        huge = TeleBeacon(
+            origin=1,
+            code=PathCode.sink(),
+            space_bits=5,
+            entries=[TeleBeaconEntry(i, i + 1, False) for i in range(100)],
+        )
+        assert huge.length() <= 120
+
+
+class TestControlPacket:
+    def test_serials_unique(self):
+        code = PathCode.from_bits("0101")
+        a = ControlPacket(destination=1, destination_code=code, expected_relay=None, expected_length=0)
+        b = ControlPacket(destination=1, destination_code=code, expected_relay=None, expected_length=0)
+        assert a.serial != b.serial
+
+    def test_advanced_preserves_identity_and_bumps_athx(self):
+        code = PathCode.from_bits("0101")
+        original = ControlPacket(
+            destination=9,
+            destination_code=code,
+            expected_relay=None,
+            expected_length=0,
+            payload="p",
+            final_unicast_to=4,
+            origin_time=123,
+        )
+        nxt = original.advanced(expected_relay=2, expected_length=3)
+        assert nxt.serial == original.serial
+        assert nxt.athx == original.athx + 1
+        assert nxt.expected_relay == 2
+        assert nxt.expected_length == 3
+        assert nxt.payload == "p"
+        assert nxt.final_unicast_to == 4
+        assert nxt.origin_time == 123
+
+    def test_lengths_defined(self):
+        assert ControlPacket.LENGTH > 0
+        assert FeedbackPacket.LENGTH > 0
+        assert AllocationAck.LENGTH > 0
+        assert Confirmation.LENGTH > 0
+        assert PositionRequest.LENGTH > 0
+
+
+class TestDataPacket:
+    def test_key_identifies_origin_packet(self):
+        a = DataPacket(origin=1, origin_seqno=7, collect_id=2)
+        b = DataPacket(origin=1, origin_seqno=7, collect_id=2, thl=5)
+        c = DataPacket(origin=1, origin_seqno=8, collect_id=2)
+        assert a.key() == b.key()  # thl does not affect identity
+        assert a.key() != c.key()
+
+
+class TestRoutingBeacon:
+    def test_piggyback_fields_default_none(self):
+        beacon = RoutingBeacon(origin=1, parent=0, path_etx=1.0, hop_count=1, seqno=3)
+        assert beacon.tele_position is None
+        assert beacon.tele_code is None

@@ -1,0 +1,121 @@
+"""Coverage for smaller public surfaces: deployments, tracer sinks, API glue."""
+
+import pytest
+
+import repro
+from repro.radio.frame import FrameType
+from repro.sim import Simulator
+from repro.topology import Deployment, indoor_testbed, random_uniform, sparse_linear, tight_grid
+
+
+class TestDeployments:
+    def test_paper_field_dimensions(self):
+        tight = tight_grid(seed=0)
+        assert tight.size == 225
+        xs = [p[0] for p in tight.positions]
+        ys = [p[1] for p in tight.positions]
+        assert max(xs) <= 200 and max(ys) <= 200
+        sparse = sparse_linear(seed=0)
+        assert sparse.size == 225
+        assert max(p[0] for p in sparse.positions) <= 600
+        assert max(p[1] for p in sparse.positions) <= 60
+
+    def test_sink_placement(self):
+        tight = tight_grid(seed=0)
+        # Sink cell is the centre of the 15×15 grid.
+        sx, sy = tight.positions[tight.sink]
+        assert 80 < sx < 120 and 80 < sy < 120
+        sparse = sparse_linear(seed=0)
+        assert sparse.positions[sparse.sink][0] < 30  # at the strip's start
+
+    def test_indoor_counts(self):
+        indoor = indoor_testbed(seed=0)
+        assert indoor.size == 40
+        # 22 board nodes on the two fixed rows.
+        board = [p for p in indoor.positions if p[1] in (4.0, 6.0)]
+        assert len(board) >= 22
+
+    def test_distance_helper(self):
+        deployment = random_uniform(n=3, width=10, height=10, seed=1)
+        assert deployment.distance(0, 0) == 0.0
+        assert deployment.distance(0, 1) == deployment.distance(1, 0)
+
+    def test_tx_power_overrides(self):
+        deployment = random_uniform(n=3, width=10, height=10, seed=1, tx_power_dbm=-5.0)
+        assert deployment.node_tx_power(1) == -5.0
+        deployment.tx_power_overrides[1] = 0.0
+        assert deployment.node_tx_power(1) == 0.0
+        assert deployment.node_tx_power(2) == -5.0
+
+    def test_random_uniform_validation(self):
+        with pytest.raises(ValueError):
+            random_uniform(n=1, width=10, height=10)
+
+    def test_random_uniform_picks_central_sink(self):
+        deployment = random_uniform(n=30, width=100, height=100, seed=4)
+        sx, sy = deployment.positions[deployment.sink]
+        assert 20 < sx < 80 and 20 < sy < 80
+
+    def test_seeds_move_nodes(self):
+        a = tight_grid(seed=1).positions
+        b = tight_grid(seed=2).positions
+        assert a != b
+
+
+class TestTracerSinks:
+    def test_sink_receives_records(self):
+        sim = Simulator(seed=1)
+        seen = []
+        sim.tracer.enable()
+        sim.tracer.add_sink(seen.append)
+        sim.tracer.emit("cat", "hello", node=5)
+        assert len(seen) == 1
+        assert seen[0].message == "hello"
+
+    def test_clear(self):
+        sim = Simulator(seed=1)
+        sim.tracer.enable()
+        sim.tracer.emit("cat", "x")
+        sim.tracer.clear()
+        assert sim.tracer.records == []
+
+    def test_disable_stops_recording(self):
+        sim = Simulator(seed=1)
+        sim.tracer.enable()
+        sim.tracer.emit("cat", "kept")
+        sim.tracer.disable()
+        sim.tracer.emit("cat", "dropped")
+        assert [r.message for r in sim.tracer.records] == ["kept"]
+
+
+class TestApiGlue:
+    def test_run_experiment_delegates(self):
+        result = repro.run_experiment(
+            "tele",
+            zigbee_channel=26,
+            seed=1,
+            n_controls=3,
+            control_interval_s=20.0,
+            converge_seconds=120.0,
+        )
+        assert result.variant == "tele"
+        assert result.n_controls == 3
+
+    def test_remote_control_result_alias(self):
+        from repro.metrics.control import ControlRecord
+
+        assert repro.RemoteControlResult is ControlRecord
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestNetworkMetricsFilters:
+    def test_tx_since_mark_type_filter(self):
+        net = repro.build_network(topology="indoor-testbed", seed=1, protocol="none")
+        net.run(20)
+        net.metrics.mark()
+        net.run(40)
+        beacons = net.metrics.tx_since_mark((FrameType.ROUTING_BEACON,))
+        total = net.metrics.tx_since_mark()
+        assert 0 <= beacons <= total

@@ -1,0 +1,117 @@
+"""Tests for one-to-many delivery via code prefixes (repro.core.multicast)."""
+
+import pytest
+
+from repro.core import Controller, TeleAdjusting
+from repro.core.multicast import MULTICAST, is_multicast, member_of
+from repro.core.messages import ControlPacket
+from repro.core.pathcode import PathCode
+from repro.net import NodeStack
+from repro.radio.channel import Channel
+from repro.radio.noise import ConstantNoise
+from repro.radio.propagation import LogDistancePathLoss
+from repro.sim import SECOND, Simulator
+
+
+def build_tree(seed=1):
+    """Sink with two subtrees: 1→(3,4) and 2→(5)."""
+    positions = [
+        (0.0, 0.0),      # 0 sink
+        (12.0, 8.0),     # 1
+        (12.0, -8.0),    # 2
+        (24.0, 12.0),    # 3 child of 1
+        (24.0, 6.0),     # 4 child of 1
+        (24.0, -14.0),   # 5 child of 2 (out of range of 1)
+    ]
+    sim = Simulator(seed=seed)
+    gains = LogDistancePathLoss(pl_d0=40.0, seed=seed, shadowing_sigma=0.0).gain_matrix(
+        positions
+    )
+    channel = Channel(sim, gains, noise_model=ConstantNoise())
+    controller = Controller(channel=channel)
+    protocols, stacks = {}, {}
+    for i in range(len(positions)):
+        stack = NodeStack(sim, channel, i, is_root=(i == 0), always_on=True)
+        protocols[i] = TeleAdjusting(sim, stack, controller=controller)
+        stacks[i] = stack
+    for i in range(len(positions)):
+        stacks[i].start()
+        protocols[i].start()
+    sim.run(until=120 * SECOND)
+    controller.snapshot(protocols)
+    return sim, stacks, protocols, controller
+
+
+class TestHelpers:
+    def test_is_multicast(self):
+        control = ControlPacket(
+            destination=MULTICAST,
+            destination_code=PathCode.sink(),
+            expected_relay=None,
+            expected_length=0,
+        )
+        assert is_multicast(control)
+        control.destination = 5
+        assert not is_multicast(control)
+
+    def test_member_of_uses_current_code_only(self):
+        sim, stacks, protocols, _ = build_tree()
+        node3 = protocols[3]
+        prefix = protocols[1].allocation.code
+        assert member_of(node3.forwarding, prefix)
+        # A node outside the subtree is not a member…
+        node5 = protocols[5]
+        assert not member_of(node5.forwarding, prefix)
+        # …even if an old code placed it there.
+        node5.allocation._set_code(prefix.extend(3, 2))
+        node5.allocation._set_code(PathCode.from_bits("111"))
+        assert not member_of(node5.forwarding, prefix)
+        assert member_of(node5.forwarding, prefix, include_old=True)
+
+
+class TestSubtreeDelivery:
+    def test_subtree_members_receive_exactly_once(self):
+        sim, stacks, protocols, controller = build_tree()
+        prefix = protocols[1].allocation.code
+        members = {
+            n
+            for n, p in protocols.items()
+            if p.allocation.code is not None
+            and prefix.is_prefix_of(p.allocation.code)
+        }
+        assert members >= {1}
+        applied = []
+        for node, protocol in protocols.items():
+            protocol.forwarding.on_apply = (
+                lambda payload, me=node: applied.append(me)
+            )
+        protocols[0].forwarding.send_multicast(prefix, payload="subtree-cmd")
+        sim.run(until=sim.now + 40 * SECOND)
+        assert set(applied) == members
+        assert len(applied) == len(set(applied))  # exactly once each
+
+    def test_one_to_all_via_sink_prefix(self):
+        sim, stacks, protocols, controller = build_tree()
+        applied = set()
+        for node, protocol in protocols.items():
+            protocol.forwarding.on_apply = (
+                lambda payload, me=node: applied.add(me)
+            )
+        # The sink's code prefixes every node: one-to-all dissemination.
+        protocols[0].forwarding.send_multicast(PathCode.sink(), payload="all")
+        sim.run(until=sim.now + 60 * SECOND)
+        assert applied == set(protocols)
+
+    def test_other_subtree_untouched(self):
+        sim, stacks, protocols, controller = build_tree()
+        prefix = protocols[2].allocation.code
+        applied = set()
+        for node, protocol in protocols.items():
+            protocol.forwarding.on_apply = (
+                lambda payload, me=node: applied.add(me)
+            )
+        protocols[0].forwarding.send_multicast(prefix, payload="only-2s")
+        sim.run(until=sim.now + 40 * SECOND)
+        assert 1 not in applied
+        assert 3 not in applied and 4 not in applied
+        assert 2 in applied and 5 in applied

@@ -1,0 +1,112 @@
+"""Tests for the neighbour code table (paper §III-B6 end, §III-C3)."""
+
+from repro.core.neighbortable import NeighborCodeTable
+from repro.core.pathcode import PathCode
+
+
+def code(bits: str) -> PathCode:
+    return PathCode.from_bits(bits)
+
+
+class TestCodeUpdates:
+    def test_update_and_lookup(self):
+        table = NeighborCodeTable()
+        table.update_code(5, code("010"), now=100)
+        assert table.code_of(5) == code("010")
+        assert 5 in table
+        assert len(table) == 1
+
+    def test_code_change_demotes_old(self):
+        table = NeighborCodeTable(old_code_ttl=1000)
+        table.update_code(5, code("010"), now=0)
+        table.update_code(5, code("0111"), now=100)
+        entry = table.entry(5)
+        assert entry.new_code == code("0111")
+        assert entry.old_code == code("010")
+        assert entry.old_code_expires == 1100
+
+    def test_same_code_does_not_demote(self):
+        table = NeighborCodeTable()
+        table.update_code(5, code("010"), now=0)
+        table.update_code(5, code("010"), now=100)
+        assert table.entry(5).old_code is None
+
+    def test_old_code_expiry(self):
+        table = NeighborCodeTable(old_code_ttl=1000)
+        table.update_code(5, code("010"), now=0)
+        table.update_code(5, code("0111"), now=100)
+        live = dict(table.codes(now=500))
+        assert live  # both codes present before expiry
+        codes_at_500 = list(table.codes(now=500))
+        assert (5, code("010")) in codes_at_500
+        codes_at_2000 = list(table.codes(now=2000))
+        assert (5, code("010")) not in codes_at_2000
+        assert (5, code("0111")) in codes_at_2000
+
+
+class TestUnreachable:
+    def test_mark_with_ttl_expires(self):
+        table = NeighborCodeTable(unreachable_ttl=1000)
+        table.update_code(5, code("01"), now=0)
+        table.mark_unreachable(5, now=100)
+        assert table.entry(5).is_unreachable(500)
+        assert not table.entry(5).is_unreachable(1200)
+
+    def test_beacon_clears_flag(self):
+        table = NeighborCodeTable()
+        table.update_code(5, code("01"), now=0)
+        table.mark_unreachable(5, now=100)
+        table.heard_from(5, now=200)
+        assert not table.entry(5).is_unreachable(300)
+
+    def test_unreachable_excluded_from_codes(self):
+        table = NeighborCodeTable(unreachable_ttl=1000)
+        table.update_code(5, code("01"), now=0)
+        table.update_code(6, code("10"), now=0)
+        table.mark_unreachable(5, now=0)
+        live = [n for n, _ in table.codes(now=100)]
+        assert live == [6]
+        included = [n for n, _ in table.codes(now=100, include_unreachable=True)]
+        assert sorted(included) == [5, 6]
+
+    def test_mark_unknown_neighbor_is_noop(self):
+        table = NeighborCodeTable()
+        table.mark_unreachable(42, now=0)  # must not raise
+        assert 42 not in table
+
+
+class TestBestOnPath:
+    def test_longest_prefix_wins(self):
+        table = NeighborCodeTable()
+        target = code("0010101")
+        table.update_code(1, code("001"), now=0)
+        table.update_code(2, code("00101"), now=0)
+        table.update_code(3, code("0011"), now=0)  # off path
+        neighbor, length = table.best_on_path(target, now=0)
+        assert neighbor == 2
+        assert length == 5
+
+    def test_min_length_threshold(self):
+        table = NeighborCodeTable()
+        target = code("0010101")
+        table.update_code(1, code("001"), now=0)
+        neighbor, length = table.best_on_path(target, now=0, min_length=3)
+        assert neighbor is None
+        assert length == -1
+
+    def test_old_codes_participate(self):
+        # The retained old code keeps a renamed neighbour addressable.
+        table = NeighborCodeTable(old_code_ttl=10_000)
+        target = code("0010101")
+        table.update_code(1, code("00101"), now=0)
+        table.update_code(1, code("0111"), now=100)  # moved subtree
+        neighbor, length = table.best_on_path(target, now=200)
+        assert neighbor == 1
+        assert length == 5
+
+    def test_unreachable_skipped(self):
+        table = NeighborCodeTable(unreachable_ttl=10_000)
+        target = code("0010101")
+        table.update_code(1, code("00101"), now=0)
+        table.mark_unreachable(1, now=0)
+        assert table.best_on_path(target, now=100) == (None, -1)

@@ -1,0 +1,139 @@
+"""Tests for the RPL downward-routing baseline."""
+
+import pytest
+
+from repro.baselines.rpl import RplDownward, RplParams
+from repro.net import NodeStack
+from repro.radio.channel import Channel
+from repro.radio.noise import ConstantNoise
+from repro.radio.propagation import LogDistancePathLoss
+from repro.sim import SECOND, Simulator
+
+
+def build(n=4, spacing=12.0, seed=1, params=None):
+    sim = Simulator(seed=seed)
+    positions = [(i * spacing, 0.0) for i in range(n)]
+    gains = LogDistancePathLoss(pl_d0=40.0, seed=seed, shadowing_sigma=0.0).gain_matrix(
+        positions
+    )
+    channel = Channel(sim, gains, noise_model=ConstantNoise())
+    stacks, rpls = {}, {}
+    for i in range(n):
+        stack = NodeStack(sim, channel, i, is_root=(i == 0), always_on=True)
+        rpls[i] = RplDownward(sim, stack, params=params)
+        stacks[i] = stack
+    for i in range(n):
+        stacks[i].start()
+        rpls[i].start()
+    return sim, channel, stacks, rpls
+
+
+class TestDaoPropagation:
+    def test_sink_learns_all_destinations(self):
+        sim, _, _, rpls = build(n=4)
+        sim.run(until=120 * SECOND)
+        assert set(rpls[0].routes) == {1, 2, 3}
+
+    def test_routes_point_to_correct_next_hop(self):
+        sim, _, _, rpls = build(n=4)
+        sim.run(until=120 * SECOND)
+        assert rpls[0].routes[3].next_hop == 1
+        assert rpls[1].routes[3].next_hop == 2
+        assert rpls[0].routes[1].next_hop == 1
+
+    def test_intermediate_node_stores_subtree_only(self):
+        sim, _, _, rpls = build(n=4)
+        sim.run(until=120 * SECOND)
+        assert set(rpls[2].routes) == {3}
+        assert set(rpls[1].routes) == {2, 3}
+
+    def test_dao_counts_are_bounded(self):
+        sim, _, _, rpls = build(n=4)
+        sim.run(until=300 * SECOND)
+        # Periodic refresh (30 s) plus change-triggered cascades, but no
+        # storms: well under a few per node per refresh interval.
+        for node in (1, 2, 3):
+            assert rpls[node].daos_sent < 40, (node, rpls[node].daos_sent)
+
+
+class TestDownwardForwarding:
+    def test_delivery_along_stored_route(self):
+        sim, _, _, rpls = build(n=4)
+        sim.run(until=120 * SECOND)
+        delivered = []
+        rpls[3].on_delivered = delivered.append
+        pending = rpls[0].send_control(3, payload={"k": 1})
+        sim.run(until=sim.now + 30 * SECOND)
+        assert delivered and delivered[0].payload == {"k": 1}
+        assert delivered[0].hops == 3
+        assert pending.delivered
+        assert pending.acked_at is not None
+
+    def test_no_route_fails_immediately(self):
+        sim, _, _, rpls = build(n=3)
+        sim.run(until=1 * SECOND)  # too early: no DAOs yet
+        outcomes = []
+        rpls[0].send_control(2, done=outcomes.append)
+        sim.run(until=sim.now + 5 * SECOND)
+        assert outcomes and outcomes[0].failed
+        assert outcomes[0].fail_reason == "no-route"
+
+    def test_dead_next_hop_drops_packet(self):
+        params = RplParams(max_hop_tries=2, e2e_timeout=30 * SECOND)
+        sim, _, stacks, rpls = build(n=4, params=params)
+        sim.run(until=120 * SECOND)
+        stacks[2].radio.fail()
+        outcomes = []
+        rpls[0].send_control(3, done=outcomes.append)
+        sim.run(until=sim.now + 60 * SECOND)
+        assert outcomes and outcomes[0].failed
+        assert rpls[1].controls_dropped >= 1
+
+    def test_send_from_non_root_rejected(self):
+        sim, _, _, rpls = build(n=2)
+        with pytest.raises(RuntimeError):
+            rpls[1].send_control(0)
+
+    def test_on_apply_at_destination(self):
+        sim, _, _, rpls = build(n=3)
+        sim.run(until=120 * SECOND)
+        applied = []
+        rpls[2].on_apply = applied.append
+        rpls[0].send_control(2, payload="set-x")
+        sim.run(until=sim.now + 20 * SECOND)
+        assert applied == ["set-x"]
+
+
+class TestRouteLifetime:
+    def test_stale_routes_expire_from_reachable_set(self):
+        params = RplParams(route_lifetime=40 * SECOND, dao_interval=15 * SECOND)
+        sim, _, stacks, rpls = build(n=3, params=params)
+        sim.run(until=90 * SECOND)
+        assert 2 in rpls[0].routes
+        # Kill node 2: its DAOs stop, so node 1 stops advertising it.
+        stacks[2].radio.fail()
+        sim.run(until=sim.now + 120 * SECOND)
+        reachable_via_1 = rpls[1]._reachable_set()
+        assert 2 not in reachable_via_1
+
+
+class TestLoopGuard:
+    def test_ttl_bounds_looping_packets(self):
+        """Two nodes whose stored routes point at each other must not
+        ping-pong a packet forever (paper: RPL 'network loop', Fig 8(c))."""
+        from repro.baselines.rpl import RplParams, _RouteEntry
+
+        params = RplParams(max_hops=8)
+        sim, _, stacks, rpls = build(n=4, params=params)
+        sim.run(until=120 * SECOND)
+        # Corrupt the tables into a loop for destination 3: 1→2 and 2→1.
+        rpls[1].routes[3] = _RouteEntry(next_hop=2, refreshed_at=sim.now)
+        rpls[2].routes[3] = _RouteEntry(next_hop=1, refreshed_at=sim.now)
+        stacks[3].radio.fail()  # ensure nothing breaks the loop by delivering
+        outcomes = []
+        rpls[0].send_control(3, done=outcomes.append)
+        sim.run(until=sim.now + 60 * SECOND)
+        total_forwards = sum(r.controls_forwarded for r in rpls.values())
+        assert total_forwards <= params.max_hops * 3 + 10
+        dropped_reasons = [o.fail_reason for o in outcomes if o.failed]
+        assert outcomes and outcomes[0].failed

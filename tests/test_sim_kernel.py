@@ -1,0 +1,273 @@
+"""Unit and property tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import MILLISECOND, SECOND, Simulator, Timer, from_seconds, to_seconds
+from repro.sim.events import EventQueue
+from repro.sim.simulator import SimulationError
+
+
+class TestEventQueue:
+    def test_empty_queue_pops_none(self):
+        q = EventQueue()
+        assert q.pop() is None
+        assert len(q) == 0
+        assert not q
+
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(30, lambda: None)
+        q.push(10, lambda: None)
+        q.push(20, lambda: None)
+        times = [q.pop().time for _ in range(3)]
+        assert times == [10, 20, 30]
+
+    def test_fifo_within_same_time(self):
+        q = EventQueue()
+        order = []
+        q.push(5, order.append, (1,))
+        q.push(5, order.append, (2,))
+        q.push(5, order.append, (3,))
+        while q:
+            event = q.pop()
+            event.callback(*event.args)
+        assert order == [1, 2, 3]
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        keep = q.push(10, lambda: "keep")
+        drop = q.push(5, lambda: "drop")
+        drop.cancel()
+        q.note_cancelled()
+        assert q.pop() is keep
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        first = q.push(5, lambda: None)
+        q.push(10, lambda: None)
+        first.cancel()
+        assert q.peek_time() == 10
+
+    def test_clear_empties_queue(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(i, lambda: None)
+        q.clear()
+        assert len(q) == 0
+        assert q.pop() is None
+
+    def test_pending_property(self):
+        q = EventQueue()
+        event = q.push(1, lambda: None)
+        assert event.pending
+        event.cancel()
+        assert not event.pending
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=200))
+    def test_property_pops_in_nondecreasing_time_order(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        popped = []
+        while q:
+            popped.append(q.pop().time)
+        assert popped == sorted(times)
+
+
+class TestSimulator:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now == 0
+
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, "a")
+        sim.schedule(50, fired.append, "b")
+        sim.run()
+        assert fired == ["b", "a"]
+        assert sim.now == 100
+
+    def test_run_until_advances_clock_exactly(self):
+        sim = Simulator()
+        sim.schedule(10 * SECOND, lambda: None)
+        sim.run(until=3 * SECOND)
+        assert sim.now == 3 * SECOND
+        sim.run(until=20 * SECOND)
+        assert sim.now == 20 * SECOND
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, fired.append, 1)
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, fired.append, 1)
+        sim.schedule(2, sim.stop)
+        sim.schedule(3, fired.append, 2)
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(i + 1, lambda: None)
+        executed = sim.run(max_events=4)
+        assert executed == 4
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 5:
+                sim.schedule(10, chain, n + 1)
+
+        sim.schedule(0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def inner():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1, inner)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_named_rngs_are_independent_and_deterministic(self):
+        a = Simulator(seed=42)
+        b = Simulator(seed=42)
+        assert a.rng("x").random() == b.rng("x").random()
+        # Creating another stream must not disturb an existing one.
+        c = Simulator(seed=42)
+        c.rng("other")
+        assert c.rng("x").random() == Simulator(seed=42).rng("x").random()
+
+    def test_different_seeds_differ(self):
+        assert Simulator(seed=1).rng("x").random() != Simulator(seed=2).rng("x").random()
+
+    def test_now_seconds(self):
+        sim = Simulator()
+        sim.schedule(1500 * MILLISECOND, lambda: None)
+        sim.run()
+        assert sim.now_seconds == pytest.approx(1.5)
+
+
+class TestUnits:
+    def test_roundtrip(self):
+        assert to_seconds(from_seconds(1.25)) == pytest.approx(1.25)
+
+    def test_one_second_is_a_million_ticks(self):
+        assert from_seconds(1.0) == 1_000_000
+
+    @given(st.integers(min_value=0, max_value=2**52))
+    def test_property_tick_roundtrip_exact(self, ticks):
+        assert from_seconds(to_seconds(ticks)) == ticks
+
+
+class TestTimer:
+    def test_one_shot_fires_once(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start_one_shot(5)
+        sim.run(until=100)
+        assert fired == [5]
+
+    def test_periodic_fires_repeatedly(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start_periodic(10)
+        sim.run(until=35)
+        assert fired == [10, 20, 30]
+
+    def test_stop_cancels(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start_periodic(10)
+        sim.schedule(25, timer.stop)
+        sim.run(until=100)
+        assert fired == [10, 20]
+
+    def test_restart_resets_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start_one_shot(10)
+        sim.schedule(5, lambda: timer.start_one_shot(10))
+        sim.run(until=100)
+        assert fired == [15]
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ValueError):
+            Timer(Simulator(), lambda: None).start_periodic(0)
+
+    def test_running_property(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.running
+        timer.start_one_shot(10)
+        assert timer.running
+        sim.run()
+        assert not timer.running
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        sim = Simulator()
+        sim.tracer.emit("cat", "msg")
+        assert sim.tracer.records == []
+
+    def test_records_when_enabled(self):
+        sim = Simulator()
+        sim.tracer.enable()
+        sim.schedule(7, lambda: sim.tracer.emit("cat", "msg", node=3, extra=1))
+        sim.run()
+        (record,) = sim.tracer.records
+        assert record.time == 7
+        assert record.node == 3
+        assert record.data == {"extra": 1}
+
+    def test_category_filter(self):
+        sim = Simulator()
+        sim.tracer.enable(categories={"keep"})
+        sim.tracer.emit("keep", "a")
+        sim.tracer.emit("drop", "b")
+        assert [r.category for r in sim.tracer.records] == ["keep"]
+
+    def test_filter_helper(self):
+        sim = Simulator()
+        sim.tracer.enable()
+        sim.tracer.emit("a", "x", node=1)
+        sim.tracer.emit("a", "y", node=2)
+        sim.tracer.emit("b", "z", node=1)
+        assert len(sim.tracer.filter(category="a")) == 2
+        assert len(sim.tracer.filter(node=1)) == 2
+        assert len(sim.tracer.filter(category="a", node=1)) == 1

@@ -1,0 +1,113 @@
+"""Space extension (§III-B6) exercised end to end.
+
+A parent whose bit space fills up must extend it by one bit, keep all
+existing positions, notify children, and the whole subtree must re-derive
+codes that remain prefix-consistent.
+"""
+
+import math
+
+import pytest
+
+from repro.core import Controller, TeleAdjusting
+from repro.core.allocation import AllocationParams
+from repro.net import NodeStack
+from repro.radio.channel import Channel
+from repro.radio.noise import ConstantNoise
+from repro.radio.propagation import LogDistancePathLoss
+from repro.sim import SECOND, Simulator
+
+
+def star_with_late_joiners(n_initial=2, n_late=6, seed=8):
+    """A sink with a few initial leaves; more appear later (radios off)."""
+    positions = [(0.0, 0.0)]
+    total = n_initial + n_late
+    for i in range(total):
+        angle = 2 * math.pi * i / total
+        positions.append((8.0 * math.cos(angle), 8.0 * math.sin(angle)))
+    sim = Simulator(seed=seed)
+    gains = LogDistancePathLoss(pl_d0=40.0, seed=seed, shadowing_sigma=0.0).gain_matrix(
+        positions
+    )
+    channel = Channel(sim, gains, noise_model=ConstantNoise())
+    controller = Controller(channel=channel)
+    protocols, stacks = {}, {}
+    params = AllocationParams(stability_rounds=4)
+    for i in range(len(positions)):
+        stack = NodeStack(sim, channel, i, is_root=(i == 0), always_on=True)
+        protocols[i] = TeleAdjusting(
+            sim, stack, controller=controller, allocation_params=params
+        )
+        stacks[i] = stack
+    late = list(range(n_initial + 1, total + 1))
+    for i in range(len(positions)):
+        stacks[i].start()
+        protocols[i].start()
+    for node in late:
+        stacks[node].radio.fail()  # not present at initial allocation
+    return sim, stacks, protocols, late
+
+
+class TestSpaceExtension:
+    def test_late_joiners_force_extension_and_codes_stay_consistent(self):
+        sim, stacks, protocols, late = star_with_late_joiners()
+        sim.run(until=60 * SECOND)
+        sink_alloc = protocols[0].allocation
+        initial_space = sink_alloc.children.space_bits
+        assert initial_space >= 2
+        initial_codes = {
+            node: protocols[node].allocation.code
+            for node in protocols
+            if protocols[node].allocation.code is not None and node != 0
+        }
+        assert initial_codes, "initial members never coded"
+        # The late wave joins: more children than the reserve anticipated.
+        for node in late:
+            stacks[node].radio.recover()
+            stacks[node].radio.turn_on()
+        sim.run(until=sim.now + 240 * SECOND)
+        # Everyone ends up coded…
+        for node, protocol in protocols.items():
+            assert protocol.allocation.code is not None, node
+        # …the space either grew or had enough reserve; if it grew, the
+        # early members' positions were preserved (paper §III-B6).
+        final_space = sink_alloc.children.space_bits
+        assert final_space >= initial_space
+        for node, old_code in initial_codes.items():
+            allocation = protocols[node].allocation
+            if allocation._position_parent != 0:
+                continue
+            entry = sink_alloc.children.entry(node)
+            assert entry is not None
+            # The numeric position survived any extension.
+            assert entry.position == allocation.position
+        # Prefix consistency holds across the whole (re-derived) tree.
+        sink_code = protocols[0].allocation.code
+        codes = set()
+        for node, protocol in protocols.items():
+            code = protocol.allocation.code
+            assert sink_code.is_prefix_of(code)
+            assert code not in codes or node == 0
+            codes.add(code)
+
+    def test_extension_widens_child_codes(self):
+        sim, stacks, protocols, late = star_with_late_joiners(n_initial=2, n_late=6)
+        sim.run(until=60 * SECOND)
+        sink_alloc = protocols[0].allocation
+        coded_before = {
+            node: protocols[node].allocation.code.length
+            for node in protocols
+            if protocols[node].allocation.code is not None and node != 0
+        }
+        space_before = sink_alloc.children.space_bits
+        for node in late:
+            stacks[node].radio.recover()
+            stacks[node].radio.turn_on()
+        sim.run(until=sim.now + 240 * SECOND)
+        space_after = sink_alloc.children.space_bits
+        if space_after > space_before:
+            grew = space_after - space_before
+            for node, old_len in coded_before.items():
+                allocation = protocols[node].allocation
+                if allocation._position_parent == 0 and allocation.code is not None:
+                    assert allocation.code.length == old_len + grew, node

@@ -1,0 +1,53 @@
+"""Tests for the sweep/aggregation machinery."""
+
+import pytest
+
+from repro.experiments.sweep import (
+    AggregateMetric,
+    sweep_network_size,
+)
+
+
+class TestAggregateMetric:
+    def test_empty(self):
+        metric = AggregateMetric()
+        assert metric.mean is None
+        assert metric.min is None
+        assert metric.max is None
+        assert metric.summary() == "n/a"
+
+    def test_aggregation(self):
+        metric = AggregateMetric()
+        for value in (1.0, 2.0, None, 3.0):
+            metric.add(value)
+        assert metric.mean == pytest.approx(2.0)
+        assert metric.min == 1.0
+        assert metric.max == 3.0
+        assert "n=3" in metric.summary()
+
+
+class TestNetworkSizeSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_network_size(sizes=(8, 16), n_controls=6, seed=2)
+
+    def test_point_per_size(self, points):
+        assert [p.x for p in points] == [8.0, 16.0]
+
+    def test_delivery_reliable_at_both_sizes(self, points):
+        for point in points:
+            assert point.pdr is not None and point.pdr >= 0.6, point
+
+    def test_codes_grow_with_size(self, points):
+        small, large = points
+        assert large.detail["max_code_bits"] >= small.detail["max_code_bits"]
+        assert small.detail["coded_fraction"] >= 0.8
+        assert large.detail["coded_fraction"] >= 0.8
+
+    def test_detail_fields_present(self, points):
+        for point in points:
+            assert set(point.detail) == {
+                "max_code_bits",
+                "mean_code_bits",
+                "coded_fraction",
+            }

@@ -1,0 +1,128 @@
+"""Tests for path decoding and packet timelines (observability features)."""
+
+import pytest
+
+from repro.core import Controller, TeleAdjusting
+from repro.core.pathcode import PathCode
+from repro.experiments.timeline import (
+    TELE_CATEGORIES,
+    packet_timeline,
+    render_timeline,
+    serials_seen,
+    summarize,
+)
+from repro.net import NodeStack
+from repro.radio.channel import Channel
+from repro.radio.noise import ConstantNoise
+from repro.radio.propagation import LogDistancePathLoss
+from repro.sim import SECOND, Simulator
+
+
+class TestDecodePath:
+    def test_decodes_registered_prefix_chain(self):
+        controller = Controller()
+        sink = PathCode.sink()
+        a = sink.extend(1, 2)
+        b = a.extend(3, 3)
+        controller.report_code(0, sink)
+        controller.report_code(4, a)
+        controller.report_code(9, b)
+        path = controller.decode_path(b)
+        assert path == [(0, sink), (4, a), (9, b)]
+
+    def test_gaps_for_unreported_relays(self):
+        controller = Controller()
+        sink = PathCode.sink()
+        a = sink.extend(1, 2)
+        b = a.extend(3, 3)
+        controller.report_code(0, sink)
+        controller.report_code(9, b)  # middle relay never reported
+        path = controller.decode_path(b)
+        assert [node for node, _ in path] == [0, 9]
+
+    def test_empty_registry(self):
+        controller = Controller()
+        assert controller.decode_path(PathCode.from_bits("0101")) == []
+
+    def test_live_network_decode(self):
+        sim = Simulator(seed=4)
+        positions = [(i * 12.0, 0.0) for i in range(4)]
+        gains = LogDistancePathLoss(pl_d0=40.0, seed=4, shadowing_sigma=0.0).gain_matrix(
+            positions
+        )
+        channel = Channel(sim, gains, noise_model=ConstantNoise())
+        controller = Controller(channel=channel)
+        protocols = {}
+        for i in range(4):
+            stack = NodeStack(sim, channel, i, is_root=(i == 0), always_on=True)
+            protocols[i] = TeleAdjusting(sim, stack, controller=controller)
+            stack.start()
+            protocols[i].start()
+        sim.run(until=120 * SECOND)
+        controller.snapshot(protocols)
+        deep = protocols[3].allocation.code
+        path = controller.decode_path(deep)
+        nodes = [node for node, _ in path]
+        assert nodes == [0, 1, 2, 3]  # the full relay chain of the line
+        # Prefixes nest along the decoded path.
+        for (_, shorter), (_, longer) in zip(path, path[1:]):
+            assert shorter.is_prefix_of(longer)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    sim = Simulator(seed=5)
+    positions = [(i * 12.0, 0.0) for i in range(4)]
+    gains = LogDistancePathLoss(pl_d0=40.0, seed=5, shadowing_sigma=0.0).gain_matrix(
+        positions
+    )
+    channel = Channel(sim, gains, noise_model=ConstantNoise())
+    controller = Controller(channel=channel)
+    protocols = {}
+    for i in range(4):
+        stack = NodeStack(sim, channel, i, is_root=(i == 0), always_on=True)
+        protocols[i] = TeleAdjusting(sim, stack, controller=controller)
+        stack.start()
+        protocols[i].start()
+    sim.run(until=120 * SECOND)
+    controller.snapshot(protocols)
+    sim.tracer.enable(categories=TELE_CATEGORIES)
+    pending = protocols[0].remote_control(3, payload="x")
+    sim.run(until=sim.now + 30 * SECOND)
+    return sim, pending
+
+
+class TestTimeline:
+    def test_events_recorded_for_serial(self, traced_run):
+        sim, pending = traced_run
+        serial = pending.control.serial
+        events = packet_timeline(sim.tracer, serial)
+        assert events, "no events traced"
+        kinds = [e.kind for e in events]
+        assert "forward" in kinds
+        assert kinds[-1] == "deliver" or "deliver" in kinds
+
+    def test_events_time_ordered(self, traced_run):
+        sim, pending = traced_run
+        events = packet_timeline(sim.tracer, pending.control.serial)
+        times = [e.time_s for e in events]
+        assert times == sorted(times)
+
+    def test_render_contains_nodes_and_markers(self, traced_run):
+        sim, pending = traced_run
+        text = render_timeline(sim.tracer, pending.control.serial)
+        assert "serial" in text
+        assert "→" in text
+        assert "✔" in text
+
+    def test_render_unknown_serial(self, traced_run):
+        sim, _ = traced_run
+        assert "no trace records" in render_timeline(sim.tracer, 999_999)
+
+    def test_serials_and_summary(self, traced_run):
+        sim, pending = traced_run
+        serial = pending.control.serial
+        assert serial in serials_seen(sim.tracer)
+        counts = summarize(sim.tracer)[serial]
+        assert counts["forward"] >= 1
+        assert counts["deliver"] == 1

@@ -1,0 +1,138 @@
+"""Tests for the Trickle timer (RFC 6206 behaviour)."""
+
+from repro.net.trickle import TrickleTimer
+from repro.sim import Simulator
+
+import pytest
+
+
+def make(sim, fires, i_min=1000, doublings=3, k=1):
+    return TrickleTimer(
+        sim, lambda: fires.append(sim.now), i_min=i_min, i_max_doublings=doublings, k=k
+    )
+
+
+class TestBasics:
+    def test_fires_within_first_interval(self):
+        sim = Simulator(seed=1)
+        fires = []
+        timer = make(sim, fires)
+        timer.start()
+        sim.run(until=1000)
+        assert len(fires) == 1
+        assert 500 <= fires[0] < 1000
+
+    def test_interval_doubles_up_to_max(self):
+        sim = Simulator(seed=1)
+        timer = make(sim, [], i_min=1000, doublings=2)
+        timer.start()
+        sim.run(until=20_000)
+        assert timer.interval == 4000  # 1000 * 2**2
+
+    def test_fire_count_is_logarithmic(self):
+        sim = Simulator(seed=3)
+        fires = []
+        timer = make(sim, fires, i_min=1000, doublings=10, k=0)
+        timer.start()
+        sim.run(until=1_000_000)
+        # Intervals 1000, 2000, ... doubling: ~log2(1e6/1e3)=10 + tail.
+        assert 5 < len(fires) < 30
+
+    def test_start_is_idempotent(self):
+        sim = Simulator(seed=1)
+        fires = []
+        timer = make(sim, fires)
+        timer.start()
+        timer.start()
+        sim.run(until=999)
+        assert len(fires) <= 1
+
+    def test_stop_halts(self):
+        sim = Simulator(seed=1)
+        fires = []
+        timer = make(sim, fires)
+        timer.start()
+        timer.stop()
+        sim.run(until=100_000)
+        assert fires == []
+
+    def test_invalid_params(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            TrickleTimer(sim, lambda: None, i_min=1)
+        with pytest.raises(ValueError):
+            TrickleTimer(sim, lambda: None, i_max_doublings=-1)
+
+
+class TestSuppression:
+    def test_k_consistent_messages_suppress(self):
+        sim = Simulator(seed=1)
+        fires = []
+        timer = make(sim, fires, k=1)
+        timer.start()
+        # Flood consistency before the fire point of every interval.
+        for t in range(0, 50_000, 200):
+            sim.schedule(t, timer.hear_consistent)
+        sim.run(until=50_000)
+        assert fires == []
+
+    def test_k_zero_never_suppresses(self):
+        sim = Simulator(seed=1)
+        fires = []
+        timer = make(sim, fires, k=0)
+        timer.start()
+        for t in range(0, 10_000, 100):
+            sim.schedule(t, timer.hear_consistent)
+        sim.run(until=10_000)
+        assert len(fires) >= 3
+
+    def test_counter_resets_each_interval(self):
+        sim = Simulator(seed=1)
+        timer = make(sim, [], k=5)
+        timer.start()
+        timer.hear_consistent()
+        timer.hear_consistent()
+        assert timer.counter == 2
+        sim.run(until=1001)  # first interval over
+        assert timer.counter == 0
+
+
+class TestReset:
+    def test_inconsistency_resets_interval(self):
+        sim = Simulator(seed=1)
+        timer = make(sim, [], i_min=1000, doublings=4)
+        timer.start()
+        sim.run(until=30_000)
+        assert timer.interval > 1000
+        timer.hear_inconsistent()
+        assert timer.interval == 1000
+
+    def test_reset_when_already_minimal_is_noop(self):
+        sim = Simulator(seed=1)
+        fires = []
+        timer = make(sim, fires, i_min=1000)
+        timer.start()
+        sim.run(until=400)
+        timer.reset()  # interval already i_min: must not reschedule
+        sim.run(until=1000)
+        assert len(fires) <= 1
+
+    def test_reset_starts_stopped_timer(self):
+        sim = Simulator(seed=1)
+        fires = []
+        timer = make(sim, fires)
+        timer.reset()
+        assert timer.running
+        sim.run(until=1000)
+        assert len(fires) == 1
+
+    def test_reset_fires_quickly_after_long_idle(self):
+        sim = Simulator(seed=1)
+        fires = []
+        timer = make(sim, fires, i_min=1000, doublings=6)
+        timer.start()
+        sim.run(until=100_000)
+        count = len(fires)
+        timer.hear_inconsistent()
+        sim.run(until=sim.now + 1000)
+        assert len(fires) == count + 1  # fired within one i_min

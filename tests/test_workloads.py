@@ -1,0 +1,147 @@
+"""Tests for workloads: WiFi interference, collection traffic, control schedule."""
+
+import pytest
+
+from repro.radio.propagation import LogDistancePathLoss
+from repro.sim import MILLISECOND, SECOND, Simulator
+from repro.workloads.collection import CollectionWorkload
+from repro.workloads.control import ControlSchedule
+from repro.workloads.interference import WifiInterferer, WifiParams
+
+
+class TestWifiParams:
+    def test_channel19_full_coupling(self):
+        assert WifiParams.zigbee_channel(19).coupling_db == 0.0
+
+    def test_channel26_essentially_off(self):
+        assert WifiParams.zigbee_channel(26).coupling_db <= -50.0
+
+    def test_intermediate_channels_partial(self):
+        c22 = WifiParams.zigbee_channel(22).coupling_db
+        assert -50 < c22 < 0
+
+    def test_overrides(self):
+        params = WifiParams.zigbee_channel(19, tx_power_dbm=20.0)
+        assert params.tx_power_dbm == 20.0
+
+
+class TestWifiInterferer:
+    def _make(self, coupling=0.0):
+        sim = Simulator(seed=1)
+        positions = [(0.0, 0.0), (5.0, 0.0)]
+        propagation = LogDistancePathLoss(pl_d0=40.0, seed=1, shadowing_sigma=0.0)
+        params = WifiParams(position=(2.0, 1.0), coupling_db=coupling)
+        interferer = WifiInterferer(sim, positions, propagation, params)
+        return sim, interferer
+
+    def test_idle_contributes_nothing(self):
+        sim, interferer = self._make()
+        assert interferer.interference_dbm_at(0) is None
+
+    def test_bursts_alternate(self):
+        sim, interferer = self._make()
+        interferer.start()
+        active_samples = []
+
+        def sample():
+            active_samples.append(interferer.active)
+            sim.schedule(5 * MILLISECOND, sample)
+
+        sim.schedule(0, sample)
+        sim.run(until=2 * SECOND)
+        assert any(active_samples) and not all(active_samples)
+
+    def test_power_declines_with_distance(self):
+        sim, interferer = self._make()
+        interferer.active = True
+        near = interferer.interference_dbm_at(0)
+        far = interferer.interference_dbm_at(1)
+        assert near is not None and far is not None
+        assert near > far
+
+    def test_decoupled_channel_silent(self):
+        sim, interferer = self._make(coupling=-80.0)
+        interferer.active = True
+        assert interferer.interference_dbm_at(0) is None
+
+    def test_busy_time_accounted(self):
+        sim, interferer = self._make()
+        interferer.start()
+        sim.run(until=5 * SECOND)
+        assert 0 < interferer.busy_time < 5 * SECOND
+
+
+class TestControlSchedule:
+    def test_fires_requested_count(self):
+        sim = Simulator(seed=1)
+        sent = []
+        schedule = ControlSchedule(
+            sim, send=lambda d, i: sent.append((d, i)), destinations=[5, 6, 7],
+            interval=SECOND, count=4,
+        )
+        schedule.start()
+        sim.run(until=10 * SECOND)
+        assert len(sent) == 4
+        assert [i for _, i in sent] == [0, 1, 2, 3]
+        assert all(d in (5, 6, 7) for d, _ in sent)
+
+    def test_unbounded_schedule_keeps_firing(self):
+        sim = Simulator(seed=1)
+        sent = []
+        schedule = ControlSchedule(
+            sim, send=lambda d, i: sent.append(d), destinations=[1], interval=SECOND
+        )
+        schedule.start()
+        sim.run(until=10 * SECOND + 1)
+        assert len(sent) >= 9
+
+    def test_history_recorded(self):
+        sim = Simulator(seed=1)
+        schedule = ControlSchedule(
+            sim, send=lambda d, i: None, destinations=[3], interval=SECOND, count=2
+        )
+        schedule.start()
+        sim.run(until=5 * SECOND)
+        assert schedule.history == [3, 3]
+
+    def test_empty_destinations_rejected(self):
+        with pytest.raises(ValueError):
+            ControlSchedule(Simulator(), send=lambda d, i: None, destinations=[])
+
+    def test_start_idempotent(self):
+        sim = Simulator(seed=1)
+        sent = []
+        schedule = ControlSchedule(
+            sim, send=lambda d, i: sent.append(d), destinations=[1],
+            interval=SECOND, count=3,
+        )
+        schedule.start()
+        schedule.start()
+        sim.run(until=10 * SECOND)
+        assert len(sent) == 3
+
+
+class TestCollectionWorkload:
+    def test_periodic_generation_and_delivery(self):
+        from repro.net import NodeStack
+        from repro.radio.channel import Channel
+        from repro.radio.noise import ConstantNoise
+
+        sim = Simulator(seed=1)
+        positions = [(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]
+        gains = LogDistancePathLoss(pl_d0=40.0, seed=1, shadowing_sigma=0.0).gain_matrix(
+            positions
+        )
+        channel = Channel(sim, gains, noise_model=ConstantNoise())
+        stacks = {
+            i: NodeStack(sim, channel, i, is_root=(i == 0), always_on=True)
+            for i in range(3)
+        }
+        workload = CollectionWorkload(sim, stacks, ipi=20 * SECOND)
+        for stack in stacks.values():
+            stack.start()
+        workload.start()
+        sim.run(until=200 * SECOND)
+        assert workload.generated >= 10
+        assert workload.delivery_ratio is not None
+        assert workload.delivery_ratio > 0.8
