@@ -77,6 +77,60 @@ def test_unicast_train_cost(benchmark):
     assert benchmark(run) == 20
 
 
+def test_runner_dispatch_overhead(benchmark):
+    """Engine overhead per cell: 50 trivial cells through the serial path."""
+    from repro.runner import ParallelRunner, selftest_spec
+
+    specs = [selftest_spec(i) for i in range(50)]
+
+    def run():
+        return ParallelRunner(jobs=1).run(specs)
+
+    outcomes = benchmark(run)
+    assert [o.status for o in outcomes] == ["executed"] * 50
+
+
+def test_runner_parallel_throughput_canary():
+    """jobs=1 vs jobs=cpu_count over sleepy cells; emits BENCH_runner.json.
+
+    Not an assertion on speed-up (a 1-CPU container plus spawn start-up can
+    legitimately lose on tiny grids) — the JSON file is the trajectory the
+    perf dashboards track; correctness of the parallel path *is* asserted.
+    """
+    import json
+    import os
+    import time
+    from pathlib import Path
+
+    from repro.runner import ParallelRunner, selftest_spec
+
+    n_cells, sleep_s = 8, 0.2
+    specs = [selftest_spec(i, sleep_s=sleep_s) for i in range(n_cells)]
+
+    started = time.perf_counter()
+    serial = ParallelRunner(jobs=1).run(specs)
+    serial_s = time.perf_counter() - started
+
+    jobs = max(2, os.cpu_count() or 1)
+    started = time.perf_counter()
+    parallel = ParallelRunner(jobs=jobs).run(specs)
+    parallel_s = time.perf_counter() - started
+
+    assert [o.result for o in parallel] == [o.result for o in serial]
+    assert all(o.status == "executed" for o in parallel)
+
+    payload = {
+        "cells": n_cells,
+        "sleep_s_per_cell": sleep_s,
+        "jobs": jobs,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+    }
+    Path("BENCH_runner.json").write_text(json.dumps(payload, indent=2))
+    print(f"\nrunner throughput: {payload}")
+
+
 def test_cpm_sampling_rate(benchmark):
     """Noise-model sampling — the hottest per-CCA call in big runs."""
     trace = synthesize_meyer_like_trace(length=10_000, seed=1)

@@ -1,8 +1,11 @@
 #!/usr/bin/env python3
-"""Beyond the paper: wake-interval trade-off and scalability sweeps.
+"""Beyond the paper: wake-interval and scalability sweeps on the runner.
 
 The paper fixes the LPL wake interval at 512 ms and evaluates two fixed
-network sizes. This example sweeps both axes:
+network sizes. This example sweeps both axes, and demonstrates the
+``repro.runner`` execution engine: every sweep point is an independent cell,
+so ``--jobs N`` fans them out over N worker processes, and ``--cache-dir``
+makes re-runs load unchanged points from disk instead of re-simulating.
 
 1. wake interval ∈ {256, 512, 1024} ms — latency rises with the interval
    (per-hop rendezvous), idle duty cycle falls;
@@ -11,30 +14,49 @@ network sizes. This example sweeps both axes:
 
 Usage::
 
-    python examples/parameter_sweep.py
+    python examples/parameter_sweep.py                 # serial, no cache
+    python examples/parameter_sweep.py --jobs 4        # parallel
+    python examples/parameter_sweep.py --jobs 4 --cache-dir .repro-cache
 """
 
+import argparse
+
 from repro.experiments.sweep import sweep_network_size, sweep_wake_interval
+from repro.runner import ParallelRunner, ResultCache
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None, help="reuse unchanged points from here"
+    )
+    args = parser.parse_args()
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+
+    runner = ParallelRunner(jobs=args.jobs, cache=cache)
     print("Wake-interval sweep (TeleAdjusting, indoor testbed)")
     print(f"{'wake_ms':>8s} {'PDR':>6s} {'duty':>7s} {'latency':>8s}")
-    for point in sweep_wake_interval((256, 512, 1024), n_controls=10):
+    for point in sweep_wake_interval((256, 512, 1024), n_controls=10, runner=runner):
         print(
             f"{point.x:8.0f} {point.pdr:6.2f} "
             f"{point.duty_cycle * 100:6.2f}% {point.mean_latency:7.2f}s"
         )
+    print(runner.last_report.summary_line())
 
+    runner = ParallelRunner(jobs=args.jobs, cache=cache)
     print("\nNetwork-size sweep (constant density)")
     print(f"{'nodes':>6s} {'PDR':>6s} {'coded':>6s} {'avg bits':>9s} {'max bits':>9s}")
-    for point in sweep_network_size((10, 20, 40), n_controls=8):
+    for point in sweep_network_size((10, 20, 40), n_controls=8, runner=runner):
         print(
             f"{point.x:6.0f} {point.pdr:6.2f} "
             f"{point.detail['coded_fraction']:6.2f} "
             f"{point.detail['mean_code_bits']:9.2f} "
             f"{point.detail['max_code_bits']:9.0f}"
         )
+    print(runner.last_report.summary_line())
 
 
 if __name__ == "__main__":

@@ -32,6 +32,13 @@ from repro.experiments.comparison import ComparisonResult, run_comparison
 from repro.metrics.stats import mean, percentile
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _write_csv(path: Optional[str], headers, rows) -> None:
     if path is None:
         return
@@ -267,6 +274,115 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Grid name → the comparison variants it covers. Channels default to the
+#: paper's clean channel (26) except the full matrix, which runs both.
+_RUN_GRIDS: Dict[str, tuple] = {
+    "fig7": ("drip", "re-tele", "tele", "rpl"),
+    "fig8": ("tele", "rpl"),
+    "fig10": ("drip", "tele", "rpl"),
+    "table3": ("tele", "re-tele", "rpl", "drip"),
+    "compare": ("tele", "re-tele", "rpl", "drip"),
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Run an experiment grid through the parallel execution engine."""
+    from repro.experiments.sweep import AggregateMetric
+    from repro.metrics.io import comparison_from_dict, save_results
+    from repro.runner import ParallelRunner, ResultCache, comparison_spec
+
+    variants = _RUN_GRIDS[args.grid]
+    channels = args.channels
+    if channels is None:
+        channels = [26, 19] if args.grid in ("compare", "table3") else [26]
+    specs = [
+        comparison_spec(
+            variant,
+            zigbee_channel=channel,
+            seed=seed,
+            n_controls=args.controls,
+            control_interval_s=args.interval,
+        )
+        for channel in channels
+        for variant in variants
+        for seed in args.seeds
+    ]
+    progress = None
+    if not args.quiet:
+        progress = lambda category, message, **data: print(
+            f"[{category}] {message}", file=sys.stderr
+        )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = ParallelRunner(
+        jobs=args.jobs, cache=cache, timeout=args.timeout, progress=progress
+    )
+    outcomes = runner.run(specs)
+
+    runs = []
+    rows = []
+    aggregates: Dict[tuple, Dict[str, AggregateMetric]] = {}
+    for outcome in outcomes:
+        params = outcome.spec.params
+        key = (params["variant"], params["zigbee_channel"])
+        if outcome.result is None:
+            rows.append([*key, params["seed"], outcome.status, "-", "-", "-", "-"])
+            continue
+        run = comparison_from_dict(outcome.result)
+        runs.append(run)
+        rows.append(
+            [
+                run.variant,
+                run.zigbee_channel,
+                run.seed,
+                outcome.status,
+                f"{run.pdr:.3f}" if run.pdr is not None else "n/a",
+                f"{run.tx_per_control:.2f}" if run.tx_per_control else "n/a",
+                f"{run.duty_cycle * 100:.2f}" if run.duty_cycle else "n/a",
+                f"{run.mean_latency:.2f}" if run.mean_latency else "n/a",
+            ]
+        )
+        cell = aggregates.setdefault(
+            key, {m: AggregateMetric() for m in ("pdr", "tx", "duty", "latency")}
+        )
+        cell["pdr"].add(run.pdr)
+        cell["tx"].add(run.tx_per_control)
+        cell["duty"].add(run.duty_cycle)
+        cell["latency"].add(run.mean_latency)
+
+    headers = ["variant", "ch", "seed", "status", "pdr", "tx/ctl", "duty%", "latency_s"]
+    print(
+        report.ascii_table(
+            headers, rows, title=f"Grid {args.grid}: per-cell results"
+        )
+    )
+    if len(args.seeds) > 1:
+        agg_rows = [
+            [
+                variant,
+                channel,
+                cell["pdr"].summary(),
+                cell["tx"].summary(),
+                cell["latency"].summary(),
+            ]
+            for (variant, channel), cell in sorted(aggregates.items())
+        ]
+        print()
+        print(
+            report.ascii_table(
+                ["variant", "ch", "pdr", "tx/ctl", "latency_s"],
+                agg_rows,
+                title=f"Grid {args.grid}: seed-averaged (n={len(args.seeds)})",
+            )
+        )
+    print()
+    print(runner.last_report.summary_table())
+    _write_csv(args.csv, headers, rows)
+    if args.out:
+        save_results(runs, args.out)
+        print(f"(results written to {args.out})")
+    return 0 if runner.last_report.failed == 0 else 1
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> int:
     import repro
 
@@ -380,6 +496,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="only the fast construction experiments (Fig 6 / Table II)",
     )
     p.set_defaults(func=_cmd_all)
+
+    p = sub.add_parser(
+        "run",
+        help="run an experiment grid in parallel with result caching",
+        description=(
+            "Execute a grid of comparison cells through repro.runner: "
+            "cells fan out over --jobs worker processes and unchanged cells "
+            "are answered from --cache-dir instead of re-simulated."
+        ),
+    )
+    p.add_argument("grid", choices=sorted(_RUN_GRIDS))
+    p.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes (1 = serial)",
+    )
+    p.add_argument(
+        "--seeds", type=int, nargs="+", default=[1], help="one cell per seed"
+    )
+    p.add_argument(
+        "--channels", type=int, nargs="+", choices=(26, 19), default=None,
+        help="override the grid's default ZigBee channels",
+    )
+    p.add_argument("--controls", type=int, default=20)
+    p.add_argument("--interval", type=float, default=60.0)
+    p.add_argument(
+        "--cache-dir", type=str, default=".repro-cache",
+        help="content-addressed result cache directory",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="always re-simulate every cell"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock timeout in seconds (parallel mode only)",
+    )
+    p.add_argument("--csv", type=str, default=None)
+    p.add_argument("--out", type=str, default=None, help="save full runs as JSON")
+    p.add_argument("--quiet", action="store_true", help="no per-cell progress lines")
+    p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("quickstart", help="one remote-control round trip")
     p.add_argument("--seed", type=int, default=1)

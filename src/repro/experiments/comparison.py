@@ -21,6 +21,16 @@ from repro.workloads.control import ControlSchedule
 #: [22], included to quantify the bloom-false-positive criticism).
 VARIANTS = ("tele", "re-tele", "drip", "rpl", "orpl")
 
+#: Default schedule of :func:`run_comparison`, shared with the runner's
+#: :func:`repro.runner.taskspec.comparison_spec` so a spec built with
+#: defaults hashes identically to a call made with defaults.
+COMPARISON_DEFAULTS = {
+    "n_controls": 30,
+    "control_interval_s": 15.0,
+    "converge_seconds": 240.0,
+    "drain_seconds": 60.0,
+}
+
 
 @dataclass
 class ComparisonResult:
@@ -40,7 +50,13 @@ class ComparisonResult:
     control_metrics: Optional[ControlMetrics] = None
 
 
-def _network_for(variant: str, channel: int, seed: int) -> Network:
+def config_for(variant: str, channel: int, seed: int) -> NetworkConfig:
+    """The :class:`NetworkConfig` one comparison cell runs on.
+
+    Exposed (rather than inlined in :func:`_network_for`) so the runner's
+    cache key can fingerprint the *derived* configuration: any change to
+    this mapping invalidates cached cells.
+    """
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}; choose from {VARIANTS}")
     protocol = {
@@ -50,25 +66,27 @@ def _network_for(variant: str, channel: int, seed: int) -> Network:
         "rpl": "rpl",
         "orpl": "orpl",
     }[variant]
-    return Network(
-        NetworkConfig(
-            topology="indoor-testbed",
-            protocol=protocol,
-            seed=seed,
-            zigbee_channel=channel,
-            re_tele=(variant == "re-tele"),
-        )
+    return NetworkConfig(
+        topology="indoor-testbed",
+        protocol=protocol,
+        seed=seed,
+        zigbee_channel=channel,
+        re_tele=(variant == "re-tele"),
     )
+
+
+def _network_for(variant: str, channel: int, seed: int) -> Network:
+    return Network(config_for(variant, channel, seed))
 
 
 def run_comparison(
     variant: str,
     zigbee_channel: int = 26,
     seed: int = 0,
-    n_controls: int = 30,
-    control_interval_s: float = 15.0,
-    converge_seconds: float = 240.0,
-    drain_seconds: float = 60.0,
+    n_controls: int = COMPARISON_DEFAULTS["n_controls"],
+    control_interval_s: float = COMPARISON_DEFAULTS["control_interval_s"],
+    converge_seconds: float = COMPARISON_DEFAULTS["converge_seconds"],
+    drain_seconds: float = COMPARISON_DEFAULTS["drain_seconds"],
 ) -> ComparisonResult:
     """Run the paper's testbed experiment for one protocol/channel cell.
 

@@ -10,8 +10,9 @@ per request. Examples and benchmarks all build on this class; the public
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.baselines.drip import Drip, DripParams
 from repro.baselines.orpl import OrplDownward, OrplParams
@@ -76,6 +77,36 @@ class NetworkConfig:
     #: dynamics. 0 disables. The clean-channel testbed behaves like a gentle
     #: environment; WiFi interference (channel 19) adds the harsher bursts.
     fading_sigma_db: float = 2.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-ready dict: sorted keys at every level.
+
+        Nested parameter dataclasses (``MacParams``, ``AllocationParams``, …)
+        become sorted dicts, a :class:`~repro.topology.Deployment` topology
+        serialises through its own ``to_dict``, and tuples become lists, so
+        the output is stable across field/insertion order and suitable for
+        content-addressed cache keys (see :mod:`repro.runner.taskspec`).
+        """
+        return {
+            f.name: _canonical_value(getattr(self, f.name))
+            for f in sorted(dataclasses.fields(self), key=lambda f: f.name)
+        }
+
+
+def _canonical_value(value: Any) -> Any:
+    """Recursively convert a config value to sorted, JSON-ready form."""
+    if isinstance(value, Deployment):
+        return value.to_dict()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical_value(getattr(value, f.name))
+            for f in sorted(dataclasses.fields(value), key=lambda f: f.name)
+        }
+    if isinstance(value, dict):
+        return {str(k): _canonical_value(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v) for v in value]
+    return value
 
 
 class Network:

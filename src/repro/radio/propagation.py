@@ -47,6 +47,16 @@ class LogDistancePathLoss:
         self._seed = seed
         self._shadowing: Dict[Tuple[int, int], float] = {}
 
+    def to_dict(self) -> Dict[str, float]:
+        """Canonical JSON-ready parameters (used for experiment cache keys)."""
+        return {
+            "d0": self.d0,
+            "path_loss_exponent": self.path_loss_exponent,
+            "pl_d0": self.pl_d0,
+            "seed": self._seed,
+            "shadowing_sigma": self.shadowing_sigma,
+        }
+
     def _link_key(self, a: int, b: int) -> Tuple[int, int]:
         return (a, b) if a <= b else (b, a)
 

@@ -1,0 +1,57 @@
+"""``repro.runner`` — parallel experiment execution with result caching.
+
+The layer between the simulator and every experiment driver above it:
+
+- :class:`TaskSpec` — canonical, hashable description of one cell
+  (:func:`comparison_spec`, :func:`wake_interval_spec`,
+  :func:`network_size_spec`, :func:`selftest_spec` build them);
+- :class:`ResultCache` — content-addressed on-disk JSON cache, invalidated
+  by any config change or a ``repro`` version bump;
+- :class:`ParallelRunner` — process-pool execution with per-cell timeout,
+  bounded retry, crash containment, and deterministic result ordering
+  (``jobs=1`` is the bit-identical serial path);
+- :class:`RunnerReport` / :class:`CellTelemetry` — cells
+  executed/cached/failed, sim-vs-wall time, aggregate throughput.
+
+Usage::
+
+    from repro.runner import ParallelRunner, ResultCache, comparison_spec
+    specs = [comparison_spec("tele", seed=s) for s in range(1, 6)]
+    runner = ParallelRunner(jobs=4, cache=ResultCache(".repro-cache"))
+    outcomes = runner.run(specs)
+    print(runner.last_report.summary_table())
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.engine import ParallelRunner, RunnerOutcome
+from repro.runner.execute import InjectedFault, execute_spec, run_task
+from repro.runner.taskspec import (
+    SPEC_SCHEMA,
+    TaskSpec,
+    canonical_json,
+    comparison_spec,
+    fingerprint_of,
+    network_size_spec,
+    selftest_spec,
+    wake_interval_spec,
+)
+from repro.runner.telemetry import CellTelemetry, RunnerReport
+
+__all__ = [
+    "SPEC_SCHEMA",
+    "CellTelemetry",
+    "InjectedFault",
+    "ParallelRunner",
+    "ResultCache",
+    "RunnerOutcome",
+    "RunnerReport",
+    "TaskSpec",
+    "canonical_json",
+    "comparison_spec",
+    "execute_spec",
+    "fingerprint_of",
+    "network_size_spec",
+    "run_task",
+    "selftest_spec",
+    "wake_interval_spec",
+]

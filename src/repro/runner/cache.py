@@ -1,0 +1,68 @@
+"""On-disk, content-addressed result cache.
+
+One JSON file per cell, named by the spec fingerprint. Because the
+fingerprint already folds in the package version, a version bump simply
+makes old entries unreachable; :meth:`ResultCache.load` additionally
+verifies the stored version/fingerprint fields so a stale or tampered file
+degrades to a cache miss, never to a wrong result.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.runner.taskspec import SPEC_SCHEMA, TaskSpec
+from repro.version import __version__
+
+
+class ResultCache:
+    """Load/store successful cell results keyed by spec fingerprint."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, spec: TaskSpec) -> Path:
+        """Cache file for one spec."""
+        return self.root / f"{spec.fingerprint}.json"
+
+    def load(self, spec: TaskSpec) -> Optional[Dict[str, Any]]:
+        """The cached result payload, or None on any kind of miss."""
+        path = self.path_for(spec)
+        try:
+            stored = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            stored.get("schema") != SPEC_SCHEMA
+            or stored.get("version") != __version__
+            or stored.get("fingerprint") != spec.fingerprint
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stored.get("result")
+
+    def store(self, spec: TaskSpec, result: Dict[str, Any]) -> Path:
+        """Persist one successful result; returns the file written."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        payload = {
+            "schema": SPEC_SCHEMA,
+            "version": __version__,
+            "fingerprint": spec.fingerprint,
+            "kind": spec.kind,
+            "label": spec.label,
+            "params": spec.params,
+            "result": result,
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(path)
+        self.stores += 1
+        return path

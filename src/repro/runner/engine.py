@@ -1,0 +1,303 @@
+"""The parallel experiment execution engine.
+
+:class:`ParallelRunner` schedules :class:`~repro.runner.taskspec.TaskSpec`
+cells over a ``ProcessPoolExecutor`` (spawn context by default, so workers
+never inherit surprise state), with:
+
+- a result cache consulted before any simulation happens;
+- a bounded in-flight window (= ``jobs``), so a per-task timeout measured
+  from submission is a fair bound on actual run time;
+- crash containment: a worker that dies (segfault, ``os._exit``) breaks the
+  pool; the engine kills and rebuilds it, re-queues the in-flight cells, and
+  charges an attempt to each — a poisoned cell fails alone after its retry
+  budget, the rest of the grid completes;
+- hang containment: a cell past its timeout gets the same treatment (the
+  pool is killed — there is no portable way to interrupt one worker);
+- deterministic result ordering: outcomes come back in spec order no matter
+  what order cells finished in.
+
+``jobs=1`` is the degenerate serial path: cells run in-process through the
+same :func:`~repro.runner.execute.run_task`, so results are bit-identical
+to the parallel path and to the historical serial drivers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.cache import ResultCache
+from repro.runner.execute import run_task, sim_seconds_estimate
+from repro.runner.taskspec import TaskSpec
+from repro.runner.telemetry import CellTelemetry, RunnerReport
+
+#: Signature of a progress sink: ``(category, message, **data)`` — matches
+#: :meth:`repro.sim.trace.Tracer.emit`, so a Tracer can be plugged directly.
+ProgressSink = Callable[..., None]
+
+
+@dataclass
+class RunnerOutcome:
+    """One cell's final disposition, in spec order."""
+
+    spec: TaskSpec
+    #: The executor's result payload, or None if the cell failed.
+    result: Optional[Dict[str, Any]]
+    #: "executed" | "cached" | "failed"
+    status: str
+    attempts: int = 1
+    wall_s: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell produced a result (fresh or cached)."""
+        return self.result is not None
+
+
+class ParallelRunner:
+    """Run a grid of task specs with caching, retries, and telemetry."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        mp_context: str = "spawn",
+        progress: Optional[ProgressSink] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs
+        self.cache = cache
+        self.timeout = timeout
+        self.max_attempts = retries + 1
+        self.mp_context = mp_context
+        self.progress = progress
+        self.last_report: Optional[RunnerReport] = None
+
+    # ------------------------------------------------------------- internals
+    def _emit(self, message: str, **data: Any) -> None:
+        if self.progress is not None:
+            self.progress("runner", message, **data)
+
+    def _from_cache(self, spec: TaskSpec) -> Optional[Dict[str, Any]]:
+        if self.cache is None:
+            return None
+        return self.cache.load(spec)
+
+    def _store(self, spec: TaskSpec, result: Dict[str, Any]) -> None:
+        if self.cache is not None:
+            self.cache.store(spec, result)
+
+    # ------------------------------------------------------------------- run
+    def run(self, specs: Sequence[TaskSpec]) -> List[RunnerOutcome]:
+        """Execute every spec; outcomes are returned in spec order."""
+        started = time.perf_counter()
+        outcomes: List[Optional[RunnerOutcome]] = [None] * len(specs)
+
+        # Cache pass first: cached cells never occupy a worker.
+        pending: deque = deque()  # (index, spec, attempt)
+        for index, spec in enumerate(specs):
+            cached = self._from_cache(spec)
+            if cached is not None:
+                outcomes[index] = RunnerOutcome(spec, cached, "cached")
+                self._emit(f"cached {spec.name}", cell=spec.name, status="cached")
+            else:
+                pending.append((index, spec, 0))
+
+        if pending:
+            if self.jobs == 1:
+                self._run_serial(pending, outcomes)
+            else:
+                self._run_parallel(pending, outcomes)
+
+        final = [o for o in outcomes if o is not None]
+        assert len(final) == len(specs)
+        self.last_report = self._report(final, time.perf_counter() - started)
+        self._emit(self.last_report.summary_line(), **self.last_report.counters())
+        return final
+
+    def results(self, specs: Sequence[TaskSpec]) -> List[Optional[Dict[str, Any]]]:
+        """Convenience: :meth:`run`, reduced to the raw result payloads."""
+        return [outcome.result for outcome in self.run(specs)]
+
+    # ---------------------------------------------------------------- serial
+    def _run_serial(
+        self, pending: deque, outcomes: List[Optional[RunnerOutcome]]
+    ) -> None:
+        while pending:
+            index, spec, attempt = pending.popleft()
+            self._emit(f"run {spec.name}", cell=spec.name, attempt=attempt)
+            cell_started = time.perf_counter()
+            try:
+                reply = run_task(
+                    {"spec": spec.to_dict(), "attempt": attempt}, in_process=True
+                )
+            except Exception as exc:  # injected faults / executor bugs
+                wall = time.perf_counter() - cell_started
+                self._retry_or_fail(
+                    pending, outcomes, index, spec, attempt, wall, repr(exc)
+                )
+                continue
+            outcomes[index] = RunnerOutcome(
+                spec, reply["result"], "executed", attempt + 1, reply["wall_s"]
+            )
+            self._store(spec, reply["result"])
+            self._emit(f"done {spec.name}", cell=spec.name, wall_s=reply["wall_s"])
+
+    def _retry_or_fail(
+        self,
+        pending: deque,
+        outcomes: List[Optional[RunnerOutcome]],
+        index: int,
+        spec: TaskSpec,
+        attempt: int,
+        wall: float,
+        error: str,
+    ) -> None:
+        if attempt + 1 < self.max_attempts:
+            self._emit(
+                f"retry {spec.name}: {error}", cell=spec.name, attempt=attempt + 1
+            )
+            pending.appendleft((index, spec, attempt + 1))
+        else:
+            outcomes[index] = RunnerOutcome(
+                spec, None, "failed", attempt + 1, wall, error
+            )
+            self._emit(f"failed {spec.name}: {error}", cell=spec.name, status="failed")
+
+    # -------------------------------------------------------------- parallel
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=multiprocessing.get_context(self.mp_context),
+        )
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Forcibly stop a pool whose workers may be hung or dead."""
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.kill()
+            except Exception:  # already gone
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_parallel(
+        self, pending: deque, outcomes: List[Optional[RunnerOutcome]]
+    ) -> None:
+        InFlight = Tuple[int, TaskSpec, int, float]  # index, spec, attempt, deadline
+        pool = self._new_pool()
+        in_flight: Dict[Future, InFlight] = {}
+        tick = 0.1 if self.timeout is None else min(0.1, self.timeout / 4)
+        try:
+            while pending or in_flight:
+                while pending and len(in_flight) < self.jobs:
+                    index, spec, attempt = pending.popleft()
+                    deadline = (
+                        time.monotonic() + self.timeout
+                        if self.timeout is not None
+                        else float("inf")
+                    )
+                    self._emit(f"run {spec.name}", cell=spec.name, attempt=attempt)
+                    try:
+                        future = pool.submit(
+                            run_task, {"spec": spec.to_dict(), "attempt": attempt}
+                        )
+                    except BrokenProcessPool:
+                        # The pool died between completions. If futures are
+                        # still in flight their breakage is handled below;
+                        # otherwise rebuild right here so the loop can't spin.
+                        pending.appendleft((index, spec, attempt))
+                        if not in_flight:
+                            self._kill_pool(pool)
+                            pool = self._new_pool()
+                        break
+                    in_flight[future] = (index, spec, attempt, deadline)
+
+                done, _ = wait(in_flight, timeout=tick, return_when=FIRST_COMPLETED)
+                pool_broken = False
+                for future in done:
+                    index, spec, attempt, _deadline = in_flight.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        reply = future.result()
+                        outcomes[index] = RunnerOutcome(
+                            spec, reply["result"], "executed", attempt + 1,
+                            reply["wall_s"],
+                        )
+                        self._store(spec, reply["result"])
+                        self._emit(
+                            f"done {spec.name}", cell=spec.name, wall_s=reply["wall_s"]
+                        )
+                    elif isinstance(exc, BrokenProcessPool):
+                        # A worker died; attribution is impossible, so every
+                        # broken in-flight cell is charged an attempt below.
+                        pool_broken = True
+                        self._retry_or_fail(
+                            pending, outcomes, index, spec, attempt, 0.0,
+                            "worker process died (BrokenProcessPool)",
+                        )
+                    else:
+                        self._retry_or_fail(
+                            pending, outcomes, index, spec, attempt, 0.0, repr(exc)
+                        )
+
+                now = time.monotonic()
+                timed_out = [f for f, entry in in_flight.items() if now > entry[3]]
+                if pool_broken or timed_out:
+                    self._kill_pool(pool)
+                    for future, (index, spec, attempt, _deadline) in in_flight.items():
+                        if pool_broken or future in timed_out:
+                            # Offender or co-casualty of a dead pool: charge
+                            # an attempt (the work is lost either way).
+                            self._retry_or_fail(
+                                pending, outcomes, index, spec, attempt, 0.0,
+                                f"timed out after {self.timeout}s"
+                                if future in timed_out
+                                else "worker process died (BrokenProcessPool)",
+                            )
+                        else:
+                            # Innocent bystander of a timeout kill: re-queue
+                            # without charging an attempt.
+                            self._emit(
+                                f"requeue {spec.name} (pool restarted)",
+                                cell=spec.name,
+                            )
+                            pending.appendleft((index, spec, attempt))
+                    in_flight.clear()
+                    pool = self._new_pool()
+        finally:
+            self._kill_pool(pool)
+
+    # ------------------------------------------------------------- reporting
+    def _report(self, outcomes: List[RunnerOutcome], wall_s: float) -> RunnerReport:
+        report = RunnerReport(jobs=self.jobs, wall_s=wall_s)
+        for index, outcome in enumerate(outcomes):
+            report.cells.append(
+                CellTelemetry(
+                    index=index,
+                    label=outcome.spec.name,
+                    kind=outcome.spec.kind,
+                    fingerprint=outcome.spec.fingerprint,
+                    status=outcome.status,
+                    attempts=outcome.attempts,
+                    wall_s=outcome.wall_s,
+                    sim_s=(
+                        sim_seconds_estimate(outcome.spec)
+                        if outcome.status == "executed"
+                        else 0.0
+                    ),
+                    error=outcome.error,
+                )
+            )
+        return report

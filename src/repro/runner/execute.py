@@ -1,0 +1,146 @@
+"""Spec execution: the code that actually runs inside worker processes.
+
+:func:`run_task` is the spawn-safe, top-level worker function handed to the
+process pool — it takes a plain dict (a serialised :class:`TaskSpec` plus
+the attempt number), dispatches on the spec's ``kind``, and returns a plain
+dict. The serial (``jobs=1``) path calls the very same function in-process,
+so parallel and serial execution are the same code and produce identical
+results.
+
+Fault injection: a spec's ``fault`` mapping can request a crash
+(``os._exit`` in a worker — indistinguishable from a segfault), a raised
+exception, or a hang on the first N attempts. This is the test hook for the
+engine's retry/timeout machinery; faults are excluded from the cache
+fingerprint so they never pollute real results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.runner.taskspec import TaskSpec
+
+
+class InjectedFault(RuntimeError):
+    """Raised by the fault-injection hook (and by in-process "crashes")."""
+
+
+def _apply_fault(
+    fault: Optional[Mapping[str, Any]], attempt: int, in_process: bool
+) -> None:
+    if not fault:
+        return
+    if attempt < int(fault.get("crash_attempts", 0)):
+        if in_process:
+            # A hard exit would kill the caller's interpreter; an exception
+            # exercises the same serial retry path.
+            raise InjectedFault(f"injected crash (attempt {attempt})")
+        os._exit(17)
+    if attempt < int(fault.get("error_attempts", 0)):
+        raise InjectedFault(f"injected error (attempt {attempt})")
+    if attempt < int(fault.get("hang_attempts", 0)):
+        time.sleep(float(fault.get("hang_s", 3600.0)))
+
+
+# ------------------------------------------------------------------ executors
+
+def _execute_comparison(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.comparison import run_comparison
+    from repro.metrics.io import comparison_to_dict
+
+    result = run_comparison(
+        params["variant"],
+        zigbee_channel=params["zigbee_channel"],
+        seed=params["seed"],
+        **params["schedule"],
+    )
+    return comparison_to_dict(result)
+
+
+def _execute_wake_interval(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.sweep import wake_interval_point
+
+    point = wake_interval_point(
+        params["wake_ms"],
+        protocol=params["protocol"],
+        seed=params["seed"],
+        n_controls=params["n_controls"],
+        converge_seconds=params["converge_seconds"],
+    )
+    return point.to_dict()
+
+
+def _execute_network_size(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.sweep import network_size_point
+
+    point = network_size_point(
+        params["size"],
+        field_density=params["field_density"],
+        seed=params["seed"],
+        n_controls=params["n_controls"],
+    )
+    return point.to_dict()
+
+
+def _execute_selftest(params: Mapping[str, Any]) -> Dict[str, Any]:
+    if params["sleep_s"]:
+        time.sleep(params["sleep_s"])
+    index = params["index"]
+    # Deterministic arithmetic so result equality is checkable across paths.
+    value = (index * 2654435761 + params["payload"]) % 2**31
+    return {"index": index, "value": value}
+
+
+_EXECUTORS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {
+    "comparison": _execute_comparison,
+    "wake-interval": _execute_wake_interval,
+    "network-size": _execute_network_size,
+    "selftest": _execute_selftest,
+}
+
+
+def sim_seconds_estimate(spec: TaskSpec) -> float:
+    """Scheduled simulated seconds for one cell (telemetry's sim/wall ratio)."""
+    p = spec.params
+    if spec.kind == "comparison":
+        s = p["schedule"]
+        return (
+            s["converge_seconds"]
+            + s["n_controls"] * s["control_interval_s"]
+            + s["drain_seconds"]
+        )
+    if spec.kind == "wake-interval":
+        return p["converge_seconds"] + p["n_controls"] * 45.0 + 60.0
+    if spec.kind == "network-size":
+        return 300.0 + p["n_controls"] * 20.0 + 60.0
+    return 0.0
+
+
+def execute_spec(spec: TaskSpec) -> Dict[str, Any]:
+    """Run one cell and return its JSON-serialisable result payload."""
+    try:
+        executor = _EXECUTORS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown task kind {spec.kind!r}; choose from {sorted(_EXECUTORS)}"
+        ) from None
+    return executor(spec.params)
+
+
+def run_task(payload: Mapping[str, Any], in_process: bool = False) -> Dict[str, Any]:
+    """Top-level worker entry point (must stay importable for spawn).
+
+    ``payload`` is ``{"spec": TaskSpec.to_dict(), "attempt": int}``; the
+    return value is ``{"result", "wall_s", "sim_s"}``.
+    """
+    spec = TaskSpec.from_dict(payload["spec"])
+    _apply_fault(spec.fault, int(payload.get("attempt", 0)), in_process)
+    started = time.perf_counter()
+    result = execute_spec(spec)
+    return {
+        "result": result,
+        "wall_s": time.perf_counter() - started,
+        "sim_s": sim_seconds_estimate(spec),
+    }

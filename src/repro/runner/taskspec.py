@@ -1,0 +1,180 @@
+"""Canonical task descriptions and content-addressed cache keys.
+
+A :class:`TaskSpec` is the unit of work the execution engine schedules: one
+experiment cell (one ``run_comparison`` invocation, one sweep point, …)
+described entirely by JSON-serialisable parameters. Because the description
+is canonical — sorted keys, plain scalars/lists/dicts only — it hashes to a
+stable *fingerprint* that doubles as the result-cache key. The fingerprint
+folds in :data:`repro.version.__version__`, so bumping the package version
+invalidates every cached cell at once (simulation behaviour may have
+changed), while an unchanged cell on an unchanged version is loaded from
+disk instead of re-simulated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.version import __version__
+
+#: Bump when the spec/result wire format changes incompatibly; folded into
+#: every fingerprint so old cache entries become unreachable, not corrupt.
+SPEC_SCHEMA = 1
+
+
+def canonical_json(value: Any) -> str:
+    """Serialise ``value`` to the canonical JSON text used for hashing.
+
+    Sorted keys and tight separators make the text independent of dict
+    insertion order; anything non-JSON-serialisable is a hard error (a cache
+    key must never silently depend on ``repr`` of an arbitrary object).
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def fingerprint_of(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable experiment cell.
+
+    ``kind`` selects the executor (see :mod:`repro.runner.execute`);
+    ``params`` must be JSON-serialisable and fully determine the cell's
+    outcome. ``label`` and ``fault`` are *not* part of the fingerprint:
+    the label is cosmetic and the fault hook exists only so tests can
+    inject worker crashes/hangs/errors without changing cache identity.
+    """
+
+    kind: str
+    params: Dict[str, Any]
+    label: str = ""
+    fault: Optional[Dict[str, Any]] = field(default=None)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of (schema, kind, params, repro version)."""
+        return fingerprint_of(
+            {
+                "schema": SPEC_SCHEMA,
+                "kind": self.kind,
+                "params": self.params,
+                "version": __version__,
+            }
+        )
+
+    @property
+    def name(self) -> str:
+        """Human-readable cell name for progress/telemetry lines."""
+        return self.label or f"{self.kind}[{self.fingerprint[:10]}]"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict (crosses the process boundary to workers)."""
+        return {
+            "kind": self.kind,
+            "params": self.params,
+            "label": self.label,
+            "fault": self.fault,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TaskSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=data["kind"],
+            params=dict(data["params"]),
+            label=data.get("label", "") or "",
+            fault=data.get("fault"),
+        )
+
+
+# --------------------------------------------------------------- spec builders
+
+def comparison_spec(
+    variant: str,
+    zigbee_channel: int = 26,
+    seed: int = 0,
+    **kwargs: Any,
+) -> TaskSpec:
+    """Spec for one :func:`repro.experiments.comparison.run_comparison` cell.
+
+    The fingerprint covers the *derived* :class:`NetworkConfig` (via its
+    canonical ``to_dict``), not just the front-end arguments, so any change
+    to how a variant maps onto a network configuration invalidates the cache.
+    """
+    from repro.experiments.comparison import COMPARISON_DEFAULTS, config_for
+
+    schedule = dict(COMPARISON_DEFAULTS)
+    for key, value in kwargs.items():
+        if key not in schedule:
+            raise TypeError(f"unknown run_comparison argument: {key!r}")
+        schedule[key] = value
+    config = config_for(variant, zigbee_channel, seed)
+    return TaskSpec(
+        kind="comparison",
+        params={
+            "variant": variant,
+            "zigbee_channel": zigbee_channel,
+            "seed": seed,
+            "schedule": schedule,
+            "config": config.to_dict(),
+        },
+        label=f"{variant}/ch{zigbee_channel}/seed{seed}",
+    )
+
+
+def wake_interval_spec(
+    wake_ms: int,
+    protocol: str = "tele",
+    seed: int = 1,
+    n_controls: int = 12,
+    converge_seconds: float = 240.0,
+) -> TaskSpec:
+    """Spec for one wake-interval sweep point."""
+    return TaskSpec(
+        kind="wake-interval",
+        params={
+            "wake_ms": int(wake_ms),
+            "protocol": protocol,
+            "seed": seed,
+            "n_controls": n_controls,
+            "converge_seconds": converge_seconds,
+        },
+        label=f"wake{wake_ms}ms/{protocol}/seed{seed}",
+    )
+
+
+def network_size_spec(
+    size: int,
+    field_density: float = 170.0,
+    seed: int = 1,
+    n_controls: int = 10,
+) -> TaskSpec:
+    """Spec for one network-size sweep point."""
+    return TaskSpec(
+        kind="network-size",
+        params={
+            "size": int(size),
+            "field_density": field_density,
+            "seed": seed,
+            "n_controls": n_controls,
+        },
+        label=f"n{size}/seed{seed}",
+    )
+
+
+def selftest_spec(
+    index: int, sleep_s: float = 0.0, payload: int = 0, **extra: Any
+) -> TaskSpec:
+    """Cheap deterministic cell for engine tests and throughput canaries."""
+    return TaskSpec(
+        kind="selftest",
+        params={"index": int(index), "sleep_s": float(sleep_s), "payload": int(payload)},
+        label=f"selftest{index}",
+        **extra,
+    )

@@ -1,0 +1,123 @@
+"""Per-cell and per-grid execution telemetry.
+
+Every :class:`~repro.runner.engine.ParallelRunner.run` produces a
+:class:`RunnerReport`: one :class:`CellTelemetry` per cell (executed /
+cached / failed, attempts, wall seconds, scheduled sim seconds) plus
+aggregate counters and a summary table rendered in the repo's usual
+ASCII-table style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class CellTelemetry:
+    """How one cell fared."""
+
+    index: int
+    label: str
+    kind: str
+    fingerprint: str
+    #: "executed" | "cached" | "failed"
+    status: str
+    attempts: int = 1
+    #: Wall-clock seconds spent simulating (0 for cached cells).
+    wall_s: float = 0.0
+    #: Scheduled simulated seconds (the cell's size, wall-independent).
+    sim_s: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass
+class RunnerReport:
+    """Aggregate outcome of one grid run."""
+
+    jobs: int
+    cells: List[CellTelemetry] = field(default_factory=list)
+    #: Wall-clock seconds for the whole grid (includes scheduling overhead).
+    wall_s: float = 0.0
+
+    def _count(self, status: str) -> int:
+        return sum(1 for c in self.cells if c.status == status)
+
+    @property
+    def executed(self) -> int:
+        """Cells that were actually simulated this run."""
+        return self._count("executed")
+
+    @property
+    def cached(self) -> int:
+        """Cells answered from the result cache."""
+        return self._count("cached")
+
+    @property
+    def failed(self) -> int:
+        """Cells that exhausted their retry budget."""
+        return self._count("failed")
+
+    @property
+    def retried(self) -> int:
+        """Cells that needed more than one attempt."""
+        return sum(1 for c in self.cells if c.attempts > 1)
+
+    @property
+    def sim_seconds(self) -> float:
+        """Total scheduled simulated seconds across executed cells."""
+        return sum(c.sim_s for c in self.cells if c.status == "executed")
+
+    @property
+    def throughput(self) -> Optional[float]:
+        """Simulated seconds per wall second (the speed-up to brag about)."""
+        if self.wall_s <= 0:
+            return None
+        return self.sim_seconds / self.wall_s
+
+    def counters(self) -> Dict[str, Any]:
+        """The summary numbers as a plain dict (for JSON/bench output)."""
+        return {
+            "jobs": self.jobs,
+            "cells": len(self.cells),
+            "executed": self.executed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "retried": self.retried,
+            "wall_s": self.wall_s,
+            "sim_seconds": self.sim_seconds,
+            "throughput": self.throughput,
+        }
+
+    def summary_line(self) -> str:
+        """One-line grid outcome for progress streams."""
+        rate = self.throughput
+        return (
+            f"{len(self.cells)} cells: {self.executed} executed, "
+            f"{self.cached} cached, {self.failed} failed "
+            f"({self.retried} retried) in {self.wall_s:.1f}s wall"
+            + (f", {rate:.0f} sim-s/s" if rate and self.sim_seconds > 0 else "")
+        )
+
+    def summary_table(self) -> str:
+        """Per-cell ASCII table plus the aggregate line."""
+        from repro.experiments.report import ascii_table
+
+        rows = [
+            [
+                c.label or c.fingerprint[:10],
+                c.kind,
+                c.status,
+                c.attempts,
+                f"{c.wall_s:.2f}",
+                f"{c.sim_s:.0f}",
+                c.error or "",
+            ]
+            for c in self.cells
+        ]
+        table = ascii_table(
+            ["cell", "kind", "status", "attempts", "wall_s", "sim_s", "error"],
+            rows,
+            title=f"Runner telemetry (jobs={self.jobs})",
+        )
+        return table + "\n" + self.summary_line()

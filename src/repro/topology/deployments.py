@@ -40,6 +40,23 @@ class Deployment:
         """All-pairs link gains (dB) from the propagation model."""
         return self.propagation.gain_matrix(self.positions)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-ready description (used for experiment cache keys).
+
+        Keys are sorted and positions are plain lists, so two deployments
+        serialise identically iff they place the same radios the same way.
+        """
+        return {
+            "name": self.name,
+            "positions": [[float(x), float(y)] for x, y in self.positions],
+            "propagation": self.propagation.to_dict(),
+            "sink": self.sink,
+            "tx_power_dbm": self.tx_power_dbm,
+            "tx_power_overrides": {
+                str(k): v for k, v in sorted(self.tx_power_overrides.items())
+            },
+        }
+
     def distance(self, a: int, b: int) -> float:
         """Euclidean distance between two nodes (metres)."""
         ax, ay = self.positions[a]

@@ -1,0 +1,118 @@
+"""The `python -m repro run` grid subcommand.
+
+The simulation itself is stubbed (monkeypatched ``run_comparison``); these
+tests cover the CLI wiring: grid expansion, cache behaviour, telemetry
+output, CSV/JSON export, and exit codes. ``jobs=1`` keeps execution
+in-process so the stub is visible to the engine.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.experiments.comparison import ComparisonResult
+
+
+@pytest.fixture
+def stub_comparison(monkeypatch):
+    calls = []
+
+    def fake_run_comparison(variant, zigbee_channel=26, seed=0, **kwargs):
+        calls.append((variant, zigbee_channel, seed))
+        return ComparisonResult(
+            variant=variant,
+            zigbee_channel=zigbee_channel,
+            seed=seed,
+            n_controls=kwargs.get("n_controls", 2),
+            pdr=0.875,
+            pdr_by_hop={1: 1.0, 2: 0.75},
+            latency_by_hop={1: 0.8},
+            mean_latency=1.5,
+            tx_per_control=4.25,
+            duty_cycle=0.031,
+            athx_samples=[(1, 1)],
+        )
+
+    monkeypatch.setattr(
+        "repro.experiments.comparison.run_comparison", fake_run_comparison
+    )
+    return calls
+
+
+def run_cli(tmp_path, *extra):
+    return cli.main(
+        [
+            "run", "fig8", "--seeds", "1", "2", "--controls", "2",
+            "--cache-dir", str(tmp_path / "cache"), "--quiet", *extra,
+        ]
+    )
+
+
+class TestRunParser:
+    def test_run_subcommand_parses(self):
+        parser = cli.build_parser()
+        args = parser.parse_args(
+            ["run", "fig7", "--jobs", "4", "--cache-dir", ".repro-cache",
+             "--seeds", "1", "2", "--timeout", "30"]
+        )
+        assert args.grid == "fig7"
+        assert args.jobs == 4
+        assert args.seeds == [1, 2]
+        assert args.timeout == 30.0
+        assert callable(args.func)
+
+    def test_unknown_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["run", "fig99"])
+
+
+class TestRunExecution:
+    def test_grid_expands_variants_by_seeds(self, tmp_path, stub_comparison, capsys):
+        rc = run_cli(tmp_path)
+        assert rc == 0
+        # fig8 grid: (tele, rpl) × channel 26 × seeds (1, 2).
+        assert sorted(stub_comparison) == sorted(
+            [("tele", 26, 1), ("tele", 26, 2), ("rpl", 26, 1), ("rpl", 26, 2)]
+        )
+        out = capsys.readouterr().out
+        assert "4 cells: 4 executed, 0 cached" in out
+        assert "seed-averaged (n=2)" in out
+
+    def test_second_invocation_is_fully_cached(self, tmp_path, stub_comparison, capsys):
+        run_cli(tmp_path)
+        del stub_comparison[:]
+        rc = run_cli(tmp_path)
+        assert rc == 0
+        assert stub_comparison == []  # nothing re-simulated
+        assert "4 cells: 0 executed, 4 cached" in capsys.readouterr().out
+
+    def test_no_cache_always_simulates(self, tmp_path, stub_comparison, capsys):
+        run_cli(tmp_path)
+        del stub_comparison[:]
+        run_cli(tmp_path, "--no-cache")
+        assert len(stub_comparison) == 4
+        assert "4 executed, 0 cached" in capsys.readouterr().out
+
+    def test_out_and_csv_written(self, tmp_path, stub_comparison, capsys):
+        out_json = tmp_path / "runs.json"
+        out_csv = tmp_path / "cells.csv"
+        rc = run_cli(tmp_path, "--out", str(out_json), "--csv", str(out_csv))
+        assert rc == 0
+        saved = json.loads(out_json.read_text())
+        assert len(saved) == 4
+        assert {item["variant"] for item in saved} == {"tele", "rpl"}
+        assert out_csv.read_text().startswith("variant,ch,seed,status")
+
+    def test_failing_cells_reported_and_nonzero_exit(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        def explode(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr("repro.experiments.comparison.run_comparison", explode)
+        rc = run_cli(tmp_path)
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "4 failed" in out
+        assert "boom" in out

@@ -1,0 +1,81 @@
+"""Acceptance: the parallel path is a pure optimisation.
+
+``run_comparison_multi`` over several seeds through ``ParallelRunner``
+with ``jobs > 1`` must produce results equal per metric and per seed to the
+serial path, and a warm cache must answer a repeat invocation without
+re-simulating a single cell. Schedules are compressed to keep this suite
+minutes-scale; equality is exact, not approximate.
+"""
+
+import pytest
+
+from repro.experiments.sweep import run_comparison_multi
+
+SEEDS = (1, 2, 3, 4)
+#: Compressed schedule: enough simulated time for codes to form and a couple
+#: of control rounds, small enough that 8 cells stay test-suite friendly.
+FAST = dict(
+    n_controls=2, control_interval_s=4.0, converge_seconds=30.0, drain_seconds=10.0
+)
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return run_comparison_multi("tele", seeds=SEEDS, jobs=1, **FAST)
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("repro-cache"))
+
+
+@pytest.fixture(scope="module")
+def parallel(cache_dir):
+    return run_comparison_multi("tele", seeds=SEEDS, jobs=2, cache_dir=cache_dir, **FAST)
+
+
+def test_serial_path_ran_every_seed(serial):
+    assert [run.seed for run in serial.runs] == list(SEEDS)
+    assert serial.telemetry.executed == len(SEEDS)
+    assert serial.telemetry.cached == 0
+
+
+def test_parallel_equals_serial_per_seed_per_metric(serial, parallel):
+    assert [run.seed for run in parallel.runs] == list(SEEDS)
+    for serial_run, parallel_run in zip(serial.runs, parallel.runs):
+        for metric in (
+            "variant", "zigbee_channel", "seed", "n_controls", "pdr",
+            "pdr_by_hop", "latency_by_hop", "mean_latency", "tx_per_control",
+            "duty_cycle", "athx_samples",
+        ):
+            assert getattr(serial_run, metric) == getattr(parallel_run, metric), metric
+        assert (
+            serial_run.control_metrics.records == parallel_run.control_metrics.records
+        )
+
+
+def test_parallel_aggregates_equal_serial(serial, parallel):
+    for metric in ("pdr", "tx_per_control", "duty_cycle", "latency"):
+        assert getattr(serial, metric).values == getattr(parallel, metric).values
+
+
+def test_warm_cache_re_simulates_zero_cells(parallel, cache_dir):
+    assert parallel.telemetry.executed == len(SEEDS)  # cold run simulated all
+    warm = run_comparison_multi(
+        "tele", seeds=SEEDS, jobs=2, cache_dir=cache_dir, **FAST
+    )
+    assert warm.telemetry.executed == 0
+    assert warm.telemetry.cached == len(SEEDS)
+    for cold_run, warm_run in zip(parallel.runs, warm.runs):
+        assert cold_run.pdr == warm_run.pdr
+        assert cold_run.mean_latency == warm_run.mean_latency
+        assert cold_run.control_metrics.records == warm_run.control_metrics.records
+
+
+def test_changed_schedule_misses_cache(parallel, cache_dir):
+    changed = dict(FAST, n_controls=3)
+    result = run_comparison_multi(
+        "tele", seeds=SEEDS[:1], jobs=1, cache_dir=cache_dir, **changed
+    )
+    assert result.telemetry.executed == 1
+    assert result.telemetry.cached == 0

@@ -4,7 +4,9 @@ import pytest
 
 from repro.experiments.sweep import (
     AggregateMetric,
+    SweepPoint,
     sweep_network_size,
+    sweep_wake_interval,
 )
 
 
@@ -51,3 +53,34 @@ class TestNetworkSizeSweep:
                 "mean_code_bits",
                 "coded_fraction",
             }
+
+
+class TestSweepPointSerialisation:
+    def test_round_trip(self):
+        point = SweepPoint(
+            x=512.0, pdr=0.9, duty_cycle=0.03, mean_latency=1.5,
+            detail={"max_code_bits": 12.0},
+        )
+        assert SweepPoint.from_dict(point.to_dict()) == point
+
+    def test_round_trip_with_nones(self):
+        point = SweepPoint(x=1.0, pdr=None, duty_cycle=None, mean_latency=None)
+        assert SweepPoint.from_dict(point.to_dict()) == point
+
+
+class TestSweepsOnRunner:
+    def test_wake_sweep_caches_and_rehydrates(self, tmp_path):
+        from repro.runner import ParallelRunner, ResultCache
+
+        kwargs = dict(
+            wake_intervals_ms=(256, 512), n_controls=2, seed=2,
+            converge_seconds=30.0,
+        )
+        runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        cold = sweep_wake_interval(runner=runner, **kwargs)
+        assert runner.last_report.executed == 2
+        warm_runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        warm = sweep_wake_interval(runner=warm_runner, **kwargs)
+        assert warm_runner.last_report.cached == 2
+        assert warm_runner.last_report.executed == 0
+        assert warm == cold

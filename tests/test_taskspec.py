@@ -1,0 +1,144 @@
+"""Cache-key stability: canonical config serialisation and fingerprints."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.baselines.drip import DripParams
+from repro.baselines.orpl import OrplParams
+from repro.baselines.rpl import RplParams
+from repro.core.allocation import AllocationParams
+from repro.core.forwarding import ForwardingParams
+from repro.experiments.harness import NetworkConfig
+from repro.mac.lpl import MacParams
+from repro.runner import canonical_json, comparison_spec, fingerprint_of
+from repro.topology import random_uniform
+from repro.workloads.interference import WifiParams
+
+#: One alternate (non-default) value per NetworkConfig field; the cache key
+#: must change when any single field changes.
+ALTERNATES = {
+    "topology": "tight-grid",
+    "protocol": "drip",
+    "seed": 99,
+    "zigbee_channel": 19,
+    "noise": "constant",
+    "always_on": True,
+    "mac_params": MacParams(wake_interval=256_000),
+    "allocation_params": AllocationParams(stability_rounds=3),
+    "forwarding_params": ForwardingParams(re_tele=True),
+    "drip_params": DripParams(),
+    "rpl_params": RplParams(),
+    "orpl_params": OrplParams(),
+    "re_tele": True,
+    "opportunistic": False,
+    "collection_ipi": None,
+    "wifi_params": WifiParams(position=(1.0, 2.0)),
+    "fading_sigma_db": 7.5,
+}
+
+
+def fingerprint(config: NetworkConfig) -> str:
+    return fingerprint_of(config.to_dict())
+
+
+class TestNetworkConfigToDict:
+    def test_covers_every_field(self):
+        out = NetworkConfig().to_dict()
+        assert set(out) == {f.name for f in dataclasses.fields(NetworkConfig)}
+
+    def test_keys_sorted_at_every_level(self):
+        def check(value):
+            if isinstance(value, dict):
+                assert list(value) == sorted(value)
+                for child in value.values():
+                    check(child)
+            elif isinstance(value, list):
+                for child in value:
+                    check(child)
+
+        config = NetworkConfig(
+            mac_params=MacParams(), wifi_params=WifiParams(), topology="tight-grid"
+        )
+        check(config.to_dict())
+
+    def test_json_serialisable_with_nested_params_and_deployment(self):
+        deployment = random_uniform(n=5, width=30.0, height=30.0, seed=3)
+        config = NetworkConfig(
+            topology=deployment,
+            mac_params=MacParams(),
+            allocation_params=AllocationParams(),
+            wifi_params=WifiParams(),
+        )
+        text = canonical_json(config.to_dict())
+        assert json.loads(text)["topology"]["sink"] == deployment.sink
+
+    def test_alternates_table_is_exhaustive(self):
+        assert set(ALTERNATES) == {f.name for f in dataclasses.fields(NetworkConfig)}
+
+
+class TestFingerprint:
+    def test_stable_across_construction_order(self):
+        a = NetworkConfig(seed=4, protocol="rpl", zigbee_channel=19)
+        b = NetworkConfig(zigbee_channel=19, protocol="rpl", seed=4)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_stable_across_dict_insertion_order(self):
+        d = NetworkConfig(seed=4).to_dict()
+        shuffled = dict(reversed(list(d.items())))
+        assert canonical_json(d) == canonical_json(shuffled)
+
+    @pytest.mark.parametrize("field_name", sorted(ALTERNATES))
+    def test_distinct_for_any_changed_field(self, field_name):
+        base = NetworkConfig()
+        changed = dataclasses.replace(base, **{field_name: ALTERNATES[field_name]})
+        assert getattr(changed, field_name) != getattr(base, field_name), (
+            f"alternate for {field_name} equals the default; test is vacuous"
+        )
+        assert fingerprint(changed) != fingerprint(base)
+
+    def test_same_deployment_same_fingerprint(self):
+        a = random_uniform(n=6, width=40.0, height=40.0, seed=5)
+        b = random_uniform(n=6, width=40.0, height=40.0, seed=5)
+        assert fingerprint(NetworkConfig(topology=a)) == fingerprint(
+            NetworkConfig(topology=b)
+        )
+
+    def test_different_deployment_different_fingerprint(self):
+        a = random_uniform(n=6, width=40.0, height=40.0, seed=5)
+        b = random_uniform(n=6, width=40.0, height=40.0, seed=6)
+        assert fingerprint(NetworkConfig(topology=a)) != fingerprint(
+            NetworkConfig(topology=b)
+        )
+
+
+class TestComparisonSpec:
+    def test_fingerprint_covers_derived_config(self):
+        # tele vs re-tele differ only through the derived NetworkConfig.
+        assert (
+            comparison_spec("tele", seed=1).fingerprint
+            != comparison_spec("re-tele", seed=1).fingerprint
+        )
+
+    def test_fingerprint_covers_schedule(self):
+        assert (
+            comparison_spec("tele", seed=1, n_controls=5).fingerprint
+            != comparison_spec("tele", seed=1, n_controls=6).fingerprint
+        )
+
+    def test_defaults_hash_like_explicit_defaults(self):
+        from repro.experiments.comparison import COMPARISON_DEFAULTS
+
+        assert (
+            comparison_spec("tele", seed=1).fingerprint
+            == comparison_spec("tele", seed=1, **COMPARISON_DEFAULTS).fingerprint
+        )
+
+    def test_unknown_schedule_argument_rejected(self):
+        with pytest.raises(TypeError, match="unknown run_comparison argument"):
+            comparison_spec("tele", bogus=1)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown variant"):
+            comparison_spec("carrier-pigeon")
