@@ -29,6 +29,7 @@ from repro.experiments.codestats import (
     reverse_hop_counts,
 )
 from repro.experiments.comparison import ComparisonResult, run_comparison
+from repro.faults import CHAOS_SCENARIOS
 from repro.metrics.stats import mean, percentile
 
 
@@ -285,11 +286,36 @@ _RUN_GRIDS: Dict[str, tuple] = {
 }
 
 
+def _build_runner(args: argparse.Namespace):
+    """The ParallelRunner shared by every ``repro run`` grid."""
+    from repro.runner import ParallelRunner, ResultCache
+
+    progress = None
+    if not args.quiet:
+        progress = lambda category, message, **data: print(
+            f"[{category}] {message}", file=sys.stderr
+        )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return ParallelRunner(
+        jobs=args.jobs, cache=cache, timeout=args.timeout, progress=progress
+    )
+
+
+def _finish_run(run_report) -> int:
+    """Print one line per failed cell; exit code reflects failures."""
+    for cell in run_report.failures():
+        print(f"FAILED {cell.label}: {cell.attempts} attempt(s): {cell.error}")
+    return 0 if run_report.failed == 0 else 1
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     """Run an experiment grid through the parallel execution engine."""
     from repro.experiments.sweep import AggregateMetric
     from repro.metrics.io import comparison_from_dict, save_results
-    from repro.runner import ParallelRunner, ResultCache, comparison_spec
+    from repro.runner import comparison_spec
+
+    if args.grid == "chaos":
+        return _cmd_run_chaos(args)
 
     variants = _RUN_GRIDS[args.grid]
     channels = args.channels
@@ -307,15 +333,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for variant in variants
         for seed in args.seeds
     ]
-    progress = None
-    if not args.quiet:
-        progress = lambda category, message, **data: print(
-            f"[{category}] {message}", file=sys.stderr
-        )
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = ParallelRunner(
-        jobs=args.jobs, cache=cache, timeout=args.timeout, progress=progress
-    )
+    runner = _build_runner(args)
     outcomes = runner.run(specs)
 
     runs = []
@@ -380,7 +398,100 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.out:
         save_results(runs, args.out)
         print(f"(results written to {args.out})")
-    return 0 if runner.last_report.failed == 0 else 1
+    return _finish_run(runner.last_report)
+
+
+def _cmd_run_chaos(args: argparse.Namespace) -> int:
+    """Chaos grid: sweep fault intensity × variant × seed under one scenario."""
+    import json
+
+    from repro.experiments.sweep import AggregateMetric
+    from repro.runner import chaos_spec
+
+    specs = [
+        chaos_spec(
+            variant,
+            scenario=args.scenario,
+            intensity=intensity,
+            seed=seed,
+            n_controls=args.controls,
+            control_interval_s=args.interval,
+        )
+        for variant in args.variants
+        for intensity in args.intensities
+        for seed in args.seeds
+    ]
+    runner = _build_runner(args)
+    outcomes = runner.run(specs)
+
+    results = []
+    rows = []
+    aggregates: Dict[tuple, Dict[str, AggregateMetric]] = {}
+    for outcome in outcomes:
+        params = outcome.spec.params
+        key = (params["variant"], params["intensity"])
+        if outcome.result is None:
+            rows.append(
+                [*key, params["seed"], outcome.status, "-", "-", "-", "-", "-"]
+            )
+            continue
+        result = outcome.result
+        results.append(result)
+        recovery = result["recovery"]
+        mean_rec = recovery["mean_recovery_latency_s"]
+        rows.append(
+            [
+                result["variant"],
+                result["intensity"],
+                result["seed"],
+                outcome.status,
+                f"{result['pdr']:.3f}" if result["pdr"] is not None else "n/a",
+                f"{mean_rec:.1f}" if mean_rec is not None else "n/a",
+                recovery["backtracks"],
+                recovery["re_tele_invocations"],
+                recovery["stale_code_sends"],
+            ]
+        )
+        cell = aggregates.setdefault(
+            key, {m: AggregateMetric() for m in ("pdr", "recovery")}
+        )
+        cell["pdr"].add(result["pdr"])
+        cell["recovery"].add(mean_rec)
+
+    headers = [
+        "variant", "intensity", "seed", "status",
+        "pdr", "recovery_s", "backtracks", "re_tele", "stale",
+    ]
+    print(
+        report.ascii_table(
+            headers, rows, title=f"Chaos grid ({args.scenario}): per-cell results"
+        )
+    )
+    # The degradation curve: how delivery and recovery latency bend as the
+    # fault intensity rises, per variant.
+    agg_rows = [
+        [variant, intensity, cell["pdr"].summary(), cell["recovery"].summary()]
+        for (variant, intensity), cell in sorted(aggregates.items())
+    ]
+    print()
+    print(
+        report.ascii_table(
+            ["variant", "intensity", "pdr", "recovery_s"],
+            agg_rows,
+            title=(
+                f"Chaos degradation curve ({args.scenario}, "
+                f"n={len(args.seeds)} seeds)"
+            ),
+        )
+    )
+    print()
+    print(runner.last_report.summary_table())
+    _write_csv(args.csv, headers, rows)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        print(f"(results written to {args.out})")
+    return _finish_run(runner.last_report)
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> int:
@@ -503,10 +614,11 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Execute a grid of comparison cells through repro.runner: "
             "cells fan out over --jobs worker processes and unchanged cells "
-            "are answered from --cache-dir instead of re-simulated."
+            "are answered from --cache-dir instead of re-simulated. The "
+            "'chaos' grid sweeps fault intensity under a --scenario preset."
         ),
     )
-    p.add_argument("grid", choices=sorted(_RUN_GRIDS))
+    p.add_argument("grid", choices=sorted([*_RUN_GRIDS, "chaos"]))
     p.add_argument(
         "--jobs", type=_positive_int, default=1,
         help="worker processes (1 = serial)",
@@ -534,6 +646,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", type=str, default=None)
     p.add_argument("--out", type=str, default=None, help="save full runs as JSON")
     p.add_argument("--quiet", action="store_true", help="no per-cell progress lines")
+    p.add_argument(
+        "--scenario", choices=CHAOS_SCENARIOS, default="crash-churn",
+        help="chaos grid only: fault scenario preset",
+    )
+    p.add_argument(
+        "--intensities", type=float, nargs="+", default=[0.25, 0.5, 1.0],
+        help="chaos grid only: fault intensities to sweep",
+    )
+    p.add_argument(
+        "--variants", nargs="+",
+        choices=("tele", "re-tele", "rpl", "drip", "orpl"),
+        default=["tele", "re-tele"],
+        help="chaos grid only: protocol variants",
+    )
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("quickstart", help="one remote-control round trip")

@@ -90,6 +90,9 @@ class AllocationEngine:
         self._alloc_seen_from: set = set()
         self._beacon_scheduled = False
         self._pending_extension_flag = False
+        # The _round_check loop reschedules itself forever; one loop per
+        # node. Reboots re-fire on_parent_found, so guard double-starts.
+        self._round_loop_running = False
         # --- metrics (Figure 6) ---
         self.triggered_at: Optional[int] = None  # routing-found event time
         self.code_assigned_at: Optional[int] = None  # first code acquisition
@@ -113,10 +116,42 @@ class AllocationEngine:
     def _on_routing_found(self) -> None:
         self.triggered_at = self.sim.now
         self._last_new_child_at = self.sim.now
-        self._schedule_round_check()
+        if not self._round_loop_running:
+            self._schedule_round_check()
 
     def _schedule_round_check(self) -> None:
+        self._round_loop_running = True
         self.sim.schedule(self.params.round_duration, self._round_check)
+
+    def reset(self) -> None:
+        """Reboot: wipe every code, position, and table — rejoin from scratch.
+
+        Unlike a parent change (which retains the superseded code for a
+        grace period), a crash loses RAM: the old code is gone too, so
+        in-flight packets carrying it go stale — the churn TeleAdjusting's
+        countermeasures must absorb. ``code_changes`` and the convergence
+        timestamps are cumulative metrics and survive.
+        """
+        self.children = ChildTable()
+        self.neighbor_codes = NeighborCodeTable(old_code_ttl=self.params.old_code_ttl)
+        self.code = None
+        self.old_code = None
+        self._old_code_expires = 0
+        self.position = None
+        self.position_space = 0
+        self._position_parent = None
+        self._last_request_at = -(10**12)
+        self._initial_done = False
+        self._last_new_child_at = self.sim.now
+        self._known_children_count = 0
+        self._alloc_seen_from.clear()
+        self._pending_extension_flag = False
+        for hook in self.on_code_change:
+            hook(None)
+        if self.is_sink:
+            # The sink's one-bit code is a constant of the scheme, not RAM
+            # state acquired over the air; it re-self-assigns on boot.
+            self._set_code(PathCode.sink())
 
     # --------------------------------------------------- Algorithm 1: initial
     def _round_check(self) -> None:

@@ -147,7 +147,22 @@ class TeleForwarding:
         self.controls_received = 0
         self.controls_forwarded = 0
         self.backtracks = 0
+        self.re_tele_invocations = 0
         #: One-to-many extension state (repro.core.multicast).
+        self.multicast_state = multicast_ext.MulticastMixinState()
+
+    def reset(self) -> None:
+        """Reboot: drop relay/dedup caches (RAM state).
+
+        Sink-side ``pending`` bookkeeping survives — it belongs to the
+        controller process behind the sink, not the mote's RAM — and the
+        cumulative counters are metrics, not protocol state. A cleared
+        ``_delivered_serials`` means a duplicate arriving post-reboot is
+        re-applied, exactly as on real wiped hardware.
+        """
+        self._states.clear()
+        self._delivered_serials.clear()
+        self._won_frames.clear()
         self.multicast_state = multicast_ext.MulticastMixinState()
 
     # --------------------------------------------------------------- plumbing
@@ -487,6 +502,7 @@ class TeleForwarding:
             if helper is not None:
                 helper_id, helper_code = helper
                 pending.re_tele_used = True
+                self.re_tele_invocations += 1
                 rerouted = ControlPacket(
                     destination=helper_id,
                     destination_code=helper_code,

@@ -11,6 +11,19 @@ from repro.core.pathcode import PathCode
 _serials = itertools.count(1)
 
 
+def reset_serials() -> None:
+    """Restart the control-packet serial counter.
+
+    Serials only need to be unique within one network's lifetime, but the
+    counter is process-global — without a reset, two identical runs in the
+    same process would stamp different serials into their trace records and
+    break bit-identical reproducibility. The experiment harness calls this
+    when it builds a fresh network.
+    """
+    global _serials
+    _serials = itertools.count(1)
+
+
 @dataclass
 class TeleBeaconEntry:
     """One ``<child, position, flag>`` row carried in a TeleAdjusting beacon."""

@@ -94,6 +94,14 @@ class TeleAdjusting:
             )
             self.sim.schedule(jitter, self._periodic_code_report)
 
+    def reset_state(self) -> None:
+        """Fault-injection hook: wipe volatile protocol state, as a reboot
+        would. Handlers stay registered — the same objects serve the
+        rebooted node; the path code, positions, neighbour/child tables,
+        and relay caches are gone and must be re-acquired over the air."""
+        self.allocation.reset()
+        self.forwarding.reset()
+
     def _periodic_code_report(self) -> None:
         self.sim.schedule(self.code_report_interval, self._periodic_code_report)
         self.report_code_to_controller()

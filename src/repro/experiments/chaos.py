@@ -1,0 +1,136 @@
+"""Chaos runs: protocol behaviour under injected faults.
+
+One :func:`run_chaos` call is one cell of a chaos grid: a comparison-style
+network (indoor testbed), converged cleanly, then hit with a preset
+:func:`repro.faults.chaos_plan` scenario while the control schedule runs.
+The result is a JSON-ready dict: delivery/latency under churn plus the
+:func:`repro.faults.recovery_report` countermeasure counters and a trace
+digest (the determinism regression token — same seed + plan ⇒ identical
+dict, bit for bit).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.experiments.comparison import config_for
+from repro.experiments.harness import _TOPOLOGIES, Network, NetworkConfig
+from repro.faults import chaos_plan, recovery_report
+from repro.sim.units import SECOND
+from repro.workloads.control import ControlSchedule
+
+#: Default schedule for one chaos cell, shared with
+#: :func:`repro.runner.taskspec.chaos_spec` (same contract as
+#: ``COMPARISON_DEFAULTS``: specs built with defaults hash identically to
+#: calls made with defaults).
+CHAOS_DEFAULTS = {
+    "n_controls": 20,
+    "control_interval_s": 15.0,
+    "converge_seconds": 240.0,
+    "drain_seconds": 90.0,
+}
+
+#: Trace categories recorded during a chaos run (inputs to the digest).
+TRACE_CATEGORIES = {
+    "tele.backtrack",
+    "tele.deliver",
+    "tele.snoop-takeover",
+    "faults",
+}
+
+
+def chaos_config(
+    variant: str,
+    scenario: str,
+    intensity: float,
+    seed: int,
+    zigbee_channel: int = 26,
+    n_controls: int = CHAOS_DEFAULTS["n_controls"],
+    control_interval_s: float = CHAOS_DEFAULTS["control_interval_s"],
+) -> NetworkConfig:
+    """The :class:`NetworkConfig` one chaos cell runs on.
+
+    The fault plan is built deterministically from (scenario, intensity,
+    seed) against the comparison topology and attached with
+    ``auto_arm=False`` — :func:`run_chaos` arms it after convergence, so
+    the faults hit an operating network, not the bootstrap. Exposed
+    separately so the runner's cache key fingerprints the derived config
+    *including the plan*.
+    """
+    config = config_for(variant, zigbee_channel, seed)
+    if isinstance(config.topology, str):
+        deployment = _TOPOLOGIES[config.topology](seed)
+    else:
+        deployment = config.topology
+    # Spread the faults over the bulk of the control phase, leaving the tail
+    # for recovery so "time to first successful control" is measurable.
+    window_s = max(n_controls * control_interval_s * 0.6, 30.0)
+    plan = chaos_plan(
+        scenario,
+        intensity,
+        n_nodes=deployment.size,
+        sink=deployment.sink,
+        seed=seed,
+        start_s=2.0,
+        window_s=round(window_s, 3),
+        auto_arm=False,
+    )
+    config.faults = plan
+    return config
+
+
+def run_chaos(
+    variant: str,
+    scenario: str = "mixed",
+    intensity: float = 0.5,
+    seed: int = 0,
+    zigbee_channel: int = 26,
+    n_controls: int = CHAOS_DEFAULTS["n_controls"],
+    control_interval_s: float = CHAOS_DEFAULTS["control_interval_s"],
+    converge_seconds: float = CHAOS_DEFAULTS["converge_seconds"],
+    drain_seconds: float = CHAOS_DEFAULTS["drain_seconds"],
+) -> Dict[str, Any]:
+    """Run one chaos cell and return its JSON-ready result dict."""
+    config = chaos_config(
+        variant,
+        scenario,
+        intensity,
+        seed,
+        zigbee_channel,
+        n_controls=n_controls,
+        control_interval_s=control_interval_s,
+    )
+    net = Network(config)
+    net.sim.tracer.enable(TRACE_CATEGORIES)
+    converged = net.converge(max_seconds=converge_seconds, target=0.97)
+    if net.config.protocol == "rpl":
+        net.run(20.0)
+    net.metrics.mark()
+    if net.fault_injector is not None:
+        net.fault_injector.arm()
+    schedule = ControlSchedule(
+        net.sim,
+        send=lambda destination, index: net.send_control(
+            destination, payload={"index": index}
+        ),
+        destinations=net.non_sink_nodes(),
+        interval=round(control_interval_s * SECOND),
+        count=n_controls,
+        rng_name=f"chaos-controls-{variant}-{zigbee_channel}-{seed}",
+    )
+    schedule.start(initial_delay=1 * SECOND)
+    net.run(n_controls * control_interval_s + drain_seconds)
+    metrics = net.control_metrics
+    return {
+        "variant": variant,
+        "scenario": scenario,
+        "intensity": intensity,
+        "seed": seed,
+        "zigbee_channel": zigbee_channel,
+        "converged": bool(converged),
+        "n_controls": len(metrics),
+        "pdr": metrics.pdr(),
+        "mean_latency_s": metrics.mean_latency(),
+        "recovery": recovery_report(net),
+        "trace_digest": net.sim.tracer.digest(),
+    }

@@ -20,6 +20,9 @@ from repro.baselines.rpl import RplDownward, RplParams
 from repro.core import Controller, TeleAdjusting
 from repro.core.allocation import AllocationParams
 from repro.core.forwarding import ForwardingParams
+from repro.core.messages import reset_serials
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.mac.lpl import MacParams
 from repro.metrics.control import ControlMetrics, ControlRecord
 from repro.metrics.network import NetworkMetrics
@@ -77,6 +80,8 @@ class NetworkConfig:
     #: dynamics. 0 disables. The clean-channel testbed behaves like a gentle
     #: environment; WiFi interference (channel 19) adds the harsher bursts.
     fading_sigma_db: float = 2.0
+    #: Fault-injection plan (see :mod:`repro.faults`); None = no faults.
+    faults: Optional[FaultPlan] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Canonical JSON-ready dict: sorted keys at every level.
@@ -86,11 +91,18 @@ class NetworkConfig:
         serialises through its own ``to_dict``, and tuples become lists, so
         the output is stable across field/insertion order and suitable for
         content-addressed cache keys (see :mod:`repro.runner.taskspec`).
+
+        ``faults`` is omitted entirely when None, so fault-free configs keep
+        the fingerprints (and thus cache entries) they had before the faults
+        layer existed.
         """
-        return {
+        out = {
             f.name: _canonical_value(getattr(self, f.name))
             for f in sorted(dataclasses.fields(self), key=lambda f: f.name)
         }
+        if out["faults"] is None:
+            del out["faults"]
+        return out
 
 
 def _canonical_value(value: Any) -> Any:
@@ -119,7 +131,13 @@ class Network:
             if not hasattr(config, key):
                 raise TypeError(f"unknown NetworkConfig field: {key}")
             setattr(config, key, value)
+        if isinstance(config.faults, dict):
+            config.faults = FaultPlan.from_dict(config.faults)
         self.config = config
+        # Fresh network, fresh serial space: without this, repeating the same
+        # run in one process stamps different control serials into traces and
+        # breaks bit-identical reproducibility.
+        reset_serials()
         if isinstance(config.topology, Deployment):
             self.deployment = config.topology
         else:
@@ -187,6 +205,13 @@ class Network:
         self._records_by_key: Dict[object, ControlRecord] = {}
         self._next_index = 0
         self._started = False
+        #: Controls sent while the controller's registered code for the
+        #: destination disagreed with the node's live code (stale-address
+        #: forwarding attempts — a churn metric).
+        self.stale_code_sends = 0
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.faults is not None:
+            self.fault_injector = FaultInjector(self, config.faults)
 
     # ---------------------------------------------------------------- wiring
     def _build_protocol(self) -> None:
@@ -240,6 +265,8 @@ class Network:
             self.collection.start()
         if self.interferer is not None:
             self.interferer.start()
+        if self.fault_injector is not None and self.config.faults.auto_arm:
+            self.fault_injector.arm()
 
     def run(self, seconds: float) -> None:
         """Advance the simulation by ``seconds`` (starting it if needed)."""
@@ -332,8 +359,15 @@ class Network:
             # Refresh the controller's code registry (nodes keep reporting in
             # the real system; the snapshot stands in for that).
             self.controller.snapshot(self.protocols)  # type: ignore[arg-type]
-            if self.controller.code_of(destination) is None:
+            registered = self.controller.code_of(destination)
+            if registered is None:
                 return record  # unaddressable: an honest delivery failure
+            # Oracle-only metric (the protocol never sees this comparison):
+            # count sends addressed with a code the destination no longer
+            # holds — e.g. it crashed and its registry entry went stale.
+            live = self.protocols[destination].allocation.code  # type: ignore[attr-defined]
+            if live != registered:
+                self.stale_code_sends += 1
             pending = sink_tele.remote_control(
                 destination, payload=payload, done=lambda p: self._tele_done(record, p)
             )

@@ -1,0 +1,28 @@
+"""Deterministic fault injection (`repro.faults`).
+
+A :class:`FaultPlan` is a declarative, canonically-serialisable list of
+timed fault events (node crash+reboot, radio stun, link degradation,
+forced parent switches, per-packet drop/corrupt filters). A
+:class:`FaultInjector` compiles a plan onto the simulator event queue of a
+:class:`repro.experiments.harness.Network`; :func:`recovery_report`
+summarises how well the control protocol rode out the injected chaos.
+
+Same seed + same plan => bit-identical behaviour: every probabilistic
+filter draws from its own named RNG stream, so fault-free runs are
+untouched and chaos cells are cacheable by content hash.
+"""
+
+from repro.faults.injector import BLACKOUT_DB, FaultInjector, FaultStats
+from repro.faults.metrics import recovery_report
+from repro.faults.plan import CHAOS_SCENARIOS, FaultEvent, FaultPlan, chaos_plan
+
+__all__ = [
+    "BLACKOUT_DB",
+    "CHAOS_SCENARIOS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "chaos_plan",
+    "recovery_report",
+]

@@ -1,0 +1,209 @@
+"""Compiles a :class:`FaultPlan` onto a network's simulator event queue.
+
+The injector only uses primitives the stack already exposes —
+``Radio.fail()/recover()``, ``NodeStack.reboot()``,
+``CtpRouting.parent_unreachable()``, and the channel's fault hooks
+(``link_faults`` / ``reception_filters``) — so fault-free runs execute
+exactly the same instruction stream as before the faults layer existed.
+
+Determinism: event times come from the plan (integer microseconds after
+arming); each probabilistic packet filter draws from its own named RNG
+stream (``faults.pkt.<event-index>``), which the simulator creates lazily,
+so existing streams are unperturbed and the same seed + plan replays
+bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.sim.units import SECOND
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import Network
+
+#: Finite stand-in for "link blackout" attenuation. Plans cannot carry
+#: infinity (canonical JSON forbids it); 500 dB is unconditionally below
+#: the channel's deaf threshold.
+BLACKOUT_DB = 500.0
+
+#: Fault kinds that disrupt delivery (used for recovery-latency sampling).
+DISRUPTIVE_KINDS = ("crash", "stun", "link", "parent_switch", "packet_loss")
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did, for reports and assertions."""
+
+    crashes: int = 0
+    reboots: int = 0
+    stuns: int = 0
+    link_faults: int = 0
+    link_restores: int = 0
+    parent_kicks: int = 0
+    packet_filters: int = 0
+    packets_dropped: int = 0
+    packets_corrupted: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "crashes": self.crashes,
+            "reboots": self.reboots,
+            "stuns": self.stuns,
+            "link_faults": self.link_faults,
+            "link_restores": self.link_restores,
+            "parent_kicks": self.parent_kicks,
+            "packet_filters": self.packet_filters,
+            "packets_dropped": self.packets_dropped,
+            "packets_corrupted": self.packets_corrupted,
+        }
+
+
+class FaultInjector:
+    """Schedules a plan's events against one :class:`Network`."""
+
+    def __init__(self, network: "Network", plan: FaultPlan) -> None:
+        self.network = network
+        self.plan = plan
+        self.stats = FaultStats()
+        #: Absolute sim times (ticks) at which a disruptive fault fired.
+        self.disruption_times: List[int] = []
+        #: (time, kind, node) log of everything that fired.
+        self.fired: List[Tuple[int, str, Optional[int]]] = []
+        #: Per-link stack of active attenuations (a link can fault twice).
+        self._link_db: Dict[Tuple[int, int], List[float]] = {}
+        self._armed = False
+
+    # ------------------------------------------------------------------ arm
+    def arm(self) -> None:
+        """Schedule every plan event, relative to now (idempotent)."""
+        if self._armed or self.plan.is_empty:
+            self._armed = True
+            return
+        self._armed = True
+        for index, event in enumerate(self.plan.events):
+            self.network.sim.schedule(
+                round(event.at_s * SECOND), self._fire, index, event
+            )
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    # ----------------------------------------------------------------- fire
+    def _fire(self, index: int, event: FaultEvent) -> None:
+        sim = self.network.sim
+        self.fired.append((sim.now, event.kind, event.node))
+        if event.kind in DISRUPTIVE_KINDS:
+            self.disruption_times.append(sim.now)
+        sim.tracer.emit(
+            "faults",
+            event.kind,
+            node=event.node,
+            peer=event.peer,
+            duration_s=event.duration_s,
+        )
+        handler = getattr(self, f"_do_{event.kind}")
+        handler(index, event)
+
+    # ------------------------------------------------------------- handlers
+    def _do_crash(self, index: int, event: FaultEvent) -> None:
+        stack = self.network.stacks[event.node]
+        stack.radio.fail()
+        self.stats.crashes += 1
+        self.network.sim.schedule(
+            round(event.duration_s * SECOND), self._reboot, event.node
+        )
+
+    def _reboot(self, node: int) -> None:
+        stack = self.network.stacks[node]
+        stack.reboot()
+        protocol = self.network.protocol_at(node)
+        reset_state = getattr(protocol, "reset_state", None)
+        if reset_state is not None:
+            reset_state()
+        self.stats.reboots += 1
+        self.network.sim.tracer.emit("faults", "reboot", node=node)
+
+    def _do_stun(self, index: int, event: FaultEvent) -> None:
+        stack = self.network.stacks[event.node]
+        stack.radio.fail()
+        self.stats.stuns += 1
+        self.network.sim.schedule(
+            round(event.duration_s * SECOND), self._unstun, event.node
+        )
+
+    def _unstun(self, node: int) -> None:
+        stack = self.network.stacks[node]
+        stack.radio.recover()
+        stack.mac.resume()
+        self.network.sim.tracer.emit("faults", "unstun", node=node)
+
+    def _do_link(self, index: int, event: FaultEvent) -> None:
+        key = self._link_key(event.node, event.peer)
+        db = BLACKOUT_DB if event.attenuation_db is None else event.attenuation_db
+        self._link_db.setdefault(key, []).append(db)
+        self._apply_link(key)
+        self.stats.link_faults += 1
+        if event.duration_s is not None:
+            self.network.sim.schedule(
+                round(event.duration_s * SECOND), self._restore_link, key, db
+            )
+
+    def _restore_link(self, key: Tuple[int, int], db: float) -> None:
+        active = self._link_db.get(key, [])
+        if db in active:
+            active.remove(db)
+        self._apply_link(key)
+        self.stats.link_restores += 1
+        self.network.sim.tracer.emit(
+            "faults", "link-restore", node=key[0], peer=key[1]
+        )
+
+    def _apply_link(self, key: Tuple[int, int]) -> None:
+        total = sum(self._link_db.get(key, ()))
+        self.network.channel.set_link_fault(key[0], key[1], total if total else None)
+
+    def _do_parent_switch(self, index: int, event: FaultEvent) -> None:
+        stack = self.network.stacks[event.node]
+        stack.routing.parent_unreachable()
+        self.stats.parent_kicks += 1
+
+    def _do_packet_loss(self, index: int, event: FaultEvent) -> None:
+        # A lazily created named stream per event: stable under plan edits
+        # elsewhere, and invisible to runs without this event.
+        rng = self.network.sim.rng(f"faults.pkt.{index}")
+        stats = self.stats
+        node = event.node
+        drop_prob = event.drop_prob
+        corrupt_prob = event.corrupt_prob
+
+        def fault_filter(src: int, dst: int, frame: Any) -> bool:
+            if node is not None and src != node and dst != node:
+                return True
+            if corrupt_prob > 0.0 and rng.random() < corrupt_prob:
+                stats.packets_corrupted += 1
+                return False  # corrupt payload fails the CRC: dropped
+            if drop_prob > 0.0 and rng.random() < drop_prob:
+                stats.packets_dropped += 1
+                return False
+            return True
+
+        self.network.channel.reception_filters.append(fault_filter)
+        self.stats.packet_filters += 1
+        if event.duration_s is not None:
+            self.network.sim.schedule(
+                round(event.duration_s * SECOND), self._remove_filter, fault_filter
+            )
+
+    def _remove_filter(self, fault_filter: Any) -> None:
+        filters = self.network.channel.reception_filters
+        if fault_filter in filters:
+            filters.remove(fault_filter)
+
+    # -------------------------------------------------------------- helpers
+    @staticmethod
+    def _link_key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)

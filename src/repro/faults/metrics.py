@@ -1,0 +1,85 @@
+"""Recovery metrics: how well the control plane rode out injected faults.
+
+:func:`recovery_report` condenses one faulted run into a JSON-ready dict:
+delivery ratio under churn, time-to-first-successful-control after each
+disruptive fault, countermeasure invocation counts (backtracking, Re-Tele,
+feedback packets, position requests), stale-code sends, and what the
+injector actually did. All numbers are deterministic functions of the run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, TYPE_CHECKING
+
+from repro.radio.frame import FrameType
+from repro.sim.units import SECOND
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import Network
+
+
+def _tx_count(network: "Network", frame_type: FrameType) -> int:
+    return sum(
+        stack.tx_by_type.get(frame_type, 0) for stack in network.stacks.values()
+    )
+
+
+def recovery_report(network: "Network") -> Dict[str, Any]:
+    """Summarise churn resilience for one (possibly fault-free) run.
+
+    The TeleAdjusting-specific counters are zero for baseline protocols —
+    the report shape stays the same so chaos grids can sweep variants.
+    """
+    records = network.control_metrics.records
+    delivered = [r for r in records if r.delivered]
+    ratio = len(delivered) / len(records) if records else 0.0
+    latencies = [r.latency_s for r in delivered]
+
+    # Time from each disruptive fault to the first control *sent after it*
+    # that still got through — the user-visible outage length.
+    injector = network.fault_injector
+    recovery_samples: List[float] = []
+    if injector is not None:
+        for fault_time in injector.disruption_times:
+            after = [
+                r
+                for r in delivered
+                if r.sent_at >= fault_time and r.delivered_at is not None
+            ]
+            if after:
+                first = min(after, key=lambda r: r.delivered_at)
+                recovery_samples.append((first.delivered_at - fault_time) / SECOND)
+
+    backtracks = 0
+    re_tele_invocations = 0
+    code_changes = 0
+    for protocol in network.protocols.values():
+        forwarding = getattr(protocol, "forwarding", None)
+        if forwarding is not None and hasattr(forwarding, "backtracks"):
+            backtracks += forwarding.backtracks
+            re_tele_invocations += forwarding.re_tele_invocations
+        allocation = getattr(protocol, "allocation", None)
+        if allocation is not None and hasattr(allocation, "code_changes"):
+            code_changes += allocation.code_changes
+
+    report: Dict[str, Any] = {
+        "controls_sent": len(records),
+        "controls_delivered": len(delivered),
+        "delivery_ratio": ratio,
+        "mean_latency_s": (sum(latencies) / len(latencies)) if latencies else None,
+        "recovery_latency_s": recovery_samples,
+        "mean_recovery_latency_s": (
+            sum(recovery_samples) / len(recovery_samples)
+            if recovery_samples
+            else None
+        ),
+        "backtracks": backtracks,
+        "re_tele_invocations": re_tele_invocations,
+        "feedback_packets": _tx_count(network, FrameType.FEEDBACK),
+        "position_requests": _tx_count(network, FrameType.POSITION_REQUEST),
+        "code_changes": code_changes,
+        "stale_code_sends": network.stale_code_sends,
+        "injected": injector.stats.to_dict() if injector is not None else None,
+        "faults_fired": len(injector.fired) if injector is not None else 0,
+    }
+    return report

@@ -1,0 +1,274 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a value object: an ordered tuple of
+:class:`FaultEvent` entries plus a little metadata. It serialises
+canonically (:meth:`FaultPlan.to_dict` / :meth:`FaultPlan.from_dict`), so a
+plan attached to a ``NetworkConfig`` flows into the ``TaskSpec``
+fingerprint and two runs with the same plan hash to the same cache entry.
+Because fingerprints go through ``canonical_json`` (which rejects
+NaN/infinity), attenuation values must be finite — a *blackout* is spelled
+``attenuation_db=None`` and the injector substitutes a finite
+:data:`repro.faults.injector.BLACKOUT_DB`.
+
+Event kinds
+-----------
+``crash``
+    Radio fails at ``at_s``; after ``duration_s`` the node cold-reboots:
+    MAC queues, link estimates, CTP state, and the control protocol's
+    code/position/tables are wiped and must be re-acquired over the air.
+``stun``
+    Radio off for ``duration_s``, state kept. Duty-cycled nodes also lose
+    wake-up phase alignment relative to their neighbours' expectations.
+``link``
+    Extra attenuation (``attenuation_db`` dB, or a blackout when ``None``)
+    on the unordered pair ``node``–``peer`` for ``duration_s`` (forever
+    when ``None``).
+``parent_switch``
+    The node's CTP routing declares its current parent unreachable,
+    forcing a re-parent — the canonical way to churn the tree and
+    invalidate path codes.
+``packet_loss``
+    A reception filter at the radio boundary: frames to/from ``node``
+    (every frame when ``node`` is ``None``) are independently corrupted
+    with ``corrupt_prob`` (counted, then dropped — a corrupt frame fails
+    its CRC) or dropped with ``drop_prob``, for ``duration_s`` (forever
+    when ``None``). Draws come from a per-event named RNG stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+FAULT_KINDS = ("crash", "stun", "link", "parent_switch", "packet_loss")
+
+#: Preset scenario names understood by :func:`chaos_plan`.
+CHAOS_SCENARIOS = ("crash-churn", "stun", "link-blackout", "packet-loss", "mixed")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault. See the module docstring for kind semantics."""
+
+    kind: str
+    at_s: float
+    node: Optional[int] = None
+    peer: Optional[int] = None
+    duration_s: Optional[float] = None
+    attenuation_db: Optional[float] = None
+    drop_prob: float = 1.0
+    corrupt_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at_s < 0:
+            raise ValueError("at_s must be >= 0")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ValueError("duration_s must be positive when given")
+        if self.kind in ("crash", "stun", "parent_switch") and self.node is None:
+            raise ValueError(f"{self.kind} needs a node")
+        if self.kind in ("crash", "stun") and self.duration_s is None:
+            raise ValueError(f"{self.kind} needs a duration_s")
+        if self.kind == "link":
+            if self.node is None or self.peer is None:
+                raise ValueError("link needs both node and peer")
+            if self.node == self.peer:
+                raise ValueError("link endpoints must differ")
+        if not 0.0 <= self.drop_prob <= 1.0:
+            raise ValueError("drop_prob must be in [0, 1]")
+        if not 0.0 <= self.corrupt_prob <= 1.0:
+            raise ValueError("corrupt_prob must be in [0, 1]")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical dict form (every field, fixed key set)."""
+        return {
+            "kind": self.kind,
+            "at_s": self.at_s,
+            "node": self.node,
+            "peer": self.peer,
+            "duration_s": self.duration_s,
+            "attenuation_db": self.attenuation_db,
+            "drop_prob": self.drop_prob,
+            "corrupt_prob": self.corrupt_prob,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        """Inverse of :meth:`to_dict` (missing keys take their defaults)."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(f"unknown FaultEvent keys: {sorted(unknown)}")
+        return cls(**data)
+
+    def sort_key(self) -> Tuple:
+        return (
+            self.at_s,
+            self.kind,
+            -1 if self.node is None else self.node,
+            -1 if self.peer is None else self.peer,
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, validated set of fault events.
+
+    ``auto_arm=True`` (the default for hand-built plans) arms the injector
+    inside ``Network.start()``; experiment drivers that need the network to
+    converge first build plans with ``auto_arm=False`` and call
+    ``net.fault_injector.arm()`` themselves — event times are relative to
+    the moment of arming either way.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    auto_arm: bool = True
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        normalized = []
+        for event in self.events:
+            if isinstance(event, dict):
+                event = FaultEvent.from_dict(event)
+            elif not isinstance(event, FaultEvent):
+                raise TypeError(f"not a FaultEvent: {event!r}")
+            normalized.append(event)
+        normalized.sort(key=FaultEvent.sort_key)
+        object.__setattr__(self, "events", tuple(normalized))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def span_s(self) -> float:
+        """Seconds from arming until the last event has fully played out."""
+        end = 0.0
+        for event in self.events:
+            end = max(end, event.at_s + (event.duration_s or 0.0))
+        return end
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical dict form — safe for ``canonical_json`` fingerprinting."""
+        return {
+            "name": self.name,
+            "auto_arm": self.auto_arm,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        unknown = set(data) - {"name", "auto_arm", "events"}
+        if unknown:
+            raise ValueError(f"unknown FaultPlan keys: {sorted(unknown)}")
+        events = tuple(
+            FaultEvent.from_dict(event) for event in data.get("events", ())
+        )
+        return cls(
+            events=events,
+            auto_arm=bool(data.get("auto_arm", True)),
+            name=str(data.get("name", "")),
+        )
+
+
+# ------------------------------------------------------------------ presets
+def _spread(rng: random.Random, start_s: float, window_s: float, n: int) -> list:
+    """``n`` event times jittered across ``[start_s, start_s + window_s)``."""
+    times = []
+    for i in range(n):
+        slot = window_s * i / max(n, 1)
+        times.append(round(start_s + slot + rng.uniform(0.0, window_s / max(n, 1)), 3))
+    return times
+
+
+def chaos_plan(
+    scenario: str,
+    intensity: float,
+    n_nodes: int,
+    sink: int = 0,
+    seed: int = 0,
+    start_s: float = 2.0,
+    window_s: float = 60.0,
+    auto_arm: bool = True,
+) -> FaultPlan:
+    """Build a preset scenario, deterministically from ``seed``.
+
+    ``intensity`` scales both the event count — roughly ``intensity *
+    n_nodes / 2`` events spread over ``window_s`` seconds (at least one) —
+    and the outage durations (linearly above 1.0), so an intensity sweep
+    traces a genuine degradation curve instead of just denser-but-brief
+    blips the sink watchdog always outlasts. The sink is never crashed,
+    stunned, or re-parented.
+    """
+    if scenario not in CHAOS_SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; choose from {CHAOS_SCENARIOS}"
+        )
+    if intensity < 0:
+        raise ValueError("intensity must be >= 0")
+    nodes = [n for n in range(n_nodes) if n != sink]
+    if not nodes:
+        raise ValueError("need at least one non-sink node")
+    rng = random.Random((seed * 1_000_003 + int(round(intensity * 1000))) & 0xFFFFFFFF)
+    n_events = max(1, round(intensity * len(nodes) / 2.0)) if intensity > 0 else 0
+    times = _spread(rng, start_s, window_s, n_events)
+    stretch = max(1.0, intensity)
+
+    def crash(at: float) -> FaultEvent:
+        return FaultEvent(
+            kind="crash",
+            at_s=at,
+            node=rng.choice(nodes),
+            duration_s=round(rng.uniform(8.0, 20.0) * stretch, 3),
+        )
+
+    def stun(at: float) -> FaultEvent:
+        return FaultEvent(
+            kind="stun",
+            at_s=at,
+            node=rng.choice(nodes),
+            duration_s=round(rng.uniform(2.0, 8.0) * stretch, 3),
+        )
+
+    def link(at: float) -> FaultEvent:
+        a = rng.choice(nodes)
+        b = rng.choice([n for n in range(n_nodes) if n != a])
+        return FaultEvent(
+            kind="link",
+            at_s=at,
+            node=a,
+            peer=b,
+            duration_s=round(rng.uniform(6.0, 15.0) * stretch, 3),
+            attenuation_db=None,  # blackout
+        )
+
+    def kick(at: float) -> FaultEvent:
+        return FaultEvent(kind="parent_switch", at_s=at, node=rng.choice(nodes))
+
+    def loss(at: float) -> FaultEvent:
+        return FaultEvent(
+            kind="packet_loss",
+            at_s=at,
+            node=rng.choice(nodes),
+            duration_s=round(rng.uniform(5.0, 12.0) * stretch, 3),
+            drop_prob=round(min(1.0, 0.5 + 0.5 * intensity), 3),
+            corrupt_prob=0.1,
+        )
+
+    builders: Dict[str, Iterable] = {
+        "crash-churn": (crash, kick),
+        "stun": (stun,),
+        "link-blackout": (link,),
+        "packet-loss": (loss,),
+        "mixed": (crash, stun, link, kick, loss),
+    }
+    cycle = builders[scenario]
+    events = tuple(cycle[i % len(cycle)](at) for i, at in enumerate(times))
+    return FaultPlan(
+        events=events,
+        auto_arm=auto_arm,
+        name=f"{scenario}/i{intensity:g}/seed{seed}",
+    )

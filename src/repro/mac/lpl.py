@@ -173,6 +173,31 @@ class LPLMac:
             phase = self._rng.randrange(self.params.wake_interval)
             self.sim.schedule(phase, self._wake_up)
 
+    def reset(self) -> None:
+        """Reboot: cancel every pending send and forget dedup state.
+
+        Completion callbacks of cancelled sends fire with
+        ``reason="cancelled"`` (the layers above are wiped right after by
+        :meth:`repro.net.node.NodeStack.reboot`, so their reactions are
+        discarded). The duty-cycle wake-up loop keeps running — it is the
+        node's hardware timer, not protocol state.
+        """
+        self.cancel_matching(lambda frame: True)
+        self._queue.clear()
+        self._seen.clear()
+        self._delivered_ids.clear()
+        self._awake_until = 0
+
+    def resume(self) -> None:
+        """Power the radio back up after a failure was cleared.
+
+        Duty-cycled nodes need nothing: their wake-up loop turns the radio
+        on at the next scheduled sample (the phase drift relative to what
+        neighbours learned is the "duty-cycle desync" a stun causes).
+        """
+        if self.always_on and self._started:
+            self.radio.turn_on()
+
     # ------------------------------------------------------------ duty cycle
     def _wake_up(self) -> None:
         self.sim.schedule(self.params.wake_interval, self._wake_up)

@@ -197,6 +197,27 @@ class CtpRouting:
         self.path_etx = entry.path_etx + self.linkest.link_etx(self.parent)
         self.hop_count = (entry.hop_count + 1) if entry.hop_count < NO_ROUTE else NO_ROUTE
 
+    def reset(self) -> None:
+        """Cold-restart the routing engine (node reboot).
+
+        All learned state is dropped; ``on_parent_change(old, None)`` fires
+        so dependants (TeleAdjusting's allocation) invalidate what they
+        derived from the route, and ``on_parent_found`` will fire again on
+        the next acquisition. Trickle snaps back to its fastest interval,
+        as a freshly booted CTP node's would.
+        """
+        old = self.parent
+        self.table.clear()
+        self.children.clear()
+        self.parent = None
+        self.path_etx = 0.0 if self.is_root else float(NO_ROUTE)
+        self.hop_count = 0 if self.is_root else NO_ROUTE
+        self._had_parent = False
+        if old is not None:
+            for callback in self.on_parent_change:
+                callback(old, None)
+        self.trickle.reset()
+
     def parent_unreachable(self) -> None:
         """Forwarding engine signal: repeated send failures to the parent."""
         if self.parent is not None:
@@ -245,6 +266,13 @@ class CtpForwarding:
         self.packets_sent = 0
         self.packets_delivered = 0
         self.packets_dropped = 0
+
+    def reset(self) -> None:
+        """Drop queued packets and dedup state (node reboot)."""
+        self._queue.clear()
+        self._sending = False
+        self._tries = 0
+        self._seen.clear()
 
     # ------------------------------------------------------------------- API
     def send(self, collect_id: int, payload: object, origin_seqno: Optional[int] = None) -> DataPacket:

@@ -124,3 +124,8 @@ class LinkEstimator:
     def forget(self, neighbor: int) -> None:
         """Drop all state for a neighbour (eviction / long silence)."""
         self._table.pop(neighbor, None)
+
+    def reset(self) -> None:
+        """Drop every estimate (node reboot). Clears in place: routing and
+        forwarding keep references to this estimator."""
+        self._table.clear()

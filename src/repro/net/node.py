@@ -103,6 +103,23 @@ class NodeStack:
         self.mac.start()
         self.routing.start()
 
+    # ------------------------------------------------------------------ reboot
+    def reboot(self) -> None:
+        """Cold-restart the stack after a crash (fault injection).
+
+        The radio recovers from its failure; MAC queues, link estimates,
+        CTP forwarding state, and routing state are wiped — the node
+        rejoins the tree from scratch. Control-protocol state is wiped
+        separately (e.g. ``TeleAdjusting.reset_state``); handlers stay
+        registered, the same objects serve the rebooted node.
+        """
+        self.mac.reset()
+        self.linkest.reset()
+        self.forwarding.reset()
+        self.routing.reset()
+        self.radio.recover()
+        self.mac.resume()
+
     # ------------------------------------------------------------------- send
     def _count(self, frame_type: FrameType) -> None:
         self.tx_by_type[frame_type] = self.tx_by_type.get(frame_type, 0) + 1

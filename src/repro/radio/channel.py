@@ -115,6 +115,13 @@ class Channel:
                 self._audible.setdefault(a, []).append((b, gain))
         #: Observers called for every delivered frame: (receiver, frame, rssi).
         self.delivery_observers: List[Callable[[int, Frame, float], None]] = []
+        #: Fault-injection hook: extra attenuation (dB) per unordered link
+        #: pair. Empty in fault-free runs (one falsy check per transmission).
+        self.link_faults: Dict[Tuple[int, int], float] = {}
+        #: Fault-injection hook: ``(src, dst, frame) -> deliver?`` filters
+        #: consulted *after* the PRR draw, so an empty list leaves the
+        #: channel RNG stream — and thus fault-free behaviour — untouched.
+        self.reception_filters: List[Callable[[int, int, Frame], bool]] = []
 
     # ------------------------------------------------------------ attachment
     def attach(self, radio: Radio) -> None:
@@ -191,6 +198,9 @@ class Channel:
             rx_power = (
                 radio.tx_power_dbm + gain + self.fading_db(radio.node_id, neighbor_id)
             )
+            if self.link_faults:
+                a, b = radio.node_id, neighbor_id
+                rx_power -= self.link_faults.get((a, b) if a <= b else (b, a), 0.0)
             if rx_power >= self.DEAF_THRESHOLD_DBM:
                 tx.rx_power_dbm[neighbor_id] = rx_power
         # Account this new packet as interference against in-flight receptions,
@@ -248,10 +258,29 @@ class Channel:
             sinr_db = pending.rx_power_dbm - mw_to_dbm(noise_mw)
             prr = CC2420.prr(sinr_db, tx.frame.length)
             if self._rng.random() < prr:
+                if self.reception_filters and not self._reception_allowed(
+                    tx.src, receiver_id, tx.frame
+                ):
+                    continue
                 receiver.deliver(tx.frame, pending.rx_power_dbm)
                 for observer in self.delivery_observers:
                     observer(receiver_id, tx.frame, pending.rx_power_dbm)
         radio._transmission_done(done)
+
+    # ------------------------------------------------------------ fault hooks
+    def _reception_allowed(self, src: int, dst: int, frame: Frame) -> bool:
+        for reception_filter in self.reception_filters:
+            if not reception_filter(src, dst, frame):
+                return False
+        return True
+
+    def set_link_fault(self, a: int, b: int, attenuation_db: Optional[float]) -> None:
+        """Add (or with ``None``, clear) extra attenuation on link ``a``–``b``."""
+        key = (a, b) if a <= b else (b, a)
+        if attenuation_db is None:
+            self.link_faults.pop(key, None)
+        else:
+            self.link_faults[key] = attenuation_db
 
     # --------------------------------------------------------------- queries
     def link_gain(self, src: int, dst: int) -> Optional[float]:

@@ -29,6 +29,7 @@ from repro.runner.taskspec import (
     SPEC_SCHEMA,
     TaskSpec,
     canonical_json,
+    chaos_spec,
     comparison_spec,
     fingerprint_of,
     network_size_spec,
@@ -47,6 +48,7 @@ __all__ = [
     "RunnerReport",
     "TaskSpec",
     "canonical_json",
+    "chaos_spec",
     "comparison_spec",
     "execute_spec",
     "fingerprint_of",

@@ -10,6 +10,8 @@ degrades to a cache miss, never to a wrong result.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -61,8 +63,21 @@ class ResultCache:
             "params": spec.params,
             "result": result,
         }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        tmp.replace(path)
+        # Unique temp name + atomic rename: concurrent runners (or parallel
+        # workers finishing the same cell) never clobber each other's
+        # half-written file, and readers only ever see complete entries.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{spec.fingerprint}.", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(payload, indent=2, sort_keys=True))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         self.stores += 1
         return path

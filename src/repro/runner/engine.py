@@ -195,7 +195,8 @@ class ParallelRunner:
     def _run_parallel(
         self, pending: deque, outcomes: List[Optional[RunnerOutcome]]
     ) -> None:
-        InFlight = Tuple[int, TaskSpec, int, float]  # index, spec, attempt, deadline
+        # index, spec, attempt, deadline, submitted-at (for failed-cell wall_s)
+        InFlight = Tuple[int, TaskSpec, int, float, float]
         pool = self._new_pool()
         in_flight: Dict[Future, InFlight] = {}
         tick = 0.1 if self.timeout is None else min(0.1, self.timeout / 4)
@@ -222,12 +223,12 @@ class ParallelRunner:
                             self._kill_pool(pool)
                             pool = self._new_pool()
                         break
-                    in_flight[future] = (index, spec, attempt, deadline)
+                    in_flight[future] = (index, spec, attempt, deadline, time.monotonic())
 
                 done, _ = wait(in_flight, timeout=tick, return_when=FIRST_COMPLETED)
                 pool_broken = False
                 for future in done:
-                    index, spec, attempt, _deadline = in_flight.pop(future)
+                    index, spec, attempt, _deadline, submitted = in_flight.pop(future)
                     exc = future.exception()
                     if exc is None:
                         reply = future.result()
@@ -244,24 +245,29 @@ class ParallelRunner:
                         # broken in-flight cell is charged an attempt below.
                         pool_broken = True
                         self._retry_or_fail(
-                            pending, outcomes, index, spec, attempt, 0.0,
+                            pending, outcomes, index, spec, attempt,
+                            time.monotonic() - submitted,
                             "worker process died (BrokenProcessPool)",
                         )
                     else:
                         self._retry_or_fail(
-                            pending, outcomes, index, spec, attempt, 0.0, repr(exc)
+                            pending, outcomes, index, spec, attempt,
+                            time.monotonic() - submitted, repr(exc),
                         )
 
                 now = time.monotonic()
                 timed_out = [f for f, entry in in_flight.items() if now > entry[3]]
                 if pool_broken or timed_out:
                     self._kill_pool(pool)
-                    for future, (index, spec, attempt, _deadline) in in_flight.items():
+                    for future, (
+                        index, spec, attempt, _deadline, submitted
+                    ) in in_flight.items():
                         if pool_broken or future in timed_out:
                             # Offender or co-casualty of a dead pool: charge
                             # an attempt (the work is lost either way).
                             self._retry_or_fail(
-                                pending, outcomes, index, spec, attempt, 0.0,
+                                pending, outcomes, index, spec, attempt,
+                                now - submitted,
                                 f"timed out after {self.timeout}s"
                                 if future in timed_out
                                 else "worker process died (BrokenProcessPool)",

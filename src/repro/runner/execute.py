@@ -59,6 +59,19 @@ def _execute_comparison(params: Mapping[str, Any]) -> Dict[str, Any]:
     return comparison_to_dict(result)
 
 
+def _execute_chaos(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.chaos import run_chaos
+
+    return run_chaos(
+        params["variant"],
+        scenario=params["scenario"],
+        intensity=params["intensity"],
+        seed=params["seed"],
+        zigbee_channel=params["zigbee_channel"],
+        **params["schedule"],
+    )
+
+
 def _execute_wake_interval(params: Mapping[str, Any]) -> Dict[str, Any]:
     from repro.experiments.sweep import wake_interval_point
 
@@ -95,6 +108,7 @@ def _execute_selftest(params: Mapping[str, Any]) -> Dict[str, Any]:
 
 _EXECUTORS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {
     "comparison": _execute_comparison,
+    "chaos": _execute_chaos,
     "wake-interval": _execute_wake_interval,
     "network-size": _execute_network_size,
     "selftest": _execute_selftest,
@@ -104,7 +118,7 @@ _EXECUTORS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {
 def sim_seconds_estimate(spec: TaskSpec) -> float:
     """Scheduled simulated seconds for one cell (telemetry's sim/wall ratio)."""
     p = spec.params
-    if spec.kind == "comparison":
+    if spec.kind in ("comparison", "chaos"):
         s = p["schedule"]
         return (
             s["converge_seconds"]

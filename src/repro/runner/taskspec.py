@@ -128,6 +128,52 @@ def comparison_spec(
     )
 
 
+def chaos_spec(
+    variant: str,
+    scenario: str = "mixed",
+    intensity: float = 0.5,
+    seed: int = 0,
+    zigbee_channel: int = 26,
+    **kwargs: Any,
+) -> TaskSpec:
+    """Spec for one :func:`repro.experiments.chaos.run_chaos` cell.
+
+    The fingerprint covers the derived :class:`NetworkConfig` *including
+    the canonical fault plan*, so editing a scenario preset (or the plan
+    builder) invalidates cached chaos cells while leaving fault-free
+    comparison cells untouched.
+    """
+    from repro.experiments.chaos import CHAOS_DEFAULTS, chaos_config
+
+    schedule = dict(CHAOS_DEFAULTS)
+    for key, value in kwargs.items():
+        if key not in schedule:
+            raise TypeError(f"unknown run_chaos argument: {key!r}")
+        schedule[key] = value
+    config = chaos_config(
+        variant,
+        scenario,
+        intensity,
+        seed,
+        zigbee_channel,
+        n_controls=schedule["n_controls"],
+        control_interval_s=schedule["control_interval_s"],
+    )
+    return TaskSpec(
+        kind="chaos",
+        params={
+            "variant": variant,
+            "scenario": scenario,
+            "intensity": intensity,
+            "seed": seed,
+            "zigbee_channel": zigbee_channel,
+            "schedule": schedule,
+            "config": config.to_dict(),
+        },
+        label=f"chaos/{scenario}/{variant}/i{intensity:g}/seed{seed}",
+    )
+
+
 def wake_interval_spec(
     wake_ms: int,
     protocol: str = "tele",

@@ -75,6 +75,10 @@ class RunnerReport:
             return None
         return self.sim_seconds / self.wall_s
 
+    def failures(self) -> List[CellTelemetry]:
+        """The failed cells, each carrying its exception repr and attempts."""
+        return [c for c in self.cells if c.status == "failed"]
+
     def counters(self) -> Dict[str, Any]:
         """The summary numbers as a plain dict (for JSON/bench output)."""
         return {
@@ -87,17 +91,24 @@ class RunnerReport:
             "wall_s": self.wall_s,
             "sim_seconds": self.sim_seconds,
             "throughput": self.throughput,
+            "failures": [
+                {"label": c.label, "attempts": c.attempts, "error": c.error}
+                for c in self.failures()
+            ],
         }
 
     def summary_line(self) -> str:
-        """One-line grid outcome for progress streams."""
+        """One-line grid outcome for progress streams (plus failure details)."""
         rate = self.throughput
-        return (
+        line = (
             f"{len(self.cells)} cells: {self.executed} executed, "
             f"{self.cached} cached, {self.failed} failed "
             f"({self.retried} retried) in {self.wall_s:.1f}s wall"
             + (f", {rate:.0f} sim-s/s" if rate and self.sim_seconds > 0 else "")
         )
+        for cell in self.failures():
+            line += f"\n  FAILED {cell.label}: {cell.attempts} attempt(s): {cell.error}"
+        return line
 
     def summary_table(self) -> str:
         """Per-cell ASCII table plus the aggregate line."""

@@ -7,6 +7,7 @@ Tracing is off by default and costs one attribute check per call when off.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set
 
@@ -75,6 +76,22 @@ class Tracer:
         if node is not None:
             out = [r for r in out if r.node == node]
         return list(out)
+
+    def digest(self) -> str:
+        """SHA-256 over all recorded events, in order.
+
+        A cheap equality token for determinism regression tests: two runs
+        with identical behaviour (and identical enabled categories) produce
+        identical digests.
+        """
+        h = hashlib.sha256()
+        for r in self.records:
+            h.update(
+                repr(
+                    (r.time, r.node, r.category, r.message, sorted(r.data.items()))
+                ).encode("utf-8")
+            )
+        return h.hexdigest()
 
     def clear(self) -> None:
         """Drop all recorded events."""

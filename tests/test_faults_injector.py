@@ -1,0 +1,182 @@
+"""Injector semantics, and countermeasures driven through the fault hooks:
+unacked forwards must raise the feedback/backtrack path, an unreachable
+destination must end in a clean failure or a Re-Tele rescue."""
+
+from repro.core.forwarding import ForwardingParams
+from repro.experiments.harness import Network, NetworkConfig
+from repro.faults import BLACKOUT_DB, FaultEvent, FaultPlan
+from repro.radio.frame import FrameType
+from repro.radio.propagation import LogDistancePathLoss
+from repro.sim import SECOND
+from repro.topology import Deployment
+
+
+def diamond_deployment(seed=1):
+    """Sink 0; parallel relays 1 and 2; destination 3 (two real hops)."""
+    return Deployment(
+        name="diamond",
+        positions=[(0.0, 0.0), (13.0, 5.0), (13.0, -5.0), (26.0, 0.0)],
+        sink=0,
+        tx_power_dbm=0.0,
+        propagation=LogDistancePathLoss(pl_d0=40.0, seed=seed, shadowing_sigma=0.0),
+    )
+
+
+def diamond_net(plan=None, re_tele=False, seed=1):
+    config = NetworkConfig(
+        topology=diamond_deployment(seed),
+        protocol="tele",
+        seed=seed,
+        noise="constant",
+        always_on=True,
+        fading_sigma_db=0.0,
+        collection_ipi=None,
+        re_tele=re_tele,
+        forwarding_params=ForwardingParams(
+            re_tele=re_tele,
+            e2e_timeout=25 * SECOND,
+            sink_retry_interval=6 * SECOND,
+        ),
+        faults=plan,
+    )
+    net = Network(config)
+    net.converge(max_seconds=90.0, target=1.0)
+    return net
+
+
+def plan_of(*events):
+    return FaultPlan(events=events, auto_arm=False)
+
+
+class TestInjectorSemantics:
+    def test_crash_wipes_code_then_reacquires(self):
+        net = diamond_net(
+            plan_of(FaultEvent(kind="crash", at_s=2.0, node=3, duration_s=10.0))
+        )
+        assert net.protocols[3].allocation.code is not None
+        net.fault_injector.arm()
+        net.run(4.0)  # crashed, not yet rebooted: radio dead, state kept
+        assert net.fault_injector.stats.crashes == 1
+        assert net.fault_injector.stats.reboots == 0
+        net.run(10.0)  # past the reboot
+        assert net.fault_injector.stats.reboots == 1
+        net.run(60.0)
+        assert net.protocols[3].allocation.code is not None, (
+            "rebooted node never re-acquired a path code"
+        )
+
+    def test_stun_preserves_code(self):
+        net = diamond_net(
+            plan_of(FaultEvent(kind="stun", at_s=2.0, node=3, duration_s=5.0))
+        )
+        code_before = net.protocols[3].allocation.code
+        assert code_before is not None
+        net.fault_injector.arm()
+        net.run(7.2)  # just past the un-stun
+        assert net.fault_injector.stats.stuns == 1
+        assert net.fault_injector.stats.reboots == 0
+        # Unlike a crash, a stun keeps protocol state: the code survives the
+        # outage itself (the network may still churn it *later*).
+        assert net.protocols[3].allocation.code == code_before
+        net.run(30.0)
+        assert net.protocols[3].allocation.code is not None
+
+    def test_link_blackout_applies_and_clears(self):
+        net = diamond_net(
+            plan_of(
+                FaultEvent(kind="link", at_s=2.0, node=3, peer=1, duration_s=8.0)
+            )
+        )
+        net.fault_injector.arm()
+        net.run(4.0)
+        assert net.channel.link_faults == {(1, 3): BLACKOUT_DB}
+        net.run(10.0)
+        assert net.channel.link_faults == {}
+        assert net.fault_injector.stats.link_faults == 1
+        assert net.fault_injector.stats.link_restores == 1
+
+    def test_parent_switch_churns_then_reparents(self):
+        net = diamond_net(
+            plan_of(FaultEvent(kind="parent_switch", at_s=2.0, node=3))
+        )
+        net.fault_injector.arm()
+        net.run(60.0)
+        assert net.fault_injector.stats.parent_kicks == 1
+        assert net.stacks[3].routing.parent is not None
+        assert net.protocols[3].allocation.code is not None
+
+    def test_arm_is_idempotent(self):
+        net = diamond_net(
+            plan_of(FaultEvent(kind="stun", at_s=2.0, node=3, duration_s=2.0))
+        )
+        net.fault_injector.arm()
+        net.fault_injector.arm()
+        net.run(30.0)
+        assert net.fault_injector.stats.stuns == 1
+
+
+class TestCountermeasuresUnderFaults:
+    def test_unreachable_destination_backtracks_and_fails_clean(self):
+        # A permanent drop-everything filter at the destination: forwards go
+        # unacked, relays must backtrack, feedback must reach the sink, and
+        # the control must end as an honest failure (never a false delivery).
+        net = diamond_net(
+            plan_of(
+                FaultEvent(kind="packet_loss", at_s=0.5, node=3, drop_prob=1.0)
+            )
+        )
+        net.fault_injector.arm()
+        net.run(1.0)
+        record = net.send_control(3)
+        net.run(45.0)
+        assert net.fault_injector.stats.packets_dropped > 0
+        backtracks = sum(p.forwarding.backtracks for p in net.protocols.values())
+        assert backtracks > 0, "no relay ever backtracked"
+        feedback_tx = sum(
+            s.tx_by_type.get(FrameType.FEEDBACK, 0) for s in net.stacks.values()
+        )
+        assert feedback_tx > 0, "no feedback packet was transmitted"
+        assert not record.delivered
+
+    def test_corruption_counts_separately(self):
+        net = diamond_net(
+            plan_of(
+                FaultEvent(
+                    kind="packet_loss",
+                    at_s=0.5,
+                    node=3,
+                    drop_prob=0.0,
+                    corrupt_prob=1.0,
+                    duration_s=10.0,
+                )
+            )
+        )
+        net.fault_injector.arm()
+        net.run(1.0)
+        net.send_control(3)
+        net.run(12.0)
+        assert net.fault_injector.stats.packets_corrupted > 0
+        assert net.fault_injector.stats.packets_dropped == 0
+        # Filter expired: the channel is clean again.
+        assert net.channel.reception_filters == []
+
+    def test_re_tele_rescues_filtered_coded_path(self):
+        # Block only the *coded* (broadcast anycast) control delivery at the
+        # destination; the Re-Tele helper's final unicast hop still passes.
+        # The sink must give up on the encoded path and invoke §III-C4.
+        net = diamond_net(re_tele=True)
+
+        def drop_coded_control(src, dst, frame):
+            return not (
+                dst == 3 and frame.type == FrameType.CONTROL and frame.is_broadcast
+            )
+
+        net.channel.reception_filters.append(drop_coded_control)
+        record = net.send_control(3)
+        net.run(60.0)
+        re_tele = sum(
+            p.forwarding.re_tele_invocations for p in net.protocols.values()
+        )
+        assert re_tele > 0, "sink never invoked Re-Tele"
+        assert record.delivered
+        assert record.via_unicast, "delivery should have come via the helper"

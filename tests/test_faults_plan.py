@@ -1,0 +1,161 @@
+"""FaultPlan value semantics, chaos presets, and fingerprint stability."""
+
+import pytest
+
+from repro.experiments.harness import Network, NetworkConfig
+from repro.faults import CHAOS_SCENARIOS, FaultEvent, FaultPlan, chaos_plan
+from repro.runner import chaos_spec, fingerprint_of
+from repro.topology import random_uniform
+
+
+class TestFaultEvent:
+    def test_round_trip(self):
+        event = FaultEvent(kind="link", at_s=3.0, node=1, peer=2, duration_s=5.0)
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(kind="meteor", at_s=0.0, node=1)
+
+    def test_crash_needs_node_and_duration(self):
+        with pytest.raises(ValueError, match="needs a node"):
+            FaultEvent(kind="crash", at_s=0.0, duration_s=5.0)
+        with pytest.raises(ValueError, match="needs a duration"):
+            FaultEvent(kind="crash", at_s=0.0, node=1)
+
+    def test_link_needs_distinct_endpoints(self):
+        with pytest.raises(ValueError, match="must differ"):
+            FaultEvent(kind="link", at_s=0.0, node=1, peer=1)
+        with pytest.raises(ValueError, match="both node and peer"):
+            FaultEvent(kind="link", at_s=0.0, node=1)
+
+    def test_probabilities_bounded(self):
+        with pytest.raises(ValueError, match="drop_prob"):
+            FaultEvent(kind="packet_loss", at_s=0.0, drop_prob=1.5)
+        with pytest.raises(ValueError, match="corrupt_prob"):
+            FaultEvent(kind="packet_loss", at_s=0.0, corrupt_prob=-0.1)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown FaultEvent keys"):
+            FaultEvent.from_dict({"kind": "stun", "at_s": 0.0, "node": 1,
+                                  "duration_s": 1.0, "severity": 9})
+
+
+class TestFaultPlan:
+    def test_events_sorted_and_normalised(self):
+        plan = FaultPlan(
+            events=(
+                {"kind": "stun", "at_s": 9.0, "node": 2, "duration_s": 1.0},
+                FaultEvent(kind="crash", at_s=1.0, node=1, duration_s=5.0),
+            )
+        )
+        assert [e.at_s for e in plan.events] == [1.0, 9.0]
+        assert all(isinstance(e, FaultEvent) for e in plan.events)
+
+    def test_round_trip_and_span(self):
+        plan = FaultPlan(
+            events=(FaultEvent(kind="crash", at_s=2.0, node=1, duration_s=8.0),),
+            auto_arm=False,
+            name="demo",
+        )
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again == plan
+        assert plan.span_s() == 10.0
+        assert not plan.is_empty
+        assert FaultPlan().is_empty
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan keys"):
+            FaultPlan.from_dict({"events": [], "armed": True})
+
+
+class TestChaosPlan:
+    def test_deterministic_for_same_inputs(self):
+        a = chaos_plan("mixed", 1.0, n_nodes=10, seed=4)
+        b = chaos_plan("mixed", 1.0, n_nodes=10, seed=4)
+        assert a == b
+        assert a.to_dict() == b.to_dict()
+
+    def test_seed_changes_plan(self):
+        a = chaos_plan("crash-churn", 1.0, n_nodes=10, seed=1)
+        b = chaos_plan("crash-churn", 1.0, n_nodes=10, seed=2)
+        assert a != b
+
+    def test_zero_intensity_is_empty(self):
+        assert chaos_plan("mixed", 0.0, n_nodes=10, seed=1).is_empty
+
+    def test_sink_never_targeted(self):
+        for scenario in CHAOS_SCENARIOS:
+            plan = chaos_plan(scenario, 2.0, n_nodes=8, sink=3, seed=7)
+            assert all(e.node != 3 for e in plan.events)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            chaos_plan("armageddon", 1.0, n_nodes=10)
+
+
+class TestFingerprintStability:
+    def test_fault_free_config_omits_faults_key(self):
+        # Regression: pre-faults-layer cache entries must stay reachable, so
+        # a config without faults serialises exactly as it did before the
+        # faults field existed.
+        assert "faults" not in NetworkConfig().to_dict()
+
+    def test_faulted_config_serialises_plan(self):
+        config = NetworkConfig(faults=FaultPlan())
+        data = config.to_dict()
+        assert data["faults"] == {"name": "", "auto_arm": True, "events": []}
+
+    def test_plan_changes_fingerprint(self):
+        base = fingerprint_of(NetworkConfig().to_dict())
+        empty = fingerprint_of(NetworkConfig(faults=FaultPlan()).to_dict())
+        planned = fingerprint_of(
+            NetworkConfig(
+                faults=FaultPlan(
+                    events=(
+                        FaultEvent(kind="stun", at_s=1.0, node=1, duration_s=2.0),
+                    )
+                )
+            ).to_dict()
+        )
+        assert len({base, empty, planned}) == 3
+
+    def test_chaos_spec_fingerprint_deterministic(self):
+        a = chaos_spec("tele", scenario="mixed", intensity=0.5, seed=3)
+        b = chaos_spec("tele", scenario="mixed", intensity=0.5, seed=3)
+        assert a.fingerprint == b.fingerprint
+        c = chaos_spec("tele", scenario="mixed", intensity=0.75, seed=3)
+        assert c.fingerprint != a.fingerprint
+
+
+def _run_small_net(faults):
+    """A short always-on run; returns a full behavioural transcript."""
+    config = NetworkConfig(
+        topology=random_uniform(6, 40.0, 40.0, seed=2, sink=0),
+        protocol="tele",
+        seed=2,
+        always_on=True,
+        faults=faults,
+    )
+    net = Network(config)
+    net.converge(max_seconds=40.0, target=1.0)
+    coded = [n for n in net.non_sink_nodes() if net.protocols[n].path_code is not None]
+    record = net.send_control(coded[-1]) if coded else None
+    net.run(10.0)
+    transcript = {
+        "now": net.sim.now,
+        "tx": {n: dict(s.tx_by_type) for n, s in net.stacks.items()},
+        "record": None
+        if record is None
+        else (record.destination, record.sent_at, record.delivered_at,
+              record.acked_at, record.athx),
+    }
+    return transcript
+
+
+class TestZeroFaultIdentity:
+    def test_empty_plan_is_bit_identical_to_no_plan(self):
+        # Acceptance: running with a zero-fault FaultPlan is bit-identical
+        # to running without the faults layer at all — the hooks must not
+        # perturb any RNG stream or event ordering.
+        assert _run_small_net(None) == _run_small_net(FaultPlan())

@@ -11,6 +11,7 @@ from repro.baselines.rpl import RplParams
 from repro.core.allocation import AllocationParams
 from repro.core.forwarding import ForwardingParams
 from repro.experiments.harness import NetworkConfig
+from repro.faults import FaultEvent, FaultPlan
 from repro.mac.lpl import MacParams
 from repro.runner import canonical_json, comparison_spec, fingerprint_of
 from repro.topology import random_uniform
@@ -36,6 +37,9 @@ ALTERNATES = {
     "collection_ipi": None,
     "wifi_params": WifiParams(position=(1.0, 2.0)),
     "fading_sigma_db": 7.5,
+    "faults": FaultPlan(
+        events=(FaultEvent(kind="stun", at_s=1.0, node=1, duration_s=2.0),)
+    ),
 }
 
 
@@ -45,8 +49,11 @@ def fingerprint(config: NetworkConfig) -> str:
 
 class TestNetworkConfigToDict:
     def test_covers_every_field(self):
-        out = NetworkConfig().to_dict()
-        assert set(out) == {f.name for f in dataclasses.fields(NetworkConfig)}
+        # ``faults`` is omitted when None so that fault-free configs keep the
+        # fingerprints (and cache entries) they had before the faults layer.
+        fields = {f.name for f in dataclasses.fields(NetworkConfig)}
+        assert set(NetworkConfig().to_dict()) == fields - {"faults"}
+        assert set(NetworkConfig(faults=FaultPlan()).to_dict()) == fields
 
     def test_keys_sorted_at_every_level(self):
         def check(value):
