@@ -321,16 +321,18 @@ class TeleForwarding:
         state.sent_expected = max(state.sent_expected, expected_length)
         state.sent_at = self.sim.now
         self.controls_forwarded += 1
-        self.sim.tracer.emit(
-            "tele.forward",
-            "anycast control packet",
-            node=self.node_id,
-            serial=serial,
-            expected_relay=expected_relay,
-            expected_length=expected_length,
-            athx=next_control.athx,
-            tries=state.tries,
-        )
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "tele.forward",
+                "anycast control packet",
+                node=self.node_id,
+                serial=serial,
+                expected_relay=expected_relay,
+                expected_length=expected_length,
+                athx=next_control.athx,
+                tries=state.tries,
+            )
         self.stack.send_anycast(
             FrameType.CONTROL,
             next_control,
@@ -393,14 +395,16 @@ class TeleForwarding:
             if control.expected_relay not in dead:
                 dead.append(control.expected_relay)
         self.backtracks += 1
-        self.sim.tracer.emit(
-            "tele.backtrack",
-            "relay gives up, returning packet upstream",
-            node=self.node_id,
-            serial=serial,
-            came_from=state.came_from,
-            dead=tuple(dead),
-        )
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "tele.backtrack",
+                "relay gives up, returning packet upstream",
+                node=self.node_id,
+                serial=serial,
+                came_from=state.came_from,
+                dead=tuple(dead),
+            )
         if state.came_from is None:
             # We are the sink: destination-unreachable (§III-C4).
             self._sink_give_up(serial)
@@ -446,13 +450,15 @@ class TeleForwarding:
             self.allocation.neighbor_codes.mark_unreachable(neighbor, self.sim.now)
         if not self._candidates(control.destination_code, my_match):
             return  # no way to make progress either
-        self.sim.tracer.emit(
-            "tele.snoop-takeover",
-            "overheard feedback; continuing the forwarding ourselves",
-            node=self.node_id,
-            serial=feedback.serial,
-            failed_relay=feedback.failed_relay,
-        )
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "tele.snoop-takeover",
+                "overheard feedback; continuing the forwarding ourselves",
+                node=self.node_id,
+                serial=feedback.serial,
+                failed_relay=feedback.failed_relay,
+            )
         self._put_state(
             feedback.serial,
             _RelayState(
@@ -670,14 +676,16 @@ class TeleForwarding:
         self._delivered_serials[serial] = self.sim.now
         while len(self._delivered_serials) > self.params.state_cache:
             self._delivered_serials.popitem(last=False)
-        self.sim.tracer.emit(
-            "tele.deliver",
-            "control packet reached its destination",
-            node=self.node_id,
-            serial=serial,
-            via_unicast=via_unicast,
-            athx=control.athx,
-        )
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "tele.deliver",
+                "control packet reached its destination",
+                node=self.node_id,
+                serial=serial,
+                via_unicast=via_unicast,
+                athx=control.athx,
+            )
         if self.on_apply is not None:
             self.on_apply(control.payload)
         if self.on_delivered is not None:

@@ -133,4 +133,5 @@ def run_chaos(
         "mean_latency_s": metrics.mean_latency(),
         "recovery": recovery_report(net),
         "trace_digest": net.sim.tracer.digest(),
+        "events_executed": net.sim.events_executed,
     }

@@ -48,6 +48,9 @@ class ComparisonResult:
     duty_cycle: Optional[float]
     athx_samples: List[Tuple[int, int]] = field(default_factory=list)
     control_metrics: Optional[ControlMetrics] = None
+    #: Kernel events dispatched during the run (the events/sec numerator in
+    #: runner telemetry and the BENCH_kernel.json perf canary).
+    events_executed: Optional[int] = None
 
 
 def config_for(variant: str, channel: int, seed: int) -> NetworkConfig:
@@ -126,4 +129,5 @@ def run_comparison(
         duty_cycle=net.metrics.mean_duty_cycle(),
         athx_samples=metrics.athx_samples(),
         control_metrics=metrics,
+        events_executed=net.sim.events_executed,
     )

@@ -98,13 +98,14 @@ class FaultInjector:
         self.fired.append((sim.now, event.kind, event.node))
         if event.kind in DISRUPTIVE_KINDS:
             self.disruption_times.append(sim.now)
-        sim.tracer.emit(
-            "faults",
-            event.kind,
-            node=event.node,
-            peer=event.peer,
-            duration_s=event.duration_s,
-        )
+        if sim.tracer.enabled:
+            sim.tracer.emit(
+                "faults",
+                event.kind,
+                node=event.node,
+                peer=event.peer,
+                duration_s=event.duration_s,
+            )
         handler = getattr(self, f"_do_{event.kind}")
         handler(index, event)
 

@@ -200,20 +200,24 @@ class LPLMac:
 
     # ------------------------------------------------------------ duty cycle
     def _wake_up(self) -> None:
-        self.sim.schedule(self.params.wake_interval, self._wake_up)
+        params = self.params
+        sim = self.sim
+        sim.schedule(params.wake_interval, self._wake_up)
         if self._train is not None or self.radio.is_on:
             return  # busy sending or still awake from last activity
         self.radio.turn_on()
-        self._awake_until = self.sim.now + self.params.listen_window
+        listen = params.listen_window
+        self._awake_until = sim.now + listen
         # Sample densely (1 ms) so any ongoing train — mostly airtime with
         # short ack gaps — is guaranteed to hit at least one sample.
-        self._sample_channel(samples_left=self.params.listen_window // MILLISECOND)
-        self.sim.schedule(self.params.listen_window, self._maybe_sleep)
+        self._sample_channel(samples_left=listen // MILLISECOND)
+        sim.schedule(listen, self._maybe_sleep)
 
     def _sample_channel(self, samples_left: int) -> None:
-        if not self.radio.is_on or self.radio.state is RadioState.TX:
+        radio = self.radio
+        if not radio.is_on or radio.state is RadioState.TX:
             return
-        if self.radio.state is RadioState.RECEIVING or not self.radio.cca_clear():
+        if radio.state is RadioState.RECEIVING or not radio.cca_clear():
             self._extend_awake()
             return  # energy found; stay up to receive, stop sampling
         if samples_left > 1:

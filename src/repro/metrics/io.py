@@ -48,6 +48,7 @@ def comparison_to_dict(result: ComparisonResult) -> Dict[str, Any]:
         "tx_per_control": result.tx_per_control,
         "duty_cycle": result.duty_cycle,
         "athx_samples": [list(sample) for sample in result.athx_samples],
+        "events_executed": result.events_executed,
     }
     if result.control_metrics is not None:
         out["records"] = [
@@ -99,6 +100,7 @@ def comparison_from_dict(data: Dict[str, Any]) -> ComparisonResult:
         duty_cycle=data["duty_cycle"],
         athx_samples=[tuple(sample) for sample in data["athx_samples"]],
         control_metrics=control_metrics,
+        events_executed=data.get("events_executed"),
     )
 
 

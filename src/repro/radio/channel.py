@@ -56,6 +56,11 @@ class _Transmission:
     end: int
     #: Received power per potential receiver (dBm), filled at start.
     rx_power_dbm: Dict[int, float] = field(default_factory=dict)
+    #: Receivers locked onto this packet, in lock order — the exact order
+    #: ``_end_transmission`` must resolve them in (it matches the pending-dict
+    #: insertion order the resolution loop historically iterated, so the
+    #: shared channel RNG stream is consumed identically).
+    locked: List[Tuple[int, "_PendingReception"]] = field(default_factory=list)
 
 
 @dataclass
@@ -97,6 +102,14 @@ class Channel:
         self.fading_sigma_db = fading_sigma_db
         self.fading_coherence = fading_coherence
         self._fading_cache: Dict[Tuple[int, int], Tuple[int, float]] = {}
+        # Per-source received-power maps, keyed by src with the (fading
+        # bucket, tx power, link-fault epoch) they were computed under.
+        # Within one coherence bucket every packet from a source lands with
+        # exactly the same powers, so the audible-neighbour loop — the single
+        # hottest loop in dense grids — runs once per bucket instead of once
+        # per packet. The cached dict is shared read-only by transmissions.
+        self._rx_cache: Dict[int, Tuple[int, float, int, Dict[int, float]]] = {}
+        self._fault_epoch = 0
         self._radios: Dict[int, Radio] = {}
         self._on_radios: Set[int] = set()
         self._noise_master = noise_model if noise_model is not None else ConstantNoise()
@@ -108,11 +121,15 @@ class Channel:
         # Static audible-neighbour lists derived from gains (tx power agnostic:
         # assume max 0 dBm; per-packet power still gates actual reception).
         # Fading can lift a link a few sigma above its mean, so keep margin.
+        # Entries are (neighbor, gain, fading_key) triples: the unordered link
+        # key is precomputed once here instead of being rebuilt per packet in
+        # the transmit hot loop (it doubles as the link-fault key).
         audible_floor = self.DEAF_THRESHOLD_DBM - 3.0 * fading_sigma_db
-        self._audible: Dict[int, List[Tuple[int, float]]] = {}
+        self._audible: Dict[int, List[Tuple[int, float, Tuple[int, int]]]] = {}
         for (a, b), gain in gains.items():
             if gain >= audible_floor:
-                self._audible.setdefault(a, []).append((b, gain))
+                fkey = (a, b) if a <= b else (b, a)
+                self._audible.setdefault(a, []).append((b, gain, fkey))
         #: Observers called for every delivered frame: (receiver, frame, rssi).
         self.delivery_observers: List[Callable[[int, Frame, float], None]] = []
         #: Fault-injection hook: extra attenuation (dB) per unordered link
@@ -160,12 +177,15 @@ class Channel:
 
     def energy_dbm_at(self, node_id: int) -> float:
         """Instantaneous in-band energy a CCA at ``node_id`` would read."""
-        total_mw = dbm_to_mw(self._noise_dbm(node_id))
-        total_mw += self._interference_mw(node_id)
+        # Hot per-CCA path: dbm_to_mw is inlined and the interferer query is
+        # skipped when there are none (it would add exactly 0.0).
+        total_mw = 10.0 ** (self._noise[node_id].sample() / 10.0)  # type: ignore[union-attr]
+        if self._interferers:
+            total_mw += self._interference_mw(node_id)
         for tx in self._active:
             power = tx.rx_power_dbm.get(node_id)
             if power is not None:
-                total_mw += dbm_to_mw(power)
+                total_mw += 10.0 ** (power / 10.0)
         return mw_to_dbm(total_mw)
 
     # ----------------------------------------------------------------- fading
@@ -178,6 +198,9 @@ class Channel:
         cached = self._fading_cache.get(key)
         if cached is not None and cached[0] == bucket:
             return cached[1]
+        return self._fading_miss(key, bucket)
+
+    def _fading_miss(self, key: Tuple[int, int], bucket: int) -> float:
         # Deterministic per (seed, link, bucket): replays are reproducible.
         rng = random.Random(
             (self.sim.seed << 48) ^ (key[0] << 34) ^ (key[1] << 20) ^ bucket
@@ -187,50 +210,106 @@ class Channel:
         return value
 
     # ------------------------------------------------------------- transmit
+    def _compute_rx_map(self, src: int, tx_power: float, bucket: int) -> Dict[int, float]:
+        """Received power (dBm) per audible neighbour of ``src``.
+
+        The fading cache lookup is inlined (one dict probe on the
+        precomputed link key) and the zero-fading case (``bucket == -1``)
+        skips it entirely — fading_db() would return 0.0 and ``x + 0.0`` is
+        bit-identical for every power that can reach the deaf threshold.
+        """
+        rx_map: Dict[int, float] = {}
+        link_faults = self.link_faults
+        deaf = self.DEAF_THRESHOLD_DBM
+        if bucket >= 0:
+            fading_cache = self._fading_cache
+            for neighbor_id, gain, fkey in self._audible.get(src, ()):
+                cached = fading_cache.get(fkey)
+                if cached is not None and cached[0] == bucket:
+                    rx_power = tx_power + gain + cached[1]
+                else:
+                    rx_power = tx_power + gain + self._fading_miss(fkey, bucket)
+                if link_faults:
+                    rx_power -= link_faults.get(fkey, 0.0)
+                if rx_power >= deaf:
+                    rx_map[neighbor_id] = rx_power
+        else:
+            for neighbor_id, gain, fkey in self._audible.get(src, ()):
+                rx_power = tx_power + gain
+                if link_faults:
+                    rx_power -= link_faults.get(fkey, 0.0)
+                if rx_power >= deaf:
+                    rx_map[neighbor_id] = rx_power
+        return rx_map
+
     def start_transmission(
         self, radio: Radio, frame: Frame, done: Optional[Callable[[], None]]
     ) -> None:
         """Put a frame on the air from ``radio``."""
         airtime = packet_airtime(frame.length)
         now = self.sim.now
-        tx = _Transmission(radio.node_id, frame, now, now + airtime)
-        for neighbor_id, gain in self._audible.get(radio.node_id, ()):
-            rx_power = (
-                radio.tx_power_dbm + gain + self.fading_db(radio.node_id, neighbor_id)
-            )
-            if self.link_faults:
-                a, b = radio.node_id, neighbor_id
-                rx_power -= self.link_faults.get((a, b) if a <= b else (b, a), 0.0)
-            if rx_power >= self.DEAF_THRESHOLD_DBM:
-                tx.rx_power_dbm[neighbor_id] = rx_power
+        src = radio.node_id
+        tx_end = now + airtime
+        # Received power per neighbour is constant within one fading bucket
+        # (and one link-fault epoch, one tx power), so the audible loop is
+        # memoised per source: every cache hit reuses the exact floats the
+        # loop would recompute. The map is shared read-only.
+        tx_power = radio.tx_power_dbm
+        bucket = now // self.fading_coherence if self.fading_sigma_db > 0.0 else -1
+        epoch = self._fault_epoch
+        cached_rx = self._rx_cache.get(src)
+        if (
+            cached_rx is not None
+            and cached_rx[0] == bucket
+            and cached_rx[1] == tx_power
+            and cached_rx[2] == epoch
+        ):
+            rx_map = cached_rx[3]
+        else:
+            rx_map = self._compute_rx_map(src, tx_power, bucket)
+            self._rx_cache[src] = (bucket, tx_power, epoch, rx_map)
+        tx = _Transmission(src, frame, now, tx_end, rx_map)
         # Account this new packet as interference against in-flight receptions,
         # and try to lock idle receivers onto it.
-        for receiver_id, rx_power in tx.rx_power_dbm.items():
-            pending = self._pending.get(receiver_id)
+        pending_map = self._pending
+        radios = self._radios
+        locked = tx.locked
+        idle = RadioState.IDLE
+        sensitivity = CC2420.SENSITIVITY_DBM
+        for receiver_id, rx_power in rx_map.items():
+            pending = pending_map.get(receiver_id)
             if pending is not None:
-                overlap = min(pending.transmission.end, tx.end) - now
+                end = pending.transmission.end
+                overlap = (end if end < tx_end else tx_end) - now
                 if overlap > 0:
-                    pending.interference_mw_ticks += dbm_to_mw(rx_power) * overlap
+                    pending.interference_mw_ticks += 10.0 ** (rx_power / 10.0) * overlap
                 continue
-            receiver = self._radios.get(receiver_id)
+            receiver = radios.get(receiver_id)
             if receiver is None:
                 continue  # position known but no radio attached
-            if receiver.state is RadioState.IDLE and rx_power >= CC2420.SENSITIVITY_DBM:
+            if receiver.state is idle and rx_power >= sensitivity:
                 receiver.state = RadioState.RECEIVING
                 receiver.locked_frame_id = frame.frame_id
-                self._pending[receiver_id] = _PendingReception(tx, rx_power)
+                reception = _PendingReception(tx, rx_power)
+                pending_map[receiver_id] = reception
+                locked.append((receiver_id, reception))
         # Pre-existing overlapping transmissions interfere with this packet's
-        # receivers too; fold their remaining overlap in now.
-        for other in self._active:
-            for receiver_id, _ in tx.rx_power_dbm.items():
-                pending = self._pending.get(receiver_id)
-                if pending is None or pending.transmission is not tx:
+        # receivers too; fold their remaining overlap in now. Iterating the
+        # just-built lock list keeps the per-reception accumulation order
+        # exactly as before (outer: _active order; inner: lock order).
+        if locked:
+            for other in self._active:
+                end = other.end
+                overlap = (end if end < tx_end else tx_end) - now
+                if overlap <= 0:
                     continue
-                other_power = other.rx_power_dbm.get(receiver_id)
-                if other_power is not None:
-                    overlap = min(other.end, tx.end) - now
-                    if overlap > 0:
-                        pending.interference_mw_ticks += dbm_to_mw(other_power) * overlap
+                other_rx = other.rx_power_dbm
+                for receiver_id, reception in locked:
+                    other_power = other_rx.get(receiver_id)
+                    if other_power is not None:
+                        reception.interference_mw_ticks += (
+                            10.0 ** (other_power / 10.0) * overlap
+                        )
         self._active.append(tx)
         self.sim.schedule(airtime, self._end_transmission, tx, radio, done)
 
@@ -240,31 +319,37 @@ class Channel:
         self._active.remove(tx)
         radio.finish_tx()
         airtime = tx.end - tx.start
-        # Resolve receptions locked onto this transmission.
-        for receiver_id in list(self._pending):
-            pending = self._pending[receiver_id]
-            if pending.transmission is not tx:
-                continue
-            del self._pending[receiver_id]
-            receiver = self._radios.get(receiver_id)
+        # Resolve receptions locked onto this transmission. tx.locked holds
+        # exactly the receivers that locked on, in the order the historical
+        # full-pending scan would visit them — so the noise samples and the
+        # shared channel-RNG PRR draws happen in the identical sequence —
+        # without walking every unrelated in-flight reception.
+        pending_map = self._pending
+        radios = self._radios
+        for receiver_id, reception in tx.locked:
+            if pending_map.get(receiver_id) is not reception:
+                continue  # receiver powered off (and possibly re-locked) mid-air
+            del pending_map[receiver_id]
+            receiver = radios.get(receiver_id)
             if receiver is None or receiver.state is not RadioState.RECEIVING:
                 continue
             receiver.state = RadioState.IDLE
             receiver.locked_frame_id = None
-            noise_mw = dbm_to_mw(self._noise_dbm(receiver_id))
-            noise_mw += self._interference_mw(receiver_id)
+            noise_mw = 10.0 ** (self._noise[receiver_id].sample() / 10.0)  # type: ignore[union-attr]
+            if self._interferers:
+                noise_mw += self._interference_mw(receiver_id)
             if airtime > 0:
-                noise_mw += pending.interference_mw_ticks / airtime
-            sinr_db = pending.rx_power_dbm - mw_to_dbm(noise_mw)
+                noise_mw += reception.interference_mw_ticks / airtime
+            sinr_db = reception.rx_power_dbm - mw_to_dbm(noise_mw)
             prr = CC2420.prr(sinr_db, tx.frame.length)
             if self._rng.random() < prr:
                 if self.reception_filters and not self._reception_allowed(
                     tx.src, receiver_id, tx.frame
                 ):
                     continue
-                receiver.deliver(tx.frame, pending.rx_power_dbm)
+                receiver.deliver(tx.frame, reception.rx_power_dbm)
                 for observer in self.delivery_observers:
-                    observer(receiver_id, tx.frame, pending.rx_power_dbm)
+                    observer(receiver_id, tx.frame, reception.rx_power_dbm)
         radio._transmission_done(done)
 
     # ------------------------------------------------------------ fault hooks
@@ -281,6 +366,9 @@ class Channel:
             self.link_faults.pop(key, None)
         else:
             self.link_faults[key] = attenuation_db
+        # Invalidate every memoised per-source power map: fault attenuation
+        # is folded into the cached powers.
+        self._fault_epoch += 1
 
     # --------------------------------------------------------------- queries
     def link_gain(self, src: int, dst: int) -> Optional[float]:
@@ -289,7 +377,7 @@ class Channel:
 
     def audible_neighbors(self, node_id: int) -> List[int]:
         """Nodes that can hear ``node_id`` at all (static, power-agnostic)."""
-        return [n for n, _ in self._audible.get(node_id, ())]
+        return [entry[0] for entry in self._audible.get(node_id, ())]
 
     def expected_prr(self, src: int, dst: int, frame_bytes: int = 40) -> float:
         """Clean-channel PRR estimate for a link (no interference), for tests."""

@@ -96,7 +96,11 @@ class CPMNoiseModel:
         ]
         self._marginal: List[float] = list(trace_dbm)
         self._train(trace_dbm)
-        self._state: List[float] = list(trace_dbm[:history])
+        # Model state is the quantised history window, maintained incrementally
+        # as a tuple so sample() never re-bins the whole window.
+        self._state_bins: Tuple[int, ...] = tuple(
+            self._bin(x) for x in trace_dbm[:history]
+        )
 
     def _bin(self, dbm: float) -> int:
         return int(dbm // self.bin_width_db)
@@ -118,22 +122,25 @@ class CPMNoiseModel:
         clone._tables = self._tables
         clone._marginal = self._marginal
         start = clone._rng.randrange(len(self._marginal) - self.history)
-        clone._state = list(self._marginal[start : start + self.history])
+        clone._state_bins = tuple(
+            clone._bin(x) for x in self._marginal[start : start + self.history]
+        )
         return clone
 
     def sample(self) -> float:
         """Draw the next noise reading (dBm) and advance the model state."""
-        bins = tuple(self._bin(x) for x in self._state)
+        bins = self._state_bins
+        tables = self._tables
+        history = self.history
         value: float
-        for h in range(self.history, 0, -1):
-            candidates = self._tables[h - 1].get(bins[self.history - h :])
+        for h in range(history, 0, -1):
+            candidates = tables[h - 1].get(bins[history - h :])
             if candidates:
                 value = self._rng.choice(candidates)
                 break
         else:
             value = self._rng.choice(self._marginal)
-        self._state.pop(0)
-        self._state.append(value)
+        self._state_bins = bins[1:] + (int(value // self.bin_width_db),)
         return value
 
 

@@ -1,10 +1,11 @@
 """On-disk, content-addressed result cache.
 
 One JSON file per cell, named by the spec fingerprint. Because the
-fingerprint already folds in the package version, a version bump simply
-makes old entries unreachable; :meth:`ResultCache.load` additionally
-verifies the stored version/fingerprint fields so a stale or tampered file
-degrades to a cache miss, never to a wrong result.
+fingerprint already folds in the package version *and* the kernel
+behaviour version (:data:`repro.sim.KERNEL_BEHAVIOR_VERSION`), bumping
+either simply makes old entries unreachable; :meth:`ResultCache.load`
+additionally verifies the stored version/kernel/fingerprint fields so a
+stale or tampered file degrades to a cache miss, never to a wrong result.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.runner.taskspec import SPEC_SCHEMA, TaskSpec
+from repro.sim.simulator import KERNEL_BEHAVIOR_VERSION
 from repro.version import __version__
 
 
@@ -43,6 +45,7 @@ class ResultCache:
         if (
             stored.get("schema") != SPEC_SCHEMA
             or stored.get("version") != __version__
+            or stored.get("kernel") != KERNEL_BEHAVIOR_VERSION
             or stored.get("fingerprint") != spec.fingerprint
         ):
             self.misses += 1
@@ -57,6 +60,7 @@ class ResultCache:
         payload = {
             "schema": SPEC_SCHEMA,
             "version": __version__,
+            "kernel": KERNEL_BEHAVIOR_VERSION,
             "fingerprint": spec.fingerprint,
             "kind": spec.kind,
             "label": spec.label,

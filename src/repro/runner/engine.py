@@ -53,6 +53,9 @@ class RunnerOutcome:
     attempts: int = 1
     wall_s: float = 0.0
     error: Optional[str] = None
+    #: Kernel events dispatched by the cell (None when the executor doesn't
+    #: report one, or for cached/failed cells).
+    events: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -149,7 +152,8 @@ class ParallelRunner:
                 )
                 continue
             outcomes[index] = RunnerOutcome(
-                spec, reply["result"], "executed", attempt + 1, reply["wall_s"]
+                spec, reply["result"], "executed", attempt + 1, reply["wall_s"],
+                events=reply.get("events"),
             )
             self._store(spec, reply["result"])
             self._emit(f"done {spec.name}", cell=spec.name, wall_s=reply["wall_s"])
@@ -234,7 +238,7 @@ class ParallelRunner:
                         reply = future.result()
                         outcomes[index] = RunnerOutcome(
                             spec, reply["result"], "executed", attempt + 1,
-                            reply["wall_s"],
+                            reply["wall_s"], events=reply.get("events"),
                         )
                         self._store(spec, reply["result"])
                         self._emit(
@@ -304,6 +308,7 @@ class ParallelRunner:
                         else 0.0
                     ),
                     error=outcome.error,
+                    events=outcome.events if outcome.status == "executed" else None,
                 )
             )
         return report

@@ -147,7 +147,9 @@ def run_task(payload: Mapping[str, Any], in_process: bool = False) -> Dict[str, 
     """Top-level worker entry point (must stay importable for spawn).
 
     ``payload`` is ``{"spec": TaskSpec.to_dict(), "attempt": int}``; the
-    return value is ``{"result", "wall_s", "sim_s"}``.
+    return value is ``{"result", "wall_s", "sim_s", "events"}`` (``events``
+    is the kernel's dispatched-event count when the executor reports one,
+    else None — it feeds the events/sec column in runner telemetry).
     """
     spec = TaskSpec.from_dict(payload["spec"])
     _apply_fault(spec.fault, int(payload.get("attempt", 0)), in_process)
@@ -157,4 +159,5 @@ def run_task(payload: Mapping[str, Any], in_process: bool = False) -> Dict[str, 
         "result": result,
         "wall_s": time.perf_counter() - started,
         "sim_s": sim_seconds_estimate(spec),
+        "events": result.get("events_executed"),
     }

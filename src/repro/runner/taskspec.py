@@ -18,6 +18,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
+from repro.sim.simulator import KERNEL_BEHAVIOR_VERSION
 from repro.version import __version__
 
 #: Bump when the spec/result wire format changes incompatibly; folded into
@@ -58,11 +59,19 @@ class TaskSpec:
 
     @property
     def fingerprint(self) -> str:
-        """Content hash of (schema, kind, params, repro version)."""
+        """Content hash of (schema, kind, params, repro + kernel versions).
+
+        :data:`repro.sim.KERNEL_BEHAVIOR_VERSION` is folded in so that a
+        digest-affecting kernel change (bumped alongside the golden corpus
+        in ``tests/golden/``) invalidates every cached cell even when the
+        package version is unchanged — stale cells re-simulate instead of
+        silently mixing two kernels' results in one grid.
+        """
         return fingerprint_of(
             {
                 "schema": SPEC_SCHEMA,
                 "kind": self.kind,
+                "kernel": KERNEL_BEHAVIOR_VERSION,
                 "params": self.params,
                 "version": __version__,
             }

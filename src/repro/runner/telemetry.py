@@ -29,6 +29,9 @@ class CellTelemetry:
     #: Scheduled simulated seconds (the cell's size, wall-independent).
     sim_s: float = 0.0
     error: Optional[str] = None
+    #: Kernel events the cell dispatched (None for cached/failed cells or
+    #: executors that don't report one).
+    events: Optional[int] = None
 
 
 @dataclass
@@ -75,6 +78,21 @@ class RunnerReport:
             return None
         return self.sim_seconds / self.wall_s
 
+    @property
+    def events_total(self) -> int:
+        """Total kernel events dispatched across executed cells."""
+        return sum(c.events for c in self.cells if c.events is not None)
+
+    @property
+    def events_per_s(self) -> Optional[float]:
+        """Kernel events per wall second of simulation — the perf trajectory
+        tracked by BENCH_kernel.json (None when no cell reported events)."""
+        reporting = [c for c in self.cells if c.events is not None and c.wall_s > 0]
+        if not reporting:
+            return None
+        wall = sum(c.wall_s for c in reporting)
+        return sum(c.events for c in reporting) / wall if wall > 0 else None
+
     def failures(self) -> List[CellTelemetry]:
         """The failed cells, each carrying its exception repr and attempts."""
         return [c for c in self.cells if c.status == "failed"]
@@ -91,6 +109,8 @@ class RunnerReport:
             "wall_s": self.wall_s,
             "sim_seconds": self.sim_seconds,
             "throughput": self.throughput,
+            "events_total": self.events_total,
+            "events_per_s": self.events_per_s,
             "failures": [
                 {"label": c.label, "attempts": c.attempts, "error": c.error}
                 for c in self.failures()
@@ -100,11 +120,13 @@ class RunnerReport:
     def summary_line(self) -> str:
         """One-line grid outcome for progress streams (plus failure details)."""
         rate = self.throughput
+        events_rate = self.events_per_s
         line = (
             f"{len(self.cells)} cells: {self.executed} executed, "
             f"{self.cached} cached, {self.failed} failed "
             f"({self.retried} retried) in {self.wall_s:.1f}s wall"
             + (f", {rate:.0f} sim-s/s" if rate and self.sim_seconds > 0 else "")
+            + (f", {events_rate / 1000:.0f}k ev/s" if events_rate else "")
         )
         for cell in self.failures():
             line += f"\n  FAILED {cell.label}: {cell.attempts} attempt(s): {cell.error}"

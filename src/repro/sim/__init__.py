@@ -16,7 +16,7 @@ Public surface:
 """
 
 from repro.sim.events import Event, EventQueue
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import KERNEL_BEHAVIOR_VERSION, Simulator
 from repro.sim.timer import Timer
 from repro.sim.trace import TraceRecord, Tracer
 from repro.sim.units import (
@@ -31,6 +31,7 @@ from repro.sim.units import (
 __all__ = [
     "Event",
     "EventQueue",
+    "KERNEL_BEHAVIOR_VERSION",
     "Simulator",
     "Timer",
     "Tracer",

@@ -4,12 +4,17 @@ Events are ordered by ``(time, sequence)``: two events scheduled for the same
 instant fire in the order they were scheduled, which keeps protocol runs
 deterministic. Cancellation is O(1) (a tombstone flag); cancelled events are
 skipped when popped.
+
+The heap stores ``(time, seq, event)`` tuples rather than bare events:
+``seq`` is unique, so tuple comparison never reaches the event object and
+heap operations stay in C instead of calling ``Event.__lt__`` millions of
+times per run. The ordering is identical to the old event-keyed heap.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 
 class Event:
@@ -57,7 +62,7 @@ class EventQueue:
     """Min-heap of :class:`Event` objects ordered by ``(time, seq)``."""
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[int, int, Event]] = []
         self._seq = 0
         self._live = 0
 
@@ -69,9 +74,10 @@ class EventQueue:
 
     def push(self, time: int, callback: Callable[..., Any], args: tuple = ()) -> Event:
         """Schedule ``callback(*args)`` at absolute ``time`` and return the event."""
-        event = Event(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, args)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
 
@@ -80,8 +86,9 @@ class EventQueue:
 
         Cancelled events are discarded transparently.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if event.cancelled:
                 continue
             self._live -= 1
@@ -89,14 +96,39 @@ class EventQueue:
         self._live = 0
         return None
 
+    def pop_due(self, until: Optional[int]) -> Optional[Event]:
+        """Pop the earliest pending event if its time is ``<= until``.
+
+        Returns None when the queue is empty or the earliest pending event
+        lies beyond ``until`` (which is then left in place). ``until=None``
+        means no bound. This fuses the run loop's peek+pop pair into one
+        heap traversal.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            head = heap[0]
+            event = head[2]
+            if event.cancelled:
+                heappop(heap)
+                continue
+            if until is not None and head[0] > until:
+                return None
+            heappop(heap)
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
     def peek_time(self) -> Optional[int]:
         """Return the timestamp of the earliest pending event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             self._live = 0
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def note_cancelled(self) -> None:
         """Inform the queue that one pending event was cancelled externally.
@@ -109,7 +141,7 @@ class EventQueue:
 
     def clear(self) -> None:
         """Drop every event, cancelling them."""
-        for event in self._heap:
+        for _time, _seq, event in self._heap:
             event.cancelled = True
         self._heap.clear()
         self._live = 0

@@ -9,6 +9,16 @@ from repro.sim.events import Event, EventQueue
 from repro.sim.trace import Tracer
 from repro.sim.units import to_seconds
 
+#: Kernel behaviour version: bump this whenever a kernel change alters
+#: simulated behaviour (event ordering, RNG stream layout, float arithmetic
+#: in the channel/noise models — anything that moves a golden digest in
+#: ``tests/golden/``). The token is folded into every
+#: :class:`repro.runner.taskspec.TaskSpec` fingerprint, so bumping it
+#: invalidates stale result-cache entries instead of silently mixing
+#: results from two different kernels. Pure optimisations that keep the
+#: golden digests bit-identical must NOT bump it.
+KERNEL_BEHAVIOR_VERSION = 1
+
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (negative delays, running a stopped sim)."""
@@ -31,6 +41,9 @@ class Simulator:
         self._stopped = False
         self._rngs: Dict[str, random.Random] = {}
         self.tracer = Tracer(self)
+        #: Cumulative events dispatched across every :meth:`run` call — the
+        #: denominator of the kernel's events/sec throughput metric.
+        self.events_executed = 0
 
     # ------------------------------------------------------------------ time
     @property
@@ -90,30 +103,22 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        pop_due = self._queue.pop_due
+        limit = float("inf") if max_events is None else max_events
         try:
-            while True:
-                if self._stopped:
+            while not self._stopped and executed < limit:
+                event = pop_due(until)
+                if event is None:
                     break
-                if max_events is not None and executed >= max_events:
-                    break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                event = self._queue.pop()
-                assert event is not None
                 self._now = event.time
                 event.fired = True
                 event.callback(*event.args)
                 executed += 1
-            else:  # pragma: no cover - unreachable
-                pass
             if until is not None and self._now < until and not self._stopped:
                 self._now = until
         finally:
             self._running = False
+            self.events_executed += executed
         return executed
 
     def stop(self) -> None:

@@ -15,7 +15,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.simulator import Simulator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One trace event."""
 
@@ -63,8 +63,9 @@ class Tracer:
             return
         record = TraceRecord(self._sim.now, node, category, message, data)
         self.records.append(record)
-        for sink in self._sinks:
-            sink(record)
+        if self._sinks:
+            for sink in self._sinks:
+                sink(record)
 
     def filter(
         self, category: Optional[str] = None, node: Optional[int] = None

@@ -1,0 +1,5 @@
+"""Golden-digest regression corpus for the simulation kernel.
+
+See :mod:`tests.golden.regenerate` for the pinned configurations and the
+policy on when regenerating the digests is legitimate.
+"""

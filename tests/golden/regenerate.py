@@ -1,0 +1,251 @@
+"""Golden kernel digests: pinned bit-identity tokens for representative runs.
+
+Every config below runs a small but real simulation and reduces the outcome
+to a single SHA-256 *state digest* over the trace records, the kernel's
+clock/event counters, every node's radio/MAC counters, and the per-control
+delivery timeline. Two runs of the same config produce the same digest if
+and only if the kernel behaved identically, event for event.
+
+The digests are pinned in ``digests.json`` and enforced by
+``tests/golden/test_golden_digests.py``. Performance work on the kernel
+(event queue, channel, MAC, noise, tracing) must keep every digest
+unchanged — that is the definition of a behaviour-preserving optimisation.
+
+When is regenerating legitimate?
+--------------------------------
+
+Run ``PYTHONPATH=src python tests/golden/regenerate.py`` to rewrite
+``digests.json``, but only when a PR *intends* to change simulated
+behaviour: a protocol fix, a model change (noise, propagation, PRR curve),
+new traffic in a pinned scenario, or a deliberate change to RNG stream
+layout. In that case also bump
+:data:`repro.sim.KERNEL_BEHAVIOR_VERSION` so stale result-cache entries
+are invalidated, and say so in the PR description.
+
+If you got here from a failing test after a pure performance/refactor PR,
+do **not** regenerate: the failure means the optimisation changed
+behaviour (different event order, extra/missing RNG draw, float arithmetic
+reassociation) and must be fixed instead.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regenerate.py          # rewrite
+    PYTHONPATH=src python tests/golden/regenerate.py --check  # verify only
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict
+
+DIGEST_FILE = Path(__file__).with_name("digests.json")
+
+
+# ------------------------------------------------------------- state digest
+
+def state_digest(net: Any) -> str:
+    """Reduce a finished :class:`~repro.experiments.harness.Network` run to
+    one hex token covering traces, kernel counters, node state, and controls."""
+    sim = net.sim
+    state = {
+        "trace": sim.tracer.digest(),
+        "now": sim.now,
+        "events": sim.events_executed,
+        "nodes": [
+            [
+                node_id,
+                stack.radio.tx_count,
+                stack.radio.on_time(),
+                stack.mac.trains_sent,
+                stack.mac.copies_sent,
+                stack.mac.acks_sent,
+                stack.mac.frames_delivered,
+            ]
+            for node_id, stack in sorted(net.stacks.items())
+        ],
+        "controls": [
+            [r.index, r.destination, r.sent_at, r.delivered_at, r.acked_at, r.athx]
+            for r in net.control_metrics.records
+        ],
+    }
+    payload = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _scenario_digest(
+    config: Any,
+    converge_s: float = 40.0,
+    n_controls: int = 3,
+    interval_s: float = 5.0,
+    drain_s: float = 10.0,
+) -> str:
+    """Converge, run a short control schedule, and digest the end state."""
+    from repro.experiments.harness import Network
+    from repro.sim.units import SECOND
+    from repro.workloads.control import ControlSchedule
+
+    net = Network(config)
+    net.sim.tracer.enable()  # record every category: all protocol behaviour
+    net.converge(max_seconds=converge_s, target=0.97)
+    if net.config.protocol in ("rpl", "orpl"):
+        net.run(10.0)
+    schedule = ControlSchedule(
+        net.sim,
+        send=lambda destination, index: net.send_control(
+            destination, payload={"index": index}
+        ),
+        destinations=net.non_sink_nodes(),
+        interval=round(interval_s * SECOND),
+        count=n_controls,
+        rng_name="golden-controls",
+    )
+    schedule.start(initial_delay=1 * SECOND)
+    net.run(n_controls * interval_s + drain_s)
+    return state_digest(net)
+
+
+# ---------------------------------------------------------- pinned configs
+
+def _grid_tele() -> str:
+    """Plain small grid, clean channel, TeleAdjusting (the default stack)."""
+    from repro.experiments.harness import NetworkConfig
+    from repro.topology import random_uniform
+
+    return _scenario_digest(
+        NetworkConfig(
+            topology=random_uniform(25, 80.0, 80.0, seed=7),
+            protocol="tele",
+            seed=7,
+        )
+    )
+
+
+def _testbed_drip() -> str:
+    """Indoor testbed running the Drip dissemination baseline."""
+    from repro.experiments.harness import NetworkConfig
+
+    return _scenario_digest(
+        NetworkConfig(topology="indoor-testbed", protocol="drip", seed=2),
+        converge_s=30.0,
+    )
+
+
+def _testbed_rpl() -> str:
+    """Indoor testbed running the storing-mode RPL baseline."""
+    from repro.experiments.harness import NetworkConfig
+
+    return _scenario_digest(
+        NetworkConfig(topology="indoor-testbed", protocol="rpl", seed=2),
+        converge_s=30.0,
+    )
+
+
+def _testbed_orpl() -> str:
+    """Indoor testbed running the ORPL (bloom-filter) baseline."""
+    from repro.experiments.harness import NetworkConfig
+
+    return _scenario_digest(
+        NetworkConfig(topology="indoor-testbed", protocol="orpl", seed=2),
+        converge_s=30.0,
+    )
+
+
+def _interference_ch19() -> str:
+    """WiFi-interfered channel 19: exercises interferers + SINR accounting."""
+    from repro.experiments.harness import NetworkConfig
+
+    return _scenario_digest(
+        NetworkConfig(
+            topology="indoor-testbed", protocol="tele", seed=1, zigbee_channel=19
+        ),
+        converge_s=30.0,
+    )
+
+
+def _always_on_tele() -> str:
+    """Always-on radios (no LPL duty cycle): the broadcast-cap MAC path."""
+    from repro.experiments.harness import NetworkConfig
+    from repro.topology import random_uniform
+
+    return _scenario_digest(
+        NetworkConfig(
+            topology=random_uniform(20, 70.0, 70.0, seed=5),
+            protocol="tele",
+            seed=5,
+            always_on=True,
+        ),
+        converge_s=30.0,
+    )
+
+
+def _chaos_crash_churn() -> str:
+    """Chaos preset: crash/reboot churn with recovery countermeasures."""
+    from repro.experiments.chaos import run_chaos
+
+    result = run_chaos(
+        "tele",
+        scenario="crash-churn",
+        intensity=1.0,
+        seed=3,
+        n_controls=2,
+        control_interval_s=4.0,
+        converge_seconds=30.0,
+        drain_seconds=10.0,
+    )
+    payload = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+#: name -> digest producer. Every entry is pinned in digests.json.
+GOLDEN: Dict[str, Callable[[], str]] = {
+    "grid-tele-clean": _grid_tele,
+    "testbed-drip": _testbed_drip,
+    "testbed-rpl": _testbed_rpl,
+    "testbed-orpl": _testbed_orpl,
+    "interference-ch19-tele": _interference_ch19,
+    "always-on-tele": _always_on_tele,
+    "chaos-crash-churn": _chaos_crash_churn,
+}
+
+
+def compute_digest(name: str) -> str:
+    """Run one pinned config and return its state digest."""
+    return GOLDEN[name]()
+
+
+def load_pinned() -> Dict[str, Any]:
+    """The pinned digests as stored in ``digests.json``."""
+    return json.loads(DIGEST_FILE.read_text())
+
+
+def main(argv: list) -> int:
+    check = "--check" in argv
+    pinned = load_pinned() if (check and DIGEST_FILE.exists()) else {}
+    out: Dict[str, Any] = {}
+    failures = []
+    for name in sorted(GOLDEN):
+        started = time.perf_counter()
+        digest = compute_digest(name)
+        wall = time.perf_counter() - started
+        out[name] = {"digest": digest}
+        status = ""
+        if check:
+            expected = pinned.get(name, {}).get("digest")
+            status = "ok" if digest == expected else f"MISMATCH (pinned {expected})"
+            if digest != expected:
+                failures.append(name)
+        print(f"{name:28s} {digest[:16]}…  {wall:5.1f}s  {status}")
+    if check:
+        print("check " + ("passed" if not failures else f"FAILED: {failures}"))
+        return 1 if failures else 0
+    DIGEST_FILE.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {DIGEST_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

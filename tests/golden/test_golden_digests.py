@@ -1,0 +1,48 @@
+"""Golden digest enforcement: the kernel must behave bit-identically.
+
+Each pinned config in :mod:`tests.golden.regenerate` is re-run and its
+state digest compared against ``digests.json``. A mismatch means the
+kernel's observable behaviour changed — event ordering, RNG consumption,
+or float arithmetic — which a performance or refactoring PR must never do.
+"""
+
+import pytest
+
+from tests.golden import regenerate
+
+POLICY = (
+    "Golden digest mismatch for {name!r}.\n"
+    "  pinned:   {pinned}\n"
+    "  computed: {computed}\n"
+    "The kernel's simulated behaviour changed. If this PR is a pure\n"
+    "performance/refactor change, this is a BUG in the change (reordered\n"
+    "events, extra or missing RNG draw, reassociated float arithmetic) —\n"
+    "fix the change, do not regenerate.\n"
+    "Only if the PR *intends* to change behaviour (protocol fix, model\n"
+    "change, RNG layout change): regenerate with\n"
+    "  PYTHONPATH=src python tests/golden/regenerate.py\n"
+    "bump repro.sim.KERNEL_BEHAVIOR_VERSION (invalidates stale result\n"
+    "caches), and explain the behaviour change in the PR description."
+)
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    assert regenerate.DIGEST_FILE.exists(), (
+        "tests/golden/digests.json is missing; generate it with "
+        "PYTHONPATH=src python tests/golden/regenerate.py"
+    )
+    return regenerate.load_pinned()
+
+
+def test_every_config_is_pinned(pinned):
+    assert sorted(pinned) == sorted(regenerate.GOLDEN)
+
+
+@pytest.mark.parametrize("name", sorted(regenerate.GOLDEN))
+def test_golden_digest(name, pinned):
+    computed = regenerate.compute_digest(name)
+    expected = pinned[name]["digest"]
+    assert computed == expected, POLICY.format(
+        name=name, pinned=expected, computed=computed
+    )

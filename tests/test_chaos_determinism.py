@@ -38,3 +38,34 @@ def test_parallel_jobs_match_serial():
     serial = ParallelRunner(jobs=1).results(specs())
     parallel = ParallelRunner(jobs=2).results(specs())
     assert serial == parallel
+
+
+def test_jobs1_vs_jobs4_identical_results_and_trace_digests():
+    """Differential run of one chaos grid cell at jobs=1 vs jobs=4.
+
+    Worker processes (spawn) and the in-process serial path must produce the
+    same payload down to the trace digest — the strongest cross-path
+    bit-identity statement the runner can make, and the regression tripwire
+    for any kernel state that leaks across cells or processes.
+    """
+
+    def specs():
+        return [
+            chaos_spec(
+                "tele", scenario="crash-churn", intensity=1.0, seed=3, **SMALL
+            ),
+            chaos_spec("tele", scenario="mixed", intensity=0.5, seed=1, **SMALL),
+        ]
+
+    serial = ParallelRunner(jobs=1).results(specs())
+    parallel = ParallelRunner(jobs=4).results(specs())
+    assert all(result is not None for result in serial)
+    for s, p in zip(serial, parallel):
+        assert s["trace_digest"] == p["trace_digest"]
+        assert s == p
+    # And both paths agree with a direct in-process run of the same cell.
+    direct = run_chaos(
+        "tele", scenario="crash-churn", intensity=1.0, seed=3, **SMALL
+    )
+    assert serial[0]["trace_digest"] == direct["trace_digest"]
+    assert serial[0] == direct

@@ -1,0 +1,126 @@
+"""Property tests for the event queue under lazy deletion.
+
+The queue stores ``(time, seq, event)`` tuples with tombstone cancellation;
+these properties pin the contract the kernel depends on: strict
+``(time, seq)`` dispatch order, FIFO ties, cancelled events never firing,
+``pop_due`` honouring its bound, and the live-event accounting staying an
+exact count when every cancel is routed through ``Simulator.cancel``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue
+from repro.sim.simulator import Simulator
+
+delays = st.integers(min_value=0, max_value=1_000)
+schedules = st.lists(
+    st.tuples(delays, st.booleans()), min_size=0, max_size=60
+)
+
+
+@given(schedules)
+def test_fire_order_and_cancellation(plan):
+    """Non-cancelled events fire in (time, seq) order; cancelled never fire."""
+    sim = Simulator(seed=0)
+    fired = []
+    events = []
+    for index, (delay, _cancel) in enumerate(plan):
+        events.append(sim.schedule(delay, fired.append, index))
+    expected = []
+    for index, (delay, cancel) in enumerate(plan):
+        if cancel:
+            sim.cancel(events[index])
+        else:
+            expected.append((delay, index))
+    sim.run()
+    expected.sort()  # (time, schedule order) = (time, seq) order
+    assert fired == [index for _, index in expected]
+    assert sim.pending_events() == 0
+
+
+@given(schedules)
+def test_pending_accounting_is_exact_via_simulator_cancel(plan):
+    """Cancelling through the simulator keeps len(queue) an exact live count."""
+    sim = Simulator(seed=0)
+    events = [sim.schedule(delay, lambda: None) for delay, _ in plan]
+    live = len(plan)
+    for event, (_delay, cancel) in zip(events, plan):
+        if cancel:
+            sim.cancel(event)
+            live -= 1
+            # Double-cancel must not decrement twice.
+            sim.cancel(event)
+        assert sim.pending_events() == live
+
+
+@given(schedules, st.integers(min_value=0, max_value=1_000))
+def test_pop_due_respects_bound(plan, bound):
+    """pop_due drains exactly the pending events with time <= bound, in order."""
+    queue = EventQueue()
+    events = []
+    for delay, _ in plan:
+        events.append(queue.push(delay, lambda: None))
+    cancelled = set()
+    for event, (_delay, cancel) in zip(events, plan):
+        if cancel:
+            event.cancel()
+            queue.note_cancelled()
+            cancelled.add(event)
+    popped = []
+    while True:
+        event = queue.pop_due(bound)
+        if event is None:
+            break
+        popped.append(event)
+    assert all(e.time <= bound for e in popped)
+    assert all(e not in cancelled for e in popped)
+    expected = sorted(
+        (e for e in events if e not in cancelled and e.time <= bound),
+        key=lambda e: (e.time, e.seq),
+    )
+    assert popped == expected
+    # The remainder is exactly the live events beyond the bound.
+    assert len(queue) == sum(
+        1 for e in events if e not in cancelled and e.time > bound
+    )
+
+
+@given(st.lists(st.tuples(delays, delays), min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_reschedule_chains_fire_in_order(plan):
+    """Events scheduled from inside callbacks still dispatch in global order."""
+    sim = Simulator(seed=0)
+    order = []
+
+    def outer(index, inner_delay):
+        order.append(("outer", index, sim.now))
+        sim.schedule(inner_delay, inner, index)
+
+    def inner(index):
+        order.append(("inner", index, sim.now))
+
+    for index, (delay, inner_delay) in enumerate(plan):
+        sim.schedule(delay, outer, index, inner_delay)
+    sim.run()
+    times = [t for _, _, t in order]
+    assert times == sorted(times)
+    assert len(order) == 2 * len(plan)
+    assert sim.pending_events() == 0
+
+
+@given(schedules, st.integers(min_value=0, max_value=500))
+@settings(max_examples=50)
+def test_run_until_matches_full_run_prefix(plan, until):
+    """run(until=t) fires exactly the full run's events with time <= t."""
+    fired_full, fired_partial = [], []
+    for fired, bound in ((fired_full, None), (fired_partial, until)):
+        sim = Simulator(seed=0)
+        for index, (delay, cancel) in enumerate(plan):
+            event = sim.schedule(delay, lambda i=index: fired.append((sim.now, i)))
+            if cancel:
+                sim.cancel(event)
+        sim.run(until=bound)
+        if bound is not None:
+            assert sim.now == bound
+    assert fired_partial == [(t, i) for t, i in fired_full if t <= until]

@@ -65,6 +65,7 @@ comparisons = st.builds(
     control_metrics=st.builds(
         metrics_from, st.none() | st.lists(records, max_size=6)
     ),
+    events_executed=st.none() | st.integers(min_value=0, max_value=10**9),
 )
 
 
@@ -72,7 +73,7 @@ def assert_comparisons_equal(a: ComparisonResult, b: ComparisonResult) -> None:
     for name in (
         "variant", "zigbee_channel", "seed", "n_controls", "pdr",
         "pdr_by_hop", "latency_by_hop", "mean_latency", "tx_per_control",
-        "duty_cycle", "athx_samples",
+        "duty_cycle", "athx_samples", "events_executed",
     ):
         assert getattr(a, name) == getattr(b, name), name
     if a.control_metrics is None:

@@ -117,6 +117,33 @@ class TestCache:
         assert cache.stores == 0
         assert cache.load(spec) is None
 
+    def test_kernel_version_bump_changes_fingerprint(self, monkeypatch):
+        import repro.runner.taskspec as taskspec_module
+
+        before = selftest_spec(1).fingerprint
+        monkeypatch.setattr(
+            taskspec_module, "KERNEL_BEHAVIOR_VERSION",
+            taskspec_module.KERNEL_BEHAVIOR_VERSION + 1,
+        )
+        assert selftest_spec(1).fingerprint != before
+
+    def test_kernel_version_bump_invalidates_cache_entries(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.runner.cache as cache_module
+
+        spec = selftest_spec(1)
+        cache = ResultCache(tmp_path)
+        ParallelRunner(jobs=1, cache=cache).run([spec])
+        assert cache.load(spec) is not None
+        # A kernel that behaves differently must not serve results simulated
+        # by the old kernel, even for an identical (pre-bump) fingerprint.
+        monkeypatch.setattr(
+            cache_module, "KERNEL_BEHAVIOR_VERSION",
+            cache_module.KERNEL_BEHAVIOR_VERSION + 1,
+        )
+        assert cache.load(spec) is None
+
 
 class TestParallelPath:
     def test_order_independent_of_completion_order(self):
