@@ -17,6 +17,9 @@ Usage::
     python examples/parameter_sweep.py                 # serial, no cache
     python examples/parameter_sweep.py --jobs 4        # parallel
     python examples/parameter_sweep.py --jobs 4 --cache-dir .repro-cache
+    # crash-safe: journal every cell, resume after a kill
+    python examples/parameter_sweep.py --jobs 4 --journal-dir .repro-journal
+    python examples/parameter_sweep.py --jobs 4 --journal-dir .repro-journal --resume
 """
 
 import argparse
@@ -33,10 +36,27 @@ def main() -> None:
     parser.add_argument(
         "--cache-dir", type=str, default=None, help="reuse unchanged points from here"
     )
+    parser.add_argument(
+        "--journal-dir", type=str, default=None,
+        help="journal every cell here so a killed sweep can resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from the journal instead of starting fresh",
+    )
     args = parser.parse_args()
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
 
-    runner = ParallelRunner(jobs=args.jobs, cache=cache)
+    def make_runner() -> ParallelRunner:
+        return ParallelRunner(
+            jobs=args.jobs,
+            cache=cache,
+            journal_dir=args.journal_dir,
+            resume=args.resume,
+            handle_signals=True,
+        )
+
+    runner = make_runner()
     print("Wake-interval sweep (TeleAdjusting, indoor testbed)")
     print(f"{'wake_ms':>8s} {'PDR':>6s} {'duty':>7s} {'latency':>8s}")
     for point in sweep_wake_interval((256, 512, 1024), n_controls=10, runner=runner):
@@ -46,7 +66,7 @@ def main() -> None:
         )
     print(runner.last_report.summary_line())
 
-    runner = ParallelRunner(jobs=args.jobs, cache=cache)
+    runner = make_runner()
     print("\nNetwork-size sweep (constant density)")
     print(f"{'nodes':>6s} {'PDR':>6s} {'coded':>6s} {'avg bits':>9s} {'max bits':>9s}")
     for point in sweep_network_size((10, 20, 40), n_controls=8, runner=runner):

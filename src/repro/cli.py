@@ -16,6 +16,7 @@ Every experiment command accepts ``--seed`` and prints an ASCII table;
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -31,6 +32,14 @@ from repro.experiments.codestats import (
 from repro.experiments.comparison import ComparisonResult, run_comparison
 from repro.faults import CHAOS_SCENARIOS
 from repro.metrics.stats import mean, percentile
+
+#: Exit-code contract for grid commands (documented in docs/operations.md):
+#: 0 = every cell produced a result; 1 = at least one cell failed for good;
+#: 3 = the run was interrupted (SIGINT/SIGTERM) and is resumable with
+#: ``--resume``.
+EXIT_OK = 0
+EXIT_FAILED = 1
+EXIT_INTERRUPTED = 3
 
 
 def _positive_int(text: str) -> int:
@@ -295,17 +304,45 @@ def _build_runner(args: argparse.Namespace):
         progress = lambda category, message, **data: print(
             f"[{category}] {message}", file=sys.stderr
         )
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    cache = None if args.no_cache else ResultCache(args.cache_dir, progress=progress)
+    journal_dir = args.journal_dir
+    if journal_dir is None and args.resume:
+        journal_dir = ".repro-journal"
     return ParallelRunner(
-        jobs=args.jobs, cache=cache, timeout=args.timeout, progress=progress
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        progress=progress,
+        journal_dir=journal_dir,
+        resume=args.resume,
+        watchdog=args.watchdog,
+        handle_signals=True,
     )
 
 
 def _finish_run(run_report) -> int:
     """Print one line per failed cell; exit code reflects failures."""
     for cell in run_report.failures():
-        print(f"FAILED {cell.label}: {cell.attempts} attempt(s): {cell.error}")
-    return 0 if run_report.failed == 0 else 1
+        tag = " [quarantined]" if cell.quarantined else ""
+        print(f"FAILED {cell.label}: {cell.attempts} attempt(s): {cell.error}{tag}")
+    if run_report.interrupted:
+        hint = ""
+        if run_report.journal:
+            journal_dir = os.path.dirname(run_report.journal)
+            hint = f" — resume with --resume --journal-dir {journal_dir}"
+        print(f"INTERRUPTED: {run_report.interrupted} cell(s) unfinished{hint}")
+        return EXIT_INTERRUPTED
+    return EXIT_OK if run_report.failed == 0 else EXIT_FAILED
+
+
+def _schedule_overrides(args: argparse.Namespace) -> Dict[str, float]:
+    """Optional converge/drain schedule overrides for grid spec builders."""
+    overrides: Dict[str, float] = {}
+    if args.converge is not None:
+        overrides["converge_seconds"] = args.converge
+    if args.drain is not None:
+        overrides["drain_seconds"] = args.drain
+    return overrides
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -321,6 +358,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     channels = args.channels
     if channels is None:
         channels = [26, 19] if args.grid in ("compare", "table3") else [26]
+    schedule = _schedule_overrides(args)
     specs = [
         comparison_spec(
             variant,
@@ -328,6 +366,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=seed,
             n_controls=args.controls,
             control_interval_s=args.interval,
+            **schedule,
         )
         for channel in channels
         for variant in variants
@@ -405,22 +444,18 @@ def _cmd_run_chaos(args: argparse.Namespace) -> int:
     """Chaos grid: sweep fault intensity × variant × seed under one scenario."""
     import json
 
+    from repro.experiments.chaos import chaos_grid_specs
     from repro.experiments.sweep import AggregateMetric
-    from repro.runner import chaos_spec
 
-    specs = [
-        chaos_spec(
-            variant,
-            scenario=args.scenario,
-            intensity=intensity,
-            seed=seed,
-            n_controls=args.controls,
-            control_interval_s=args.interval,
-        )
-        for variant in args.variants
-        for intensity in args.intensities
-        for seed in args.seeds
-    ]
+    specs = chaos_grid_specs(
+        args.variants,
+        args.intensities,
+        args.seeds,
+        scenario=args.scenario,
+        n_controls=args.controls,
+        control_interval_s=args.interval,
+        **_schedule_overrides(args),
+    )
     runner = _build_runner(args)
     outcomes = runner.run(specs)
 
@@ -633,6 +668,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--controls", type=int, default=20)
     p.add_argument("--interval", type=float, default=60.0)
     p.add_argument(
+        "--converge", type=float, default=None,
+        help="override the grid's convergence window (simulated seconds)",
+    )
+    p.add_argument(
+        "--drain", type=float, default=None,
+        help="override the grid's drain window (simulated seconds)",
+    )
+    p.add_argument(
         "--cache-dir", type=str, default=".repro-cache",
         help="content-addressed result cache directory",
     )
@@ -642,6 +685,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--timeout", type=float, default=None,
         help="per-cell wall-clock timeout in seconds (parallel mode only)",
+    )
+    p.add_argument(
+        "--journal-dir", type=str, default=None,
+        help="write a resumable run journal under this directory",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "resume this grid from its journal (implies --journal-dir "
+            ".repro-journal when no directory is given): completed cells "
+            "are served from the journal, the rest re-run"
+        ),
+    )
+    p.add_argument(
+        "--watchdog", type=float, default=None,
+        help=(
+            "heartbeat watchdog window in seconds (parallel mode only): "
+            "kill and retry workers that stop beating or stop progressing"
+        ),
     )
     p.add_argument("--csv", type=str, default=None)
     p.add_argument("--out", type=str, default=None, help="save full runs as JSON")

@@ -11,7 +11,7 @@ dict, bit for bit).
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List, Sequence
 
 from repro.experiments.comparison import config_for
 from repro.experiments.harness import _TOPOLOGIES, Network, NetworkConfig
@@ -77,6 +77,37 @@ def chaos_config(
     )
     config.faults = plan
     return config
+
+
+def chaos_grid_specs(
+    variants: Sequence[str],
+    intensities: Sequence[float],
+    seeds: Sequence[int],
+    scenario: str = "mixed",
+    zigbee_channel: int = 26,
+    **schedule: Any,
+) -> List["TaskSpec"]:
+    """The chaos grid as runner task specs: variant × intensity × seed.
+
+    One canonical grid builder shared by the CLI and tests, so the cell
+    ordering (and with it the grid's journal fingerprint) is identical
+    everywhere a chaos grid is launched.
+    """
+    from repro.runner import chaos_spec
+
+    return [
+        chaos_spec(
+            variant,
+            scenario=scenario,
+            intensity=intensity,
+            seed=seed,
+            zigbee_channel=zigbee_channel,
+            **schedule,
+        )
+        for variant in variants
+        for intensity in intensities
+        for seed in seeds
+    ]
 
 
 def run_chaos(

@@ -94,12 +94,18 @@ class MultiRunResult:
 
 
 def _make_runner(
-    jobs: int, cache_dir: Optional[str], runner: Optional[ParallelRunner]
+    jobs: int,
+    cache_dir: Optional[str],
+    runner: Optional[ParallelRunner],
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> ParallelRunner:
     if runner is not None:
         return runner
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    return ParallelRunner(jobs=jobs, cache=cache)
+    return ParallelRunner(
+        jobs=jobs, cache=cache, journal_dir=journal_dir, resume=resume
+    )
 
 
 def run_comparison_multi(
@@ -109,6 +115,8 @@ def run_comparison_multi(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     runner: Optional[ParallelRunner] = None,
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
     **kwargs: object,
 ) -> MultiRunResult:
     """Repeat one comparison cell over ``seeds`` and aggregate.
@@ -116,12 +124,14 @@ def run_comparison_multi(
     This is the paper's "results are averaged over at least 5 runs"
     methodology; pass ``seeds=range(1, 6)`` to match it exactly. ``jobs``,
     ``cache_dir``, or a pre-built ``runner`` route the per-seed cells
-    through the execution engine; a cell that keeps failing is dropped from
-    the aggregates (visible in :attr:`MultiRunResult.telemetry`).
+    through the execution engine; ``journal_dir``/``resume`` make the grid
+    crash-resumable (see :mod:`repro.runner.journal`). A cell that keeps
+    failing is dropped from the aggregates (visible in
+    :attr:`MultiRunResult.telemetry`).
     """
     from repro.metrics.io import comparison_from_dict
 
-    engine = _make_runner(jobs, cache_dir, runner)
+    engine = _make_runner(jobs, cache_dir, runner, journal_dir, resume)
     specs = [
         comparison_spec(variant, zigbee_channel=zigbee_channel, seed=seed, **kwargs)
         for seed in seeds
@@ -271,8 +281,10 @@ def _run_points(
     jobs: int,
     cache_dir: Optional[str],
     runner: Optional[ParallelRunner],
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> List[SweepPoint]:
-    engine = _make_runner(jobs, cache_dir, runner)
+    engine = _make_runner(jobs, cache_dir, runner, journal_dir, resume)
     outcomes: List[RunnerOutcome] = engine.run(specs)
     return [
         SweepPoint.from_dict(o.result) for o in outcomes if o.result is not None
@@ -288,6 +300,8 @@ def sweep_wake_interval(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     runner: Optional[ParallelRunner] = None,
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> List[SweepPoint]:
     """Latency/duty trade-off across LPL wake intervals.
 
@@ -304,7 +318,7 @@ def sweep_wake_interval(
         )
         for wake_ms in wake_intervals_ms
     ]
-    return _run_points(specs, jobs, cache_dir, runner)
+    return _run_points(specs, jobs, cache_dir, runner, journal_dir, resume)
 
 
 def sweep_network_size(
@@ -315,6 +329,8 @@ def sweep_network_size(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     runner: Optional[ParallelRunner] = None,
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> List[SweepPoint]:
     """Scalability: code length and delivery as the network grows.
 
@@ -327,4 +343,4 @@ def sweep_network_size(
         )
         for size in sizes
     ]
-    return _run_points(specs, jobs, cache_dir, runner)
+    return _run_points(specs, jobs, cache_dir, runner, journal_dir, resume)

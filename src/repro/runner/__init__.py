@@ -8,16 +8,25 @@ The layer between the simulator and every experiment driver above it:
 - :class:`ResultCache` — content-addressed on-disk JSON cache, invalidated
   by any config change or a ``repro`` version bump;
 - :class:`ParallelRunner` — process-pool execution with per-cell timeout,
-  bounded retry, crash containment, and deterministic result ordering
-  (``jobs=1`` is the bit-identical serial path);
+  a heartbeat watchdog, bounded retry with seeded backoff
+  (:class:`RetryPolicy`), crash containment with honest attribution, and
+  deterministic result ordering (``jobs=1`` is the bit-identical serial
+  path);
+- :class:`RunJournal` — append-only JSONL manifest keyed by the grid
+  fingerprint: every dispatch/completion/failure is durably recorded, so a
+  grid killed hard resumes exactly where it stopped;
 - :class:`RunnerReport` / :class:`CellTelemetry` — cells
-  executed/cached/failed, sim-vs-wall time, aggregate throughput.
+  executed/cached/resumed/failed, requeues, backoff totals, the
+  quarantined-cell list, sim-vs-wall time, aggregate throughput.
 
 Usage::
 
     from repro.runner import ParallelRunner, ResultCache, comparison_spec
     specs = [comparison_spec("tele", seed=s) for s in range(1, 6)]
-    runner = ParallelRunner(jobs=4, cache=ResultCache(".repro-cache"))
+    runner = ParallelRunner(
+        jobs=4, cache=ResultCache(".repro-cache"),
+        journal_dir=".repro-journal", resume=True,
+    )
     outcomes = runner.run(specs)
     print(runner.last_report.summary_table())
 """
@@ -25,6 +34,13 @@ Usage::
 from repro.runner.cache import ResultCache
 from repro.runner.engine import ParallelRunner, RunnerOutcome
 from repro.runner.execute import InjectedFault, execute_spec, run_task
+from repro.runner.journal import (
+    JOURNAL_SCHEMA,
+    JournalState,
+    RunJournal,
+    grid_fingerprint,
+)
+from repro.runner.retry import DETERMINISTIC_ERRORS, RetryPolicy, RunError
 from repro.runner.taskspec import (
     SPEC_SCHEMA,
     TaskSpec,
@@ -39,14 +55,21 @@ from repro.runner.taskspec import (
 from repro.runner.telemetry import CellTelemetry, RunnerReport
 
 __all__ = [
+    "DETERMINISTIC_ERRORS",
+    "JOURNAL_SCHEMA",
     "SPEC_SCHEMA",
     "CellTelemetry",
     "InjectedFault",
+    "JournalState",
     "ParallelRunner",
     "ResultCache",
+    "RetryPolicy",
+    "RunError",
+    "RunJournal",
     "RunnerOutcome",
     "RunnerReport",
     "TaskSpec",
+    "grid_fingerprint",
     "canonical_json",
     "chaos_spec",
     "comparison_spec",

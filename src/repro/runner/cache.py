@@ -3,9 +3,15 @@
 One JSON file per cell, named by the spec fingerprint. Because the
 fingerprint already folds in the package version *and* the kernel
 behaviour version (:data:`repro.sim.KERNEL_BEHAVIOR_VERSION`), bumping
-either simply makes old entries unreachable; :meth:`ResultCache.load`
-additionally verifies the stored version/kernel/fingerprint fields so a
-stale or tampered file degrades to a cache miss, never to a wrong result.
+either simply makes old entries unreachable.
+
+The cache is **self-healing**: a truncated, bit-rotted, or
+schema-mismatched entry is quarantined (renamed to ``*.corrupt``), logged
+through the progress sink, and reported as a miss — so a damaged cache
+file costs one re-simulation, never a crashed grid and never a wrong
+result. :meth:`ResultCache.load` additionally verifies the stored
+version/kernel/fingerprint fields, so a tampered-but-parseable file
+degrades the same way.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 from repro.runner.taskspec import SPEC_SCHEMA, TaskSpec
 from repro.sim.simulator import KERNEL_BEHAVIOR_VERSION
@@ -24,34 +30,93 @@ from repro.version import __version__
 class ResultCache:
     """Load/store successful cell results keyed by spec fingerprint."""
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        progress: Optional[Callable[..., None]] = None,
+    ) -> None:
         self.root = Path(root)
+        self.progress = progress
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Corrupt entries renamed aside (each one re-executed its cell).
+        self.quarantined = 0
+
+    def _emit(self, message: str, **data: Any) -> None:
+        if self.progress is not None:
+            self.progress("cache", message, **data)
 
     def path_for(self, spec: TaskSpec) -> Path:
         """Cache file for one spec."""
         return self.root / f"{spec.fingerprint}.json"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Rename a damaged entry to ``*.corrupt`` so it can't re-offend.
+
+        The rename is best-effort: a concurrent runner may have quarantined
+        (or legitimately rewritten) the file already, and either way the
+        caller proceeds as on a plain miss.
+        """
+        quarantine_path = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantine_path)
+        except OSError:
+            pass
+        self.quarantined += 1
+        self._emit(
+            f"quarantined corrupt cache entry {path.name}: {reason}",
+            entry=path.name,
+            reason=reason,
+        )
+
     def load(self, spec: TaskSpec) -> Optional[Dict[str, Any]]:
-        """The cached result payload, or None on any kind of miss."""
+        """The cached result payload, or None on any kind of miss.
+
+        Never raises for a damaged file: corruption quarantines the entry
+        and degrades to a miss, so the cell transparently re-executes.
+        """
         path = self.path_for(spec)
         try:
-            stored = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:  # absent (the common miss) or unreadable
             self.misses += 1
             return None
+        except UnicodeDecodeError:  # bit-rot produced invalid UTF-8
+            self.misses += 1
+            self._quarantine(path, "invalid UTF-8 (bit-rotted)")
+            return None
+        try:
+            stored = json.loads(text)
+        except ValueError:
+            self.misses += 1
+            self._quarantine(path, "invalid JSON (truncated or bit-rotted)")
+            return None
+        if not isinstance(stored, dict) or not isinstance(
+            stored.get("result"), dict
+        ):
+            self.misses += 1
+            self._quarantine(path, "malformed entry (no result payload)")
+            return None
+        if stored.get("schema") != SPEC_SCHEMA:
+            self.misses += 1
+            self._quarantine(
+                path, f"schema {stored.get('schema')!r} != {SPEC_SCHEMA}"
+            )
+            return None
         if (
-            stored.get("schema") != SPEC_SCHEMA
-            or stored.get("version") != __version__
+            stored.get("version") != __version__
             or stored.get("kernel") != KERNEL_BEHAVIOR_VERSION
             or stored.get("fingerprint") != spec.fingerprint
         ):
+            # The fingerprint in the *name* folds in version and kernel, so
+            # a correctly-named file disagreeing about them is inconsistent
+            # with itself — quarantine rather than silently shadow the slot.
             self.misses += 1
+            self._quarantine(path, "version/kernel/fingerprint mismatch")
             return None
         self.hits += 1
-        return stored.get("result")
+        return stored["result"]
 
     def store(self, spec: TaskSpec, result: Dict[str, Any]) -> Path:
         """Persist one successful result; returns the file written."""

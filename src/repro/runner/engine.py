@@ -5,14 +5,29 @@ cells over a ``ProcessPoolExecutor`` (spawn context by default, so workers
 never inherit surprise state), with:
 
 - a result cache consulted before any simulation happens;
+- an optional **run journal** (:mod:`repro.runner.journal`): every
+  dispatch/completion/failure is durably appended, so a grid killed hard
+  (SIGKILL, OOM, reboot) resumes where it stopped — completed cells are
+  served from the journal bit-identically, in-flight ones re-run;
+- a :class:`~repro.runner.retry.RetryPolicy` with seeded exponential
+  backoff and error classification: transient errors retry, deterministic
+  :class:`~repro.runner.retry.RunError`-style exceptions fail fast, and
+  poison cells (workers that keep dying or hanging) are quarantined in
+  the journal after the budget;
 - a bounded in-flight window (= ``jobs``), so a per-task timeout measured
   from submission is a fair bound on actual run time;
-- crash containment: a worker that dies (segfault, ``os._exit``) breaks the
-  pool; the engine kills and rebuilds it, re-queues the in-flight cells, and
-  charges an attempt to each — a poisoned cell fails alone after its retry
-  budget, the rest of the grid completes;
-- hang containment: a cell past its timeout gets the same treatment (the
-  pool is killed — there is no portable way to interrupt one worker);
+- crash containment with honest attribution: a dead worker breaks the
+  pool; the engine rebuilds it and re-dispatches the in-flight cells *one
+  at a time* until the offender reveals itself — innocent bystanders are
+  re-queued (``requeues``) without burning their retry budget;
+- a **watchdog** (optional): workers heartbeat a sentinel file with the
+  live simulator's progress; a cell whose worker stops beating (frozen or
+  dead) or whose simulation stops advancing (hung) is killed and retried
+  long before the coarse per-cell timeout;
+- graceful shutdown: with ``handle_signals=True``, the first
+  SIGINT/SIGTERM drains in-flight cells and journals the rest as
+  interrupted (resumable); a second signal abandons in-flight work
+  immediately. Either way the journal and telemetry are flushed;
 - deterministic result ordering: outcomes come back in spec order no matter
   what order cells finished in.
 
@@ -23,16 +38,38 @@ to the parallel path and to the historical serial drivers.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
+import os
+import shutil
+import signal
+import tempfile
+import threading
 import time
 from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runner.cache import ResultCache
 from repro.runner.execute import run_task, sim_seconds_estimate
+from repro.runner.journal import JournalState, RunJournal
+from repro.runner.retry import RetryPolicy
 from repro.runner.taskspec import TaskSpec
 from repro.runner.telemetry import CellTelemetry, RunnerReport
 
@@ -48,7 +85,7 @@ class RunnerOutcome:
     spec: TaskSpec
     #: The executor's result payload, or None if the cell failed.
     result: Optional[Dict[str, Any]]
-    #: "executed" | "cached" | "failed"
+    #: "executed" | "cached" | "journal" | "failed" | "interrupted"
     status: str
     attempts: int = 1
     wall_s: float = 0.0
@@ -56,15 +93,49 @@ class RunnerOutcome:
     #: Kernel events dispatched by the cell (None when the executor doesn't
     #: report one, or for cached/failed cells).
     events: Optional[int] = None
+    #: Innocent pool-rebuild requeues — never burn the retry budget.
+    requeues: int = 0
+    #: Poison cell: quarantined in the journal, skipped on resume.
+    quarantined: bool = False
 
     @property
     def ok(self) -> bool:
-        """True when the cell produced a result (fresh or cached)."""
+        """True when the cell produced a result (fresh, cached, or journal)."""
         return self.result is not None
 
 
+@dataclass
+class _Cell:
+    """Mutable scheduling state of one not-yet-final cell."""
+
+    index: int
+    spec: TaskSpec
+    #: Failed attempts charged so far (the retry budget consumed).
+    attempt: int = 0
+    #: Innocent pool-rebuild requeues suffered (budget NOT consumed).
+    requeues: int = 0
+    #: Monotonic time before which the cell must not be dispatched (backoff).
+    not_before: float = 0.0
+
+
+#: Sentinel meaning "no heartbeat progress sample read yet".
+_NO_PROGRESS = object()
+
+
+@dataclass
+class _Flight:
+    """One submitted future's bookkeeping."""
+
+    cell: _Cell
+    deadline: float
+    submitted: float
+    heartbeat: Optional[str] = None
+    progress: Any = _NO_PROGRESS
+    progress_at: float = 0.0
+
+
 class ParallelRunner:
-    """Run a grid of task specs with caching, retries, and telemetry."""
+    """Run a grid of task specs with caching, journaling, and telemetry."""
 
     def __init__(
         self,
@@ -74,18 +145,32 @@ class ParallelRunner:
         retries: int = 2,
         mp_context: str = "spawn",
         progress: Optional[ProgressSink] = None,
+        policy: Optional[RetryPolicy] = None,
+        journal_dir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        watchdog: Optional[float] = None,
+        handle_signals: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if watchdog is not None and watchdog <= 0:
+            raise ValueError("watchdog must be > 0 seconds")
         self.jobs = jobs
         self.cache = cache
         self.timeout = timeout
-        self.max_attempts = retries + 1
+        self.policy = policy if policy is not None else RetryPolicy(retries=retries)
+        self.max_attempts = self.policy.max_attempts
         self.mp_context = mp_context
         self.progress = progress
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self.resume = resume
+        self.watchdog = watchdog
+        self.handle_signals = handle_signals
         self.last_report: Optional[RunnerReport] = None
+        self._interrupts = 0
+        self._backoff_total = 0.0
 
     # ------------------------------------------------------------- internals
     def _emit(self, message: str, **data: Any) -> None:
@@ -101,31 +186,174 @@ class ParallelRunner:
         if self.cache is not None:
             self.cache.store(spec, result)
 
+    @staticmethod
+    def _journal(
+        journal: Optional[RunJournal], record_kind: str, **fields: Any
+    ) -> None:
+        if journal is not None:
+            journal.record(record_kind, **fields)
+
+    def _open_journal(
+        self, specs: Sequence[TaskSpec], resume: Optional[Union[RunJournal, str, Path]]
+    ) -> Tuple[Optional[RunJournal], Optional[JournalState]]:
+        """Resolve the journal (if any) and the state to resume from.
+
+        An explicitly passed ``resume`` journal (or path) always replays.
+        Otherwise ``journal_dir`` selects the grid's canonical journal:
+        replayed when the runner was built with ``resume=True``, rotated
+        aside (fresh start, old file kept as ``.bak``) when not.
+        """
+        if resume is not None:
+            journal = (
+                resume if isinstance(resume, RunJournal) else RunJournal(resume)
+            )
+            return journal, journal.replay()
+        if self.journal_dir is None:
+            return None, None
+        journal = RunJournal.for_grid(self.journal_dir, specs, self.policy)
+        if self.resume:
+            return journal, journal.replay()
+        journal.rotate_stale()
+        return journal, None
+
+    @contextmanager
+    def _signal_guard(self) -> Iterator[None]:
+        """Count SIGINT/SIGTERM instead of dying (main thread + opt-in only).
+
+        First signal: drain — finish in-flight cells, dispatch nothing new,
+        journal the rest as interrupted. Second signal: abandon in-flight
+        work immediately (it re-runs on resume).
+        """
+        if (
+            not self.handle_signals
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            yield
+            return
+        previous: Dict[int, Any] = {}
+
+        def handler(signum: int, frame: Any) -> None:
+            self._interrupts += 1
+            mode = "draining in-flight cells" if self._interrupts == 1 else "abandoning"
+            self._emit(f"signal {signum}: {mode}", signum=signum)
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, handler)
+        try:
+            yield
+        finally:
+            for signum, old in previous.items():
+                signal.signal(signum, old)
+
     # ------------------------------------------------------------------- run
-    def run(self, specs: Sequence[TaskSpec]) -> List[RunnerOutcome]:
-        """Execute every spec; outcomes are returned in spec order."""
+    def run(
+        self,
+        specs: Sequence[TaskSpec],
+        resume: Optional[Union[RunJournal, str, Path]] = None,
+    ) -> List[RunnerOutcome]:
+        """Execute every spec; outcomes are returned in spec order.
+
+        ``resume`` (a :class:`RunJournal` or journal path) replays a prior
+        run of this grid: completed cells are served from the journal,
+        quarantined ones fail immediately, everything else executes.
+        """
         started = time.perf_counter()
+        self._interrupts = 0
+        self._backoff_total = 0.0
+        if self.cache is not None and getattr(self.cache, "progress", None) is None:
+            self.cache.progress = self.progress
+        journal, replayed = self._open_journal(specs, resume)
         outcomes: List[Optional[RunnerOutcome]] = [None] * len(specs)
 
-        # Cache pass first: cached cells never occupy a worker.
-        pending: deque = deque()  # (index, spec, attempt)
-        for index, spec in enumerate(specs):
-            cached = self._from_cache(spec)
-            if cached is not None:
-                outcomes[index] = RunnerOutcome(spec, cached, "cached")
-                self._emit(f"cached {spec.name}", cell=spec.name, status="cached")
-            else:
-                pending.append((index, spec, 0))
+        with self._signal_guard():
+            # Journal + cache pass first: settled cells never occupy a worker.
+            pending: Deque[_Cell] = deque()
+            for index, spec in enumerate(specs):
+                fingerprint = spec.fingerprint
+                record = replayed.completed.get(fingerprint) if replayed else None
+                if record is not None:
+                    outcomes[index] = RunnerOutcome(
+                        spec,
+                        record.get("result"),
+                        "journal",
+                        attempts=int(record.get("attempts", 1)),
+                        wall_s=float(record.get("wall_s", 0.0)),
+                        events=record.get("events"),
+                        requeues=int(record.get("requeues", 0)),
+                    )
+                    self._emit(
+                        f"journal {spec.name}", cell=spec.name, status="journal"
+                    )
+                    continue
+                record = replayed.quarantined.get(fingerprint) if replayed else None
+                if record is not None:
+                    outcomes[index] = RunnerOutcome(
+                        spec,
+                        None,
+                        "failed",
+                        attempts=int(record.get("attempts", 1)),
+                        error=(record.get("error") or "poison cell")
+                        + " [quarantined in journal]",
+                        quarantined=True,
+                    )
+                    self._emit(
+                        f"quarantined {spec.name} (journal)",
+                        cell=spec.name,
+                        status="failed",
+                    )
+                    continue
+                cached = self._from_cache(spec)
+                if cached is not None:
+                    outcomes[index] = RunnerOutcome(spec, cached, "cached")
+                    self._journal(
+                        journal,
+                        "done",
+                        cell=fingerprint,
+                        index=index,
+                        attempts=0,
+                        requeues=0,
+                        wall_s=0.0,
+                        events=None,
+                        source="cached",
+                        result=cached,
+                    )
+                    self._emit(f"cached {spec.name}", cell=spec.name, status="cached")
+                else:
+                    pending.append(_Cell(index, spec))
 
-        if pending:
-            if self.jobs == 1:
-                self._run_serial(pending, outcomes)
+            if pending and self._interrupts == 0:
+                if self.jobs == 1:
+                    self._run_serial(pending, outcomes, journal)
+                else:
+                    self._run_parallel(pending, outcomes, journal)
+
+        interrupted = 0
+        for index, spec in enumerate(specs):
+            if outcomes[index] is None:
+                interrupted += 1
+                outcomes[index] = RunnerOutcome(
+                    spec,
+                    None,
+                    "interrupted",
+                    attempts=0,
+                    error="interrupted before completion"
+                    + (" (resumable from the run journal)" if journal else ""),
+                )
+        if journal is not None:
+            if interrupted:
+                journal.record(
+                    "interrupt",
+                    mode="abandon" if self._interrupts >= 2 else "drain",
+                    unfinished=interrupted,
+                )
             else:
-                self._run_parallel(pending, outcomes)
+                journal.record("close", cells=len(specs))
 
         final = [o for o in outcomes if o is not None]
         assert len(final) == len(specs)
-        self.last_report = self._report(final, time.perf_counter() - started)
+        self.last_report = self._report(
+            final, time.perf_counter() - started, journal
+        )
         self._emit(self.last_report.summary_line(), **self.last_report.counters())
         return final
 
@@ -133,51 +361,167 @@ class ParallelRunner:
         """Convenience: :meth:`run`, reduced to the raw result payloads."""
         return [outcome.result for outcome in self.run(specs)]
 
+    # ----------------------------------------------------------- disposition
+    def _finalize(
+        self,
+        outcomes: List[Optional[RunnerOutcome]],
+        cell: _Cell,
+        reply: Dict[str, Any],
+        journal: Optional[RunJournal],
+    ) -> None:
+        outcomes[cell.index] = RunnerOutcome(
+            cell.spec,
+            reply["result"],
+            "executed",
+            attempts=cell.attempt + 1,
+            wall_s=reply["wall_s"],
+            events=reply.get("events"),
+            requeues=cell.requeues,
+        )
+        self._store(cell.spec, reply["result"])
+        self._journal(
+            journal,
+            "done",
+            cell=cell.spec.fingerprint,
+            index=cell.index,
+            attempts=cell.attempt + 1,
+            requeues=cell.requeues,
+            wall_s=reply["wall_s"],
+            events=reply.get("events"),
+            source="executed",
+            result=reply["result"],
+        )
+        self._emit(
+            f"done {cell.spec.name}", cell=cell.spec.name, wall_s=reply["wall_s"]
+        )
+
+    def _handle_failure(
+        self,
+        pending: Deque[_Cell],
+        outcomes: List[Optional[RunnerOutcome]],
+        cell: _Cell,
+        wall: float,
+        journal: Optional[RunJournal],
+        kind: str,
+        error: Optional[str] = None,
+        exc: Optional[BaseException] = None,
+    ) -> None:
+        """Retry with backoff, fail fast, or fail-and-quarantine one cell.
+
+        ``kind`` is "error" (the cell raised), "crash" (its worker died),
+        or "hang" (timeout / watchdog kill). Deterministic errors skip the
+        retry budget entirely; crash/hang cells that exhaust it are
+        quarantined as poison.
+        """
+        name = cell.spec.name
+        fingerprint = cell.spec.fingerprint
+        error = error if error is not None else repr(exc)
+        deterministic = (
+            kind == "error"
+            and exc is not None
+            and self.policy.classify(exc) == "deterministic"
+        )
+        if not deterministic and cell.attempt + 1 < self.policy.max_attempts:
+            delay = self.policy.delay(fingerprint, cell.attempt)
+            self._backoff_total += delay
+            self._journal(
+                journal,
+                "attempt",
+                cell=fingerprint,
+                attempt=cell.attempt,
+                kind=kind,
+                error=error,
+                delay_s=round(delay, 4),
+            )
+            self._emit(
+                f"retry {name}: {error}",
+                cell=name,
+                attempt=cell.attempt + 1,
+                kind=kind,
+                delay_s=delay,
+            )
+            cell.attempt += 1
+            cell.not_before = time.monotonic() + delay
+            pending.appendleft(cell)
+            return
+        quarantined = kind in ("crash", "hang")
+        outcomes[cell.index] = RunnerOutcome(
+            cell.spec,
+            None,
+            "failed",
+            attempts=cell.attempt + 1,
+            wall_s=wall,
+            error=error,
+            requeues=cell.requeues,
+            quarantined=quarantined,
+        )
+        self._journal(
+            journal,
+            "quarantine" if quarantined else "failed",
+            cell=fingerprint,
+            index=cell.index,
+            attempts=cell.attempt + 1,
+            kind=kind,
+            error=error,
+        )
+        self._emit(
+            f"failed {name}: {error}",
+            cell=name,
+            status="failed",
+            kind=kind,
+            quarantined=quarantined,
+        )
+
     # ---------------------------------------------------------------- serial
+    def _sleep_interruptible(self, seconds: float) -> bool:
+        """Sleep up to ``seconds``; False if a shutdown signal arrived."""
+        deadline = time.monotonic() + seconds
+        while time.monotonic() < deadline:
+            if self._interrupts:
+                return False
+            time.sleep(min(0.05, max(deadline - time.monotonic(), 0.0)))
+        return not self._interrupts
+
     def _run_serial(
-        self, pending: deque, outcomes: List[Optional[RunnerOutcome]]
+        self,
+        pending: Deque[_Cell],
+        outcomes: List[Optional[RunnerOutcome]],
+        journal: Optional[RunJournal],
     ) -> None:
         while pending:
-            index, spec, attempt = pending.popleft()
-            self._emit(f"run {spec.name}", cell=spec.name, attempt=attempt)
+            if self._interrupts:
+                return
+            cell = pending.popleft()
+            wait_s = cell.not_before - time.monotonic()
+            if wait_s > 0 and not self._sleep_interruptible(wait_s):
+                pending.appendleft(cell)
+                return
+            self._emit(f"run {cell.spec.name}", cell=cell.spec.name, attempt=cell.attempt)
+            self._journal(
+                journal,
+                "dispatch",
+                cell=cell.spec.fingerprint,
+                index=cell.index,
+                attempt=cell.attempt,
+            )
             cell_started = time.perf_counter()
             try:
                 reply = run_task(
-                    {"spec": spec.to_dict(), "attempt": attempt}, in_process=True
+                    {"spec": cell.spec.to_dict(), "attempt": cell.attempt},
+                    in_process=True,
                 )
             except Exception as exc:  # injected faults / executor bugs
-                wall = time.perf_counter() - cell_started
-                self._retry_or_fail(
-                    pending, outcomes, index, spec, attempt, wall, repr(exc)
+                self._handle_failure(
+                    pending,
+                    outcomes,
+                    cell,
+                    time.perf_counter() - cell_started,
+                    journal,
+                    kind="error",
+                    exc=exc,
                 )
                 continue
-            outcomes[index] = RunnerOutcome(
-                spec, reply["result"], "executed", attempt + 1, reply["wall_s"],
-                events=reply.get("events"),
-            )
-            self._store(spec, reply["result"])
-            self._emit(f"done {spec.name}", cell=spec.name, wall_s=reply["wall_s"])
-
-    def _retry_or_fail(
-        self,
-        pending: deque,
-        outcomes: List[Optional[RunnerOutcome]],
-        index: int,
-        spec: TaskSpec,
-        attempt: int,
-        wall: float,
-        error: str,
-    ) -> None:
-        if attempt + 1 < self.max_attempts:
-            self._emit(
-                f"retry {spec.name}: {error}", cell=spec.name, attempt=attempt + 1
-            )
-            pending.appendleft((index, spec, attempt + 1))
-        else:
-            outcomes[index] = RunnerOutcome(
-                spec, None, "failed", attempt + 1, wall, error
-            )
-            self._emit(f"failed {spec.name}: {error}", cell=spec.name, status="failed")
+            self._finalize(outcomes, cell, reply, journal)
 
     # -------------------------------------------------------------- parallel
     def _new_pool(self) -> ProcessPoolExecutor:
@@ -189,109 +533,296 @@ class ParallelRunner:
     @staticmethod
     def _kill_pool(pool: ProcessPoolExecutor) -> None:
         """Forcibly stop a pool whose workers may be hung or dead."""
-        for process in list(getattr(pool, "_processes", {}).values()):
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
             try:
                 process.kill()
             except Exception:  # already gone
                 pass
         pool.shutdown(wait=False, cancel_futures=True)
 
+    def _pick(
+        self,
+        pending: Deque[_Cell],
+        suspects: Set[str],
+        in_flight: Dict[Future, _Flight],
+        now: float,
+    ) -> Optional[_Cell]:
+        """Next dispatchable cell, honouring backoff and crash isolation.
+
+        While ``suspects`` is non-empty (a pool break with ambiguous
+        attribution), cells are dispatched one at a time so the next break
+        unambiguously names its offender.
+        """
+        if suspects and not any(
+            c.spec.fingerprint in suspects for c in pending
+        ):
+            suspects.clear()  # every suspect reached a final disposition
+        restrict = bool(suspects)
+        if restrict and in_flight:
+            return None
+        for position, cell in enumerate(pending):
+            if restrict and cell.spec.fingerprint not in suspects:
+                continue
+            if cell.not_before > now:
+                if restrict:
+                    return None  # keep isolation strict even across backoff
+                continue
+            del pending[position]
+            return cell
+        return None
+
+    def _submit_ready(
+        self,
+        pool: ProcessPoolExecutor,
+        pending: Deque[_Cell],
+        in_flight: Dict[Future, _Flight],
+        suspects: Set[str],
+        heartbeat_dir: Optional[str],
+        heartbeat_s: float,
+        journal: Optional[RunJournal],
+    ) -> ProcessPoolExecutor:
+        while pending and len(in_flight) < self.jobs:
+            now = time.monotonic()
+            cell = self._pick(pending, suspects, in_flight, now)
+            if cell is None:
+                break
+            deadline = now + self.timeout if self.timeout is not None else float("inf")
+            payload: Dict[str, Any] = {
+                "spec": cell.spec.to_dict(),
+                "attempt": cell.attempt,
+            }
+            heartbeat_path = None
+            if heartbeat_dir is not None:
+                heartbeat_path = os.path.join(
+                    heartbeat_dir, f"hb-{cell.index}-{cell.attempt}.json"
+                )
+                payload["heartbeat"] = heartbeat_path
+                payload["heartbeat_s"] = heartbeat_s
+            self._emit(f"run {cell.spec.name}", cell=cell.spec.name, attempt=cell.attempt)
+            self._journal(
+                journal,
+                "dispatch",
+                cell=cell.spec.fingerprint,
+                index=cell.index,
+                attempt=cell.attempt,
+            )
+            try:
+                future = pool.submit(run_task, payload)
+            except BrokenProcessPool:
+                # The pool died between completions. If futures are still in
+                # flight their breakage is handled by the main loop;
+                # otherwise rebuild right here so the loop can't spin.
+                pending.appendleft(cell)
+                if not in_flight:
+                    self._kill_pool(pool)
+                    pool = self._new_pool()
+                break
+            in_flight[future] = _Flight(
+                cell, deadline, now, heartbeat_path, _NO_PROGRESS, now
+            )
+        return pool
+
+    def _watchdog_verdict(self, flight: _Flight, now: float) -> Optional[str]:
+        """Why this flight should be killed, or None while it looks alive.
+
+        Distinguishes the failure modes: *no heartbeat file* / *stale
+        heartbeat* means the worker is dead or frozen; *fresh heartbeat
+        with flat progress* means the simulation itself is hung.
+        """
+        window = self.watchdog
+        assert window is not None and flight.heartbeat is not None
+        try:
+            stat = os.stat(flight.heartbeat)
+        except OSError:
+            # Spawned workers import the package before the first beat;
+            # give them a doubled grace window to appear at all.
+            if now - flight.submitted > 2 * window:
+                return (
+                    f"no heartbeat within {2 * window:.1f}s of dispatch "
+                    "(worker presumed dead)"
+                )
+            return None
+        staleness = time.time() - stat.st_mtime
+        if staleness > window:
+            return f"heartbeat lost for {staleness:.1f}s (worker hung or dead)"
+        try:
+            beat = json.loads(Path(flight.heartbeat).read_text())
+        except (OSError, ValueError):  # racing the atomic replace
+            return None
+        progress = (beat.get("events"), beat.get("sim_t"))
+        if flight.progress is _NO_PROGRESS or progress != flight.progress:
+            flight.progress = progress
+            flight.progress_at = now
+            return None
+        if now - flight.progress_at > window:
+            return (
+                f"stalled: no simulator progress for "
+                f"{now - flight.progress_at:.1f}s (hung cell)"
+            )
+        return None
+
     def _run_parallel(
-        self, pending: deque, outcomes: List[Optional[RunnerOutcome]]
+        self,
+        pending: Deque[_Cell],
+        outcomes: List[Optional[RunnerOutcome]],
+        journal: Optional[RunJournal],
     ) -> None:
-        # index, spec, attempt, deadline, submitted-at (for failed-cell wall_s)
-        InFlight = Tuple[int, TaskSpec, int, float, float]
         pool = self._new_pool()
-        in_flight: Dict[Future, InFlight] = {}
+        in_flight: Dict[Future, _Flight] = {}
+        suspects: Set[str] = set()
+        heartbeat_dir = (
+            tempfile.mkdtemp(prefix="repro-heartbeat-")
+            if self.watchdog is not None
+            else None
+        )
+        heartbeat_s = min(1.0, (self.watchdog or 4.0) / 4.0)
         tick = 0.1 if self.timeout is None else min(0.1, self.timeout / 4)
         try:
             while pending or in_flight:
-                while pending and len(in_flight) < self.jobs:
-                    index, spec, attempt = pending.popleft()
-                    deadline = (
-                        time.monotonic() + self.timeout
-                        if self.timeout is not None
-                        else float("inf")
+                if self._interrupts >= 2:
+                    return  # abandon: in-flight cells stay unfinished
+                if self._interrupts == 0:
+                    pool = self._submit_ready(
+                        pool, pending, in_flight, suspects,
+                        heartbeat_dir, heartbeat_s, journal,
                     )
-                    self._emit(f"run {spec.name}", cell=spec.name, attempt=attempt)
-                    try:
-                        future = pool.submit(
-                            run_task, {"spec": spec.to_dict(), "attempt": attempt}
-                        )
-                    except BrokenProcessPool:
-                        # The pool died between completions. If futures are
-                        # still in flight their breakage is handled below;
-                        # otherwise rebuild right here so the loop can't spin.
-                        pending.appendleft((index, spec, attempt))
-                        if not in_flight:
-                            self._kill_pool(pool)
-                            pool = self._new_pool()
-                        break
-                    in_flight[future] = (index, spec, attempt, deadline, time.monotonic())
+                elif not in_flight:
+                    return  # drained
+                if not in_flight:
+                    # Every dispatchable cell is backing off; nap briefly.
+                    soonest = min(cell.not_before for cell in pending)
+                    time.sleep(
+                        min(max(soonest - time.monotonic(), 0.0), 0.25) or 0.01
+                    )
+                    continue
 
                 done, _ = wait(in_flight, timeout=tick, return_when=FIRST_COMPLETED)
-                pool_broken = False
+                broken: List[_Flight] = []
                 for future in done:
-                    index, spec, attempt, _deadline, submitted = in_flight.pop(future)
+                    flight = in_flight.pop(future)
+                    cell = flight.cell
                     exc = future.exception()
                     if exc is None:
-                        reply = future.result()
-                        outcomes[index] = RunnerOutcome(
-                            spec, reply["result"], "executed", attempt + 1,
-                            reply["wall_s"], events=reply.get("events"),
-                        )
-                        self._store(spec, reply["result"])
-                        self._emit(
-                            f"done {spec.name}", cell=spec.name, wall_s=reply["wall_s"]
-                        )
+                        self._finalize(outcomes, cell, future.result(), journal)
+                        suspects.discard(cell.spec.fingerprint)
                     elif isinstance(exc, BrokenProcessPool):
-                        # A worker died; attribution is impossible, so every
-                        # broken in-flight cell is charged an attempt below.
-                        pool_broken = True
-                        self._retry_or_fail(
-                            pending, outcomes, index, spec, attempt,
-                            time.monotonic() - submitted,
-                            "worker process died (BrokenProcessPool)",
+                        broken.append(flight)
+                    else:
+                        self._handle_failure(
+                            pending,
+                            outcomes,
+                            cell,
+                            time.monotonic() - flight.submitted,
+                            journal,
+                            kind="error",
+                            exc=exc,
+                        )
+                        if outcomes[cell.index] is not None:
+                            suspects.discard(cell.spec.fingerprint)
+
+                if broken:
+                    # Everything still in flight shares the dead pool.
+                    casualties = broken + list(in_flight.values())
+                    in_flight.clear()
+                    self._kill_pool(pool)
+                    now = time.monotonic()
+                    if len(casualties) == 1:
+                        # Sole occupant: attribution is certain — charge it.
+                        flight = casualties[0]
+                        self._handle_failure(
+                            pending,
+                            outcomes,
+                            flight.cell,
+                            now - flight.submitted,
+                            journal,
+                            kind="crash",
+                            error="worker process died (BrokenProcessPool)",
                         )
                     else:
-                        self._retry_or_fail(
-                            pending, outcomes, index, spec, attempt,
-                            time.monotonic() - submitted, repr(exc),
-                        )
+                        # Ambiguous: requeue everyone without burning budget
+                        # and isolate; the next break names its offender.
+                        for flight in sorted(
+                            casualties, key=lambda f: f.cell.index, reverse=True
+                        ):
+                            cell = flight.cell
+                            cell.requeues += 1
+                            suspects.add(cell.spec.fingerprint)
+                            self._journal(
+                                journal,
+                                "requeue",
+                                cell=cell.spec.fingerprint,
+                                requeues=cell.requeues,
+                                reason="pool broken (sibling worker died)",
+                            )
+                            self._emit(
+                                f"requeue {cell.spec.name} (pool broken, "
+                                "isolating suspects)",
+                                cell=cell.spec.name,
+                            )
+                            pending.appendleft(cell)
+                    pool = self._new_pool()
+                    continue
 
                 now = time.monotonic()
-                timed_out = [f for f, entry in in_flight.items() if now > entry[3]]
-                if pool_broken or timed_out:
+                expired: Dict[Future, str] = {}
+                for future, flight in in_flight.items():
+                    if now > flight.deadline:
+                        expired[future] = f"timed out after {self.timeout}s"
+                    elif heartbeat_dir is not None and flight.heartbeat:
+                        verdict = self._watchdog_verdict(flight, now)
+                        if verdict is not None:
+                            expired[future] = verdict
+                if expired:
+                    # There is no portable way to interrupt one worker, so
+                    # the pool dies; offenders are charged, innocent
+                    # bystanders are re-queued without burning budget.
                     self._kill_pool(pool)
-                    for future, (
-                        index, spec, attempt, _deadline, submitted
-                    ) in in_flight.items():
-                        if pool_broken or future in timed_out:
-                            # Offender or co-casualty of a dead pool: charge
-                            # an attempt (the work is lost either way).
-                            self._retry_or_fail(
-                                pending, outcomes, index, spec, attempt,
-                                now - submitted,
-                                f"timed out after {self.timeout}s"
-                                if future in timed_out
-                                else "worker process died (BrokenProcessPool)",
+                    for future, flight in in_flight.items():
+                        cell = flight.cell
+                        if future in expired:
+                            self._handle_failure(
+                                pending,
+                                outcomes,
+                                cell,
+                                now - flight.submitted,
+                                journal,
+                                kind="hang",
+                                error=expired[future],
                             )
                         else:
-                            # Innocent bystander of a timeout kill: re-queue
-                            # without charging an attempt.
-                            self._emit(
-                                f"requeue {spec.name} (pool restarted)",
-                                cell=spec.name,
+                            cell.requeues += 1
+                            self._journal(
+                                journal,
+                                "requeue",
+                                cell=cell.spec.fingerprint,
+                                requeues=cell.requeues,
+                                reason="pool restarted (sibling killed)",
                             )
-                            pending.appendleft((index, spec, attempt))
+                            self._emit(
+                                f"requeue {cell.spec.name} (pool restarted)",
+                                cell=cell.spec.name,
+                            )
+                            pending.appendleft(cell)
                     in_flight.clear()
                     pool = self._new_pool()
         finally:
             self._kill_pool(pool)
+            if heartbeat_dir is not None:
+                shutil.rmtree(heartbeat_dir, ignore_errors=True)
 
     # ------------------------------------------------------------- reporting
-    def _report(self, outcomes: List[RunnerOutcome], wall_s: float) -> RunnerReport:
-        report = RunnerReport(jobs=self.jobs, wall_s=wall_s)
+    def _report(
+        self,
+        outcomes: List[RunnerOutcome],
+        wall_s: float,
+        journal: Optional[RunJournal],
+    ) -> RunnerReport:
+        report = RunnerReport(
+            jobs=self.jobs,
+            wall_s=wall_s,
+            backoff_s=round(self._backoff_total, 4),
+            journal=str(journal.path) if journal is not None else None,
+        )
         for index, outcome in enumerate(outcomes):
             report.cells.append(
                 CellTelemetry(
@@ -309,6 +840,8 @@ class ParallelRunner:
                     ),
                     error=outcome.error,
                     events=outcome.events if outcome.status == "executed" else None,
+                    requeues=outcome.requeues,
+                    quarantined=outcome.quarantined,
                 )
             )
         return report

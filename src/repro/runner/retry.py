@@ -1,0 +1,110 @@
+"""Retry policy: error classification and seeded exponential backoff.
+
+A :class:`RetryPolicy` replaces the engine's old flat attempt counter with
+three explicit failure classes:
+
+- **transient** — an exception that may not recur (an :class:`OSError`, an
+  injected fault, a flaky worker): retried with exponential backoff until
+  the budget runs out, then the cell fails;
+- **deterministic** — an exception that will recur on every attempt (bad
+  parameters, an unknown task kind, an executor raising :class:`RunError`):
+  the cell fails fast, burning a single attempt and zero backoff;
+- **poison** — a cell whose *worker* keeps dying or hanging (crash or
+  watchdog/timeout kill): after the budget it is failed *and* quarantined
+  in the run journal, so a resumed grid skips it instead of re-poisoning
+  the pool.
+
+Backoff delays are seeded: the jitter for (cell fingerprint, attempt) is a
+pure function of the policy seed, so two invocations of the same grid
+schedule identical delays — the runner stays deterministic end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+class RunError(RuntimeError):
+    """A *deterministic* cell failure: retrying cannot help.
+
+    Executors (and user task kinds) raise this for errors that are a pure
+    function of the spec — invalid configuration, an impossible schedule, a
+    topology with no sink. The engine fails the cell on the first attempt
+    instead of burning the retry budget re-computing the same exception.
+    """
+
+
+#: Exception types classified as deterministic (fail fast, never retried).
+#: Everything else — including :class:`repro.runner.execute.InjectedFault`,
+#: which models a flaky worker — is treated as transient.
+DETERMINISTIC_ERRORS = (RunError, ValueError, TypeError, KeyError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine spends a cell's retry budget.
+
+    ``retries`` is the number of *extra* attempts after the first (so
+    ``max_attempts == retries + 1``). Backoff for attempt ``n`` (0-based,
+    counting failed attempts so far) is
+    ``min(backoff_base_s * backoff_factor**n, backoff_max_s)`` scaled by a
+    seeded jitter in ``[1 - jitter, 1 + jitter]``.
+    """
+
+    retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 30.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts a cell may consume (first try + retries)."""
+        return self.retries + 1
+
+    def classify(self, error: BaseException) -> str:
+        """``"deterministic"`` (fail fast) or ``"transient"`` (retry)."""
+        return (
+            "deterministic"
+            if isinstance(error, DETERMINISTIC_ERRORS)
+            else "transient"
+        )
+
+    def delay(self, fingerprint: str, attempt: int) -> float:
+        """Seconds to wait before re-dispatching ``fingerprint``.
+
+        ``attempt`` is the 0-based attempt that just failed. Deterministic:
+        ``random.Random`` seeds strings via SHA-512, independent of
+        ``PYTHONHASHSEED``, so the same (policy, cell, attempt) always
+        yields the same delay.
+        """
+        if self.backoff_base_s <= 0.0:
+            return 0.0
+        base = min(
+            self.backoff_base_s * self.backoff_factor ** attempt,
+            self.backoff_max_s,
+        )
+        if self.jitter == 0.0:
+            return base
+        rng = random.Random(f"{self.seed}:{fingerprint}:{attempt}")
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical dict — folded into the run-journal grid fingerprint."""
+        return {
+            "retries": self.retries,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_factor": self.backoff_factor,
+            "backoff_max_s": self.backoff_max_s,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }

@@ -2,9 +2,10 @@
 
 Every :class:`~repro.runner.engine.ParallelRunner.run` produces a
 :class:`RunnerReport`: one :class:`CellTelemetry` per cell (executed /
-cached / failed, attempts, wall seconds, scheduled sim seconds) plus
-aggregate counters and a summary table rendered in the repo's usual
-ASCII-table style.
+cached / resumed-from-journal / failed / interrupted, attempts, innocent
+requeues, wall seconds, scheduled sim seconds) plus aggregate counters —
+journal hits, total backoff delay, the quarantined-cell list — and a
+summary table rendered in the repo's usual ASCII-table style.
 """
 
 from __future__ import annotations
@@ -21,7 +22,7 @@ class CellTelemetry:
     label: str
     kind: str
     fingerprint: str
-    #: "executed" | "cached" | "failed"
+    #: "executed" | "cached" | "journal" | "failed" | "interrupted"
     status: str
     attempts: int = 1
     #: Wall-clock seconds spent simulating (0 for cached cells).
@@ -32,6 +33,13 @@ class CellTelemetry:
     #: Kernel events the cell dispatched (None for cached/failed cells or
     #: executors that don't report one).
     events: Optional[int] = None
+    #: Pool-rebuild requeues the cell suffered as an innocent bystander —
+    #: these never burn the retry budget (attempts counts only the cell's
+    #: own failures).
+    requeues: int = 0
+    #: True when the cell was quarantined as poison (its worker kept dying
+    #: or hanging); a resumed grid skips it instead of re-running it.
+    quarantined: bool = False
 
 
 @dataclass
@@ -42,6 +50,10 @@ class RunnerReport:
     cells: List[CellTelemetry] = field(default_factory=list)
     #: Wall-clock seconds for the whole grid (includes scheduling overhead).
     wall_s: float = 0.0
+    #: Total seconds of retry backoff the engine scheduled this run.
+    backoff_s: float = 0.0
+    #: Path of the run journal, when one was configured.
+    journal: Optional[str] = None
 
     def _count(self, status: str) -> int:
         return sum(1 for c in self.cells if c.status == status)
@@ -57,14 +69,29 @@ class RunnerReport:
         return self._count("cached")
 
     @property
+    def resumed(self) -> int:
+        """Cells answered from the run journal (journal hits on resume)."""
+        return self._count("journal")
+
+    @property
     def failed(self) -> int:
-        """Cells that exhausted their retry budget."""
+        """Cells that exhausted their retry budget (or failed fast)."""
         return self._count("failed")
+
+    @property
+    def interrupted(self) -> int:
+        """Cells left unfinished by a graceful shutdown — resumable."""
+        return self._count("interrupted")
 
     @property
     def retried(self) -> int:
         """Cells that needed more than one attempt."""
         return sum(1 for c in self.cells if c.attempts > 1)
+
+    @property
+    def requeues(self) -> int:
+        """Total innocent pool-rebuild requeues across cells."""
+        return sum(c.requeues for c in self.cells)
 
     @property
     def sim_seconds(self) -> float:
@@ -97,6 +124,10 @@ class RunnerReport:
         """The failed cells, each carrying its exception repr and attempts."""
         return [c for c in self.cells if c.status == "failed"]
 
+    def quarantined(self) -> List[CellTelemetry]:
+        """Poison cells quarantined this run (subset of :meth:`failures`)."""
+        return [c for c in self.cells if c.quarantined]
+
     def counters(self) -> Dict[str, Any]:
         """The summary numbers as a plain dict (for JSON/bench output)."""
         return {
@@ -104,13 +135,19 @@ class RunnerReport:
             "cells": len(self.cells),
             "executed": self.executed,
             "cached": self.cached,
+            "resumed": self.resumed,
             "failed": self.failed,
+            "interrupted": self.interrupted,
             "retried": self.retried,
+            "requeues": self.requeues,
+            "backoff_s": self.backoff_s,
             "wall_s": self.wall_s,
             "sim_seconds": self.sim_seconds,
             "throughput": self.throughput,
             "events_total": self.events_total,
             "events_per_s": self.events_per_s,
+            "journal": self.journal,
+            "quarantined": [c.label for c in self.quarantined()],
             "failures": [
                 {"label": c.label, "attempts": c.attempts, "error": c.error}
                 for c in self.failures()
@@ -121,15 +158,32 @@ class RunnerReport:
         """One-line grid outcome for progress streams (plus failure details)."""
         rate = self.throughput
         events_rate = self.events_per_s
-        line = (
-            f"{len(self.cells)} cells: {self.executed} executed, "
-            f"{self.cached} cached, {self.failed} failed "
-            f"({self.retried} retried) in {self.wall_s:.1f}s wall"
-            + (f", {rate:.0f} sim-s/s" if rate and self.sim_seconds > 0 else "")
-            + (f", {events_rate / 1000:.0f}k ev/s" if events_rate else "")
-        )
+        line = f"{len(self.cells)} cells: {self.executed} executed, {self.cached} cached"
+        if self.resumed:
+            line += f", {self.resumed} resumed"
+        if self.interrupted:
+            line += f", {self.interrupted} interrupted"
+        line += f", {self.failed} failed ({self.retried} retried"
+        if self.requeues:
+            line += f", {self.requeues} requeued"
+        line += f") in {self.wall_s:.1f}s wall"
+        if rate and self.sim_seconds > 0:
+            line += f", {rate:.0f} sim-s/s"
+        if events_rate:
+            line += f", {events_rate / 1000:.0f}k ev/s"
+        if self.backoff_s:
+            line += f", {self.backoff_s:.2f}s backoff"
         for cell in self.failures():
-            line += f"\n  FAILED {cell.label}: {cell.attempts} attempt(s): {cell.error}"
+            tag = " [quarantined]" if cell.quarantined else ""
+            line += (
+                f"\n  FAILED {cell.label}: {cell.attempts} attempt(s): "
+                f"{cell.error}{tag}"
+            )
+        if self.interrupted:
+            line += (
+                f"\n  INTERRUPTED: {self.interrupted} cell(s) unfinished"
+                + (" — resumable from the run journal" if self.journal else "")
+            )
         return line
 
     def summary_table(self) -> str:
@@ -140,8 +194,9 @@ class RunnerReport:
             [
                 c.label or c.fingerprint[:10],
                 c.kind,
-                c.status,
+                c.status + ("*" if c.quarantined else ""),
                 c.attempts,
+                c.requeues,
                 f"{c.wall_s:.2f}",
                 f"{c.sim_s:.0f}",
                 c.error or "",
@@ -149,7 +204,7 @@ class RunnerReport:
             for c in self.cells
         ]
         table = ascii_table(
-            ["cell", "kind", "status", "attempts", "wall_s", "sim_s", "error"],
+            ["cell", "kind", "status", "attempts", "req", "wall_s", "sim_s", "error"],
             rows,
             title=f"Runner telemetry (jobs={self.jobs})",
         )

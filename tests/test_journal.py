@@ -1,0 +1,161 @@
+"""The run journal: durable append, tolerant replay, grid identity."""
+
+import json
+
+import pytest
+
+from repro.runner import (
+    JOURNAL_SCHEMA,
+    ParallelRunner,
+    RetryPolicy,
+    RunJournal,
+    grid_fingerprint,
+    selftest_spec,
+)
+
+
+@pytest.fixture
+def specs():
+    return [selftest_spec(i) for i in range(3)]
+
+
+@pytest.fixture
+def policy():
+    return RetryPolicy(retries=1)
+
+
+class TestGridFingerprint:
+    def test_stable_for_same_grid(self, specs, policy):
+        assert grid_fingerprint(specs, policy) == grid_fingerprint(specs, policy)
+
+    def test_cell_order_matters(self, specs, policy):
+        assert grid_fingerprint(specs, policy) != grid_fingerprint(
+            list(reversed(specs)), policy
+        )
+
+    def test_policy_matters(self, specs):
+        assert grid_fingerprint(specs, RetryPolicy(retries=1)) != grid_fingerprint(
+            specs, RetryPolicy(retries=2)
+        )
+
+    def test_jobs_do_not_matter(self, specs, policy, tmp_path):
+        # Resume must work across worker counts: the journal of a jobs=4 run
+        # is found by a jobs=1 resume, so jobs cannot be in the identity.
+        a = RunJournal.for_grid(tmp_path, specs, policy)
+        b = RunJournal.for_grid(tmp_path, specs, policy)
+        assert a.path == b.path
+
+
+class TestRecordAndReplay:
+    def test_open_header_written_once(self, specs, policy, tmp_path):
+        journal = RunJournal.for_grid(tmp_path, specs, policy)
+        journal.record("dispatch", cell="abc", index=0, attempt=0)
+        journal.record("done", cell="abc", index=0, result={"v": 1})
+        lines = [json.loads(l) for l in journal.path.read_text().splitlines()]
+        assert [l["t"] for l in lines] == ["open", "dispatch", "done"]
+        assert lines[0]["schema"] == JOURNAL_SCHEMA
+        assert lines[0]["grid"] == journal.grid
+
+    def test_replay_folds_lifecycle(self, specs, policy, tmp_path):
+        journal = RunJournal.for_grid(tmp_path, specs, policy)
+        journal.record("dispatch", cell="a", index=0, attempt=0)
+        journal.record("dispatch", cell="b", index=1, attempt=0)
+        journal.record("done", cell="a", index=0, result={"v": 1}, attempts=1)
+        journal.record("quarantine", cell="c", index=2, error="kept dying")
+        state = journal.replay()
+        assert set(state.completed) == {"a"}
+        assert state.completed["a"]["result"] == {"v": 1}
+        assert set(state.quarantined) == {"c"}
+        assert state.in_flight == {"b"}
+        assert not state.truncated and not state.closed
+
+    def test_missing_file_is_empty_state(self, tmp_path):
+        state = RunJournal(tmp_path / "absent.jsonl").replay()
+        assert state.completed == {} and state.records == 0
+
+    def test_torn_tail_is_tolerated(self, specs, policy, tmp_path):
+        # A crash mid-append leaves a half-written final line; replay must
+        # keep everything before it and flag the truncation.
+        journal = RunJournal.for_grid(tmp_path, specs, policy)
+        journal.record("done", cell="a", index=0, result={"v": 1}, attempts=1)
+        with open(journal.path, "a") as handle:
+            handle.write('{"t":"done","cell":"b","resu')
+        state = journal.replay()
+        assert set(state.completed) == {"a"}
+        assert state.truncated
+
+    def test_grid_mismatch_rejected(self, specs, policy, tmp_path):
+        journal = RunJournal.for_grid(tmp_path, specs, policy)
+        journal.record("close")
+        stranger = RunJournal(journal.path, grid="not-this-grid")
+        with pytest.raises(ValueError, match="belongs to grid"):
+            stranger.replay()
+
+    def test_rotate_stale_keeps_backup(self, specs, policy, tmp_path):
+        journal = RunJournal.for_grid(tmp_path, specs, policy)
+        journal.record("close")
+        journal.rotate_stale()
+        assert not journal.path.exists()
+        assert journal.path.with_suffix(".jsonl.bak").exists()
+
+
+class TestRunnerIntegration:
+    def test_fresh_run_writes_and_closes(self, specs, tmp_path):
+        runner = ParallelRunner(jobs=1, journal_dir=tmp_path)
+        runner.run(specs)
+        journals = list(tmp_path.glob("*.jsonl"))
+        assert len(journals) == 1
+        state = RunJournal(journals[0]).replay()
+        assert len(state.completed) == len(specs)
+        assert state.closed
+
+    def test_resume_serves_journal_hits(self, specs, tmp_path):
+        first = ParallelRunner(jobs=1, journal_dir=tmp_path)
+        cold = first.run(specs)
+        second = ParallelRunner(jobs=1, journal_dir=tmp_path, resume=True)
+        warm = second.run(specs)
+        assert [o.status for o in warm] == ["journal"] * len(specs)
+        assert [o.result for o in warm] == [o.result for o in cold]
+        assert second.last_report.resumed == len(specs)
+        assert second.last_report.executed == 0
+
+    def test_partial_journal_runs_only_the_rest(self, specs, tmp_path):
+        reference = ParallelRunner(jobs=1).run(specs)
+        journal = RunJournal.for_grid(tmp_path, specs, RetryPolicy())
+        # Hand-complete the middle cell, as if the previous run died after it.
+        journal.record(
+            "done",
+            cell=specs[1].fingerprint,
+            index=1,
+            attempts=1,
+            requeues=0,
+            wall_s=0.01,
+            events=None,
+            source="executed",
+            result=reference[1].result,
+        )
+        runner = ParallelRunner(jobs=1, journal_dir=tmp_path, resume=True)
+        outcomes = runner.run(specs)
+        assert [o.status for o in outcomes] == ["executed", "journal", "executed"]
+        assert [o.result for o in outcomes] == [o.result for o in reference]
+
+    def test_fresh_run_rotates_old_journal(self, specs, tmp_path):
+        ParallelRunner(jobs=1, journal_dir=tmp_path).run(specs)
+        ParallelRunner(jobs=1, journal_dir=tmp_path).run(specs)
+        assert len(list(tmp_path.glob("*.jsonl"))) == 1
+        assert len(list(tmp_path.glob("*.jsonl.bak"))) == 1
+
+    def test_quarantined_cell_skipped_on_resume(self, tmp_path):
+        poison = selftest_spec(1, fault={"crash_attempts": 99})
+        grid = [selftest_spec(0), poison, selftest_spec(2)]
+        first = ParallelRunner(jobs=2, retries=1, journal_dir=tmp_path)
+        outcomes = first.run(grid)
+        assert outcomes[1].status == "failed" and outcomes[1].quarantined
+        second = ParallelRunner(jobs=2, retries=1, journal_dir=tmp_path, resume=True)
+        resumed = second.run(grid)
+        # The poison cell must not re-poison the pool: no executions for it.
+        assert resumed[1].status == "failed"
+        assert resumed[1].quarantined
+        assert "quarantined in journal" in resumed[1].error
+        assert [o.status for o in (resumed[0], resumed[2])] == ["journal"] * 2
+        assert second.last_report.quarantined()[0].label == poison.name

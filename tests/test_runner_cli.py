@@ -1,15 +1,24 @@
 """The `python -m repro run` grid subcommand.
 
 The simulation itself is stubbed (monkeypatched ``run_comparison``); these
-tests cover the CLI wiring: grid expansion, cache behaviour, telemetry
-output, CSV/JSON export, and exit codes. ``jobs=1`` keeps execution
-in-process so the stub is visible to the engine.
+tests cover the CLI wiring: grid expansion, cache behaviour, journal/resume
+flags, telemetry output, CSV/JSON export, and exit codes. ``jobs=1`` keeps
+execution in-process so the stub is visible to the engine. The one
+exception is the SIGTERM test at the bottom, which runs a real (compressed)
+grid in a subprocess to pin the 0/1/3 exit-code contract end to end.
 """
 
 import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro import cli
 from repro.experiments.comparison import ComparisonResult
 
@@ -66,6 +75,24 @@ class TestRunParser:
         with pytest.raises(SystemExit):
             cli.build_parser().parse_args(["run", "fig99"])
 
+    def test_robustness_flags_parse(self):
+        args = cli.build_parser().parse_args(
+            ["run", "fig8", "--journal-dir", "J", "--resume",
+             "--watchdog", "5", "--converge", "30", "--drain", "10"]
+        )
+        assert args.journal_dir == "J"
+        assert args.resume is True
+        assert args.watchdog == 5.0
+        assert args.converge == 30.0
+        assert args.drain == 10.0
+
+    def test_robustness_flags_default_off(self):
+        args = cli.build_parser().parse_args(["run", "fig8"])
+        assert args.journal_dir is None
+        assert args.resume is False
+        assert args.watchdog is None
+        assert args.converge is None and args.drain is None
+
 
 class TestRunExecution:
     def test_grid_expands_variants_by_seeds(self, tmp_path, stub_comparison, capsys):
@@ -116,3 +143,69 @@ class TestRunExecution:
         out = capsys.readouterr().out
         assert "4 failed" in out
         assert "boom" in out
+
+    def test_resume_serves_cells_from_journal(
+        self, tmp_path, stub_comparison, capsys
+    ):
+        journal = tmp_path / "journal"
+        run_cli(tmp_path, "--journal-dir", str(journal))
+        del stub_comparison[:]
+        # --no-cache forces the resume path to answer from the journal, not
+        # the result cache the first run also populated.
+        rc = run_cli(
+            tmp_path, "--journal-dir", str(journal), "--resume", "--no-cache"
+        )
+        assert rc == 0
+        assert stub_comparison == []  # nothing re-simulated
+        assert "4 resumed" in capsys.readouterr().out
+
+
+class TestExitCodeContract:
+    def test_sigterm_interrupts_resumably(self, tmp_path):
+        # A real (compressed) grid in a subprocess: SIGTERM after the first
+        # completed cell must exit 3 (resumable), and --resume must finish
+        # the grid with exit 0. This is the CLI half of the crash-safety
+        # acceptance; the engine half lives in test_runner_equivalence.
+        argv = [
+            sys.executable, "-m", "repro", "run", "fig8",
+            "--seeds", "1", "--controls", "2", "--interval", "4",
+            "--converge", "30", "--drain", "10",
+            "--journal-dir", str(tmp_path / "journal"),
+            "--cache-dir", str(tmp_path / "cache"), "--no-cache",
+        ]
+        env = dict(
+            os.environ, PYTHONPATH=str(Path(repro.__file__).resolve().parents[1])
+        )
+        victim = subprocess.Popen(
+            argv,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        backstop = threading.Timer(300.0, victim.kill)
+        backstop.start()
+        saw_done = False
+        try:
+            for line in victim.stderr:
+                if "[runner] done" in line:
+                    saw_done = True
+                    victim.send_signal(signal.SIGTERM)
+                    break
+            rc = victim.wait(timeout=120)
+        finally:
+            backstop.cancel()
+            victim.stderr.close()
+        assert saw_done, "grid produced no completed cell"
+        assert rc == cli.EXIT_INTERRUPTED
+
+        resumed = subprocess.run(
+            argv + ["--resume"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert resumed.returncode == cli.EXIT_OK
+        assert "resumed" in resumed.stdout

@@ -3,13 +3,27 @@
 ``run_comparison_multi`` over several seeds through ``ParallelRunner``
 with ``jobs > 1`` must produce results equal per metric and per seed to the
 serial path, and a warm cache must answer a repeat invocation without
-re-simulating a single cell. Schedules are compressed to keep this suite
-minutes-scale; equality is exact, not approximate.
+re-simulating a single cell. The crash-safety acceptance rides along: a
+grid SIGKILLed mid-run and resumed from its journal must merge to results
+bit-identical to an uninterrupted run — trace digests included. Schedules
+are compressed to keep this suite minutes-scale; equality is exact, not
+approximate.
 """
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import threading
+from pathlib import Path
 
 import pytest
 
+import repro
+from repro.experiments.chaos import chaos_grid_specs
 from repro.experiments.sweep import run_comparison_multi
+from repro.runner import ParallelRunner
 
 SEEDS = (1, 2, 3, 4)
 #: Compressed schedule: enough simulated time for codes to form and a couple
@@ -79,3 +93,99 @@ def test_changed_schedule_misses_cache(parallel, cache_dir):
     )
     assert result.telemetry.executed == 1
     assert result.telemetry.cached == 0
+
+
+# --------------------------------------------------------------- kill-resume
+
+#: Chaos cells carry a trace digest, so "bit-identical after resume" is
+#: checkable down to the event stream, not just the summary metrics.
+CHAOS_GRID = dict(
+    variants=["re-tele"],
+    intensities=[1.0],
+    seeds=[1, 2, 3],
+    scenario="crash-churn",
+    n_controls=2,
+    control_interval_s=4.0,
+    converge_seconds=30.0,
+    drain_seconds=10.0,
+)
+
+#: The victim process: run the chaos grid with a journal, printing one
+#: "done" progress line per completed cell so the parent knows when the
+#: journal holds at least one durable result — then the parent SIGKILLs us.
+_VICTIM_SCRIPT = textwrap.dedent(
+    """
+    import sys
+    from repro.experiments.chaos import chaos_grid_specs
+    from repro.runner import ParallelRunner
+
+    jobs, journal_dir = int(sys.argv[1]), sys.argv[2]
+    specs = chaos_grid_specs(
+        ["re-tele"], [1.0], [1, 2, 3], scenario="crash-churn",
+        n_controls=2, control_interval_s=4.0,
+        converge_seconds=30.0, drain_seconds=10.0,
+    )
+    progress = lambda cat, msg, **data: print(f"[{cat}] {msg}", flush=True)
+    ParallelRunner(jobs=jobs, journal_dir=journal_dir, progress=progress).run(specs)
+    """
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_reference():
+    """The uninterrupted run every resumed run must match bit for bit."""
+    specs = chaos_grid_specs(**CHAOS_GRID)
+    return [outcome.result for outcome in ParallelRunner(jobs=1).run(specs)]
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_sigkilled_grid_resumes_bit_identical(tmp_path, chaos_reference, jobs):
+    journal_dir = tmp_path / f"journal-{jobs}"
+    env = dict(
+        os.environ, PYTHONPATH=str(Path(repro.__file__).resolve().parents[1])
+    )
+    victim = subprocess.Popen(
+        [sys.executable, "-c", _VICTIM_SCRIPT, str(jobs), str(journal_dir)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+        start_new_session=True,  # so SIGKILL can take the pool workers too
+    )
+
+    def _nuke() -> None:
+        try:
+            os.killpg(victim.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+
+    backstop = threading.Timer(300.0, _nuke)
+    backstop.start()
+    saw_done = False
+    try:
+        # A "done" progress line is emitted only after the journal record
+        # for that cell is fsynced — the hard kill right after it models a
+        # crash with at least one durable completion.
+        for line in victim.stdout:
+            if "done " in line:
+                saw_done = True
+                break
+        _nuke()
+        victim.wait(timeout=60)
+    finally:
+        backstop.cancel()
+        victim.stdout.close()
+    assert saw_done, "victim produced no completed cell before exiting"
+
+    specs = chaos_grid_specs(**CHAOS_GRID)
+    resumed = ParallelRunner(jobs=jobs, journal_dir=journal_dir, resume=True)
+    outcomes = resumed.run(specs)
+
+    report = resumed.last_report
+    assert report.resumed >= 1, "resume served nothing from the journal"
+    assert report.failed == 0 and report.interrupted == 0
+    merged = [outcome.result for outcome in outcomes]
+    assert merged == chaos_reference  # every metric, bit for bit
+    assert [r["trace_digest"] for r in merged] == [
+        r["trace_digest"] for r in chaos_reference
+    ]
