@@ -45,8 +45,10 @@ def build_network(
     ``topology``: ``"indoor-testbed"`` (40 nodes, ≤6 hops), ``"tight-grid"``
     (225 nodes), ``"sparse-linear"`` (225 nodes), or a
     :class:`repro.topology.Deployment`.
-    ``protocol``: ``"tele"`` (TeleAdjusting), ``"drip"``, ``"rpl"``, or
-    ``"none"`` (bare CTP).
+    ``protocol``: any name in :func:`repro.protocols.protocol_names` —
+    ``"tele"`` (TeleAdjusting), ``"drip"``, ``"rpl"``, ``"orpl"``,
+    ``"none"`` (bare CTP), or anything added via
+    :func:`repro.protocols.register_protocol`.
     Any other :class:`NetworkConfig` field may be passed as a keyword.
     """
     if config is None:

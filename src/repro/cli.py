@@ -32,6 +32,7 @@ from repro.experiments.codestats import (
 from repro.experiments.comparison import ComparisonResult, run_comparison
 from repro.faults import CHAOS_SCENARIOS
 from repro.metrics.stats import mean, percentile
+from repro.protocols import variant_names
 
 #: Exit-code contract for grid commands (documented in docs/operations.md):
 #: 0 = every cell produced a result; 1 = at least one cell failed for good;
@@ -624,7 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--variants",
         nargs="+",
-        choices=("tele", "re-tele", "rpl", "drip", "orpl"),
+        choices=tuple(variant_names()),
         default=["tele", "re-tele", "rpl", "drip"],
     )
     p.set_defaults(func=_cmd_compare)
@@ -718,7 +719,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--variants", nargs="+",
-        choices=("tele", "re-tele", "rpl", "drip", "orpl"),
+        choices=tuple(variant_names()),
         default=["tele", "re-tele"],
         help="chaos grid only: protocol variants",
     )

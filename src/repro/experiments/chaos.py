@@ -134,8 +134,9 @@ def run_chaos(
     net = Network(config)
     net.sim.tracer.enable(TRACE_CATEGORIES)
     converged = net.converge(max_seconds=converge_seconds, target=0.97)
-    if net.config.protocol == "rpl":
-        net.run(20.0)
+    settle = net.converge_settle_seconds()
+    if settle > 0:
+        net.run(settle)
     net.metrics.mark()
     if net.fault_injector is not None:
         net.fault_injector.arm()

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.protocol import TeleAdjusting
 from repro.experiments.harness import Network, NetworkConfig
+from repro.protocols import TeleProtocolAdapter
 
 
 def code_construction_run(
@@ -40,9 +41,9 @@ def code_construction_run(
 
 
 def _tele(net: Network, node_id: int) -> TeleAdjusting:
-    protocol = net.protocols[node_id]
-    assert isinstance(protocol, TeleAdjusting)
-    return protocol
+    adapter = net.protocols[node_id]
+    assert isinstance(adapter, TeleProtocolAdapter)
+    return adapter.engine
 
 
 def code_length_by_hop(net: Network) -> Dict[int, List[int]]:

@@ -13,13 +13,17 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.harness import Network, NetworkConfig
 from repro.metrics.control import ControlMetrics
+from repro.protocols import resolve_variant, variant_names
 from repro.sim.units import SECOND
 from repro.workloads.control import ControlSchedule
 
-#: Protocol front-end names accepted by :func:`run_comparison`. The paper
-#: evaluates the first four; "orpl" is our extension baseline (related work
-#: [22], included to quantify the bloom-false-positive criticism).
-VARIANTS = ("tele", "re-tele", "drip", "rpl", "orpl")
+#: Protocol front-end names accepted by :func:`run_comparison`, snapshotted
+#: from the protocol registry at import time. The paper evaluates the first
+#: four; "orpl" is our extension baseline (related work [22], included to
+#: quantify the bloom-false-positive criticism). Protocols registered later
+#: via :func:`repro.protocols.register_protocol` are accepted too — call
+#: :func:`repro.protocols.variant_names` for the live list.
+VARIANTS = tuple(variant_names())
 
 #: Default schedule of :func:`run_comparison`, shared with the runner's
 #: :func:`repro.runner.taskspec.comparison_spec` so a spec built with
@@ -60,21 +64,13 @@ def config_for(variant: str, channel: int, seed: int) -> NetworkConfig:
     cache key can fingerprint the *derived* configuration: any change to
     this mapping invalidates cached cells.
     """
-    if variant not in VARIANTS:
-        raise ValueError(f"unknown variant {variant!r}; choose from {VARIANTS}")
-    protocol = {
-        "tele": "tele",
-        "re-tele": "tele",
-        "drip": "drip",
-        "rpl": "rpl",
-        "orpl": "orpl",
-    }[variant]
+    protocol, overrides = resolve_variant(variant)
     return NetworkConfig(
         topology="indoor-testbed",
         protocol=protocol,
         seed=seed,
         zigbee_channel=channel,
-        re_tele=(variant == "re-tele"),
+        **overrides,
     )
 
 
@@ -99,9 +95,10 @@ def run_comparison(
     """
     net = _network_for(variant, zigbee_channel, seed)
     net.converge(max_seconds=converge_seconds, target=0.97)
-    if net.config.protocol == "rpl":
-        # Give DAOs one extra beat even after coverage looks complete.
-        net.run(20.0)
+    settle = net.converge_settle_seconds()
+    if settle > 0:
+        # e.g. RPL's DAOs deserve one extra beat after coverage looks done.
+        net.run(settle)
     net.metrics.mark()
     schedule = ControlSchedule(
         net.sim,

@@ -1,10 +1,13 @@
 """The experiment harness: a fully wired network with one control protocol.
 
 :class:`Network` assembles deployment → channel (+ optional WiFi interferer)
-→ per-node stacks → one of the three control protocols (``"tele"``,
-``"drip"``, ``"rpl"``), and offers convergence helpers plus a uniform
-``send_control`` that records a :class:`~repro.metrics.control.ControlRecord`
-per request. Examples and benchmarks all build on this class; the public
+→ per-node stacks → one registered control protocol (``"tele"``, ``"drip"``,
+``"rpl"``, ``"orpl"``, or any :func:`repro.protocols.register_protocol`
+plugin), and offers convergence helpers plus a uniform ``send_control`` that
+records a :class:`~repro.metrics.control.ControlRecord` per request. The
+class itself is protocol-agnostic: every per-protocol behaviour lives in a
+:class:`~repro.protocols.ControlProtocolAdapter` looked up in the registry.
+Examples and benchmarks all build on this class; the public
 ``repro.build_network`` returns one.
 """
 
@@ -12,12 +15,12 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple, Union
 
-from repro.baselines.drip import Drip, DripParams
-from repro.baselines.orpl import OrplDownward, OrplParams
-from repro.baselines.rpl import RplDownward, RplParams
-from repro.core import Controller, TeleAdjusting
+from repro.baselines.drip import DripParams
+from repro.baselines.orpl import OrplParams
+from repro.baselines.rpl import RplParams
+from repro.core import Controller
 from repro.core.allocation import AllocationParams
 from repro.core.forwarding import ForwardingParams
 from repro.core.messages import reset_serials
@@ -27,6 +30,7 @@ from repro.mac.lpl import MacParams
 from repro.metrics.control import ControlMetrics, ControlRecord
 from repro.metrics.network import NetworkMetrics
 from repro.net.node import NodeStack
+from repro.protocols import REGISTRY, ControlProtocolAdapter
 from repro.radio.channel import Channel
 from repro.radio.noise import ConstantNoise, CPMNoiseModel, synthesize_meyer_like_trace
 from repro.sim.simulator import Simulator
@@ -83,6 +87,12 @@ class NetworkConfig:
     #: Fault-injection plan (see :mod:`repro.faults`); None = no faults.
     faults: Optional[FaultPlan] = None
 
+    def __post_init__(self) -> None:
+        # Fail fast on an unknown protocol (or bad per-protocol params) at
+        # config time — long before a channel, stacks, or a runner worker
+        # exist. Registered plugins pass; see repro.protocols.
+        REGISTRY.validate_config(self)
+
     def to_dict(self) -> Dict[str, Any]:
         """Canonical JSON-ready dict: sorted keys at every level.
 
@@ -133,6 +143,8 @@ class Network:
             setattr(config, key, value)
         if isinstance(config.faults, dict):
             config.faults = FaultPlan.from_dict(config.faults)
+        # Overrides bypass __post_init__; re-validate before building anything.
+        REGISTRY.validate_config(config)
         self.config = config
         # Fresh network, fresh serial space: without this, repeating the same
         # run in one process stamps different control serials into traces and
@@ -193,7 +205,7 @@ class Network:
                 always_on=True if config.always_on else None,
             )
         self.controller = Controller(channel=self.channel)
-        self.protocols: Dict[int, object] = {}
+        self.protocols: Dict[int, ControlProtocolAdapter] = {}
         self._build_protocol()
         self.collection: Optional[CollectionWorkload] = None
         if config.collection_ipi is not None:
@@ -202,7 +214,7 @@ class Network:
             )
         self.metrics = NetworkMetrics(self.sim, self.stacks)
         self.control_metrics = ControlMetrics()
-        self._records_by_key: Dict[object, ControlRecord] = {}
+        self._records_by_key: Dict[Tuple[str, Hashable], ControlRecord] = {}
         self._next_index = 0
         self._started = False
         #: Controls sent while the controller's registered code for the
@@ -215,41 +227,11 @@ class Network:
 
     # ---------------------------------------------------------------- wiring
     def _build_protocol(self) -> None:
-        protocol = self.config.protocol
-        if protocol == "none":
-            return
-        if protocol == "tele":
-            forwarding_params = self.config.forwarding_params or ForwardingParams(
-                re_tele=self.config.re_tele,
-                opportunistic=self.config.opportunistic,
-            )
-            for node_id, stack in self.stacks.items():
-                tele = TeleAdjusting(
-                    self.sim,
-                    stack,
-                    controller=self.controller,
-                    allocation_params=self.config.allocation_params,
-                    forwarding_params=forwarding_params,
-                )
-                tele.forwarding.on_delivered = self._tele_delivered
-                self.protocols[node_id] = tele
-        elif protocol == "drip":
-            for node_id, stack in self.stacks.items():
-                drip = Drip(self.sim, stack, params=self.config.drip_params)
-                drip.on_delivered = self._drip_delivered
-                self.protocols[node_id] = drip
-        elif protocol == "rpl":
-            for node_id, stack in self.stacks.items():
-                rpl = RplDownward(self.sim, stack, params=self.config.rpl_params)
-                rpl.on_delivered = self._rpl_delivered
-                self.protocols[node_id] = rpl
-        elif protocol == "orpl":
-            for node_id, stack in self.stacks.items():
-                orpl = OrplDownward(self.sim, stack, params=self.config.orpl_params)
-                orpl.on_delivered = self._orpl_delivered
-                self.protocols[node_id] = orpl
-        else:
-            raise ValueError(f"unknown protocol {protocol!r}")
+        """Build per-node adapters for the configured protocol (registry)."""
+        self.protocols = REGISTRY.build_instances(self)
+        self._sink_adapter: Optional[ControlProtocolAdapter] = self.protocols.get(
+            self.sink
+        )
 
     # ----------------------------------------------------------------- start
     def start(self) -> None:
@@ -259,8 +241,8 @@ class Network:
         self._started = True
         for stack in self.stacks.values():
             stack.start()
-        for protocol in self.protocols.values():
-            protocol.start()  # type: ignore[attr-defined]
+        for adapter in self.protocols.values():
+            adapter.start()
         if self.collection is not None:
             self.collection.start()
         if self.interferer is not None:
@@ -280,31 +262,29 @@ class Network:
             self.stacks
         )
 
+    def _named_coverage(self, metric: str) -> float:
+        """The sink adapter's coverage if it publishes ``metric``, else 0."""
+        adapter = self._sink_adapter
+        if adapter is None or adapter.coverage_metric != metric:
+            return 0.0
+        return adapter.coverage_fraction()
+
     def coded_fraction(self) -> float:
         """Fraction of nodes holding a TeleAdjusting path code."""
-        if self.config.protocol != "tele":
-            return 0.0
-        coded = sum(
-            1
-            for p in self.protocols.values()
-            if p.allocation.code is not None  # type: ignore[attr-defined]
-        )
-        return coded / len(self.protocols)
+        return self._named_coverage("coded_fraction")
 
     def rpl_routed_fraction(self) -> float:
         """Fraction of destinations in the sink's RPL table."""
-        if self.config.protocol != "rpl":
-            return 0.0
-        sink_rpl: RplDownward = self.protocols[self.sink]  # type: ignore[assignment]
-        return len(sink_rpl.routes) / max(len(self.stacks) - 1, 1)
+        return self._named_coverage("rpl_routed_fraction")
 
     def orpl_coverage_fraction(self) -> float:
         """Fraction of nodes the sink's bloom claims."""
-        if self.config.protocol != "orpl":
-            return 0.0
-        sink_orpl: OrplDownward = self.protocols[self.sink]  # type: ignore[assignment]
-        covered = sum(1 for n in self.non_sink_nodes() if sink_orpl.claims(n))
-        return covered / max(len(self.stacks) - 1, 1)
+        return self._named_coverage("orpl_coverage_fraction")
+
+    def converge_settle_seconds(self) -> float:
+        """Extra settle time the protocol wants after :meth:`converge`."""
+        adapter = self._sink_adapter
+        return adapter.settle_seconds() if adapter is not None else 0.0
 
     def converge(
         self,
@@ -314,17 +294,17 @@ class Network:
     ) -> bool:
         """Run until the protocol's addressing state covers ``target`` of nodes.
 
-        For TeleAdjusting: path codes assigned (the controller is snapshotted
-        on success). For RPL: sink routing table coverage. For Drip and bare
-        CTP: route acquisition.
+        What "covers" means is the adapter's call — path codes assigned for
+        TeleAdjusting (the controller is snapshotted on success), sink
+        routing-table coverage for RPL, bloom claims for ORPL, plain CTP
+        route acquisition for Drip and bare CTP.
         """
         self.start()
         deadline = self.sim.now + round(max_seconds * SECOND)
-        check = {
-            "tele": self.coded_fraction,
-            "rpl": self.rpl_routed_fraction,
-            "orpl": self.orpl_coverage_fraction,
-        }.get(self.config.protocol, self.routed_fraction)
+        adapter = self._sink_adapter
+        check = (
+            adapter.coverage_fraction if adapter is not None else self.routed_fraction
+        )
         while True:
             if check() >= target:
                 break
@@ -334,8 +314,8 @@ class Network:
                 until=min(self.sim.now + round(check_interval * SECOND), deadline)
             )
         converged = check() >= target
-        if self.config.protocol == "tele":
-            self.controller.snapshot(self.protocols)  # type: ignore[arg-type]
+        if adapter is not None:
+            adapter.on_converged()
         return converged
 
     # ------------------------------------------------------------- controls
@@ -343,7 +323,8 @@ class Network:
         """Issue one remote-control request and return its live record.
 
         The record fills in as the simulation advances (delivery at the
-        destination, end-to-end ack at the sink).
+        destination, end-to-end ack at the sink). The sink's adapter owns the
+        protocol-specific send path; the harness only books the record.
         """
         record = ControlRecord(
             index=self._next_index,
@@ -353,91 +334,17 @@ class Network:
         )
         self._next_index += 1
         self.control_metrics.add(record)
-        protocol = self.config.protocol
-        if protocol == "tele":
-            sink_tele: TeleAdjusting = self.protocols[self.sink]  # type: ignore[assignment]
-            # Refresh the controller's code registry (nodes keep reporting in
-            # the real system; the snapshot stands in for that).
-            self.controller.snapshot(self.protocols)  # type: ignore[arg-type]
-            registered = self.controller.code_of(destination)
-            if registered is None:
-                return record  # unaddressable: an honest delivery failure
-            # Oracle-only metric (the protocol never sees this comparison):
-            # count sends addressed with a code the destination no longer
-            # holds — e.g. it crashed and its registry entry went stale.
-            live = self.protocols[destination].allocation.code  # type: ignore[attr-defined]
-            if live != registered:
-                self.stale_code_sends += 1
-            pending = sink_tele.remote_control(
-                destination, payload=payload, done=lambda p: self._tele_done(record, p)
-            )
-            self._records_by_key[("tele", pending.control.serial)] = record
-        elif protocol == "drip":
-            sink_drip: Drip = self.protocols[self.sink]  # type: ignore[assignment]
-            pending = sink_drip.disseminate(
-                payload, destination=destination, done=lambda p: self._drip_done(record, p)
-            )
-            self._records_by_key[("drip", pending.value.version)] = record
-        elif protocol == "rpl":
-            sink_rpl: RplDownward = self.protocols[self.sink]  # type: ignore[assignment]
-            if destination not in sink_rpl.routes:
-                return record  # no stored route: RPL drops at the sink
-            pending = sink_rpl.send_control(
-                destination, payload=payload, done=lambda p: self._rpl_done(record, p)
-            )
-            self._records_by_key[("rpl", pending.control.serial)] = record
-        elif protocol == "orpl":
-            sink_orpl: OrplDownward = self.protocols[self.sink]  # type: ignore[assignment]
-            pending = sink_orpl.send_control(
-                destination, payload=payload, done=lambda p: self._rpl_done(record, p)
-            )
-            self._records_by_key[("orpl", pending.control.serial)] = record
-        else:
-            raise RuntimeError(f"protocol {protocol!r} cannot send controls")
+        adapter = self._sink_adapter
+        if adapter is None:
+            raise RuntimeError(f"protocol {self.config.protocol!r} cannot send controls")
+        adapter.send_control(record, destination, payload)
         return record
-
-    # -------------------------------------------------- delivery observation
-    def _tele_delivered(self, control, via_unicast: bool) -> None:
-        record = self._records_by_key.get(("tele", control.serial))
-        if record is not None and record.delivered_at is None:
-            record.delivered_at = self.sim.now
-            record.athx = control.athx
-            record.via_unicast = via_unicast
-
-    def _drip_delivered(self, value) -> None:
-        record = self._records_by_key.get(("drip", value.version))
-        if record is not None and record.delivered_at is None:
-            record.delivered_at = self.sim.now
-
-    def _rpl_delivered(self, control) -> None:
-        record = self._records_by_key.get(("rpl", control.serial))
-        if record is not None and record.delivered_at is None:
-            record.delivered_at = self.sim.now
-            record.athx = control.hops
-
-    def _orpl_delivered(self, control) -> None:
-        record = self._records_by_key.get(("orpl", control.serial))
-        if record is not None and record.delivered_at is None:
-            record.delivered_at = self.sim.now
-            record.athx = control.athx
-
-    def _tele_done(self, record: ControlRecord, pending) -> None:
-        if pending.acked_at is not None:
-            record.acked_at = pending.acked_at
-
-    def _drip_done(self, record: ControlRecord, pending) -> None:
-        if pending.acked_at is not None:
-            record.acked_at = pending.acked_at
-
-    def _rpl_done(self, record: ControlRecord, pending) -> None:
-        if pending.acked_at is not None:
-            record.acked_at = pending.acked_at
 
     # -------------------------------------------------------------- helpers
     def non_sink_nodes(self) -> List[int]:
         """Every node id except the sink's."""
         return [n for n in self.stacks if n != self.sink]
 
-    def protocol_at(self, node_id: int):
-        """The control-protocol instance running on a node."""
+    def protocol_at(self, node_id: int) -> Optional[ControlProtocolAdapter]:
+        """The control-protocol adapter running on a node."""
         return self.protocols.get(node_id)

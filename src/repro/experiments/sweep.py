@@ -20,12 +20,13 @@ the historical serial path and produces bit-identical results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, cast
 
 from repro.experiments.comparison import ComparisonResult
 from repro.experiments.harness import Network, NetworkConfig
 from repro.mac.lpl import MacParams
 from repro.metrics.stats import mean
+from repro.protocols import TeleProtocolAdapter
 from repro.runner import (
     ParallelRunner,
     ResultCache,
@@ -183,11 +184,11 @@ class SweepPoint:
     def from_dict(cls, data: Dict[str, object]) -> "SweepPoint":
         """Inverse of :meth:`to_dict`."""
         return cls(
-            x=data["x"],  # type: ignore[arg-type]
-            pdr=data["pdr"],  # type: ignore[arg-type]
-            duty_cycle=data["duty_cycle"],  # type: ignore[arg-type]
-            mean_latency=data["mean_latency"],  # type: ignore[arg-type]
-            detail=dict(data.get("detail") or {}),  # type: ignore[arg-type]
+            x=cast(float, data["x"]),
+            pdr=cast(Optional[float], data["pdr"]),
+            duty_cycle=cast(Optional[float], data["duty_cycle"]),
+            mean_latency=cast(Optional[float], data["mean_latency"]),
+            detail=dict(cast(Dict[str, float], data.get("detail") or {})),
         )
 
 
@@ -256,9 +257,9 @@ def network_size_point(
     )
     net.converge(max_seconds=300.0, target=0.95)
     codes = [
-        p.allocation.code.length
-        for p in net.protocols.values()
-        if p.allocation.code is not None
+        adapter.path_code.length
+        for adapter in net.protocols.values()
+        if isinstance(adapter, TeleProtocolAdapter) and adapter.path_code is not None
     ]
     net.metrics.mark()
     _control_round(net, n_controls, interval_s=20.0)

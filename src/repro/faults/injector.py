@@ -121,10 +121,9 @@ class FaultInjector:
     def _reboot(self, node: int) -> None:
         stack = self.network.stacks[node]
         stack.reboot()
-        protocol = self.network.protocol_at(node)
-        reset_state = getattr(protocol, "reset_state", None)
-        if reset_state is not None:
-            reset_state()
+        adapter = self.network.protocol_at(node)
+        if adapter is not None:
+            adapter.reset_state()
         self.stats.reboots += 1
         self.network.sim.tracer.emit("faults", "reboot", node=node)
 

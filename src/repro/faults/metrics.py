@@ -50,17 +50,16 @@ def recovery_report(network: "Network") -> Dict[str, Any]:
                 first = min(after, key=lambda r: r.delivered_at)
                 recovery_samples.append((first.delivered_at - fault_time) / SECOND)
 
+    # Protocol-specific countermeasure counters come from each adapter's
+    # summary() hook; adapters without those counters contribute nothing.
     backtracks = 0
     re_tele_invocations = 0
     code_changes = 0
-    for protocol in network.protocols.values():
-        forwarding = getattr(protocol, "forwarding", None)
-        if forwarding is not None and hasattr(forwarding, "backtracks"):
-            backtracks += forwarding.backtracks
-            re_tele_invocations += forwarding.re_tele_invocations
-        allocation = getattr(protocol, "allocation", None)
-        if allocation is not None and hasattr(allocation, "code_changes"):
-            code_changes += allocation.code_changes
+    for adapter in network.protocols.values():
+        counters = adapter.summary()
+        backtracks += counters.get("backtracks", 0)
+        re_tele_invocations += counters.get("re_tele_invocations", 0)
+        code_changes += counters.get("code_changes", 0)
 
     report: Dict[str, Any] = {
         "controls_sent": len(records),

@@ -1,0 +1,104 @@
+"""Protocol plugin architecture: typed adapters + the process-wide registry.
+
+The harness (:class:`repro.experiments.harness.Network`) is a protocol-
+agnostic shell: everything protocol-specific — building per-node instances,
+convergence coverage, issuing controls, delivery/ack record hooks, fault
+reboot, recovery counters — lives behind a
+:class:`~repro.protocols.base.ControlProtocolAdapter` looked up in
+:data:`REGISTRY`. The paper's four protocols (TeleAdjusting, Drip, RPL,
+ORPL) register here; third parties add their own with
+:func:`register_protocol` and immediately work through ``Network``, the
+experiment drivers, the runner grid (``jobs=1``), and the CLI::
+
+    from repro.protocols import ControlProtocolAdapter, register_protocol
+
+    class FloodAdapter(ControlProtocolAdapter):
+        name = "flood"
+        ...
+
+    register_protocol("flood", FloodAdapter)
+    net = repro.build_network(protocol="flood")
+
+See ``docs/api.md`` → "Writing a protocol plugin" for the contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Tuple, Type
+
+from repro.protocols.base import ControlProtocolAdapter, PendingLike
+from repro.protocols.drip import DripProtocolAdapter
+from repro.protocols.orpl import OrplProtocolAdapter
+from repro.protocols.registry import ProtocolRegistry
+from repro.protocols.rpl import RplProtocolAdapter
+from repro.protocols.tele import TeleProtocolAdapter
+
+#: The process-wide registry every harness-level lookup goes through.
+REGISTRY = ProtocolRegistry()
+
+# The paper's protocols. Registration order fixes the canonical variant
+# order: ("tele", "re-tele", "drip", "rpl", "orpl").
+REGISTRY.register(
+    "tele",
+    TeleProtocolAdapter,
+    variants={"tele": {}, "re-tele": {"re_tele": True}},
+)
+REGISTRY.register("drip", DripProtocolAdapter)
+REGISTRY.register("rpl", RplProtocolAdapter)
+REGISTRY.register("orpl", OrplProtocolAdapter)
+# Bare CTP: a valid protocol name that builds no per-node instances.
+REGISTRY.register("none", None, variants={})
+
+
+def register_protocol(
+    name: str,
+    adapter: Optional[Type[ControlProtocolAdapter]],
+    variants: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    replace: bool = False,
+) -> None:
+    """Public extension point: register a protocol adapter by name.
+
+    After registration, ``NetworkConfig(protocol=name)`` builds and runs the
+    adapter with no harness edits, and each entry of ``variants`` (default:
+    one variant named after the protocol) becomes a valid comparison
+    variant for :func:`repro.experiments.comparison.run_comparison`, the
+    runner's spec builders, and the CLI's ``--variants`` choices.
+    """
+    REGISTRY.register(name, adapter, variants=variants, replace=replace)
+
+
+def unregister_protocol(name: str) -> None:
+    """Remove a registered protocol (mainly for tests and plugin reloads)."""
+    REGISTRY.unregister(name)
+
+
+def protocol_names() -> List[str]:
+    """Registered protocol names, in registration order."""
+    return REGISTRY.names()
+
+
+def variant_names() -> List[str]:
+    """Registered comparison-variant names, in registration order."""
+    return REGISTRY.variant_names()
+
+
+def resolve_variant(variant: str) -> Tuple[str, dict]:
+    """``(protocol, NetworkConfig overrides)`` for a comparison variant."""
+    return REGISTRY.resolve_variant(variant)
+
+
+__all__ = [
+    "REGISTRY",
+    "ControlProtocolAdapter",
+    "DripProtocolAdapter",
+    "OrplProtocolAdapter",
+    "PendingLike",
+    "ProtocolRegistry",
+    "RplProtocolAdapter",
+    "TeleProtocolAdapter",
+    "protocol_names",
+    "register_protocol",
+    "resolve_variant",
+    "unregister_protocol",
+    "variant_names",
+]

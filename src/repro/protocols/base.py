@@ -1,0 +1,143 @@
+"""The adapter contract between the harness and a control protocol.
+
+A :class:`ControlProtocolAdapter` is the *only* seam through which
+:class:`~repro.experiments.harness.Network` touches a control protocol.
+One adapter instance runs per node (``Network.protocols`` maps node id →
+adapter); the sink's adapter additionally answers the network-level
+questions (convergence coverage, issuing controls). The harness never
+branches on a protocol name — every per-protocol behaviour lives behind
+this interface, so a new protocol registers with the
+:class:`~repro.protocols.registry.ProtocolRegistry` and plugs in without
+harness edits (see ``docs/api.md`` → "Writing a protocol plugin").
+
+What the harness guarantees to an adapter:
+
+- ``build(network)`` is called once, after the deployment, channel, node
+  stacks, and controller exist, in node-id order, and before ``start``.
+- ``start()`` is called once per adapter when the network starts.
+- ``send_control(record, destination, payload)`` is called on the *sink's*
+  adapter only; the adapter fills the record's delivery fields as the
+  simulation advances (via :meth:`resolve_record` lookups keyed by a
+  protocol-chosen pending key).
+- ``reset_state()`` is called on a node's adapter when fault injection
+  reboots that node.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, ClassVar, Dict, Hashable, Optional, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import Network, NetworkConfig
+    from repro.metrics.control import ControlRecord
+    from repro.net.node import NodeStack
+
+
+class PendingLike(Protocol):
+    """What every protocol's sink-side pending object must expose."""
+
+    acked_at: Optional[int]
+
+
+class ControlProtocolAdapter(ABC):
+    """Per-node binding of one control protocol into one network.
+
+    Subclasses wire their protocol engine to the node's stack in
+    ``__init__``, and implement the sink-side hooks. The base class
+    provides the pending-key → :class:`ControlRecord` bookkeeping and the
+    shared end-to-end-ack completion hook.
+    """
+
+    #: Registry name of the protocol family (``NetworkConfig.protocol``).
+    name: ClassVar[str] = ""
+    #: Which named coverage metric this protocol's convergence answers
+    #: (``"coded_fraction"``, ``"rpl_routed_fraction"``, …); "" for plain
+    #: route acquisition.
+    coverage_metric: ClassVar[str] = ""
+    #: Extra settling time (simulated seconds) the comparison/chaos drivers
+    #: grant after convergence looks complete (RPL's DAO beat).
+    post_converge_settle_s: ClassVar[float] = 0.0
+
+    def __init__(self, network: "Network", node_id: int, stack: "NodeStack") -> None:
+        self.network = network
+        self.node_id = node_id
+        self.stack = stack
+
+    # ------------------------------------------------------------- building
+    @classmethod
+    def build(cls, network: "Network") -> Dict[int, "ControlProtocolAdapter"]:
+        """One adapter per node, in node-id order.
+
+        Override to share per-network state (parameter objects, peer maps)
+        across the per-node instances.
+        """
+        return {
+            node_id: cls(network, node_id, stack)
+            for node_id, stack in network.stacks.items()
+        }
+
+    @classmethod
+    def validate_config(cls, config: "NetworkConfig") -> None:
+        """Config-time hook: raise ``ValueError`` on bad per-protocol params.
+
+        Runs when a :class:`NetworkConfig` naming this protocol is built —
+        before any channel or stack exists, and before a runner fingerprint
+        is computed. The default accepts everything.
+        """
+
+    # ------------------------------------------------------------ lifecycle
+    @abstractmethod
+    def start(self) -> None:
+        """Start this node's protocol instance (idempotent)."""
+
+    def reset_state(self) -> None:
+        """Fault-injection hook: wipe volatile state, as a reboot would."""
+
+    # ----------------------------------------------------------- convergence
+    def coverage_fraction(self) -> float:
+        """Fraction of nodes the protocol's addressing state covers.
+
+        Asked of the sink's adapter by :meth:`Network.converge`. The default
+        is CTP route acquisition.
+        """
+        return self.network.routed_fraction()
+
+    def on_converged(self) -> None:
+        """Called on the sink's adapter after the convergence loop ends."""
+
+    def settle_seconds(self) -> float:
+        """Post-convergence settling time the experiment drivers honour."""
+        return float(self.post_converge_settle_s)
+
+    # -------------------------------------------------------------- controls
+    @abstractmethod
+    def send_control(
+        self, record: "ControlRecord", destination: int, payload: object
+    ) -> None:
+        """Issue one control from the sink; fill ``record`` as it progresses.
+
+        Called on the sink's adapter only. Implementations register the
+        pending key with :meth:`register_record` and later resolve delivery
+        callbacks through :meth:`resolve_record`. Returning without
+        registering is an honest delivery failure (the record stays
+        undelivered).
+        """
+
+    def register_record(self, key: Hashable, record: "ControlRecord") -> None:
+        """Bind a protocol-chosen pending key to a live control record."""
+        self.network._records_by_key[(self.name, key)] = record
+
+    def resolve_record(self, key: Hashable) -> Optional["ControlRecord"]:
+        """The record registered under ``key``, or None."""
+        return self.network._records_by_key.get((self.name, key))
+
+    def control_done(self, record: "ControlRecord", pending: PendingLike) -> None:
+        """Shared done hook: propagate the end-to-end ack time."""
+        if pending.acked_at is not None:
+            record.acked_at = pending.acked_at
+
+    # --------------------------------------------------------------- summary
+    def summary(self) -> Dict[str, int]:
+        """Protocol-specific per-node counters for recovery/chaos reports."""
+        return {}

@@ -1,0 +1,42 @@
+"""Drip adapter: network-wide dissemination behind the registry seam."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.baselines.drip import Drip, DripValue
+from repro.protocols.base import ControlProtocolAdapter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import Network
+    from repro.metrics.control import ControlRecord
+    from repro.net.node import NodeStack
+
+
+class DripProtocolAdapter(ControlProtocolAdapter):
+    """Per-node Drip instance; convergence is plain CTP route acquisition."""
+
+    name = "drip"
+
+    def __init__(self, network: "Network", node_id: int, stack: "NodeStack") -> None:
+        super().__init__(network, node_id, stack)
+        self.engine = Drip(network.sim, stack, params=network.config.drip_params)
+        self.engine.on_delivered = self._delivered
+
+    def start(self) -> None:
+        self.engine.start()
+
+    def send_control(
+        self, record: "ControlRecord", destination: int, payload: object
+    ) -> None:
+        pending = self.engine.disseminate(
+            payload,
+            destination=destination,
+            done=lambda p: self.control_done(record, p),
+        )
+        self.register_record(pending.value.version, record)
+
+    def _delivered(self, value: DripValue) -> None:
+        record = self.resolve_record(value.version)
+        if record is not None and record.delivered_at is None:
+            record.delivered_at = self.network.sim.now

@@ -1,0 +1,54 @@
+"""ORPL adapter: bloom-filter opportunistic downward routing behind the seam."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.baselines.orpl import OrplControl, OrplDownward
+from repro.protocols.base import ControlProtocolAdapter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import Network
+    from repro.metrics.control import ControlRecord
+    from repro.net.node import NodeStack
+
+
+class OrplProtocolAdapter(ControlProtocolAdapter):
+    """Per-node ORPL instance; coverage is the sink's bloom-filter claims."""
+
+    name = "orpl"
+    coverage_metric = "orpl_coverage_fraction"
+
+    def __init__(self, network: "Network", node_id: int, stack: "NodeStack") -> None:
+        super().__init__(network, node_id, stack)
+        self.engine = OrplDownward(
+            network.sim, stack, params=network.config.orpl_params
+        )
+        self.engine.on_delivered = self._delivered
+
+    def claims(self, destination: int) -> bool:
+        """Does this node's sub-tree summary claim the destination?"""
+        return self.engine.claims(destination)
+
+    def start(self) -> None:
+        self.engine.start()
+
+    def coverage_fraction(self) -> float:
+        """Fraction of nodes the sink's bloom claims."""
+        network = self.network
+        covered = sum(1 for n in network.non_sink_nodes() if self.engine.claims(n))
+        return covered / max(len(network.stacks) - 1, 1)
+
+    def send_control(
+        self, record: "ControlRecord", destination: int, payload: object
+    ) -> None:
+        pending = self.engine.send_control(
+            destination, payload=payload, done=lambda p: self.control_done(record, p)
+        )
+        self.register_record(pending.control.serial, record)
+
+    def _delivered(self, control: OrplControl) -> None:
+        record = self.resolve_record(control.serial)
+        if record is not None and record.delivered_at is None:
+            record.delivered_at = self.network.sim.now
+            record.athx = control.athx

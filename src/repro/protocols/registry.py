@@ -1,0 +1,128 @@
+"""The protocol registry: name → adapter class, variant → config overrides.
+
+One process-wide :class:`ProtocolRegistry` (``repro.protocols.REGISTRY``)
+maps every ``NetworkConfig.protocol`` name to its
+:class:`~repro.protocols.base.ControlProtocolAdapter` class, plus every
+*comparison variant* ("re-tele" is protocol "tele" with ``re_tele=True``)
+to the config overrides that realise it. The harness, the experiment
+drivers, the runner's spec builders, and the CLI all dispatch through it —
+registering a new adapter (``repro.protocols.register_protocol``) makes the
+protocol runnable everywhere at once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple, Type
+
+from repro.protocols.base import ControlProtocolAdapter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import Network, NetworkConfig
+
+
+class ProtocolRegistry:
+    """Registered control protocols and their comparison variants."""
+
+    def __init__(self) -> None:
+        self._adapters: Dict[str, Optional[Type[ControlProtocolAdapter]]] = {}
+        #: variant name -> (protocol name, NetworkConfig field overrides)
+        self._variants: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+
+    # ------------------------------------------------------------- mutation
+    def register(
+        self,
+        name: str,
+        adapter: Optional[Type[ControlProtocolAdapter]],
+        variants: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        replace: bool = False,
+    ) -> None:
+        """Register a protocol under ``name``.
+
+        ``adapter`` is the per-node adapter class (None for a protocol that
+        builds no per-node instances, like ``"none"``). ``variants`` maps
+        comparison-variant names to ``NetworkConfig`` field overrides; the
+        default is one variant named after the protocol with no overrides.
+        Duplicate names are rejected unless ``replace=True``.
+        """
+        if not name or not isinstance(name, str):
+            raise ValueError(f"protocol name must be a non-empty string, got {name!r}")
+        if name in self._adapters and not replace:
+            raise ValueError(
+                f"protocol {name!r} is already registered; "
+                f"pass replace=True to override"
+            )
+        if variants is None:
+            variants = {name: {}} if adapter is not None else {}
+        for variant in variants:
+            owner = self._variants.get(variant)
+            if owner is not None and owner[0] != name and not replace:
+                raise ValueError(
+                    f"variant {variant!r} is already registered by "
+                    f"protocol {owner[0]!r}"
+                )
+        if replace and name in self._adapters:
+            # Drop the previous registration's variants before re-adding.
+            self._variants = {
+                v: spec for v, spec in self._variants.items() if spec[0] != name
+            }
+        self._adapters[name] = adapter
+        for variant, overrides in variants.items():
+            self._variants[variant] = (name, dict(overrides))
+
+    def unregister(self, name: str) -> None:
+        """Remove a protocol and its variants (no-op when absent)."""
+        self._adapters.pop(name, None)
+        self._variants = {
+            v: spec for v, spec in self._variants.items() if spec[0] != name
+        }
+
+    # -------------------------------------------------------------- queries
+    def get(self, name: str) -> Optional[Type[ControlProtocolAdapter]]:
+        """The adapter class registered under ``name``.
+
+        Raises ``ValueError`` listing the registered names for unknown
+        protocols (mirrors the harness's unknown-topology error).
+        """
+        try:
+            return self._adapters[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown protocol {name!r}; "
+                f"choose from {sorted(self._adapters)} "
+                f"or register one with repro.protocols.register_protocol"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Registered protocol names, in registration order."""
+        return list(self._adapters)
+
+    def variant_names(self) -> List[str]:
+        """Registered comparison-variant names, in registration order."""
+        return list(self._variants)
+
+    def resolve_variant(self, variant: str) -> Tuple[str, Dict[str, Any]]:
+        """``(protocol name, NetworkConfig overrides)`` for a variant name."""
+        try:
+            protocol, overrides = self._variants[variant]
+        except KeyError:
+            raise ValueError(
+                f"unknown variant {variant!r}; "
+                f"choose from {tuple(self._variants)}"
+            ) from None
+        return protocol, dict(overrides)
+
+    # ------------------------------------------------------------ harness use
+    def validate_config(self, config: "NetworkConfig") -> None:
+        """Reject unknown protocol names / bad per-protocol params early."""
+        adapter = self.get(config.protocol)
+        if adapter is not None:
+            adapter.validate_config(config)
+
+    def build_instances(
+        self, network: "Network"
+    ) -> Dict[int, ControlProtocolAdapter]:
+        """Per-node adapters for ``network.config.protocol`` (may be empty)."""
+        adapter = self.get(network.config.protocol)
+        if adapter is None:
+            return {}
+        return adapter.build(network)

@@ -1,0 +1,55 @@
+"""RPL adapter: storing-mode downward routing behind the registry seam."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.baselines.rpl import RplControl, RplDownward, _RouteEntry
+from repro.protocols.base import ControlProtocolAdapter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import Network
+    from repro.metrics.control import ControlRecord
+    from repro.net.node import NodeStack
+
+
+class RplProtocolAdapter(ControlProtocolAdapter):
+    """Per-node RPL instance; coverage is the sink's stored route table."""
+
+    name = "rpl"
+    coverage_metric = "rpl_routed_fraction"
+    #: DAOs deserve one extra beat even after coverage looks complete.
+    post_converge_settle_s = 20.0
+
+    def __init__(self, network: "Network", node_id: int, stack: "NodeStack") -> None:
+        super().__init__(network, node_id, stack)
+        self.engine = RplDownward(network.sim, stack, params=network.config.rpl_params)
+        self.engine.on_delivered = self._delivered
+
+    @property
+    def routes(self) -> Dict[int, _RouteEntry]:
+        """The node's stored ``destination → next hop`` table."""
+        return self.engine.routes
+
+    def start(self) -> None:
+        self.engine.start()
+
+    def coverage_fraction(self) -> float:
+        """Fraction of destinations in the sink's RPL table."""
+        return len(self.engine.routes) / max(len(self.network.stacks) - 1, 1)
+
+    def send_control(
+        self, record: "ControlRecord", destination: int, payload: object
+    ) -> None:
+        if destination not in self.engine.routes:
+            return  # no stored route: RPL drops at the sink
+        pending = self.engine.send_control(
+            destination, payload=payload, done=lambda p: self.control_done(record, p)
+        )
+        self.register_record(pending.control.serial, record)
+
+    def _delivered(self, control: RplControl) -> None:
+        record = self.resolve_record(control.serial)
+        if record is not None and record.delivered_at is None:
+            record.delivered_at = self.network.sim.now
+            record.athx = control.hops

@@ -1,0 +1,135 @@
+"""TeleAdjusting adapter: the paper's protocol behind the registry seam."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.core import TeleAdjusting
+from repro.core.allocation import AllocationEngine
+from repro.core.forwarding import ForwardingParams, TeleForwarding
+from repro.core.pathcode import PathCode
+from repro.protocols.base import ControlProtocolAdapter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.messages import ControlPacket
+    from repro.experiments.harness import Network
+    from repro.metrics.control import ControlRecord
+    from repro.net.node import NodeStack
+
+
+class TeleProtocolAdapter(ControlProtocolAdapter):
+    """Per-node TeleAdjusting instance plus the harness's oracle hooks."""
+
+    name = "tele"
+    coverage_metric = "coded_fraction"
+
+    def __init__(
+        self,
+        network: "Network",
+        node_id: int,
+        stack: "NodeStack",
+        forwarding_params: Optional[ForwardingParams] = None,
+    ) -> None:
+        super().__init__(network, node_id, stack)
+        self.engine = TeleAdjusting(
+            network.sim,
+            stack,
+            controller=network.controller,
+            allocation_params=network.config.allocation_params,
+            forwarding_params=forwarding_params,
+        )
+        self.engine.forwarding.on_delivered = self._delivered
+        #: Every adapter in this network, shared by :meth:`build` so the
+        #: sink can reach peers with full typing.
+        self._peers: Dict[int, "TeleProtocolAdapter"] = {self.node_id: self}
+
+    @classmethod
+    def build(cls, network: "Network") -> Dict[int, ControlProtocolAdapter]:
+        config = network.config
+        # One ForwardingParams shared by every node, as the harness always
+        # built it (explicit params win over the re_tele/opportunistic flags).
+        forwarding_params = config.forwarding_params or ForwardingParams(
+            re_tele=config.re_tele,
+            opportunistic=config.opportunistic,
+        )
+        adapters = {
+            node_id: cls(network, node_id, stack, forwarding_params)
+            for node_id, stack in network.stacks.items()
+        }
+        for adapter in adapters.values():
+            adapter._peers = adapters
+        return dict(adapters)
+
+    # -------------------------------------------------- engine passthroughs
+    @property
+    def allocation(self) -> AllocationEngine:
+        """The node's path-code allocation engine."""
+        return self.engine.allocation
+
+    @property
+    def forwarding(self) -> TeleForwarding:
+        """The node's opportunistic forwarding engine."""
+        return self.engine.forwarding
+
+    @property
+    def path_code(self) -> Optional[PathCode]:
+        """This node's current path code, or None."""
+        return self.engine.path_code
+
+    def _engines(self) -> Dict[int, TeleAdjusting]:
+        return {node_id: peer.engine for node_id, peer in self._peers.items()}
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        self.engine.start()
+
+    def reset_state(self) -> None:
+        self.engine.reset_state()
+
+    # ----------------------------------------------------------- convergence
+    def coverage_fraction(self) -> float:
+        """Fraction of nodes holding a TeleAdjusting path code."""
+        coded = sum(
+            1 for peer in self._peers.values() if peer.engine.allocation.code is not None
+        )
+        return coded / len(self._peers)
+
+    def on_converged(self) -> None:
+        self.network.controller.snapshot(self._engines())
+
+    # -------------------------------------------------------------- controls
+    def send_control(
+        self, record: "ControlRecord", destination: int, payload: object
+    ) -> None:
+        network = self.network
+        # Refresh the controller's code registry (nodes keep reporting in
+        # the real system; the snapshot stands in for that).
+        network.controller.snapshot(self._engines())
+        registered = network.controller.code_of(destination)
+        if registered is None:
+            return  # unaddressable: an honest delivery failure
+        # Oracle-only metric (the protocol never sees this comparison):
+        # count sends addressed with a code the destination no longer
+        # holds — e.g. it crashed and its registry entry went stale.
+        live = self._peers[destination].engine.allocation.code
+        if live != registered:
+            network.stale_code_sends += 1
+        pending = self.engine.remote_control(
+            destination, payload=payload, done=lambda p: self.control_done(record, p)
+        )
+        self.register_record(pending.control.serial, record)
+
+    def _delivered(self, control: "ControlPacket", via_unicast: bool) -> None:
+        record = self.resolve_record(control.serial)
+        if record is not None and record.delivered_at is None:
+            record.delivered_at = self.network.sim.now
+            record.athx = control.athx
+            record.via_unicast = via_unicast
+
+    # --------------------------------------------------------------- summary
+    def summary(self) -> Dict[str, int]:
+        return {
+            "backtracks": self.engine.forwarding.backtracks,
+            "re_tele_invocations": self.engine.forwarding.re_tele_invocations,
+            "code_changes": self.engine.allocation.code_changes,
+        }

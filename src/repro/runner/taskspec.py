@@ -191,6 +191,10 @@ def wake_interval_spec(
     converge_seconds: float = 240.0,
 ) -> TaskSpec:
     """Spec for one wake-interval sweep point."""
+    from repro.protocols import REGISTRY
+
+    # Reject unregistered protocols at spec-build time, not in a worker.
+    REGISTRY.get(protocol)
     return TaskSpec(
         kind="wake-interval",
         params={

@@ -7,9 +7,12 @@ dependencies — the output pastes into issues and logs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.topology.deployments import Deployment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import Network
 
 #: Glyph for hop counts 0-15; deeper and unknown get distinct markers.
 _HOP_GLYPHS = "S123456789abcdef"
@@ -79,12 +82,11 @@ def render_deployment(
     return "\n".join([legend, border, body, border])
 
 
-def render_network(network: object, **kwargs: object) -> str:
+def render_network(network: "Network", **kwargs: object) -> str:
     """Render a harness :class:`~repro.experiments.harness.Network` with its
     current CTP hop counts."""
-    deployment: Deployment = network.deployment  # type: ignore[attr-defined]
     hop_counts = {
         node_id: stack.routing.hop_count
-        for node_id, stack in network.stacks.items()  # type: ignore[attr-defined]
+        for node_id, stack in network.stacks.items()
     }
-    return render_deployment(deployment, hop_counts=hop_counts, **kwargs)
+    return render_deployment(network.deployment, hop_counts=hop_counts, **kwargs)
