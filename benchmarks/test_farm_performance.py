@@ -1,0 +1,112 @@
+"""Farm throughput canary: executor dispatch overhead in cells/sec.
+
+The queue executor buys distribution with filesystem round-trips (task
+files, leases, markers); this canary pins how much that costs relative to
+the in-process and local-pool paths, on zero-work selftest cells — pure
+executor machinery, no simulation.
+
+Raw cells/sec is machine-dependent, so enforcement (``REPRO_PERF_ENFORCE=1``)
+uses the *normalised* ratio: an executor's cells/sec divided by the
+in-process cells/sec measured in the same run. Only ``queue-self-drain``
+is gated — the subprocess paths (local-pool, queue-workers) are dominated
+by constant spawn cost at smoke scale and swing ±40% run to run, so they
+are recorded as trajectory only. The gate is deliberately loose (a 2×
+normalised slowdown vs the committed baseline fails): its job is catching
+order-of-magnitude regressions — an accidental sleep in the poll loop,
+quadratic marker scans — not 10% drift. ``BENCH_farm.json`` records
+everything either way.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.farm import QueueExecutor
+from repro.runner import ParallelRunner, selftest_spec
+
+#: Cells per scale. "smoke" is the CI tier; "full" pins the committed
+#: baseline. Zero sleep: the canary measures dispatch, not simulation.
+SCALE_CELLS = {"full": 96, "smoke": 48}
+
+#: Executors whose normalised ratio is enforced (see module docstring).
+GATED = ("queue-self-drain",)
+
+BASELINE_PATH = "benchmarks/baselines/farm_baseline.json"
+
+
+def _cells_per_second(make_runner, specs):
+    runner = make_runner()
+    started = time.perf_counter()
+    outcomes = runner.run(specs)
+    wall = time.perf_counter() - started
+    assert all(o.status == "executed" for o in outcomes)
+    return {
+        "cells": len(specs),
+        "wall_s": round(wall, 4),
+        "cells_per_s": round(len(specs) / wall, 1) if wall > 0 else None,
+    }
+
+
+def test_farm_throughput_canary(tmp_path):
+    """cells/sec per executor; emits BENCH_farm.json; gated when enforced."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "full")
+    n_cells = SCALE_CELLS[scale]
+    specs = [selftest_spec(i) for i in range(n_cells)]
+
+    executors = {
+        "in-process": lambda: ParallelRunner(jobs=1),
+        "local-pool": lambda: ParallelRunner(jobs=2),
+        "queue-self-drain": lambda: ParallelRunner(
+            executor=QueueExecutor(tmp_path / "q-self", workers=0)
+        ),
+        "queue-workers": lambda: ParallelRunner(
+            executor=QueueExecutor(
+                tmp_path / "q-workers", workers=2, self_drain=False,
+                lease_ttl=30.0,
+            )
+        ),
+    }
+
+    measured = {}
+    for name, make_runner in executors.items():
+        measured[name] = _cells_per_second(make_runner, specs)
+        print(f"{name:18s} {measured[name]}")
+
+    norm = measured["in-process"]["cells_per_s"]
+    for stats in measured.values():
+        stats["normalized"] = (
+            round(stats["cells_per_s"] / norm, 4) if norm else None
+        )
+
+    baseline_file = Path(__file__).resolve().parent.parent / BASELINE_PATH
+    baseline = (
+        json.loads(baseline_file.read_text()) if baseline_file.exists() else {}
+    )
+    base_scale = baseline.get("scales", {}).get(scale, {})
+
+    payload = {
+        "scale": scale,
+        "executors": measured,
+        "baseline": base_scale,
+        "baseline_label": baseline.get("label"),
+    }
+    Path("BENCH_farm.json").write_text(json.dumps(payload, indent=2, sort_keys=True))
+    ratios = {k: v["normalized"] for k, v in measured.items()}
+    print(f"\nfarm throughput ({scale}), normalized vs in-process: {ratios}")
+
+    if os.environ.get("REPRO_PERF_ENFORCE"):
+        for name in GATED:
+            stats = measured[name]
+            base_norm = base_scale.get(name, {}).get("normalized")
+            if not base_norm or not stats["normalized"]:
+                continue
+            floor = 0.5 * base_norm
+            assert stats["normalized"] >= floor, (
+                f"farm perf regression in {name!r}: normalized cells/sec "
+                f"{stats['normalized']} fell below 50% of the committed "
+                f"baseline {base_norm} (floor {floor:.4f}). If the executor "
+                f"legitimately gained per-cell work (new durability "
+                f"round-trips), re-record {BASELINE_PATH} and justify it in "
+                f"the PR; otherwise find the hot-path regression."
+            )

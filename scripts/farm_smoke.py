@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""End-to-end farm smoke: server, worker, resubmit-from-cache, shutdown.
+
+The CI ``farm-smoke`` job runs this; it is equally runnable locally::
+
+    PYTHONPATH=src python scripts/farm_smoke.py
+
+Sequence (any failure exits non-zero):
+
+1. start ``python -m repro serve`` on a kernel-assigned port with a queue
+   directory and a shared result cache;
+2. attach one external ``python -m repro farm worker --follow`` process;
+3. submit a tiny selftest grid, poll it to completion, fetch results;
+4. resubmit the identical spec and require ``cached == cells`` with zero
+   re-executions — the results-as-a-service acceptance;
+5. SIGTERM both processes and require clean exit (server exit code 0).
+"""
+
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.farm import client  # noqa: E402
+
+
+def main() -> int:
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-farm-smoke-"))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    queue_root = workdir / "queues"
+    cache_dir = workdir / "cache"
+
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "--port", "0",
+            "--cache-dir", str(cache_dir),
+            "--queue-dir", str(queue_root),
+            "--no-self-drain",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    worker = None
+    try:
+        line = server.stdout.readline()
+        match = re.search(r"http://\S+", line)
+        assert match, f"no server address in {line!r}"
+        url = match.group(0)
+        print(f"server up at {url}")
+        assert client.health(url)["ok"] is True
+
+        payload = {"grid": "selftest", "cells": 6, "payload": 42}
+        job = client.submit(url, payload)
+        print(f"submitted job {job['id']} ({job['cells']} cells)")
+
+        # The server was started --no-self-drain: nothing completes until a
+        # worker attaches, which is exactly what this step proves. The
+        # queue directory is per grid fingerprint, so the worker watches
+        # the job's subdirectory.
+        deadline = time.monotonic() + 30
+        queue_dir = None
+        while time.monotonic() < deadline and queue_dir is None:
+            candidates = list(queue_root.glob("*/tasks"))
+            queue_dir = candidates[0].parent if candidates else None
+            time.sleep(0.1)
+        assert queue_dir is not None, "server never materialised a queue"
+        worker = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "farm", "worker",
+                "--queue-dir", str(queue_dir),
+                "--cache-dir", str(cache_dir),
+                "--follow", "--quiet",
+            ],
+            env=env,
+        )
+        print(f"worker attached to {queue_dir}")
+
+        status = client.wait(url, job["id"], timeout=120)
+        assert status["state"] == "done", status
+        counters = status["counters"]
+        assert counters["executed"] == 6, counters
+        results = client.results(url, job["id"])["results"]
+        assert len(results) == 6 and all(r is not None for r in results)
+        print(f"job done: {counters['executed']} executed, results fetched")
+
+        events = list(client.events(url, job["id"], timeout=30))
+        assert events and events[-1]["message"] == "done"
+        print(f"SSE stream replayed {len(events)} events and terminated")
+
+        job2 = client.submit(url, payload)
+        status2 = client.wait(url, job2["id"], timeout=120)
+        counters2 = status2["counters"]
+        assert counters2["cached"] == 6 and counters2["executed"] == 0, counters2
+        results2 = client.results(url, job2["id"])["results"]
+        assert results2 == results, "resubmitted results differ"
+        print("resubmission served 100% from cache (0 re-executions)")
+
+        worker.send_signal(signal.SIGTERM)
+        assert worker.wait(timeout=20) == 0, "worker did not exit cleanly"
+        worker = None
+        server.send_signal(signal.SIGTERM)
+        code = server.wait(timeout=20)
+        assert code == 0, f"server exited {code}"
+        print("clean SIGTERM shutdown (server exit 0)")
+        print(json.dumps({"farm_smoke": "ok", "cells": 6, "cache_hits": 6}))
+        return 0
+    finally:
+        for proc in (worker, server):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,13 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _job_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def _write_csv(path: Optional[str], headers, rows) -> None:
     if path is None:
         return
@@ -309,6 +316,16 @@ def _build_runner(args: argparse.Namespace):
     journal_dir = args.journal_dir
     if journal_dir is None and args.resume:
         journal_dir = ".repro-journal"
+    executor = None
+    if getattr(args, "queue_dir", None):
+        from repro.farm import QueueExecutor
+
+        executor = QueueExecutor(
+            args.queue_dir,
+            workers=args.farm_workers,
+            self_drain=not args.no_self_drain,
+            lease_ttl=args.lease_ttl,
+        )
     return ParallelRunner(
         jobs=args.jobs,
         cache=cache,
@@ -318,6 +335,7 @@ def _build_runner(args: argparse.Namespace):
         resume=args.resume,
         watchdog=args.watchdog,
         handle_signals=True,
+        executor=executor,
     )
 
 
@@ -555,6 +573,158 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
     return 0 if record.delivered else 1
 
 
+def _stderr_progress(category: str, message: str, **data: object) -> None:
+    print(f"[{category}] {message}", file=sys.stderr)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Start the farm HTTP service (results as a service)."""
+    from pathlib import Path
+
+    from repro.farm.service import run_service
+    from repro.runner import ParallelRunner, ResultCache
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def factory(job):
+        executor = None
+        if args.queue_dir:
+            from repro.farm import QueueExecutor
+
+            # One queue directory per grid fingerprint: identical
+            # resubmissions re-attach to the same queue (terminal markers
+            # included), unrelated grids never share lease state.
+            executor = QueueExecutor(
+                Path(args.queue_dir) / job.grid[:16],
+                workers=args.farm_workers,
+                self_drain=not args.no_self_drain,
+                lease_ttl=args.lease_ttl,
+            )
+        return ParallelRunner(
+            jobs=args.jobs,
+            cache=cache,
+            timeout=args.timeout,
+            retries=args.retries,
+            executor=executor,
+        )
+
+    return run_service(
+        factory, host=args.host, port=args.port, announce=not args.quiet
+    )
+
+
+def _cmd_farm_worker(args: argparse.Namespace) -> int:
+    """Attach this process to a queue directory and drain cells."""
+    import json
+    import signal as signal_module
+    import threading
+
+    from repro.farm import drain_queue
+    from repro.runner.retry import RetryPolicy
+
+    stop = threading.Event()
+    for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+        try:
+            signal_module.signal(signum, lambda *_: stop.set())
+        except ValueError:  # pragma: no cover — non-main thread
+            pass
+    stats = drain_queue(
+        args.queue_dir,
+        cache_dir=args.cache_dir,
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        policy=RetryPolicy(retries=args.retries),
+        follow=args.follow,
+        max_cells=args.max_cells,
+        progress=None if args.quiet else _stderr_progress,
+        stop=stop,
+    )
+    print(json.dumps(stats.to_dict(), sort_keys=True))
+    return EXIT_OK
+
+
+def _farm_payload(spec: str) -> Dict[str, object]:
+    """Resolve ``farm submit SPEC``: '-' = stdin, a path, or inline JSON."""
+    import json
+
+    if spec == "-":
+        text = sys.stdin.read()
+    elif os.path.exists(spec):
+        with open(spec) as handle:
+            text = handle.read()
+    else:
+        text = spec
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"spec is not valid JSON ({exc}): {text[:120]}")
+    if not isinstance(payload, dict):
+        raise SystemExit("spec must be a JSON object")
+    return payload
+
+
+def _cmd_farm_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.farm import client
+
+    summary = client.submit(args.url, _farm_payload(args.spec))
+    if not args.wait:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return EXIT_OK
+    status = client.wait(
+        args.url, summary["id"], timeout=args.timeout, poll_s=args.poll
+    )
+    print(json.dumps(status, indent=2, sort_keys=True))
+    if status["state"] == "done":
+        return EXIT_OK
+    return EXIT_INTERRUPTED if status["state"] == "interrupted" else EXIT_FAILED
+
+
+def _cmd_farm_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.farm import client
+
+    if args.job:
+        print(json.dumps(client.job(args.url, args.job), indent=2, sort_keys=True))
+    else:
+        print(json.dumps(client.health(args.url), indent=2, sort_keys=True))
+    return EXIT_OK
+
+
+def _cmd_farm_results(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.farm import client
+
+    payload = client.results(args.url, args.job)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"(results written to {args.out})")
+    else:
+        print(text)
+    return EXIT_OK if payload["state"] != "failed" else EXIT_FAILED
+
+
+def _cmd_farm(args: argparse.Namespace) -> int:
+    from repro.farm.client import FarmClientError
+
+    handler = {
+        "worker": _cmd_farm_worker,
+        "submit": _cmd_farm_submit,
+        "status": _cmd_farm_status,
+        "results": _cmd_farm_results,
+    }[args.farm_command]
+    try:
+        return handler(args)
+    except FarmClientError as exc:
+        print(f"farm: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the repro CLI."""
     parser = argparse.ArgumentParser(
@@ -656,8 +826,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("grid", choices=sorted([*_RUN_GRIDS, "chaos"]))
     p.add_argument(
-        "--jobs", type=_positive_int, default=1,
-        help="worker processes (1 = serial)",
+        "--jobs", type=_job_count, default=1,
+        help="worker processes (1 = serial, 0 = auto-detect cpu count)",
     )
     p.add_argument(
         "--seeds", type=int, nargs="+", default=[1], help="one cell per seed"
@@ -709,6 +879,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", type=str, default=None)
     p.add_argument("--out", type=str, default=None, help="save full runs as JSON")
     p.add_argument("--quiet", action="store_true", help="no per-cell progress lines")
+    farm_group = p.add_argument_group(
+        "farm", "drain the grid through the shared lease queue instead of a "
+        "local process pool (see docs/operations.md)"
+    )
+    farm_group.add_argument(
+        "--queue-dir", type=str, default=None,
+        help="shared queue directory; enables the queue executor",
+    )
+    farm_group.add_argument(
+        "--farm-workers", type=_job_count, default=0,
+        help="worker subprocesses to spawn for the drain (0 = none)",
+    )
+    farm_group.add_argument(
+        "--lease-ttl", type=float, default=15.0,
+        help="seconds before a dead worker's lease is stolen",
+    )
+    farm_group.add_argument(
+        "--no-self-drain", action="store_true",
+        help="never run cells in this process; rely on attached workers",
+    )
     p.add_argument(
         "--scenario", choices=CHAOS_SCENARIOS, default="crash-churn",
         help="chaos grid only: fault scenario preset",
@@ -734,6 +924,87 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--destination", type=int, default=None)
     p.set_defaults(func=_cmd_quickstart)
+
+    p = sub.add_parser(
+        "serve",
+        help="start the experiment-farm HTTP service (results as a service)",
+        description=(
+            "Accept experiment specs over HTTP, execute them through the "
+            "runner (optionally fanning cells out to farm workers via "
+            "--queue-dir), stream cell-level progress, and answer identical "
+            "resubmissions straight from the result cache."
+        ),
+    )
+    p.add_argument("--host", type=str, default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8642,
+        help="TCP port (0 = pick a free one and print it)",
+    )
+    p.add_argument(
+        "--jobs", type=_job_count, default=1,
+        help="worker processes per job (1 = serial, 0 = auto-detect)",
+    )
+    p.add_argument("--cache-dir", type=str, default=".repro-cache")
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache (resubmissions re-execute)",
+    )
+    p.add_argument("--timeout", type=float, default=None)
+    p.add_argument("--retries", type=int, default=2)
+    p.add_argument(
+        "--queue-dir", type=str, default=None,
+        help="run jobs through the shared lease queue under this directory",
+    )
+    p.add_argument("--farm-workers", type=_job_count, default=0)
+    p.add_argument("--lease-ttl", type=float, default=15.0)
+    p.add_argument("--no-self-drain", action="store_true")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "farm",
+        help="experiment-farm tools: attach a worker, talk to the service",
+    )
+    farm_sub = p.add_subparsers(dest="farm_command", required=True)
+
+    w = farm_sub.add_parser(
+        "worker",
+        help="attach this process to a queue directory and drain cells",
+    )
+    w.add_argument("--queue-dir", type=str, required=True)
+    w.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="shared result cache (cross-grid dedup)",
+    )
+    w.add_argument("--lease-ttl", type=float, default=15.0)
+    w.add_argument("--retries", type=int, default=2)
+    w.add_argument("--worker-id", type=str, default=None)
+    w.add_argument(
+        "--follow", action="store_true",
+        help="keep polling for new work after the queue drains",
+    )
+    w.add_argument("--max-cells", type=int, default=None)
+    w.add_argument("--quiet", action="store_true")
+    w.set_defaults(func=_cmd_farm)
+
+    s = farm_sub.add_parser("submit", help="submit a spec payload to the service")
+    s.add_argument("spec", help="JSON payload: a path, inline JSON, or - for stdin")
+    s.add_argument("--url", type=str, default="http://127.0.0.1:8642")
+    s.add_argument("--wait", action="store_true", help="poll until terminal")
+    s.add_argument("--timeout", type=float, default=600.0)
+    s.add_argument("--poll", type=float, default=0.5)
+    s.set_defaults(func=_cmd_farm)
+
+    st = farm_sub.add_parser("status", help="service health or one job's status")
+    st.add_argument("job", nargs="?", default=None)
+    st.add_argument("--url", type=str, default="http://127.0.0.1:8642")
+    st.set_defaults(func=_cmd_farm)
+
+    r = farm_sub.add_parser("results", help="fetch a job's results")
+    r.add_argument("job")
+    r.add_argument("--url", type=str, default="http://127.0.0.1:8642")
+    r.add_argument("--out", type=str, default=None)
+    r.set_defaults(func=_cmd_farm)
 
     return parser
 

@@ -28,6 +28,7 @@ from repro.mac.lpl import MacParams
 from repro.metrics.stats import mean
 from repro.protocols import TeleProtocolAdapter
 from repro.runner import (
+    CellExecutor,
     ParallelRunner,
     ResultCache,
     RunnerOutcome,
@@ -100,12 +101,17 @@ def _make_runner(
     runner: Optional[ParallelRunner],
     journal_dir: Optional[str] = None,
     resume: bool = False,
+    executor: Optional["CellExecutor"] = None,
 ) -> ParallelRunner:
     if runner is not None:
         return runner
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     return ParallelRunner(
-        jobs=jobs, cache=cache, journal_dir=journal_dir, resume=resume
+        jobs=jobs,
+        cache=cache,
+        journal_dir=journal_dir,
+        resume=resume,
+        executor=executor,
     )
 
 
@@ -118,6 +124,7 @@ def run_comparison_multi(
     runner: Optional[ParallelRunner] = None,
     journal_dir: Optional[str] = None,
     resume: bool = False,
+    executor: Optional["CellExecutor"] = None,
     **kwargs: object,
 ) -> MultiRunResult:
     """Repeat one comparison cell over ``seeds`` and aggregate.
@@ -132,7 +139,7 @@ def run_comparison_multi(
     """
     from repro.metrics.io import comparison_from_dict
 
-    engine = _make_runner(jobs, cache_dir, runner, journal_dir, resume)
+    engine = _make_runner(jobs, cache_dir, runner, journal_dir, resume, executor)
     specs = [
         comparison_spec(variant, zigbee_channel=zigbee_channel, seed=seed, **kwargs)
         for seed in seeds
@@ -284,8 +291,9 @@ def _run_points(
     runner: Optional[ParallelRunner],
     journal_dir: Optional[str] = None,
     resume: bool = False,
+    executor: Optional["CellExecutor"] = None,
 ) -> List[SweepPoint]:
-    engine = _make_runner(jobs, cache_dir, runner, journal_dir, resume)
+    engine = _make_runner(jobs, cache_dir, runner, journal_dir, resume, executor)
     outcomes: List[RunnerOutcome] = engine.run(specs)
     return [
         SweepPoint.from_dict(o.result) for o in outcomes if o.result is not None
@@ -303,6 +311,7 @@ def sweep_wake_interval(
     runner: Optional[ParallelRunner] = None,
     journal_dir: Optional[str] = None,
     resume: bool = False,
+    executor: Optional["CellExecutor"] = None,
 ) -> List[SweepPoint]:
     """Latency/duty trade-off across LPL wake intervals.
 
@@ -319,7 +328,7 @@ def sweep_wake_interval(
         )
         for wake_ms in wake_intervals_ms
     ]
-    return _run_points(specs, jobs, cache_dir, runner, journal_dir, resume)
+    return _run_points(specs, jobs, cache_dir, runner, journal_dir, resume, executor)
 
 
 def sweep_network_size(
@@ -332,6 +341,7 @@ def sweep_network_size(
     runner: Optional[ParallelRunner] = None,
     journal_dir: Optional[str] = None,
     resume: bool = False,
+    executor: Optional["CellExecutor"] = None,
 ) -> List[SweepPoint]:
     """Scalability: code length and delivery as the network grows.
 
@@ -344,4 +354,4 @@ def sweep_network_size(
         )
         for size in sizes
     ]
-    return _run_points(specs, jobs, cache_dir, runner, journal_dir, resume)
+    return _run_points(specs, jobs, cache_dir, runner, journal_dir, resume, executor)

@@ -1,0 +1,52 @@
+"""``repro.farm`` — the distributed experiment farm.
+
+Everything the runner already guarantees per machine — content-addressed
+caching, journaled crash-safety, retry with quarantine — generalised to
+*many* machines and served over HTTP:
+
+- :class:`LeaseQueue` (:mod:`repro.farm.queue`) — a file-backed
+  work-stealing queue: cells are claimed with TTL leases, a dead worker's
+  lease expires and is stolen (charging the cell's retry budget), and a
+  cell whose lease keeps dying is quarantined as poison — the same
+  semantics the in-process engine applies, expressed as files;
+- :func:`drain_queue` (:mod:`repro.farm.worker`) — the worker loop:
+  ``python -m repro farm worker`` attaches any process (any host that can
+  see the queue directory) to a grid, executing leased cells through the
+  very same :func:`repro.runner.execute.run_task` as every other executor;
+- :class:`QueueExecutor` (:mod:`repro.farm.executor`) — plugs the queue
+  into :class:`repro.runner.ParallelRunner` as a
+  :class:`~repro.runner.executors.CellExecutor`: the scheduler enqueues
+  its pending cells, polls completion markers, optionally drains cells
+  itself, and folds worker failures back into the usual telemetry;
+- :class:`JobStore` + :class:`FarmService`
+  (:mod:`repro.farm.jobs` / :mod:`repro.farm.service`) — results as a
+  service: ``python -m repro serve`` accepts experiment specs over HTTP,
+  streams cell-level progress (polling + SSE), and answers identical
+  resubmissions entirely from cache — zero re-execution;
+- :mod:`repro.farm.client` — a stdlib urllib client for the service
+  (used by ``python -m repro farm submit/status/results``).
+
+All executors are bit-identical for the same specs (enforced by
+``tests/test_executor_conformance.py``): simulations are deterministic
+per spec, so sharding only changes *where* cells run, never the results.
+"""
+
+from repro.farm.executor import QueueExecutor
+from repro.farm.jobs import Job, JobStore, specs_from_payload
+from repro.farm.queue import Lease, LeaseQueue, QUEUE_SCHEMA
+from repro.farm.service import FarmService, run_service
+from repro.farm.worker import WorkerStats, drain_queue
+
+__all__ = [
+    "QUEUE_SCHEMA",
+    "FarmService",
+    "Job",
+    "JobStore",
+    "Lease",
+    "LeaseQueue",
+    "QueueExecutor",
+    "WorkerStats",
+    "drain_queue",
+    "run_service",
+    "specs_from_payload",
+]

@@ -1,0 +1,138 @@
+"""A tiny stdlib client for the farm service.
+
+Backs ``python -m repro farm submit/status/results`` and the test suite;
+plain :mod:`urllib` so scripts (and CI) need nothing installed. Every
+helper raises :class:`FarmClientError` with the server's own message on
+non-2xx responses.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterator, Mapping, Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.farm.jobs import TERMINAL_STATES
+
+
+class FarmClientError(RuntimeError):
+    """The service answered with an error (or did not answer at all)."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _request(
+    base: str,
+    path: str,
+    payload: Optional[Mapping[str, Any]] = None,
+    timeout: float = 30.0,
+) -> Dict[str, Any]:
+    url = base.rstrip("/") + path
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    try:
+        with urlopen(Request(url, data=data, headers=headers), timeout=timeout) as reply:
+            return json.loads(reply.read().decode("utf-8"))
+    except HTTPError as exc:
+        try:
+            detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+        except Exception:
+            detail = ""
+        raise FarmClientError(
+            detail or f"HTTP {exc.code} for {url}", status=exc.code
+        ) from None
+    except URLError as exc:
+        raise FarmClientError(f"cannot reach {url}: {exc.reason}") from None
+
+
+def health(base: str, timeout: float = 10.0) -> Dict[str, Any]:
+    return _request(base, "/healthz", timeout=timeout)
+
+
+def submit(
+    base: str, payload: Mapping[str, Any], timeout: float = 30.0
+) -> Dict[str, Any]:
+    """POST a spec payload; returns the job summary (with ``id``)."""
+    return _request(base, "/jobs", payload=payload, timeout=timeout)["job"]
+
+
+def job(base: str, job_id: str, timeout: float = 30.0) -> Dict[str, Any]:
+    return _request(base, f"/jobs/{job_id}", timeout=timeout)
+
+
+def results(base: str, job_id: str, timeout: float = 30.0) -> Dict[str, Any]:
+    return _request(base, f"/jobs/{job_id}/results", timeout=timeout)
+
+
+def wait(
+    base: str,
+    job_id: str,
+    timeout: float = 300.0,
+    poll_s: float = 0.25,
+) -> Dict[str, Any]:
+    """Poll until the job reaches a terminal state; returns final status."""
+    deadline = time.monotonic() + timeout
+    while True:
+        status = job(base, job_id)
+        if status["state"] in TERMINAL_STATES:
+            return status
+        if time.monotonic() >= deadline:
+            raise FarmClientError(
+                f"job {job_id} still {status['state']} after {timeout:.0f}s"
+            )
+        time.sleep(poll_s)
+
+
+def events(
+    base: str,
+    job_id: str,
+    after: int = -1,
+    timeout: float = 300.0,
+) -> Iterator[Dict[str, Any]]:
+    """Consume the job's SSE stream, yielding decoded event payloads.
+
+    Terminates when the server sends its ``end`` frame (job reached a
+    terminal state) or the socket times out.
+    """
+    url = base.rstrip("/") + f"/jobs/{job_id}/events?after={after}"
+    try:
+        with urlopen(Request(url), timeout=timeout) as stream:
+            data_lines = []
+            event_name = "message"
+            for raw in stream:
+                line = raw.decode("utf-8").rstrip("\n")
+                if line.startswith("event:"):
+                    event_name = line.split(":", 1)[1].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line.split(":", 1)[1].strip())
+                elif line == "":
+                    if event_name == "end":
+                        return
+                    if data_lines:
+                        yield json.loads("\n".join(data_lines))
+                    data_lines = []
+                    event_name = "message"
+    except HTTPError as exc:
+        raise FarmClientError(
+            f"HTTP {exc.code} for {url}", status=exc.code
+        ) from None
+    except URLError as exc:
+        raise FarmClientError(f"cannot reach {url}: {exc.reason}") from None
+
+
+__all__ = [
+    "FarmClientError",
+    "events",
+    "health",
+    "job",
+    "results",
+    "submit",
+    "wait",
+]

@@ -1,0 +1,237 @@
+"""``QueueExecutor``: drain a grid through the shared lease queue.
+
+The scheduler side of the farm. :class:`repro.runner.ParallelRunner` hands
+its pending cells over; the executor enqueues them onto a
+:class:`~repro.farm.queue.LeaseQueue`, optionally spawns local worker
+subprocesses and/or drains cells itself, and folds terminal markers —
+whoever installed them, on whatever host — back into the scheduler's
+outcome/journal/cache/telemetry machinery.
+
+The shared :class:`~repro.runner.cache.ResultCache` and the run journal
+are the dedup/rendezvous layer: the scheduler's cache pass already
+answered warm cells before the queue ever sees them, the journal records
+every completion durably (a SIGKILLed *scheduler* resumes normally), and
+a SIGKILLed *worker*'s leased cells are re-leased after the TTL with the
+engine's usual retry/quarantine accounting.
+
+Interrupts follow the engine contract: on the first signal the executor
+stops claiming and returns — unfinished cells journal as ``interrupted``,
+and because tasks and markers persist in the queue directory, a resumed
+run re-attaches to the half-drained queue and keeps whatever external
+workers finished in the meantime.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Union
+
+from repro.farm.queue import LeaseQueue, default_worker_id
+from repro.farm.worker import WorkerStats, run_leased_cell
+from repro.runner.executors import Cell, CellExecutor
+from repro.runner.journal import RunJournal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runner.engine import ParallelRunner
+
+
+class QueueExecutor(CellExecutor):
+    """Lease-queue execution — many processes/hosts drain one grid.
+
+    ``workers`` local worker subprocesses are spawned for the duration of
+    the drain (0 = rely on external workers); ``self_drain=True`` (the
+    default) lets the scheduler process claim cells between polls, so a
+    grid always completes even with zero attached workers. Lease expiry
+    (``lease_ttl``) replaces the pool executor's watchdog: a dead or hung
+    worker's cell is stolen after the TTL, charging its retry budget, and
+    quarantined as poison when the budget runs out.
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        queue_dir: Union[str, Path],
+        workers: int = 0,
+        self_drain: bool = True,
+        lease_ttl: float = 15.0,
+        poll_s: float = 0.05,
+        worker_id: Optional[str] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be > 0 seconds")
+        self.queue_dir = Path(queue_dir)
+        self.workers = workers
+        self.self_drain = self_drain
+        self.lease_ttl = lease_ttl
+        self.poll_s = poll_s
+        self.worker_id = worker_id or f"scheduler-{default_worker_id()}"
+        #: Stats of the scheduler's own self-drained cells (telemetry).
+        self.stats = WorkerStats(worker=self.worker_id)
+
+    @property
+    def slots(self) -> int:
+        return self.workers + (1 if self.self_drain else 0)
+
+    # ------------------------------------------------------------- workers
+    def _spawn_workers(
+        self, scheduler: "ParallelRunner"
+    ) -> List["subprocess.Popen[bytes]"]:
+        processes: List["subprocess.Popen[bytes]"] = []
+        for index in range(self.workers):
+            argv = [
+                sys.executable, "-m", "repro", "farm", "worker",
+                "--queue-dir", str(self.queue_dir),
+                "--lease-ttl", str(self.lease_ttl),
+                "--retries", str(scheduler.policy.retries),
+                "--worker-id", f"{self.worker_id}-w{index}",
+                "--quiet",
+            ]
+            if scheduler.cache is not None:
+                argv += ["--cache-dir", str(scheduler.cache.root)]
+            processes.append(subprocess.Popen(argv))
+        return processes
+
+    @staticmethod
+    def _reap_workers(processes: List["subprocess.Popen[bytes]"]) -> None:
+        for process in processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in processes:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+
+    # ------------------------------------------------------------ settling
+    def _settle(
+        self,
+        scheduler: "ParallelRunner",
+        cell: Cell,
+        marker: Dict[str, Any],
+        outcomes: List[Any],
+        journal: Optional[RunJournal],
+    ) -> None:
+        """Fold one terminal marker into the scheduler's bookkeeping."""
+        from repro.runner.engine import RunnerOutcome
+
+        attempts = max(int(marker.get("attempts", 1)), 1)
+        if marker["terminal"] == "done":
+            cell.attempt = attempts - 1
+            reply = {
+                "result": marker["result"],
+                "wall_s": float(marker.get("wall_s", 0.0)),
+                "events": marker.get("events"),
+            }
+            scheduler._finalize(outcomes, cell, reply, journal)
+            return
+        quarantined = bool(marker.get("quarantined", False))
+        error = str(marker.get("error") or "cell failed on a farm worker")
+        error += f" [worker {marker.get('worker', '?')}]"
+        outcomes[cell.index] = RunnerOutcome(
+            cell.spec,
+            None,
+            "failed",
+            attempts=attempts,
+            error=error,
+            requeues=cell.requeues,
+            quarantined=quarantined,
+        )
+        scheduler._journal(
+            journal,
+            "quarantine" if quarantined else "failed",
+            cell=cell.spec.fingerprint,
+            index=cell.index,
+            attempts=attempts,
+            kind=str(marker.get("kind", "error")),
+            error=error,
+        )
+        scheduler._emit(
+            f"failed {cell.spec.name}: {error}",
+            cell=cell.spec.name,
+            status="failed",
+            quarantined=quarantined,
+        )
+
+    # ---------------------------------------------------------------- drain
+    def drain(
+        self,
+        scheduler: "ParallelRunner",
+        pending: Deque[Cell],
+        outcomes: List[Any],
+        journal: Optional[RunJournal],
+    ) -> None:
+        queue = LeaseQueue(
+            self.queue_dir,
+            lease_ttl=self.lease_ttl,
+            max_attempts=scheduler.policy.max_attempts,
+            worker_id=self.worker_id,
+        )
+        cells = {cell.spec.fingerprint: cell for cell in pending}
+        order = [cell.spec.fingerprint for cell in pending]
+        pending.clear()  # the queue owns scheduling from here
+        for seq, fingerprint in enumerate(order):
+            cell = cells[fingerprint]
+            if queue.put(cell.spec, seq):
+                scheduler._journal(
+                    journal,
+                    "dispatch",
+                    cell=fingerprint,
+                    index=cell.index,
+                    attempt=0,
+                )
+        scheduler._emit(
+            f"enqueued {len(order)} cell(s) onto {queue.root} "
+            f"(workers={self.workers}, self_drain={self.self_drain})",
+            **queue.snapshot(),
+        )
+        if not self.self_drain and self.workers == 0:
+            scheduler._emit(
+                "waiting for external workers "
+                f"(`python -m repro farm worker --queue-dir {queue.root}`)"
+            )
+
+        processes = self._spawn_workers(scheduler)
+        unresolved = set(order)
+        try:
+            while unresolved:
+                if scheduler._interrupts:
+                    return  # unfinished cells journal as interrupted
+                progressed = False
+                for fingerprint in sorted(
+                    unresolved, key=lambda f: cells[f].index
+                ):
+                    marker = queue.outcome_for(fingerprint)
+                    if marker is None:
+                        continue
+                    self._settle(
+                        scheduler, cells[fingerprint], marker, outcomes, journal
+                    )
+                    unresolved.discard(fingerprint)
+                    progressed = True
+                if progressed or not unresolved:
+                    continue
+                if self.self_drain:
+                    lease = queue.claim()
+                    if lease is not None:
+                        # The scheduler doubles as a worker: same execution
+                        # path, no shared-cache double-store (the marker
+                        # settles through _finalize, which stores).
+                        run_leased_cell(
+                            queue,
+                            lease,
+                            cache=None,
+                            policy=scheduler.policy,
+                            stats=self.stats,
+                            progress=scheduler.progress,
+                        )
+                        continue
+                time.sleep(self.poll_s)
+        finally:
+            self._reap_workers(processes)

@@ -1,0 +1,353 @@
+"""Job store: submitted experiment specs and their cell-level progress.
+
+A **job** is one submitted grid: a list of :class:`~repro.runner.TaskSpec`
+cells built from a JSON payload (:func:`specs_from_payload`), executed by
+the service through a :class:`~repro.runner.ParallelRunner`, its progress
+events and final telemetry retained for polling and SSE streaming.
+
+Job ids embed the **grid fingerprint** (hash of the ordered cell
+fingerprints), so identical resubmissions are trivially correlated — and
+because every cell is content-addressed in the shared result cache, a
+resubmitted grid re-runs through the scheduler's cache pass and settles
+with ``cached == cells`` and zero re-executed cells.
+
+The store is written on the runner's thread and read from asyncio
+handlers, so every mutation happens under one condition variable; readers
+snapshot under it and event streamers block on it (bridged through
+``run_in_executor`` on the service side).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.runner.engine import RunnerOutcome
+from repro.runner.taskspec import (
+    TaskSpec,
+    chaos_spec,
+    comparison_spec,
+    fingerprint_of,
+    selftest_spec,
+)
+from repro.runner.telemetry import RunnerReport
+
+#: Terminal job states (``queued`` / ``running`` are the live ones).
+TERMINAL_STATES = ("done", "failed", "interrupted")
+
+#: Hard ceiling on cells per submitted job — a typo'd seed list must not
+#: enqueue a month of simulation.
+MAX_CELLS = 10_000
+
+
+def specs_from_payload(payload: Mapping[str, Any]) -> List[TaskSpec]:
+    """Build the grid's TaskSpecs from a submitted JSON payload.
+
+    Three shapes are accepted:
+
+    - ``{"cells": [{"kind": ..., "params": ..., "label": ...}, ...]}`` —
+      raw serialised TaskSpecs (the power-user escape hatch);
+    - ``{"grid": "comparison", "variants": [...], "channels": [...],
+      "seeds": [...], "schedule": {...}}`` — the comparison matrix;
+    - ``{"grid": "chaos", "variants": [...], "scenario": ...,
+      "intensities": [...], "seeds": [...], "schedule": {...}}``;
+    - ``{"grid": "selftest", "cells": N, "sleep_s": ..., "payload": ...}``
+      — cheap deterministic cells for smoke tests and canaries.
+
+    Raises ``ValueError`` with a client-presentable message on anything
+    malformed — the service maps that to HTTP 400.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError("spec payload must be a JSON object")
+    if "cells" in payload and "grid" not in payload:
+        raw = payload["cells"]
+        if not isinstance(raw, list) or not raw:
+            raise ValueError('"cells" must be a non-empty list of task specs')
+        specs = []
+        for index, entry in enumerate(raw):
+            if not isinstance(entry, Mapping) or "kind" not in entry:
+                raise ValueError(f'cells[{index}] is not a task spec object')
+            try:
+                specs.append(TaskSpec.from_dict(entry))
+            except (KeyError, TypeError) as exc:
+                raise ValueError(f"cells[{index}]: {exc}") from None
+        _check_size(specs)
+        return specs
+
+    grid = payload.get("grid")
+    schedule = payload.get("schedule", {})
+    if not isinstance(schedule, Mapping):
+        raise ValueError('"schedule" must be a JSON object')
+    try:
+        if grid == "comparison":
+            specs = [
+                comparison_spec(
+                    str(variant),
+                    zigbee_channel=int(channel),
+                    seed=int(seed),
+                    **schedule,
+                )
+                for channel in payload.get("channels", [26])
+                for variant in payload.get("variants", ["tele"])
+                for seed in payload.get("seeds", [1])
+            ]
+        elif grid == "chaos":
+            specs = [
+                chaos_spec(
+                    str(variant),
+                    scenario=str(payload.get("scenario", "mixed")),
+                    intensity=float(intensity),
+                    seed=int(seed),
+                    zigbee_channel=int(payload.get("zigbee_channel", 26)),
+                    **schedule,
+                )
+                for variant in payload.get("variants", ["tele"])
+                for intensity in payload.get("intensities", [0.5])
+                for seed in payload.get("seeds", [1])
+            ]
+        elif grid == "selftest":
+            count = int(payload.get("cells", 4))
+            if count < 1:
+                raise ValueError('"cells" must be >= 1')
+            specs = [
+                selftest_spec(
+                    index,
+                    sleep_s=float(payload.get("sleep_s", 0.0)),
+                    payload=int(payload.get("payload", 0)),
+                )
+                for index in range(count)
+            ]
+        else:
+            raise ValueError(
+                f"unknown grid {grid!r}; choose comparison, chaos, or "
+                'selftest — or submit raw "cells"'
+            )
+    except (TypeError, KeyError) as exc:
+        raise ValueError(f"malformed {grid} grid: {exc}") from None
+    if not specs:
+        raise ValueError("the payload describes an empty grid")
+    _check_size(specs)
+    return specs
+
+
+def _check_size(specs: List[TaskSpec]) -> None:
+    if len(specs) > MAX_CELLS:
+        raise ValueError(
+            f"grid has {len(specs)} cells; the service caps jobs at "
+            f"{MAX_CELLS}"
+        )
+
+
+def grid_id(specs: List[TaskSpec]) -> str:
+    """Content hash of the ordered cell fingerprints (the job family)."""
+    return fingerprint_of([spec.fingerprint for spec in specs])
+
+
+class Job:
+    """One submitted grid and everything known about its execution."""
+
+    def __init__(self, job_id: str, grid: str, specs: List[TaskSpec]) -> None:
+        self.id = job_id
+        self.grid = grid
+        self.specs = specs
+        self.state = "queued"
+        self.created = time.time()
+        self.finished: Optional[float] = None
+        self.error: Optional[str] = None
+        #: spec-order cell progress, updated live from runner events.
+        self.cells: List[Dict[str, Any]] = [
+            {
+                "label": spec.name,
+                "kind": spec.kind,
+                "fingerprint": spec.fingerprint,
+                "status": "pending",
+            }
+            for spec in specs
+        ]
+        self._by_label = {cell["label"]: cell for cell in self.cells}
+        self.counters: Optional[Dict[str, Any]] = None
+        #: result payloads in spec order (None for unsettled/failed cells).
+        self.results: List[Optional[Dict[str, Any]]] = [None] * len(specs)
+        #: monotonically growing progress event log (SSE replays it).
+        self.events: List[Dict[str, Any]] = []
+
+    def summary(self) -> Dict[str, Any]:
+        by_status: Dict[str, int] = {}
+        for cell in self.cells:
+            by_status[cell["status"]] = by_status.get(cell["status"], 0) + 1
+        return {
+            "id": self.id,
+            "grid": self.grid,
+            "state": self.state,
+            "created": self.created,
+            "finished": self.finished,
+            "cells": len(self.cells),
+            "cell_status": by_status,
+            "counters": self.counters,
+            "error": self.error,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = self.summary()
+        payload["cell_detail"] = self.cells
+        return payload
+
+
+class JobStore:
+    """Thread-safe registry of jobs, their events, and their results."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._sequence = 0
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------ lifecycle
+    def submit(self, payload: Mapping[str, Any]) -> Job:
+        """Create a job from a payload (ValueError on malformed specs)."""
+        specs = specs_from_payload(payload)
+        grid = grid_id(specs)
+        with self._cond:
+            self._sequence += 1
+            job = Job(f"{grid[:16]}-{self._sequence}", grid, specs)
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._cond.notify_all()
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._cond:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def siblings(self, job: Job) -> List[Job]:
+        """Previously submitted jobs with the identical grid fingerprint."""
+        with self._cond:
+            return [
+                other
+                for other in (self._jobs[j] for j in self._order)
+                if other.grid == job.grid and other.id != job.id
+            ]
+
+    # -------------------------------------------------------------- updates
+    def mark_running(self, job: Job) -> None:
+        with self._cond:
+            job.state = "running"
+            self._append_event(job, "job", "running", {})
+
+    def progress_sink(self, job: Job):
+        """A runner/cache progress sink bound to this job.
+
+        Matches the ``(category, message, **data)`` signature, so it plugs
+        straight into :class:`~repro.runner.ParallelRunner` — every engine
+        emission becomes a streamed job event, and per-cell status flips
+        are derived from the engine's own vocabulary.
+        """
+
+        def sink(category: str, message: str, **data: Any) -> None:
+            with self._cond:
+                label = data.get("cell")
+                cell = self._by_label(job, label) if label else None
+                if cell is not None:
+                    verb = message.split(" ", 1)[0]
+                    if verb == "run":
+                        cell["status"] = "running"
+                        cell["attempt"] = data.get("attempt", 0)
+                    elif verb == "retry":
+                        cell["status"] = "retrying"
+                        cell["attempt"] = data.get("attempt")
+                    elif verb in ("done", "cached", "journal"):
+                        cell["status"] = (
+                            "executed" if verb == "done" else verb
+                        )
+                        if "wall_s" in data:
+                            cell["wall_s"] = round(data["wall_s"], 3)
+                    elif verb in ("failed", "quarantined"):
+                        cell["status"] = "failed"
+                self._append_event(job, category, message, data)
+
+        return sink
+
+    @staticmethod
+    def _by_label(job: Job, label: Any) -> Optional[Dict[str, Any]]:
+        return job._by_label.get(label)
+
+    def finish(
+        self,
+        job: Job,
+        report: Optional[RunnerReport],
+        outcomes: Optional[List[RunnerOutcome]],
+        error: Optional[str] = None,
+    ) -> None:
+        """Record the terminal state, telemetry, and result payloads."""
+        with self._cond:
+            if error is not None:
+                job.state = "failed"
+                job.error = error
+            elif report is not None and report.interrupted:
+                job.state = "interrupted"
+            elif report is not None and report.failed:
+                job.state = "failed"
+            else:
+                job.state = "done"
+            job.finished = time.time()
+            if report is not None:
+                job.counters = report.counters()
+                for cell, telemetry in zip(job.cells, report.cells):
+                    cell["status"] = telemetry.status
+                    cell["attempts"] = telemetry.attempts
+                    cell["wall_s"] = round(telemetry.wall_s, 3)
+                    if telemetry.error:
+                        cell["error"] = telemetry.error
+            if outcomes is not None:
+                job.results = [outcome.result for outcome in outcomes]
+            self._append_event(
+                job, "job", job.state, {"counters": job.counters}
+            )
+
+    def _append_event(
+        self, job: Job, category: str, message: str, data: Mapping[str, Any]
+    ) -> None:
+        # Caller holds the condition.
+        job.events.append(
+            {
+                "seq": len(job.events),
+                "t": time.time(),
+                "category": category,
+                "message": message,
+                "data": dict(data),
+            }
+        )
+        self._cond.notify_all()
+
+    # ------------------------------------------------------------ streaming
+    def events_after(
+        self, job: Job, after: int, timeout: float = 1.0
+    ) -> List[Dict[str, Any]]:
+        """Events with ``seq > after``, blocking up to ``timeout`` for more.
+
+        Returns immediately once events exist past the cursor (or the job
+        reached a terminal state — the stream's natural end).
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                fresh = [e for e in job.events if e["seq"] > after]
+                if fresh or job.state in TERMINAL_STATES:
+                    return fresh
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self._cond.wait(remaining)
+
+    def counts(self) -> Dict[str, int]:
+        with self._cond:
+            by_state: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+            by_state["total"] = len(self._jobs)
+            return by_state

@@ -1,0 +1,415 @@
+"""A file-backed work-stealing lease queue for grid cells.
+
+The queue is a directory any worker (process or host) with filesystem
+access can join — no broker, no daemon, no socket. Atomic primitives the
+whole protocol reduces to: ``open(O_CREAT|O_EXCL)`` for first claims and
+``os.replace`` for everything else, both atomic on POSIX filesystems.
+
+Layout under the queue root::
+
+    meta.json        queue parameters (schema, lease TTL, retry budget)
+    tasks/<fp>.json  one enqueued cell: the serialised TaskSpec + seq
+    leases/<fp>.json the live claim: worker, token, attempt, expiry
+    done/<fp>.json   terminal success: the full result payload
+    failed/<fp>.json terminal failure: error, kind, quarantined flag
+
+Lease semantics mirror the in-process engine's retry machinery:
+
+- a **claim** creates the lease exclusively (attempt 0);
+- a live worker **renews** its lease well inside the TTL (the analogue of
+  the engine's heartbeat);
+- a lease past its expiry means the worker died or hung — the next
+  claimer **steals** it, charging one attempt (the analogue of the
+  watchdog kill + retry);
+- a cell whose lease has been stolen ``max_attempts`` times is **poison**
+  and is quarantined with a terminal ``failed`` marker instead of being
+  re-leased forever — exactly the engine's poison-cell rule.
+
+Steals are token-confirmed: the stealer atomically replaces the lease
+with a fresh token and re-reads it; losing the read-back means another
+stealer won the race and this claimer walks away. Duplicate *execution*
+(a slow-but-alive worker racing its stealer) is tolerated by design:
+cells are deterministic and results are content-addressed, so the second
+completion installs bit-identical bytes — at-least-once execution,
+exactly-once results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.runner.taskspec import TaskSpec
+
+#: Bump when the on-disk queue layout changes incompatibly.
+QUEUE_SCHEMA = 1
+
+
+def default_worker_id() -> str:
+    """host:pid — unique enough to attribute leases in telemetry."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    """Write ``payload`` via unique temp + atomic rename (torn-read free)."""
+    fd, tmp = tempfile.mkstemp(prefix=f".{path.name}.", suffix=".tmp", dir=path.parent)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+    """Parse a JSON file, tolerating absence and torn/damaged content."""
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+@dataclass
+class Lease:
+    """One worker's live claim on one cell."""
+
+    fingerprint: str
+    spec: TaskSpec
+    worker: str
+    token: str
+    #: Retry-budget attempts already charged (steals of expired leases).
+    attempt: int
+    expires: float
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+class LeaseQueue:
+    """The shared queue one grid's cells are drained through.
+
+    ``lease_ttl`` bounds how long a dead worker can sit on a cell before
+    it is re-leased; live workers renew at ``ttl/4``, so only an actual
+    death or a multi-second freeze ever loses a lease. ``max_attempts``
+    is the poison budget — total tries (first claim + steals) before a
+    cell is quarantined.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        lease_ttl: float = 15.0,
+        max_attempts: int = 3,
+        worker_id: Optional[str] = None,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be > 0 seconds")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.root = Path(root)
+        self.lease_ttl = lease_ttl
+        self.max_attempts = max_attempts
+        self.worker_id = worker_id or default_worker_id()
+        self.tasks_dir = self.root / "tasks"
+        self.leases_dir = self.root / "leases"
+        self.done_dir = self.root / "done"
+        self.failed_dir = self.root / "failed"
+
+    # --------------------------------------------------------------- set-up
+    def ensure(self) -> None:
+        """Create the queue layout (idempotent, concurrent-safe)."""
+        for directory in (
+            self.root, self.tasks_dir, self.leases_dir, self.done_dir, self.failed_dir
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        meta = self.root / "meta.json"
+        if not meta.exists():
+            _atomic_write_json(
+                meta,
+                {
+                    "schema": QUEUE_SCHEMA,
+                    "lease_ttl": self.lease_ttl,
+                    "max_attempts": self.max_attempts,
+                },
+            )
+
+    # -------------------------------------------------------------- enqueue
+    def put(self, spec: TaskSpec, seq: int = 0) -> bool:
+        """Enqueue one cell; False when it was already enqueued.
+
+        ``seq`` orders claims (workers drain roughly in grid order);
+        re-enqueueing an identical cell is a no-op, and a cell that
+        already reached a terminal marker is never re-opened.
+        """
+        self.ensure()
+        path = self.tasks_dir / f"{spec.fingerprint}.json"
+        if path.exists():
+            return False
+        _atomic_write_json(
+            path,
+            {
+                "fingerprint": spec.fingerprint,
+                "seq": seq,
+                "spec": spec.to_dict(),
+                "enqueued_by": self.worker_id,
+            },
+        )
+        return True
+
+    def put_all(self, specs: List[TaskSpec]) -> int:
+        """Enqueue a grid in order; returns how many were newly enqueued."""
+        return sum(1 for seq, spec in enumerate(specs) if self.put(spec, seq))
+
+    # ---------------------------------------------------------------- state
+    def _settled(self, fingerprint: str) -> bool:
+        return (self.done_dir / f"{fingerprint}.json").exists() or (
+            self.failed_dir / f"{fingerprint}.json"
+        ).exists()
+
+    def outcome_for(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The terminal marker for one cell, or None while it is open.
+
+        The returned record carries ``"terminal": "done" | "failed"``.
+        A torn marker (absurdly unlikely given atomic installs, but disks
+        lie) reads as still-open — the cell simply re-runs.
+        """
+        record = _read_json(self.done_dir / f"{fingerprint}.json")
+        if record is not None:
+            record["terminal"] = "done"
+            return record
+        record = _read_json(self.failed_dir / f"{fingerprint}.json")
+        if record is not None:
+            record["terminal"] = "failed"
+            return record
+        return None
+
+    def _open_tasks(self) -> List[Dict[str, Any]]:
+        """Enqueued cells without a terminal marker, in seq order."""
+        tasks = []
+        try:
+            names = os.listdir(self.tasks_dir)
+        except OSError:
+            return []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            fingerprint = name[: -len(".json")]
+            if self._settled(fingerprint):
+                continue
+            record = _read_json(self.tasks_dir / name)
+            if record is None or "spec" not in record:
+                continue
+            tasks.append(record)
+        tasks.sort(key=lambda r: (r.get("seq", 0), r.get("fingerprint", "")))
+        return tasks
+
+    def unfinished(self) -> int:
+        """Cells still lacking a terminal marker (leased or not)."""
+        return len(self._open_tasks())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Queue counters for status endpoints and progress lines."""
+        def count(directory: Path) -> int:
+            try:
+                return sum(1 for n in os.listdir(directory) if n.endswith(".json"))
+            except OSError:
+                return 0
+
+        open_tasks = self._open_tasks()
+        return {
+            "tasks": count(self.tasks_dir),
+            "open": len(open_tasks),
+            "leased": count(self.leases_dir),
+            "done": count(self.done_dir),
+            "failed": count(self.failed_dir),
+        }
+
+    # ---------------------------------------------------------------- claim
+    def _try_claim(self, task: Dict[str, Any], now: float) -> Optional[Lease]:
+        fingerprint = task["fingerprint"]
+        spec = TaskSpec.from_dict(task["spec"])
+        lease_path = self.leases_dir / f"{fingerprint}.json"
+        token = os.urandom(8).hex()
+
+        def lease_record(attempt: int) -> Dict[str, Any]:
+            return {
+                "fingerprint": fingerprint,
+                "worker": self.worker_id,
+                "pid": os.getpid(),
+                "token": token,
+                "attempt": attempt,
+                "expires": now + self.lease_ttl,
+            }
+
+        # First claim: exclusive create wins or loses atomically.
+        try:
+            fd = os.open(lease_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        except OSError:
+            return None
+        else:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(lease_record(0), sort_keys=True))
+            return Lease(
+                fingerprint, spec, self.worker_id, token, 0, now + self.lease_ttl
+            )
+
+        # Somebody holds (or held) it. A valid, unexpired lease is theirs.
+        existing = _read_json(lease_path)
+        if existing is not None and float(existing.get("expires", 0)) > now:
+            return None
+        # Expired (or torn) lease: steal, charging one attempt.
+        attempt = int(existing.get("attempt", 0)) + 1 if existing else 1
+        if attempt >= self.max_attempts:
+            # Poison: the cell has eaten its whole budget in dead leases.
+            self.quarantine(
+                fingerprint,
+                spec,
+                attempts=attempt,
+                error=(
+                    f"lease expired {attempt} time(s) "
+                    "(worker died or hung each time)"
+                ),
+            )
+            try:
+                os.unlink(lease_path)
+            except OSError:
+                pass
+            return None
+        _atomic_write_json(lease_path, lease_record(attempt))
+        confirmed = _read_json(lease_path)
+        if confirmed is None or confirmed.get("token") != token:
+            return None  # another stealer won the replace race
+        return Lease(
+            fingerprint, spec, self.worker_id, token, attempt, now + self.lease_ttl
+        )
+
+    def claim(self) -> Optional[Lease]:
+        """Claim the next open cell, stealing expired leases on the way.
+
+        Returns None when nothing is claimable right now — every open cell
+        is held by a live lease (or the queue is drained).
+        """
+        self.ensure()
+        now = time.time()
+        for task in self._open_tasks():
+            lease = self._try_claim(task, now)
+            if lease is not None:
+                return lease
+        return None
+
+    # ---------------------------------------------------------------- lease
+    def renew(self, lease: Lease) -> bool:
+        """Extend a held lease; False when it was stolen (abandon the cell).
+
+        Renewal re-reads the lease and only extends it while the token is
+        still ours — a worker that froze past the TTL and lost its lease
+        learns that here instead of double-finalising.
+        """
+        lease_path = self.leases_dir / f"{lease.fingerprint}.json"
+        current = _read_json(lease_path)
+        if current is None or current.get("token") != lease.token:
+            return False
+        current["expires"] = time.time() + self.lease_ttl
+        _atomic_write_json(lease_path, current)
+        lease.expires = current["expires"]
+        return True
+
+    def release(self, lease: Lease) -> None:
+        """Give a claim back without a terminal marker (interrupt path)."""
+        lease_path = self.leases_dir / f"{lease.fingerprint}.json"
+        current = _read_json(lease_path)
+        if current is not None and current.get("token") == lease.token:
+            try:
+                os.unlink(lease_path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------- terminal
+    def complete(
+        self,
+        lease: Lease,
+        reply: Dict[str, Any],
+        source: str = "executed",
+    ) -> None:
+        """Install the success marker (idempotent) and drop the lease."""
+        path = self.done_dir / f"{lease.fingerprint}.json"
+        if not path.exists():  # losing this race is fine: results are equal
+            _atomic_write_json(
+                path,
+                {
+                    "fingerprint": lease.fingerprint,
+                    "result": reply["result"],
+                    "wall_s": reply.get("wall_s", 0.0),
+                    "events": reply.get("events"),
+                    "attempts": lease.attempt + 1,
+                    "worker": lease.worker,
+                    "source": source,
+                },
+            )
+        self.release(lease)
+
+    def fail(
+        self,
+        lease: Lease,
+        error: str,
+        kind: str = "error",
+        attempts: Optional[int] = None,
+        quarantined: bool = False,
+    ) -> None:
+        """Install the terminal failure marker and drop the lease."""
+        self._write_failed(
+            lease.fingerprint,
+            error=error,
+            kind=kind,
+            attempts=attempts if attempts is not None else lease.attempt + 1,
+            quarantined=quarantined,
+            worker=lease.worker,
+        )
+        self.release(lease)
+
+    def quarantine(
+        self, fingerprint: str, spec: TaskSpec, attempts: int, error: str
+    ) -> None:
+        """Mark a poison cell failed-and-quarantined (no lease required)."""
+        self._write_failed(
+            fingerprint,
+            error=error,
+            kind="crash",
+            attempts=attempts,
+            quarantined=True,
+            worker=self.worker_id,
+        )
+
+    def _write_failed(self, fingerprint: str, **fields: Any) -> None:
+        path = self.failed_dir / f"{fingerprint}.json"
+        if not path.exists():
+            _atomic_write_json(path, {"fingerprint": fingerprint, **fields})
+
+    # ------------------------------------------------------------ iteration
+    def outcomes(self) -> Iterator[Dict[str, Any]]:
+        """Every terminal marker currently installed (done + failed)."""
+        for directory in (self.done_dir, self.failed_dir):
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".json"):
+                    continue
+                record = self.outcome_for(name[: -len(".json")])
+                if record is not None:
+                    yield record

@@ -1,0 +1,356 @@
+"""Results as a service: the farm's asyncio HTTP front end.
+
+``python -m repro serve`` starts a single-process server (stdlib asyncio,
+no third-party dependencies) that accepts experiment specs as JSON,
+executes them through the shared :class:`~repro.runner.ParallelRunner`
+machinery, and serves progress and results back over HTTP:
+
+- ``GET  /healthz`` — liveness + job counts;
+- ``POST /jobs`` — submit a spec payload (see
+  :func:`repro.farm.jobs.specs_from_payload`); returns ``202`` with the
+  job id;
+- ``GET  /jobs`` — job summaries, newest last;
+- ``GET  /jobs/<id>`` — full status with per-cell detail;
+- ``GET  /jobs/<id>/results`` — result payloads in spec order (404 until
+  submitted; results stream in as cells settle);
+- ``GET  /jobs/<id>/events`` — Server-Sent Events: the job's progress log
+  replayed from ``Last-Event-ID`` (or ``?after=<seq>``) and followed live
+  until the job reaches a terminal state.
+
+Jobs run one at a time on a dedicated executor thread (the farm queue
+underneath fans cells out to workers); the shared result cache makes an
+identical resubmission settle entirely from cache — ``cached == cells``,
+zero re-executions — which is the service's core promise.
+
+SIGTERM/SIGINT shut the server down cleanly: stop accepting, let the
+in-flight job finish (its cache/journal writes are durable anyway), close
+event streams, exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from typing import Any, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.farm.jobs import TERMINAL_STATES, Job, JobStore
+from repro.runner.engine import ParallelRunner
+from repro.version import __version__
+
+#: Submitted payloads above this are rejected with 413 before parsing.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+RunnerFactory = Callable[[Job], ParallelRunner]
+
+
+class FarmService:
+    """The HTTP front end over a :class:`~repro.farm.jobs.JobStore`.
+
+    ``runner_factory`` builds a fresh runner per job (so journal/executor
+    state never leaks between jobs) — typically a closure over a shared
+    :class:`~repro.runner.cache.ResultCache`, which is what turns
+    identical resubmissions into pure cache reads.
+    """
+
+    def __init__(
+        self,
+        runner_factory: RunnerFactory,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        store: Optional[JobStore] = None,
+    ) -> None:
+        self.store = store if store is not None else JobStore()
+        self.runner_factory = runner_factory
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopping = asyncio.Event()
+        #: One job at a time: the queue executor underneath provides the
+        #: parallelism; serialising jobs keeps cache/journal contention
+        #: trivial to reason about.
+        self._job_lock = asyncio.Lock()
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def request_stop(self) -> None:
+        self._stopping.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until :meth:`request_stop` (usually a signal handler)."""
+        assert self._server is not None, "start() first"
+        async with self._server:
+            await self._stopping.wait()
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------- job execution
+    async def _execute(self, job: Job) -> None:
+        async with self._job_lock:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._run_job, job)
+
+    def _run_job(self, job: Job) -> None:
+        # Runs on an executor thread; everything it touches is the
+        # thread-safe JobStore and a job-private runner.
+        self.store.mark_running(job)
+        try:
+            runner = self.runner_factory(job)
+            runner.progress = self.store.progress_sink(job)
+            if runner.cache is not None:
+                runner.cache.progress = runner.progress
+            outcomes = runner.run(job.specs)
+        except Exception as exc:  # defensive: a crashed job must not
+            self.store.finish(job, None, None, error=repr(exc))  # kill serve
+            return
+        self.store.finish(job, runner.last_report, outcomes)
+
+    # ---------------------------------------------------------------- http
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                keep_alive = await self._dispatch(
+                    writer, method, target, headers, body
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if ":" in line:
+                key, value = line.split(":", 1)
+                headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            return method, target, headers, b"\x00"  # sentinel: too large
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    async def _dispatch(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        target: str,
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> bool:
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        query = parse_qs(url.query)
+        if body == b"\x00":
+            await self._send_json(
+                writer, 413, {"error": "body exceeds MAX_BODY_BYTES"}
+            )
+            return False
+
+        if path == "/healthz" and method == "GET":
+            await self._send_json(
+                writer,
+                200,
+                {"ok": True, "version": __version__, "jobs": self.store.counts()},
+            )
+            return True
+        if path == "/jobs" and method == "POST":
+            return await self._submit(writer, body)
+        if path == "/jobs" and method == "GET":
+            await self._send_json(
+                writer,
+                200,
+                {"jobs": [job.summary() for job in self.store.jobs()]},
+            )
+            return True
+        if path.startswith("/jobs/"):
+            tail = path[len("/jobs/"):].split("/")
+            job = self.store.get(tail[0])
+            if job is None:
+                await self._send_json(
+                    writer, 404, {"error": f"no such job {tail[0]!r}"}
+                )
+                return True
+            if len(tail) == 1 and method == "GET":
+                await self._send_json(writer, 200, job.to_dict())
+                return True
+            if tail[1:] == ["results"] and method == "GET":
+                await self._send_json(
+                    writer,
+                    200,
+                    {
+                        "id": job.id,
+                        "state": job.state,
+                        "counters": job.counters,
+                        "results": job.results,
+                    },
+                )
+                return True
+            if tail[1:] == ["events"] and method == "GET":
+                raw_after = headers.get(
+                    "last-event-id", query.get("after", ["-1"])[0]
+                )
+                try:
+                    after = int(raw_after)
+                except ValueError:
+                    await self._send_json(
+                        writer, 400, {"error": f"bad cursor {raw_after!r}"}
+                    )
+                    return True
+                await self._stream_events(writer, job, after)
+                return False  # SSE consumes the connection
+        await self._send_json(
+            writer, 404 if method == "GET" else 405,
+            {"error": f"cannot {method} {path}"},
+        )
+        return True
+
+    async def _submit(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> bool:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            await self._send_json(writer, 400, {"error": f"bad JSON: {exc}"})
+            return True
+        try:
+            job = self.store.submit(payload)
+        except ValueError as exc:
+            await self._send_json(writer, 400, {"error": str(exc)})
+            return True
+        asyncio.get_running_loop().create_task(self._execute(job))
+        await self._send_json(writer, 202, {"job": job.summary()})
+        return True
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, job: Job, after: int
+    ) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        loop = asyncio.get_running_loop()
+        cursor = after
+        while True:
+            events = await loop.run_in_executor(
+                None, self.store.events_after, job, cursor, 0.5
+            )
+            for event in events:
+                cursor = event["seq"]
+                frame = (
+                    f"id: {event['seq']}\n"
+                    f"event: {event['category']}\n"
+                    f"data: {json.dumps(event, sort_keys=True)}\n\n"
+                )
+                writer.write(frame.encode("utf-8"))
+            if events:
+                await writer.drain()
+            if not events and job.state in TERMINAL_STATES:
+                writer.write(b"event: end\ndata: {}\n\n")
+                await writer.drain()
+                return
+            if self._stopping.is_set():
+                return
+
+    @staticmethod
+    async def _send_json(
+        writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+        ).encode("latin-1")
+        writer.write(head + b"\r\n" + body)
+        await writer.drain()
+
+
+async def _amain(service: FarmService, announce: bool) -> int:
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, service.request_stop)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-main thread / platforms without signal support
+    await service.start()
+    if announce:
+        print(f"repro farm service listening on {service.address}", flush=True)
+    await service.serve_until_stopped()
+    if announce:
+        print("repro farm service stopped", flush=True)
+    return 0
+
+
+def run_service(
+    runner_factory: RunnerFactory,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    announce: bool = True,
+) -> int:
+    """Blocking entry point for ``python -m repro serve``; returns 0."""
+    service = FarmService(runner_factory, host=host, port=port)
+    try:
+        return asyncio.run(_amain(service, announce))
+    except KeyboardInterrupt:  # pragma: no cover — belt and braces
+        return 0
+
+
+__all__ = ["FarmService", "MAX_BODY_BYTES", "run_service"]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from repro.runner import ParallelRunner as _Runner
+
+    raise SystemExit(
+        run_service(lambda job: _Runner(jobs=1), announce=True)
+    )

@@ -1,0 +1,237 @@
+"""The farm worker loop: lease cells, run them, install results.
+
+``python -m repro farm worker --queue-dir Q`` attaches the calling process
+to a grid; any number of workers — across processes and hosts sharing the
+queue directory — drain it cooperatively. Execution goes through the very
+same :func:`repro.runner.execute.run_task` as the in-process and pool
+executors, so a cell's result is bit-identical no matter who ran it.
+
+Failure semantics (the engine's, expressed through the queue):
+
+- a transient exception retries *in place* with the policy's seeded
+  backoff, renewing the lease between attempts, until the cell's total
+  budget (lease steals + local retries) runs out;
+- a deterministic exception (:data:`repro.runner.retry.DETERMINISTIC_ERRORS`)
+  installs a terminal ``failed`` marker immediately;
+- a worker that dies or hangs simply stops renewing: the lease expires
+  and the next claimer steals the cell, charging one attempt — after
+  ``max_attempts`` dead leases the cell is quarantined as poison.
+
+A shared :class:`~repro.runner.cache.ResultCache` doubles as cross-grid
+dedup: a worker checks the cache before simulating, so a cell some other
+grid (or a previous submission) already computed is answered in
+milliseconds and still installs its ``done`` marker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.farm.queue import Lease, LeaseQueue, default_worker_id
+from repro.runner.cache import ResultCache
+from repro.runner.execute import run_task
+from repro.runner.retry import RetryPolicy
+
+ProgressSink = Callable[..., None]
+
+
+@dataclass
+class WorkerStats:
+    """What one worker loop did, for telemetry and exit reporting."""
+
+    worker: str = ""
+    claimed: int = 0
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    #: Cells abandoned because the lease was stolen mid-run (we froze).
+    lost: int = 0
+    retries: int = 0
+    wall_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "worker": self.worker,
+            "claimed": self.claimed,
+            "executed": self.executed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "lost": self.lost,
+            "retries": self.retries,
+            "wall_s": round(self.wall_s, 3),
+        }
+
+
+class _LeaseKeeper(threading.Thread):
+    """Daemon thread renewing one lease at ``ttl/4`` while a cell runs.
+
+    The queue-side analogue of the engine's heartbeat writer: as long as
+    the worker process is alive (even mid-simulation), the lease never
+    expires; the moment it dies, renewals stop and the TTL takes over.
+    Sets ``lost`` when a renewal discovers the lease was stolen.
+    """
+
+    def __init__(self, queue: LeaseQueue, lease: Lease) -> None:
+        super().__init__(name="repro-lease-keeper", daemon=True)
+        self.queue = queue
+        self.lease = lease
+        self.lost = threading.Event()
+        self._stopped = threading.Event()
+
+    def run(self) -> None:
+        interval = max(self.queue.lease_ttl / 4.0, 0.05)
+        while not self._stopped.wait(interval):
+            try:
+                if not self.queue.renew(self.lease):
+                    self.lost.set()
+                    return
+            except OSError:  # transient fs hiccup; the TTL still covers us
+                pass
+
+    def stop(self) -> None:
+        self._stopped.set()
+
+
+def run_leased_cell(
+    queue: LeaseQueue,
+    lease: Lease,
+    cache: Optional[ResultCache],
+    policy: RetryPolicy,
+    stats: WorkerStats,
+    progress: Optional[ProgressSink] = None,
+) -> None:
+    """Drive one claimed cell to a terminal marker (or abandon it if stolen).
+
+    The cell's total attempt budget is shared between lease steals (already
+    charged in ``lease.attempt``) and local transient retries, so a cell
+    cannot consume more than ``policy.max_attempts`` tries farm-wide.
+    """
+
+    def emit(message: str, **data: Any) -> None:
+        if progress is not None:
+            progress("farm", message, **data)
+
+    keeper = _LeaseKeeper(queue, lease)
+    keeper.start()
+    started = time.perf_counter()
+    attempt = lease.attempt
+    try:
+        if cache is not None:
+            hit = cache.load(lease.spec)
+            if hit is not None:
+                queue.complete(
+                    lease, {"result": hit, "wall_s": 0.0, "events": None},
+                    source="cached",
+                )
+                stats.cached += 1
+                emit(f"cached {lease.name}", cell=lease.name, status="cached")
+                return
+        while True:
+            if keeper.lost.is_set():
+                stats.lost += 1
+                emit(f"lost lease on {lease.name} (stolen)", cell=lease.name)
+                return
+            emit(f"run {lease.name}", cell=lease.name, attempt=attempt)
+            try:
+                reply = run_task(
+                    {"spec": lease.spec.to_dict(), "attempt": attempt},
+                    in_process=True,
+                )
+            except Exception as exc:
+                error = repr(exc)
+                deterministic = policy.classify(exc) == "deterministic"
+                if deterministic or attempt + 1 >= policy.max_attempts:
+                    queue.fail(
+                        lease, error, kind="error", attempts=attempt + 1
+                    )
+                    stats.failed += 1
+                    emit(
+                        f"failed {lease.name}: {error}",
+                        cell=lease.name,
+                        status="failed",
+                    )
+                    return
+                delay = policy.delay(lease.fingerprint, attempt)
+                stats.retries += 1
+                emit(
+                    f"retry {lease.name}: {error}",
+                    cell=lease.name,
+                    attempt=attempt + 1,
+                    delay_s=delay,
+                )
+                attempt += 1
+                lease.attempt = attempt  # renewals carry the charge forward
+                time.sleep(delay)
+                continue
+            if cache is not None:
+                cache.store(lease.spec, reply["result"])
+            queue.complete(lease, reply)
+            stats.executed += 1
+            emit(
+                f"done {lease.name}", cell=lease.name, wall_s=reply["wall_s"]
+            )
+            return
+    finally:
+        keeper.stop()
+        stats.wall_s += time.perf_counter() - started
+
+
+def drain_queue(
+    queue_dir: Union[str, Path],
+    cache_dir: Optional[Union[str, Path]] = None,
+    worker_id: Optional[str] = None,
+    lease_ttl: float = 15.0,
+    policy: Optional[RetryPolicy] = None,
+    follow: bool = False,
+    poll_s: float = 0.2,
+    max_cells: Optional[int] = None,
+    progress: Optional[ProgressSink] = None,
+    stop: Optional[threading.Event] = None,
+) -> WorkerStats:
+    """The worker main loop: claim → run → repeat until the grid is drained.
+
+    ``follow=True`` keeps polling for new work after the queue empties
+    (a long-lived worker attached to a farm service); otherwise the loop
+    exits once every enqueued cell has a terminal marker. ``stop`` (an
+    optional :class:`threading.Event`) requests a graceful exit between
+    cells — in-flight work finishes, its lease never goes stale.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    queue = LeaseQueue(
+        queue_dir,
+        lease_ttl=lease_ttl,
+        max_attempts=policy.max_attempts,
+        worker_id=worker_id or default_worker_id(),
+    )
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    stats = WorkerStats(worker=queue.worker_id)
+
+    def emit(message: str, **data: Any) -> None:
+        if progress is not None:
+            progress("farm", message, **data)
+
+    emit(f"worker {queue.worker_id} attached to {queue.root}")
+    while True:
+        if stop is not None and stop.is_set():
+            break
+        if max_cells is not None and stats.claimed >= max_cells:
+            break
+        lease = queue.claim()
+        if lease is None:
+            if queue.unfinished() == 0 and not follow:
+                break  # grid drained
+            # Open cells are all held by live leases (or none exist yet).
+            if stop is not None:
+                if stop.wait(poll_s):
+                    break
+            else:
+                time.sleep(poll_s)
+            continue
+        stats.claimed += 1
+        run_leased_cell(queue, lease, cache, policy, stats, progress)
+    emit(f"worker {queue.worker_id} detached", **stats.to_dict())
+    return stats

@@ -32,8 +32,14 @@ Usage::
 """
 
 from repro.runner.cache import ResultCache
-from repro.runner.engine import ParallelRunner, RunnerOutcome
+from repro.runner.engine import ParallelRunner, RunnerOutcome, resolve_jobs
 from repro.runner.execute import InjectedFault, execute_spec, run_task
+from repro.runner.executors import (
+    Cell,
+    CellExecutor,
+    InProcessExecutor,
+    LocalPoolExecutor,
+)
 from repro.runner.journal import (
     JOURNAL_SCHEMA,
     JournalState,
@@ -58,7 +64,11 @@ __all__ = [
     "DETERMINISTIC_ERRORS",
     "JOURNAL_SCHEMA",
     "SPEC_SCHEMA",
+    "Cell",
+    "CellExecutor",
     "CellTelemetry",
+    "InProcessExecutor",
+    "LocalPoolExecutor",
     "InjectedFault",
     "JournalState",
     "ParallelRunner",
@@ -76,6 +86,7 @@ __all__ = [
     "execute_spec",
     "fingerprint_of",
     "network_size_spec",
+    "resolve_jobs",
     "run_task",
     "selftest_spec",
     "wake_interval_spec",

@@ -1,8 +1,9 @@
-"""The parallel experiment execution engine.
+"""The experiment scheduler: cache/journal pass, retry, telemetry.
 
 :class:`ParallelRunner` schedules :class:`~repro.runner.taskspec.TaskSpec`
-cells over a ``ProcessPoolExecutor`` (spawn context by default, so workers
-never inherit surprise state), with:
+cells onto a pluggable :class:`~repro.runner.executors.CellExecutor`
+(see :mod:`repro.runner.executors`), keeping every cross-cutting concern on
+the scheduler side:
 
 - a result cache consulted before any simulation happens;
 - an optional **run journal** (:mod:`repro.runner.journal`): every
@@ -14,16 +15,6 @@ never inherit surprise state), with:
   :class:`~repro.runner.retry.RunError`-style exceptions fail fast, and
   poison cells (workers that keep dying or hanging) are quarantined in
   the journal after the budget;
-- a bounded in-flight window (= ``jobs``), so a per-task timeout measured
-  from submission is a fair bound on actual run time;
-- crash containment with honest attribution: a dead worker breaks the
-  pool; the engine rebuilds it and re-dispatches the in-flight cells *one
-  at a time* until the offender reveals itself — innocent bystanders are
-  re-queued (``requeues``) without burning their retry budget;
-- a **watchdog** (optional): workers heartbeat a sentinel file with the
-  live simulator's progress; a cell whose worker stops beating (frozen or
-  dead) or whose simulation stops advancing (hung) is killed and retried
-  long before the coarse per-cell timeout;
 - graceful shutdown: with ``handle_signals=True``, the first
   SIGINT/SIGTERM drains in-flight cells and journals the rest as
   interrupted (resumable); a second signal abandons in-flight work
@@ -31,24 +22,26 @@ never inherit surprise state), with:
 - deterministic result ordering: outcomes come back in spec order no matter
   what order cells finished in.
 
-``jobs=1`` is the degenerate serial path: cells run in-process through the
-same :func:`~repro.runner.execute.run_task`, so results are bit-identical
-to the parallel path and to the historical serial drivers.
+Execution strategy is the executor's business: ``jobs=1`` selects the
+serial :class:`~repro.runner.executors.InProcessExecutor` (bit-identical
+to the historical serial drivers), ``jobs=N`` the process-pool
+:class:`~repro.runner.executors.LocalPoolExecutor` (per-cell timeout,
+heartbeat watchdog, crash containment with honest attribution), and
+``jobs=0`` auto-detects ``os.cpu_count()``. Passing ``executor=`` swaps in
+any other strategy — e.g. :class:`repro.farm.QueueExecutor`, which drains
+the grid through a shared work-stealing lease queue that external worker
+processes (other hosts included) can join.
 """
 
 from __future__ import annotations
 
-import json
-import multiprocessing
 import os
-import shutil
 import signal
-import tempfile
 import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import (
     Any,
@@ -59,15 +52,18 @@ from typing import (
     List,
     Optional,
     Sequence,
-    Set,
     Tuple,
     Union,
 )
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 
 from repro.runner.cache import ResultCache
-from repro.runner.execute import run_task, sim_seconds_estimate
+from repro.runner.execute import sim_seconds_estimate
+from repro.runner.executors import (
+    Cell,
+    CellExecutor,
+    InProcessExecutor,
+    LocalPoolExecutor,
+)
 from repro.runner.journal import JournalState, RunJournal
 from repro.runner.retry import RetryPolicy
 from repro.runner.taskspec import TaskSpec
@@ -76,6 +72,19 @@ from repro.runner.telemetry import CellTelemetry, RunnerReport
 #: Signature of a progress sink: ``(category, message, **data)`` — matches
 #: :meth:`repro.sim.trace.Tracer.emit`, so a Tracer can be plugged directly.
 ProgressSink = Callable[..., None]
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Resolve a ``--jobs`` request: ``0`` means auto-detect the CPU count.
+
+    The resolved value is what lands in telemetry — auto-detection is
+    never silent.
+    """
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0 (0 = auto-detect cpu count)")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
 
 
 @dataclass
@@ -104,34 +113,9 @@ class RunnerOutcome:
         return self.result is not None
 
 
-@dataclass
-class _Cell:
-    """Mutable scheduling state of one not-yet-final cell."""
-
-    index: int
-    spec: TaskSpec
-    #: Failed attempts charged so far (the retry budget consumed).
-    attempt: int = 0
-    #: Innocent pool-rebuild requeues suffered (budget NOT consumed).
-    requeues: int = 0
-    #: Monotonic time before which the cell must not be dispatched (backoff).
-    not_before: float = 0.0
-
-
-#: Sentinel meaning "no heartbeat progress sample read yet".
-_NO_PROGRESS = object()
-
-
-@dataclass
-class _Flight:
-    """One submitted future's bookkeeping."""
-
-    cell: _Cell
-    deadline: float
-    submitted: float
-    heartbeat: Optional[str] = None
-    progress: Any = _NO_PROGRESS
-    progress_at: float = 0.0
+#: Backwards-compatible alias: the scheduling-state dataclass moved to
+#: :mod:`repro.runner.executors` with the executor split.
+_Cell = Cell
 
 
 class ParallelRunner:
@@ -150,14 +134,15 @@ class ParallelRunner:
         resume: bool = False,
         watchdog: Optional[float] = None,
         handle_signals: bool = False,
+        executor: Optional[CellExecutor] = None,
     ) -> None:
-        if jobs < 1:
-            raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if watchdog is not None and watchdog <= 0:
             raise ValueError("watchdog must be > 0 seconds")
-        self.jobs = jobs
+        #: The requested value (0 = auto); ``jobs`` below is the resolved one.
+        self.jobs_requested = jobs
+        self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.timeout = timeout
         self.policy = policy if policy is not None else RetryPolicy(retries=retries)
@@ -168,6 +153,12 @@ class ParallelRunner:
         self.resume = resume
         self.watchdog = watchdog
         self.handle_signals = handle_signals
+        if executor is not None:
+            self.executor: CellExecutor = executor
+        elif self.jobs == 1:
+            self.executor = InProcessExecutor()
+        else:
+            self.executor = LocalPoolExecutor(self.jobs, mp_context=mp_context)
         self.last_report: Optional[RunnerReport] = None
         self._interrupts = 0
         self._backoff_total = 0.0
@@ -260,6 +251,10 @@ class ParallelRunner:
         started = time.perf_counter()
         self._interrupts = 0
         self._backoff_total = 0.0
+        if self.jobs_requested == 0:
+            self._emit(
+                f"jobs auto-detected: {self.jobs} (os.cpu_count)", jobs=self.jobs
+            )
         if self.cache is not None and getattr(self.cache, "progress", None) is None:
             self.cache.progress = self.progress
         journal, replayed = self._open_journal(specs, resume)
@@ -267,7 +262,7 @@ class ParallelRunner:
 
         with self._signal_guard():
             # Journal + cache pass first: settled cells never occupy a worker.
-            pending: Deque[_Cell] = deque()
+            pending: Deque[Cell] = deque()
             for index, spec in enumerate(specs):
                 fingerprint = spec.fingerprint
                 record = replayed.completed.get(fingerprint) if replayed else None
@@ -319,13 +314,10 @@ class ParallelRunner:
                     )
                     self._emit(f"cached {spec.name}", cell=spec.name, status="cached")
                 else:
-                    pending.append(_Cell(index, spec))
+                    pending.append(Cell(index, spec))
 
             if pending and self._interrupts == 0:
-                if self.jobs == 1:
-                    self._run_serial(pending, outcomes, journal)
-                else:
-                    self._run_parallel(pending, outcomes, journal)
+                self.executor.drain(self, pending, outcomes, journal)
 
         interrupted = 0
         for index, spec in enumerate(specs):
@@ -365,7 +357,7 @@ class ParallelRunner:
     def _finalize(
         self,
         outcomes: List[Optional[RunnerOutcome]],
-        cell: _Cell,
+        cell: Cell,
         reply: Dict[str, Any],
         journal: Optional[RunJournal],
     ) -> None:
@@ -397,9 +389,9 @@ class ParallelRunner:
 
     def _handle_failure(
         self,
-        pending: Deque[_Cell],
+        pending: Deque[Cell],
         outcomes: List[Optional[RunnerOutcome]],
-        cell: _Cell,
+        cell: Cell,
         wall: float,
         journal: Optional[RunJournal],
         kind: str,
@@ -472,7 +464,7 @@ class ParallelRunner:
             quarantined=quarantined,
         )
 
-    # ---------------------------------------------------------------- serial
+    # ------------------------------------------------------------- utilities
     def _sleep_interruptible(self, seconds: float) -> bool:
         """Sleep up to ``seconds``; False if a shutdown signal arrived."""
         deadline = time.monotonic() + seconds
@@ -482,334 +474,6 @@ class ParallelRunner:
             time.sleep(min(0.05, max(deadline - time.monotonic(), 0.0)))
         return not self._interrupts
 
-    def _run_serial(
-        self,
-        pending: Deque[_Cell],
-        outcomes: List[Optional[RunnerOutcome]],
-        journal: Optional[RunJournal],
-    ) -> None:
-        while pending:
-            if self._interrupts:
-                return
-            cell = pending.popleft()
-            wait_s = cell.not_before - time.monotonic()
-            if wait_s > 0 and not self._sleep_interruptible(wait_s):
-                pending.appendleft(cell)
-                return
-            self._emit(f"run {cell.spec.name}", cell=cell.spec.name, attempt=cell.attempt)
-            self._journal(
-                journal,
-                "dispatch",
-                cell=cell.spec.fingerprint,
-                index=cell.index,
-                attempt=cell.attempt,
-            )
-            cell_started = time.perf_counter()
-            try:
-                reply = run_task(
-                    {"spec": cell.spec.to_dict(), "attempt": cell.attempt},
-                    in_process=True,
-                )
-            except Exception as exc:  # injected faults / executor bugs
-                self._handle_failure(
-                    pending,
-                    outcomes,
-                    cell,
-                    time.perf_counter() - cell_started,
-                    journal,
-                    kind="error",
-                    exc=exc,
-                )
-                continue
-            self._finalize(outcomes, cell, reply, journal)
-
-    # -------------------------------------------------------------- parallel
-    def _new_pool(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
-            max_workers=self.jobs,
-            mp_context=multiprocessing.get_context(self.mp_context),
-        )
-
-    @staticmethod
-    def _kill_pool(pool: ProcessPoolExecutor) -> None:
-        """Forcibly stop a pool whose workers may be hung or dead."""
-        for process in list((getattr(pool, "_processes", None) or {}).values()):
-            try:
-                process.kill()
-            except Exception:  # already gone
-                pass
-        pool.shutdown(wait=False, cancel_futures=True)
-
-    def _pick(
-        self,
-        pending: Deque[_Cell],
-        suspects: Set[str],
-        in_flight: Dict[Future, _Flight],
-        now: float,
-    ) -> Optional[_Cell]:
-        """Next dispatchable cell, honouring backoff and crash isolation.
-
-        While ``suspects`` is non-empty (a pool break with ambiguous
-        attribution), cells are dispatched one at a time so the next break
-        unambiguously names its offender.
-        """
-        if suspects and not any(
-            c.spec.fingerprint in suspects for c in pending
-        ):
-            suspects.clear()  # every suspect reached a final disposition
-        restrict = bool(suspects)
-        if restrict and in_flight:
-            return None
-        for position, cell in enumerate(pending):
-            if restrict and cell.spec.fingerprint not in suspects:
-                continue
-            if cell.not_before > now:
-                if restrict:
-                    return None  # keep isolation strict even across backoff
-                continue
-            del pending[position]
-            return cell
-        return None
-
-    def _submit_ready(
-        self,
-        pool: ProcessPoolExecutor,
-        pending: Deque[_Cell],
-        in_flight: Dict[Future, _Flight],
-        suspects: Set[str],
-        heartbeat_dir: Optional[str],
-        heartbeat_s: float,
-        journal: Optional[RunJournal],
-    ) -> ProcessPoolExecutor:
-        while pending and len(in_flight) < self.jobs:
-            now = time.monotonic()
-            cell = self._pick(pending, suspects, in_flight, now)
-            if cell is None:
-                break
-            deadline = now + self.timeout if self.timeout is not None else float("inf")
-            payload: Dict[str, Any] = {
-                "spec": cell.spec.to_dict(),
-                "attempt": cell.attempt,
-            }
-            heartbeat_path = None
-            if heartbeat_dir is not None:
-                heartbeat_path = os.path.join(
-                    heartbeat_dir, f"hb-{cell.index}-{cell.attempt}.json"
-                )
-                payload["heartbeat"] = heartbeat_path
-                payload["heartbeat_s"] = heartbeat_s
-            self._emit(f"run {cell.spec.name}", cell=cell.spec.name, attempt=cell.attempt)
-            self._journal(
-                journal,
-                "dispatch",
-                cell=cell.spec.fingerprint,
-                index=cell.index,
-                attempt=cell.attempt,
-            )
-            try:
-                future = pool.submit(run_task, payload)
-            except BrokenProcessPool:
-                # The pool died between completions. If futures are still in
-                # flight their breakage is handled by the main loop;
-                # otherwise rebuild right here so the loop can't spin.
-                pending.appendleft(cell)
-                if not in_flight:
-                    self._kill_pool(pool)
-                    pool = self._new_pool()
-                break
-            in_flight[future] = _Flight(
-                cell, deadline, now, heartbeat_path, _NO_PROGRESS, now
-            )
-        return pool
-
-    def _watchdog_verdict(self, flight: _Flight, now: float) -> Optional[str]:
-        """Why this flight should be killed, or None while it looks alive.
-
-        Distinguishes the failure modes: *no heartbeat file* / *stale
-        heartbeat* means the worker is dead or frozen; *fresh heartbeat
-        with flat progress* means the simulation itself is hung.
-        """
-        window = self.watchdog
-        assert window is not None and flight.heartbeat is not None
-        try:
-            stat = os.stat(flight.heartbeat)
-        except OSError:
-            # Spawned workers import the package before the first beat;
-            # give them a doubled grace window to appear at all.
-            if now - flight.submitted > 2 * window:
-                return (
-                    f"no heartbeat within {2 * window:.1f}s of dispatch "
-                    "(worker presumed dead)"
-                )
-            return None
-        staleness = time.time() - stat.st_mtime
-        if staleness > window:
-            return f"heartbeat lost for {staleness:.1f}s (worker hung or dead)"
-        try:
-            beat = json.loads(Path(flight.heartbeat).read_text())
-        except (OSError, ValueError):  # racing the atomic replace
-            return None
-        progress = (beat.get("events"), beat.get("sim_t"))
-        if flight.progress is _NO_PROGRESS or progress != flight.progress:
-            flight.progress = progress
-            flight.progress_at = now
-            return None
-        if now - flight.progress_at > window:
-            return (
-                f"stalled: no simulator progress for "
-                f"{now - flight.progress_at:.1f}s (hung cell)"
-            )
-        return None
-
-    def _run_parallel(
-        self,
-        pending: Deque[_Cell],
-        outcomes: List[Optional[RunnerOutcome]],
-        journal: Optional[RunJournal],
-    ) -> None:
-        pool = self._new_pool()
-        in_flight: Dict[Future, _Flight] = {}
-        suspects: Set[str] = set()
-        heartbeat_dir = (
-            tempfile.mkdtemp(prefix="repro-heartbeat-")
-            if self.watchdog is not None
-            else None
-        )
-        heartbeat_s = min(1.0, (self.watchdog or 4.0) / 4.0)
-        tick = 0.1 if self.timeout is None else min(0.1, self.timeout / 4)
-        try:
-            while pending or in_flight:
-                if self._interrupts >= 2:
-                    return  # abandon: in-flight cells stay unfinished
-                if self._interrupts == 0:
-                    pool = self._submit_ready(
-                        pool, pending, in_flight, suspects,
-                        heartbeat_dir, heartbeat_s, journal,
-                    )
-                elif not in_flight:
-                    return  # drained
-                if not in_flight:
-                    # Every dispatchable cell is backing off; nap briefly.
-                    soonest = min(cell.not_before for cell in pending)
-                    time.sleep(
-                        min(max(soonest - time.monotonic(), 0.0), 0.25) or 0.01
-                    )
-                    continue
-
-                done, _ = wait(in_flight, timeout=tick, return_when=FIRST_COMPLETED)
-                broken: List[_Flight] = []
-                for future in done:
-                    flight = in_flight.pop(future)
-                    cell = flight.cell
-                    exc = future.exception()
-                    if exc is None:
-                        self._finalize(outcomes, cell, future.result(), journal)
-                        suspects.discard(cell.spec.fingerprint)
-                    elif isinstance(exc, BrokenProcessPool):
-                        broken.append(flight)
-                    else:
-                        self._handle_failure(
-                            pending,
-                            outcomes,
-                            cell,
-                            time.monotonic() - flight.submitted,
-                            journal,
-                            kind="error",
-                            exc=exc,
-                        )
-                        if outcomes[cell.index] is not None:
-                            suspects.discard(cell.spec.fingerprint)
-
-                if broken:
-                    # Everything still in flight shares the dead pool.
-                    casualties = broken + list(in_flight.values())
-                    in_flight.clear()
-                    self._kill_pool(pool)
-                    now = time.monotonic()
-                    if len(casualties) == 1:
-                        # Sole occupant: attribution is certain — charge it.
-                        flight = casualties[0]
-                        self._handle_failure(
-                            pending,
-                            outcomes,
-                            flight.cell,
-                            now - flight.submitted,
-                            journal,
-                            kind="crash",
-                            error="worker process died (BrokenProcessPool)",
-                        )
-                    else:
-                        # Ambiguous: requeue everyone without burning budget
-                        # and isolate; the next break names its offender.
-                        for flight in sorted(
-                            casualties, key=lambda f: f.cell.index, reverse=True
-                        ):
-                            cell = flight.cell
-                            cell.requeues += 1
-                            suspects.add(cell.spec.fingerprint)
-                            self._journal(
-                                journal,
-                                "requeue",
-                                cell=cell.spec.fingerprint,
-                                requeues=cell.requeues,
-                                reason="pool broken (sibling worker died)",
-                            )
-                            self._emit(
-                                f"requeue {cell.spec.name} (pool broken, "
-                                "isolating suspects)",
-                                cell=cell.spec.name,
-                            )
-                            pending.appendleft(cell)
-                    pool = self._new_pool()
-                    continue
-
-                now = time.monotonic()
-                expired: Dict[Future, str] = {}
-                for future, flight in in_flight.items():
-                    if now > flight.deadline:
-                        expired[future] = f"timed out after {self.timeout}s"
-                    elif heartbeat_dir is not None and flight.heartbeat:
-                        verdict = self._watchdog_verdict(flight, now)
-                        if verdict is not None:
-                            expired[future] = verdict
-                if expired:
-                    # There is no portable way to interrupt one worker, so
-                    # the pool dies; offenders are charged, innocent
-                    # bystanders are re-queued without burning budget.
-                    self._kill_pool(pool)
-                    for future, flight in in_flight.items():
-                        cell = flight.cell
-                        if future in expired:
-                            self._handle_failure(
-                                pending,
-                                outcomes,
-                                cell,
-                                now - flight.submitted,
-                                journal,
-                                kind="hang",
-                                error=expired[future],
-                            )
-                        else:
-                            cell.requeues += 1
-                            self._journal(
-                                journal,
-                                "requeue",
-                                cell=cell.spec.fingerprint,
-                                requeues=cell.requeues,
-                                reason="pool restarted (sibling killed)",
-                            )
-                            self._emit(
-                                f"requeue {cell.spec.name} (pool restarted)",
-                                cell=cell.spec.name,
-                            )
-                            pending.appendleft(cell)
-                    in_flight.clear()
-                    pool = self._new_pool()
-        finally:
-            self._kill_pool(pool)
-            if heartbeat_dir is not None:
-                shutil.rmtree(heartbeat_dir, ignore_errors=True)
-
     # ------------------------------------------------------------- reporting
     def _report(
         self,
@@ -818,7 +482,9 @@ class ParallelRunner:
         journal: Optional[RunJournal],
     ) -> RunnerReport:
         report = RunnerReport(
-            jobs=self.jobs,
+            jobs=self.executor.slots,
+            executor=self.executor.name,
+            jobs_requested=self.jobs_requested,
             wall_s=wall_s,
             backoff_s=round(self._backoff_total, 4),
             journal=str(journal.path) if journal is not None else None,

@@ -47,6 +47,12 @@ class RunnerReport:
     """Aggregate outcome of one grid run."""
 
     jobs: int
+    #: Name of the executor that drained the grid ("in-process",
+    #: "local-pool", "queue", …) — see :mod:`repro.runner.executors`.
+    executor: str = "in-process"
+    #: The ``jobs`` value as requested (0 = auto-detect); ``jobs`` above is
+    #: always the resolved worker count, so auto-detection is never silent.
+    jobs_requested: Optional[int] = None
     cells: List[CellTelemetry] = field(default_factory=list)
     #: Wall-clock seconds for the whole grid (includes scheduling overhead).
     wall_s: float = 0.0
@@ -132,6 +138,8 @@ class RunnerReport:
         """The summary numbers as a plain dict (for JSON/bench output)."""
         return {
             "jobs": self.jobs,
+            "jobs_requested": self.jobs_requested,
+            "executor": self.executor,
             "cells": len(self.cells),
             "executed": self.executed,
             "cached": self.cached,
@@ -206,6 +214,6 @@ class RunnerReport:
         table = ascii_table(
             ["cell", "kind", "status", "attempts", "req", "wall_s", "sim_s", "error"],
             rows,
-            title=f"Runner telemetry (jobs={self.jobs})",
+            title=f"Runner telemetry (executor={self.executor}, jobs={self.jobs})",
         )
         return table + "\n" + self.summary_line()

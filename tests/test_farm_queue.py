@@ -1,0 +1,222 @@
+"""Lease-queue semantics: claims, steals, poison, and the worker loop."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.farm.queue import QUEUE_SCHEMA, LeaseQueue
+from repro.farm.worker import WorkerStats, drain_queue, run_leased_cell
+from repro.runner import ParallelRunner
+from repro.runner.retry import RetryPolicy
+from repro.runner.taskspec import selftest_spec
+
+
+def make_queue(tmp_path, **kwargs):
+    kwargs.setdefault("lease_ttl", 5.0)
+    return LeaseQueue(tmp_path / "q", **kwargs)
+
+
+class TestEnqueueAndClaim:
+    def test_put_is_idempotent(self, tmp_path):
+        queue = make_queue(tmp_path)
+        spec = selftest_spec(0)
+        assert queue.put(spec, 0) is True
+        assert queue.put(spec, 0) is False
+        assert queue.unfinished() == 1
+
+    def test_meta_records_schema(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.ensure()
+        meta = json.loads((queue.root / "meta.json").read_text())
+        assert meta["schema"] == QUEUE_SCHEMA
+
+    def test_claim_is_exclusive(self, tmp_path):
+        queue_a = make_queue(tmp_path, worker_id="a")
+        queue_b = make_queue(tmp_path, worker_id="b")
+        queue_a.put(selftest_spec(0), 0)
+        lease = queue_a.claim()
+        assert lease is not None and lease.worker == "a"
+        assert queue_b.claim() is None  # held by a live lease
+
+    def test_claims_follow_seq_order(self, tmp_path):
+        queue = make_queue(tmp_path)
+        specs = [selftest_spec(i) for i in range(3)]
+        queue.put_all(specs)
+        claimed = [queue.claim().fingerprint for _ in range(3)]
+        assert claimed == [spec.fingerprint for spec in specs]
+
+    def test_claim_returns_none_when_drained(self, tmp_path):
+        queue = make_queue(tmp_path)
+        spec = selftest_spec(0)
+        queue.put(spec, 0)
+        lease = queue.claim()
+        queue.complete(lease, {"result": {"ok": 1}, "wall_s": 0.0})
+        assert queue.claim() is None
+        assert queue.unfinished() == 0
+
+
+class TestLeaseStealing:
+    def test_expired_lease_is_stolen_with_attempt_charge(self, tmp_path):
+        dead = make_queue(tmp_path, lease_ttl=0.2, worker_id="dead")
+        dead.put(selftest_spec(0), 0)
+        lease = dead.claim()
+        assert lease.attempt == 0
+        time.sleep(0.3)  # the dead worker never renews
+        stealer = make_queue(tmp_path, lease_ttl=0.2, worker_id="stealer")
+        stolen = stealer.claim()
+        assert stolen is not None
+        assert stolen.attempt == 1  # the steal burned one retry
+
+    def test_live_lease_survives_renewal(self, tmp_path):
+        queue = make_queue(tmp_path, lease_ttl=0.4)
+        queue.put(selftest_spec(0), 0)
+        lease = queue.claim()
+        for _ in range(3):
+            time.sleep(0.2)
+            assert queue.renew(lease) is True
+        rival = make_queue(tmp_path, lease_ttl=0.4, worker_id="rival")
+        assert rival.claim() is None
+
+    def test_stolen_lease_fails_renewal(self, tmp_path):
+        queue = make_queue(tmp_path, lease_ttl=0.2, worker_id="slow")
+        queue.put(selftest_spec(0), 0)
+        lease = queue.claim()
+        time.sleep(0.3)
+        stealer = make_queue(tmp_path, lease_ttl=5.0, worker_id="stealer")
+        assert stealer.claim() is not None
+        assert queue.renew(lease) is False  # the token changed hands
+
+    def test_poison_cell_quarantined_after_budget(self, tmp_path):
+        queue = make_queue(tmp_path, lease_ttl=0.1, max_attempts=2)
+        spec = selftest_spec(0)
+        queue.put(spec, 0)
+        assert queue.claim() is not None  # attempt 0, then "dies"
+        time.sleep(0.15)
+        # Steal would be attempt 1 == max_attempts - 1: allowed once more.
+        second = queue.claim()
+        assert second is not None and second.attempt == 1
+        time.sleep(0.15)
+        # Next steal would be attempt 2 >= max_attempts: quarantine.
+        assert queue.claim() is None
+        marker = queue.outcome_for(spec.fingerprint)
+        assert marker["terminal"] == "failed"
+        assert marker["quarantined"] is True
+        assert "lease expired" in marker["error"]
+
+    def test_complete_is_idempotent(self, tmp_path):
+        queue = make_queue(tmp_path)
+        spec = selftest_spec(0)
+        queue.put(spec, 0)
+        lease = queue.claim()
+        queue.complete(lease, {"result": {"v": 1}, "wall_s": 0.5})
+        # A racing duplicate completion must not clobber the marker.
+        queue.complete(lease, {"result": {"v": 2}, "wall_s": 9.9})
+        assert queue.outcome_for(spec.fingerprint)["result"] == {"v": 1}
+
+
+class TestWorkerLoop:
+    def test_drain_queue_executes_all_cells(self, tmp_path):
+        queue = make_queue(tmp_path)
+        specs = [selftest_spec(i, payload=5) for i in range(4)]
+        queue.put_all(specs)
+        stats = drain_queue(queue.root, worker_id="w0")
+        assert stats.executed == 4 and stats.failed == 0
+        reference = ParallelRunner(jobs=1).run(specs)
+        for spec, ref in zip(specs, reference):
+            marker = queue.outcome_for(spec.fingerprint)
+            assert marker["terminal"] == "done"
+            assert marker["result"] == ref.result
+
+    def test_two_threads_share_one_grid(self, tmp_path):
+        queue = make_queue(tmp_path)
+        specs = [selftest_spec(i, sleep_s=0.01) for i in range(8)]
+        queue.put_all(specs)
+        results = {}
+
+        def work(name):
+            results[name] = drain_queue(queue.root, worker_id=name)
+
+        threads = [
+            threading.Thread(target=work, args=(f"w{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        # At-least-once execution: a rare claim/settle race may re-run a
+        # cell, but duplicate completions are no-ops and results identical.
+        total = sum(s.executed + s.cached for s in results.values())
+        assert total >= len(specs)
+        assert all(s.failed == 0 for s in results.values())
+        assert queue.unfinished() == 0
+        reference = ParallelRunner(jobs=1).run(specs)
+        for spec, ref in zip(specs, reference):
+            assert queue.outcome_for(spec.fingerprint)["result"] == ref.result
+
+    def test_worker_serves_from_shared_cache(self, tmp_path):
+        from repro.runner import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        specs = [selftest_spec(i) for i in range(3)]
+        for spec, outcome in zip(specs, ParallelRunner(jobs=1, cache=cache).run(specs)):
+            assert outcome.result is not None
+        queue = make_queue(tmp_path)
+        queue.put_all(specs)
+        stats = drain_queue(queue.root, cache_dir=cache.root, worker_id="warm")
+        assert stats.cached == 3 and stats.executed == 0
+        for spec in specs:
+            assert queue.outcome_for(spec.fingerprint)["source"] == "cached"
+
+    def test_transient_fault_retries_in_place_then_succeeds(self, tmp_path):
+        queue = make_queue(tmp_path)
+        flaky = selftest_spec(0, fault={"error_attempts": 1})
+        queue.put(flaky, 0)
+        lease = queue.claim()
+        stats = WorkerStats(worker="w")
+        run_leased_cell(
+            queue, lease, cache=None,
+            policy=RetryPolicy(retries=2, backoff_base_s=0.01), stats=stats,
+        )
+        marker = queue.outcome_for(flaky.fingerprint)
+        assert marker is not None and marker["terminal"] == "done"
+        assert marker["attempts"] == 2  # one fault + one success
+        assert stats.retries == 1 and stats.executed == 1
+
+    def test_budget_exhaustion_installs_failed_marker(self, tmp_path):
+        queue = make_queue(tmp_path)
+        bad = selftest_spec(0, fault={"error_attempts": 99})
+        queue.put(bad, 0)
+        lease = queue.claim()
+        stats = WorkerStats(worker="w")
+        run_leased_cell(
+            queue, lease, cache=None,
+            policy=RetryPolicy(retries=1, backoff_base_s=0.01), stats=stats,
+        )
+        marker = queue.outcome_for(bad.fingerprint)
+        assert marker is not None and marker["terminal"] == "failed"
+        assert "InjectedFault" in marker["error"]
+        assert stats.failed == 1
+
+    def test_max_cells_bounds_one_worker(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.put_all([selftest_spec(i) for i in range(5)])
+        stats = drain_queue(queue.root, max_cells=2, worker_id="bounded")
+        assert stats.claimed == 2
+        assert queue.unfinished() == 3
+
+    def test_stop_event_exits_promptly(self, tmp_path):
+        queue = make_queue(tmp_path)
+        stop = threading.Event()
+        stop.set()
+        stats = drain_queue(queue.root, follow=True, stop=stop, worker_id="s")
+        assert stats.claimed == 0
+
+
+class TestValidation:
+    def test_bad_ttl_and_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            LeaseQueue(tmp_path / "q", lease_ttl=0)
+        with pytest.raises(ValueError):
+            LeaseQueue(tmp_path / "q", max_attempts=0)

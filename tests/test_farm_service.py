@@ -1,0 +1,216 @@
+"""The farm HTTP service: submit, poll, stream, resubmit-from-cache.
+
+One server subprocess per test class (port 0 = kernel-assigned), spoken
+to through :mod:`repro.farm.client` — the same stdlib client the CLI
+uses, so these tests cover both ends of the wire.
+"""
+
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.farm import client, specs_from_payload
+from repro.farm.jobs import MAX_CELLS, JobStore
+from repro.runner import ParallelRunner
+from repro.runner.taskspec import selftest_spec
+
+SELFTEST_PAYLOAD = {"grid": "selftest", "cells": 4, "payload": 9}
+
+
+def _spawn_server(tmp_path, *extra):
+    env = dict(os.environ)
+    src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "--port", "0",
+            "--cache-dir", str(tmp_path / "cache"), *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"http://\S+", line)
+    if match is None:
+        proc.kill()
+        pytest.fail(f"server did not announce an address: {line!r}")
+    return proc, match.group(0)
+
+
+@pytest.fixture(scope="class")
+def server(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("farm-service")
+    proc, url = _spawn_server(tmp_path)
+    yield url
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=20) == 0  # clean shutdown is part of the API
+
+
+@pytest.mark.usefixtures("server")
+class TestServiceEndpoints:
+    def test_healthz(self, server):
+        health = client.health(server)
+        assert health["ok"] is True
+        assert "total" in health["jobs"]
+
+    def test_submit_poll_results_roundtrip(self, server):
+        job = client.submit(server, SELFTEST_PAYLOAD)
+        assert job["state"] in ("queued", "running")
+        status = client.wait(server, job["id"], timeout=60)
+        assert status["state"] == "done"
+        assert status["counters"]["cells"] == 4
+        payload = client.results(server, job["id"])
+        reference = ParallelRunner(jobs=1).run(
+            specs_from_payload(SELFTEST_PAYLOAD)
+        )
+        assert payload["results"] == [o.result for o in reference]
+
+    def test_resubmission_settles_entirely_from_cache(self, server):
+        spec = {"grid": "selftest", "cells": 3, "payload": 77}
+        first = client.wait(
+            server, client.submit(server, spec)["id"], timeout=60
+        )
+        assert first["counters"]["executed"] == 3
+        second = client.wait(
+            server, client.submit(server, spec)["id"], timeout=60
+        )
+        # The acceptance criterion: cache hits == cells, zero re-execution.
+        assert second["counters"]["cached"] == 3
+        assert second["counters"]["executed"] == 0
+        res1 = client.results(server, first["id"])["results"]
+        res2 = client.results(server, second["id"])["results"]
+        assert res1 == res2
+
+    def test_sse_stream_replays_and_terminates(self, server):
+        job = client.submit(server, SELFTEST_PAYLOAD)
+        events = list(client.events(server, job["id"], timeout=60))
+        assert events, "expected at least the terminal job event"
+        messages = [e["message"] for e in events]
+        assert messages[-1] == "done"
+        # Cursored replay: asking again after the last seq yields only
+        # the stream end (no duplicate history).
+        tail = list(
+            client.events(server, job["id"], after=events[-1]["seq"], timeout=30)
+        )
+        assert tail == []
+
+    def test_job_listing_and_detail(self, server):
+        job = client.submit(server, SELFTEST_PAYLOAD)
+        client.wait(server, job["id"], timeout=60)
+        listed = client._request(server, "/jobs")["jobs"]
+        assert any(entry["id"] == job["id"] for entry in listed)
+        detail = client.job(server, job["id"])
+        assert len(detail["cell_detail"]) == 4
+        assert all("fingerprint" in cell for cell in detail["cell_detail"])
+
+    def test_bad_payload_is_a_400(self, server):
+        with pytest.raises(client.FarmClientError) as excinfo:
+            client.submit(server, {"grid": "nonsense"})
+        assert excinfo.value.status == 400
+        with pytest.raises(client.FarmClientError) as excinfo:
+            client.submit(server, {"cells": []})
+        assert excinfo.value.status == 400
+
+    def test_unknown_job_is_a_404(self, server):
+        with pytest.raises(client.FarmClientError) as excinfo:
+            client.job(server, "no-such-job")
+        assert excinfo.value.status == 404
+
+
+class TestSpecPayloads:
+    """specs_from_payload contract, independent of a running server."""
+
+    def test_selftest_grid(self):
+        specs = specs_from_payload({"grid": "selftest", "cells": 2})
+        assert [s.kind for s in specs] == ["selftest", "selftest"]
+
+    def test_comparison_grid_covers_the_matrix(self):
+        specs = specs_from_payload(
+            {
+                "grid": "comparison",
+                "variants": ["tele", "rpl"],
+                "channels": [26, 19],
+                "seeds": [1, 2],
+                "schedule": {"n_controls": 2, "converge_seconds": 30.0},
+            }
+        )
+        assert len(specs) == 8
+        assert all(s.kind == "comparison" for s in specs)
+
+    def test_chaos_grid(self):
+        specs = specs_from_payload(
+            {
+                "grid": "chaos",
+                "variants": ["tele"],
+                "intensities": [0.25, 1.0],
+                "seeds": [3],
+            }
+        )
+        assert len(specs) == 2
+        assert all(s.kind == "chaos" for s in specs)
+
+    def test_raw_cells_roundtrip(self):
+        spec = selftest_spec(7, payload=1)
+        rebuilt = specs_from_payload({"cells": [spec.to_dict()]})
+        assert rebuilt[0].fingerprint == spec.fingerprint
+
+    def test_malformed_payloads_raise_value_error(self):
+        for bad in (
+            [],
+            {"grid": "bogus"},
+            {"cells": "not-a-list"},
+            {"cells": [{"no": "kind"}]},
+            {"grid": "selftest", "cells": 0},
+            {"grid": "comparison", "schedule": "fast"},
+        ):
+            with pytest.raises(ValueError):
+                specs_from_payload(bad)
+
+    def test_cell_ceiling_enforced(self):
+        with pytest.raises(ValueError):
+            specs_from_payload({"grid": "selftest", "cells": MAX_CELLS + 1})
+
+
+class TestJobStore:
+    def test_identical_grids_share_a_fingerprint(self):
+        store = JobStore()
+        a = store.submit(SELFTEST_PAYLOAD)
+        b = store.submit(dict(SELFTEST_PAYLOAD))
+        assert a.grid == b.grid and a.id != b.id
+        assert store.siblings(b) == [a]
+
+    def test_progress_sink_flips_cell_status(self):
+        store = JobStore()
+        job = store.submit({"grid": "selftest", "cells": 1})
+        sink = store.progress_sink(job)
+        label = job.cells[0]["label"]
+        sink("runner", f"run {label}", cell=label, attempt=0)
+        assert job.cells[0]["status"] == "running"
+        sink("runner", f"done {label}", cell=label, wall_s=0.5)
+        assert job.cells[0]["status"] == "executed"
+        assert [e["message"] for e in job.events] == [
+            f"run {label}", f"done {label}"
+        ]
+
+    def test_events_after_blocks_until_terminal(self):
+        store = JobStore()
+        job = store.submit({"grid": "selftest", "cells": 1})
+        started = time.monotonic()
+        assert store.events_after(job, after=10, timeout=0.2) == []
+        assert time.monotonic() - started >= 0.15
+        store.finish(job, None, None, error="boom")
+        assert job.state == "failed"
+        # Terminal state short-circuits the wait.
+        started = time.monotonic()
+        assert store.events_after(job, after=10, timeout=5.0) == []
+        assert time.monotonic() - started < 1.0

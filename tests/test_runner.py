@@ -212,9 +212,19 @@ class TestParallelPath:
 
 
 class TestValidation:
-    def test_jobs_must_be_positive(self):
+    def test_jobs_must_be_non_negative(self):
         with pytest.raises(ValueError):
-            ParallelRunner(jobs=0)
+            ParallelRunner(jobs=-1)
+
+    def test_jobs_zero_auto_detects_cpu_count(self):
+        import os
+
+        runner = ParallelRunner(jobs=0)
+        assert runner.jobs == (os.cpu_count() or 1)
+        assert runner.jobs_requested == 0
+        runner.run([selftest_spec(0)])
+        assert runner.last_report.jobs == runner.jobs
+        assert runner.last_report.jobs_requested == 0
 
     def test_retries_must_be_non_negative(self):
         with pytest.raises(ValueError):
