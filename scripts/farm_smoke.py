@@ -14,8 +14,15 @@ Sequence (any failure exits non-zero):
 4. resubmit the identical spec and require ``cached == cells`` with zero
    re-executions — the results-as-a-service acceptance;
 5. SIGTERM both processes and require clean exit (server exit code 0).
+
+``--havoc SEED`` runs the same sequence under a seeded havoc schedule
+(:func:`repro.havoc.generate_plan`): the server streams SSE through an
+injected drop, one worker SIGKILLs itself at a lease boundary, the other
+rides out an ENOSPC window — and the grid must still complete with the
+same results, exercising the hardening the CI ``havoc-smoke`` job pins.
 """
 
+import argparse
 import json
 import os
 import pathlib
@@ -30,60 +37,129 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
 from repro.farm import client  # noqa: E402
+from repro.havoc import ENV_VAR, HavocEvent, HavocPlan, generate_plan  # noqa: E402
 
 
-def main() -> int:
-    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-farm-smoke-"))
+def _base_env():
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
-    queue_root = workdir / "queues"
-    cache_dir = workdir / "cache"
+    env.pop(ENV_VAR, None)
+    return env
 
+
+def _spawn_server(cache_dir, queue_root, plan=None):
+    env = _base_env()
+    if plan is not None:
+        env[ENV_VAR] = plan.to_json()
     server = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "serve", "--port", "0",
             "--cache-dir", str(cache_dir),
             "--queue-dir", str(queue_root),
             "--no-self-drain",
+            "--lease-ttl", "2.0",
         ],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
     )
-    worker = None
+    line = server.stdout.readline()
+    match = re.search(r"http://\S+", line)
+    assert match, f"no server address in {line!r}"
+    return server, match.group(0)
+
+
+def _spawn_worker(queue_dir, cache_dir, plan=None):
+    env = _base_env()
+    if plan is not None:
+        env[ENV_VAR] = plan.to_json()
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "farm", "worker",
+            "--queue-dir", str(queue_dir),
+            "--cache-dir", str(cache_dir),
+            "--lease-ttl", "2.0",
+            "--follow", "--quiet",
+        ],
+        env=env,
+    )
+
+
+def _await_queue_dir(queue_root, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        candidates = list(queue_root.glob("*/tasks"))
+        if candidates:
+            return candidates[0].parent
+        time.sleep(0.1)
+    raise AssertionError("server never materialised a queue")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--havoc", type=int, default=None, metavar="SEED",
+        help="run the smoke under a seeded havoc schedule",
+    )
+    args = parser.parse_args()
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-farm-smoke-"))
+    queue_root = workdir / "queues"
+    cache_dir = workdir / "cache"
+
+    server_plan = worker_plans = None
+    if args.havoc is not None:
+        # One seeded schedule, split across the processes that enact it:
+        # the server gets the SSE drop, worker 0 the SIGKILL, worker 1 the
+        # ENOSPC window. generate_plan is pure in its seed, so re-running
+        # with the same --havoc value replays the identical injections.
+        plan = generate_plan(args.havoc, name=f"smoke-{args.havoc}")
+        by_kind = {e.kind: e for e in plan.events}
+        server_plan = HavocPlan(
+            events=(by_kind["sse_drop"],), seed=plan.seed, name=plan.name
+        )
+        worker_plans = [
+            HavocPlan(
+                events=(HavocEvent(kind="kill", op="claimed", start=0),),
+                seed=plan.seed, name=plan.name,
+            ),
+            HavocPlan(
+                events=(by_kind["enospc"],), seed=plan.seed, name=plan.name
+            ),
+        ]
+        print(f"havoc schedule (seed {args.havoc}): {plan.to_json()}")
+
+    server, url = _spawn_server(cache_dir, queue_root, server_plan)
+    workers = []
     try:
-        line = server.stdout.readline()
-        match = re.search(r"http://\S+", line)
-        assert match, f"no server address in {line!r}"
-        url = match.group(0)
         print(f"server up at {url}")
         assert client.health(url)["ok"] is True
 
-        payload = {"grid": "selftest", "cells": 6, "payload": 42}
+        payload = {"grid": "selftest", "cells": 6, "sleep_s": 0.3, "payload": 42}
         job = client.submit(url, payload)
         print(f"submitted job {job['id']} ({job['cells']} cells)")
 
         # The server was started --no-self-drain: nothing completes until a
         # worker attaches, which is exactly what this step proves. The
-        # queue directory is per grid fingerprint, so the worker watches
-        # the job's subdirectory.
-        deadline = time.monotonic() + 30
-        queue_dir = None
-        while time.monotonic() < deadline and queue_dir is None:
-            candidates = list(queue_root.glob("*/tasks"))
-            queue_dir = candidates[0].parent if candidates else None
-            time.sleep(0.1)
-        assert queue_dir is not None, "server never materialised a queue"
-        worker = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro", "farm", "worker",
-                "--queue-dir", str(queue_dir),
-                "--cache-dir", str(cache_dir),
-                "--follow", "--quiet",
-            ],
-            env=env,
-        )
-        print(f"worker attached to {queue_dir}")
+        # queue directory is per grid fingerprint, so workers watch the
+        # job's subdirectory.
+        queue_dir = _await_queue_dir(queue_root)
+        if worker_plans is None:
+            workers.append(_spawn_worker(queue_dir, cache_dir))
+        else:
+            for worker_plan in worker_plans:
+                workers.append(_spawn_worker(queue_dir, cache_dir, worker_plan))
+        print(f"{len(workers)} worker(s) attached to {queue_dir}")
 
-        status = client.wait(url, job["id"], timeout=120)
+        if args.havoc is not None:
+            # Prove the SSE reconnect: watch through the injected drop.
+            reconnects = []
+            for _ in client.watch(
+                url, job["id"], timeout=180,
+                on_reconnect=lambda n, c: reconnects.append(c),
+            ):
+                pass
+            print(f"SSE stream survived {len(reconnects)} drop(s)")
+
+        status = client.wait(url, job["id"], timeout=180)
         assert status["state"] == "done", status
         counters = status["counters"]
         assert counters["executed"] == 6, counters
@@ -91,29 +167,43 @@ def main() -> int:
         assert len(results) == 6 and all(r is not None for r in results)
         print(f"job done: {counters['executed']} executed, results fetched")
 
+        if args.havoc is not None:
+            # The victim worker must actually have been SIGKILLed.
+            assert workers[0].wait(timeout=60) == -signal.SIGKILL, (
+                "victim worker did not die by SIGKILL"
+            )
+            print("victim worker died by SIGKILL; its cells were stolen")
+
         events = list(client.events(url, job["id"], timeout=30))
         assert events and events[-1]["message"] == "done"
         print(f"SSE stream replayed {len(events)} events and terminated")
 
         job2 = client.submit(url, payload)
-        status2 = client.wait(url, job2["id"], timeout=120)
+        status2 = client.wait(url, job2["id"], timeout=180)
         counters2 = status2["counters"]
         assert counters2["cached"] == 6 and counters2["executed"] == 0, counters2
         results2 = client.results(url, job2["id"])["results"]
         assert results2 == results, "resubmitted results differ"
         print("resubmission served 100% from cache (0 re-executions)")
 
-        worker.send_signal(signal.SIGTERM)
-        assert worker.wait(timeout=20) == 0, "worker did not exit cleanly"
-        worker = None
+        for worker in workers:
+            if worker.poll() is None:
+                worker.send_signal(signal.SIGTERM)
+                assert worker.wait(timeout=20) == 0, "worker did not exit cleanly"
+        workers = []
         server.send_signal(signal.SIGTERM)
         code = server.wait(timeout=20)
         assert code == 0, f"server exited {code}"
         print("clean SIGTERM shutdown (server exit 0)")
-        print(json.dumps({"farm_smoke": "ok", "cells": 6, "cache_hits": 6}))
+        print(json.dumps({
+            "farm_smoke": "ok",
+            "cells": 6,
+            "cache_hits": 6,
+            "havoc_seed": args.havoc,
+        }))
         return 0
     finally:
-        for proc in (worker, server):
+        for proc in (*workers, server):
             if proc is not None and proc.poll() is None:
                 proc.kill()
 

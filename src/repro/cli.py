@@ -609,7 +609,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
 
     return run_service(
-        factory, host=args.host, port=args.port, announce=not args.quiet
+        factory,
+        host=args.host,
+        port=args.port,
+        announce=not args.quiet,
+        max_pending=args.max_pending,
+        read_timeout=args.read_timeout,
     )
 
 
@@ -640,7 +645,9 @@ def _cmd_farm_worker(args: argparse.Namespace) -> int:
         stop=stop,
     )
     print(json.dumps(stats.to_dict(), sort_keys=True))
-    return EXIT_OK
+    # A worker that aborted on persistent storage failure exits nonzero so
+    # supervisors (and the havoc soak) can tell "drained" from "gave up".
+    return EXIT_FAILED if stats.aborted else EXIT_OK
 
 
 def _farm_payload(spec: str) -> Dict[str, object]:
@@ -709,6 +716,29 @@ def _cmd_farm_results(args: argparse.Namespace) -> int:
     return EXIT_OK if payload["state"] != "failed" else EXIT_FAILED
 
 
+def _cmd_farm_watch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.farm import client
+
+    def note_reconnect(attempt: int, cursor: int) -> None:
+        print(
+            f"[farm] stream dropped; reconnecting from event {cursor} "
+            f"(attempt {attempt})",
+            file=sys.stderr,
+        )
+
+    for event in client.watch(
+        args.url,
+        args.job,
+        timeout=args.timeout,
+        reconnects=args.reconnects,
+        on_reconnect=note_reconnect,
+    ):
+        print(json.dumps(event, sort_keys=True), flush=True)
+    return EXIT_OK
+
+
 def _cmd_farm(args: argparse.Namespace) -> int:
     from repro.farm.client import FarmClientError
 
@@ -717,6 +747,7 @@ def _cmd_farm(args: argparse.Namespace) -> int:
         "submit": _cmd_farm_submit,
         "status": _cmd_farm_status,
         "results": _cmd_farm_results,
+        "watch": _cmd_farm_watch,
     }[args.farm_command]
     try:
         return handler(args)
@@ -958,6 +989,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--farm-workers", type=_job_count, default=0)
     p.add_argument("--lease-ttl", type=float, default=15.0)
     p.add_argument("--no-self-drain", action="store_true")
+    p.add_argument(
+        "--max-pending", type=int, default=32,
+        help="admission bound on queued+running jobs (excess gets 429)",
+    )
+    p.add_argument(
+        "--read-timeout", type=float, default=10.0,
+        help="seconds a client may stall mid-request before 408 + close",
+    )
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=_cmd_serve)
 
@@ -1005,6 +1044,19 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--url", type=str, default="http://127.0.0.1:8642")
     r.add_argument("--out", type=str, default=None)
     r.set_defaults(func=_cmd_farm)
+
+    wt = farm_sub.add_parser(
+        "watch",
+        help="stream a job's progress events (reconnects on drops)",
+    )
+    wt.add_argument("job")
+    wt.add_argument("--url", type=str, default="http://127.0.0.1:8642")
+    wt.add_argument("--timeout", type=float, default=600.0)
+    wt.add_argument(
+        "--reconnects", type=int, default=5,
+        help="max automatic Last-Event-ID reconnects after stream drops",
+    )
+    wt.set_defaults(func=_cmd_farm)
 
     return parser
 

@@ -1,20 +1,48 @@
-"""A tiny stdlib client for the farm service.
+"""A tiny stdlib client for the farm service, hardened for bad weather.
 
-Backs ``python -m repro farm submit/status/results`` and the test suite;
-plain :mod:`urllib` so scripts (and CI) need nothing installed. Every
-helper raises :class:`FarmClientError` with the server's own message on
-non-2xx responses.
+Backs ``python -m repro farm submit/status/results/watch`` and the test
+suite; plain :mod:`urllib` so scripts (and CI) need nothing installed.
+
+Resilience contract:
+
+- every helper raises :class:`FarmClientError` carrying the server's own
+  JSON ``error`` detail and HTTP status — callers never see a raw
+  ``urllib`` traceback;
+- ``429``/``503`` answers (admission control, graceful drain) and
+  connection-level failures are retried with **seeded** exponential
+  backoff + jitter (a :class:`~repro.runner.retry.RetryPolicy`), honouring
+  the server's ``Retry-After`` when it names one — so a saturated or
+  restarting service costs a submission a short wait, not an error;
+- :func:`watch` consumes the SSE stream and, when the connection drops
+  mid-stream (no ``end`` frame), reconnects from ``Last-Event-ID`` with a
+  bounded retry budget — every event is yielded exactly once even across
+  reconnects, because the cursor only advances on yielded frames.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
-from typing import Any, Dict, Iterator, Mapping, Optional
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional
 from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
 
 from repro.farm.jobs import TERMINAL_STATES
+from repro.runner.retry import RetryPolicy
+
+#: Statuses that mean "try again shortly", not "you did something wrong".
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+#: Default extra attempts for retryable failures (connection refused,
+#: 429, 503) before giving up with the underlying error.
+DEFAULT_RETRIES = 4
+
+#: Backoff schedule for client-side retries: seeded, so a test (or a
+#: havoc soak) replays the identical wait sequence run after run.
+DEFAULT_POLICY = RetryPolicy(
+    retries=DEFAULT_RETRIES, backoff_base_s=0.2, backoff_max_s=5.0, seed=0
+)
 
 
 class FarmClientError(RuntimeError):
@@ -25,31 +53,70 @@ class FarmClientError(RuntimeError):
         self.status = status
 
 
+def _error_detail(exc: HTTPError) -> str:
+    """The server's JSON ``error`` field, or "" when it sent none."""
+    try:
+        return str(json.loads(exc.read().decode("utf-8")).get("error", ""))
+    except Exception:
+        return ""
+
+
+def _retry_after(exc: HTTPError) -> Optional[float]:
+    raw = exc.headers.get("Retry-After") if exc.headers else None
+    if raw is None:
+        return None
+    try:
+        return max(float(raw), 0.0)
+    except ValueError:
+        return None
+
+
 def _request(
     base: str,
     path: str,
     payload: Optional[Mapping[str, Any]] = None,
     timeout: float = 30.0,
+    policy: Optional[RetryPolicy] = None,
 ) -> Dict[str, Any]:
+    """One JSON round trip, with seeded backoff on retryable failures."""
+    policy = policy if policy is not None else DEFAULT_POLICY
     url = base.rstrip("/") + path
     data = None
     headers = {"Accept": "application/json"}
     if payload is not None:
         data = json.dumps(payload).encode("utf-8")
         headers["Content-Type"] = "application/json"
-    try:
-        with urlopen(Request(url, data=data, headers=headers), timeout=timeout) as reply:
-            return json.loads(reply.read().decode("utf-8"))
-    except HTTPError as exc:
+    last_error: Optional[FarmClientError] = None
+    for attempt in range(policy.max_attempts):
         try:
-            detail = json.loads(exc.read().decode("utf-8")).get("error", "")
-        except Exception:
-            detail = ""
-        raise FarmClientError(
-            detail or f"HTTP {exc.code} for {url}", status=exc.code
-        ) from None
-    except URLError as exc:
-        raise FarmClientError(f"cannot reach {url}: {exc.reason}") from None
+            with urlopen(
+                Request(url, data=data, headers=headers), timeout=timeout
+            ) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except HTTPError as exc:
+            detail = _error_detail(exc)
+            last_error = FarmClientError(
+                detail or f"HTTP {exc.code} for {url}", status=exc.code
+            )
+            if exc.code not in RETRYABLE_STATUSES:
+                raise last_error from None
+            server_delay = _retry_after(exc)
+        except URLError as exc:
+            last_error = FarmClientError(f"cannot reach {url}: {exc.reason}")
+            server_delay = None
+        if attempt + 1 >= policy.max_attempts:
+            break
+        # Honour the server's Retry-After when it names one, otherwise
+        # fall back to the policy's seeded exponential backoff — keyed by
+        # path so concurrent helpers don't share a jitter stream.
+        delay = (
+            server_delay
+            if server_delay is not None
+            else policy.delay(f"client:{path}", attempt)
+        )
+        time.sleep(delay)
+    assert last_error is not None
+    raise last_error from None
 
 
 def health(base: str, timeout: float = 10.0) -> Dict[str, Any]:
@@ -57,10 +124,15 @@ def health(base: str, timeout: float = 10.0) -> Dict[str, Any]:
 
 
 def submit(
-    base: str, payload: Mapping[str, Any], timeout: float = 30.0
+    base: str,
+    payload: Mapping[str, Any],
+    timeout: float = 30.0,
+    policy: Optional[RetryPolicy] = None,
 ) -> Dict[str, Any]:
     """POST a spec payload; returns the job summary (with ``id``)."""
-    return _request(base, "/jobs", payload=payload, timeout=timeout)["job"]
+    return _request(
+        base, "/jobs", payload=payload, timeout=timeout, policy=policy
+    )["job"]
 
 
 def job(base: str, job_id: str, timeout: float = 30.0) -> Dict[str, Any]:
@@ -90,49 +162,135 @@ def wait(
         time.sleep(poll_s)
 
 
+def _stream_frames(
+    base: str, job_id: str, after: int, timeout: float
+) -> Iterator[Dict[str, Any]]:
+    """One SSE connection: yield decoded frames until ``end`` or a drop.
+
+    Yields ``{"__end__": True}`` as the final item when the server sent
+    its terminal frame; a connection that just stops (drop, reset, server
+    abort) raises the underlying :class:`OSError` /
+    :class:`http.client.HTTPException` for the caller to handle.
+    """
+    url = base.rstrip("/") + f"/jobs/{job_id}/events"
+    request = Request(url, headers={"Last-Event-ID": str(after)})
+    with urlopen(request, timeout=timeout) as stream:
+        data_lines = []
+        event_name = "message"
+        for raw in stream:
+            line = raw.decode("utf-8").rstrip("\n")
+            if line.startswith("event:"):
+                event_name = line.split(":", 1)[1].strip()
+            elif line.startswith("data:"):
+                data_lines.append(line.split(":", 1)[1].strip())
+            elif line == "":
+                if event_name == "end":
+                    yield {"__end__": True}
+                    return
+                if data_lines:
+                    yield json.loads("\n".join(data_lines))
+                data_lines = []
+                event_name = "message"
+
+
 def events(
     base: str,
     job_id: str,
     after: int = -1,
     timeout: float = 300.0,
 ) -> Iterator[Dict[str, Any]]:
-    """Consume the job's SSE stream, yielding decoded event payloads.
+    """Consume the job's SSE stream once, yielding decoded event payloads.
 
-    Terminates when the server sends its ``end`` frame (job reached a
-    terminal state) or the socket times out.
+    Terminates when the server sends its ``end`` frame; a dropped
+    connection surfaces as :class:`FarmClientError`. For a stream that
+    survives drops, use :func:`watch`.
     """
-    url = base.rstrip("/") + f"/jobs/{job_id}/events?after={after}"
+    url = base.rstrip("/") + f"/jobs/{job_id}/events"
     try:
-        with urlopen(Request(url), timeout=timeout) as stream:
-            data_lines = []
-            event_name = "message"
-            for raw in stream:
-                line = raw.decode("utf-8").rstrip("\n")
-                if line.startswith("event:"):
-                    event_name = line.split(":", 1)[1].strip()
-                elif line.startswith("data:"):
-                    data_lines.append(line.split(":", 1)[1].strip())
-                elif line == "":
-                    if event_name == "end":
-                        return
-                    if data_lines:
-                        yield json.loads("\n".join(data_lines))
-                    data_lines = []
-                    event_name = "message"
+        for event in _stream_frames(base, job_id, after, timeout):
+            if event.get("__end__"):
+                return
+            yield event
     except HTTPError as exc:
+        detail = _error_detail(exc)
         raise FarmClientError(
-            f"HTTP {exc.code} for {url}", status=exc.code
+            detail or f"HTTP {exc.code} for {url}", status=exc.code
         ) from None
-    except URLError as exc:
-        raise FarmClientError(f"cannot reach {url}: {exc.reason}") from None
+    except (OSError, http.client.HTTPException) as exc:
+        raise FarmClientError(f"event stream for {url} failed: {exc}") from None
+
+
+def watch(
+    base: str,
+    job_id: str,
+    after: int = -1,
+    timeout: float = 300.0,
+    reconnects: int = 5,
+    policy: Optional[RetryPolicy] = None,
+    on_reconnect: Optional[Callable[[int, int], None]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """The job's SSE stream with automatic ``Last-Event-ID`` reconnect.
+
+    A dropped connection (server abort, network reset, clean close with
+    no ``end`` frame) is retried up to ``reconnects`` times with the
+    policy's seeded backoff, resuming from the last *yielded* event's
+    sequence number — so no event is lost and none is repeated.
+    ``on_reconnect(attempt, cursor)`` is invoked before each retry (the
+    hook the soak test uses to count actual drops). Exhausting the
+    budget raises :class:`FarmClientError`.
+    """
+    policy = policy if policy is not None else DEFAULT_POLICY
+    cursor = after
+    drops = 0
+    deadline = time.monotonic() + timeout
+    while True:
+        dropped: Optional[str] = None
+        try:
+            for event in _stream_frames(
+                base, job_id, cursor, max(deadline - time.monotonic(), 0.1)
+            ):
+                if event.get("__end__"):
+                    return
+                if "seq" in event:
+                    cursor = event["seq"]
+                yield event
+        except HTTPError as exc:
+            detail = _error_detail(exc)
+            raise FarmClientError(
+                detail or f"HTTP {exc.code} watching {job_id}", status=exc.code
+            ) from None
+        except (OSError, http.client.HTTPException, ValueError) as exc:
+            dropped = repr(exc)
+        if dropped is None:
+            # Clean close without an end frame: the server went away
+            # mid-stream (drain, crash, injected sse_drop).
+            dropped = "connection closed before end frame"
+        drops += 1
+        if drops > reconnects:
+            raise FarmClientError(
+                f"event stream for {job_id} dropped {drops} times "
+                f"(last: {dropped}); reconnect budget exhausted"
+            )
+        if time.monotonic() >= deadline:
+            raise FarmClientError(
+                f"watch on {job_id} exceeded {timeout:.0f}s (last drop: "
+                f"{dropped})"
+            )
+        if on_reconnect is not None:
+            on_reconnect(drops, cursor)
+        time.sleep(policy.delay(f"watch:{job_id}", drops - 1))
 
 
 __all__ = [
+    "DEFAULT_POLICY",
+    "DEFAULT_RETRIES",
     "FarmClientError",
+    "RETRYABLE_STATUSES",
     "events",
     "health",
     "job",
     "results",
     "submit",
     "wait",
+    "watch",
 ]

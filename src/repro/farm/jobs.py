@@ -351,3 +351,12 @@ class JobStore:
                 by_state[job.state] = by_state.get(job.state, 0) + 1
             by_state["total"] = len(self._jobs)
             return by_state
+
+    def pending_count(self) -> int:
+        """Jobs not yet terminal (queued + running): the admission gauge."""
+        with self._cond:
+            return sum(
+                1
+                for job in self._jobs.values()
+                if job.state not in TERMINAL_STATES
+            )

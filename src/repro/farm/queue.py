@@ -36,15 +36,17 @@ exactly-once results.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import socket
 import tempfile
-import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
+from repro.havoc import fs as havocfs
+from repro.havoc import proc as havocproc
 from repro.runner.taskspec import TaskSpec
 
 #: Bump when the on-disk queue layout changes incompatibly.
@@ -57,12 +59,25 @@ def default_worker_id() -> str:
 
 
 def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
-    """Write ``payload`` via unique temp + atomic rename (torn-read free)."""
+    """Write ``payload`` via unique temp + atomic rename (torn-read free).
+
+    Fail-closed against lying disks: the temp file is read back and
+    compared to the intended bytes *before* the rename, so a short or
+    corrupted write (ENOSPC mid-write, bit-rot in the page cache) raises
+    instead of installing a torn marker. An exception always leaves the
+    destination untouched — the caller degrades to re-execution, never to
+    a wrong or duplicate result.
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     fd, tmp = tempfile.mkstemp(prefix=f".{path.name}.", suffix=".tmp", dir=path.parent)
     try:
         with os.fdopen(fd, "w") as handle:
-            handle.write(json.dumps(payload, sort_keys=True, separators=(",", ":")))
-        os.replace(tmp, path)
+            havocfs.write(handle, text, path)
+        if havocfs.read_bytes(tmp) != text.encode("utf-8"):
+            raise OSError(
+                errno.EIO, f"torn write detected installing {path.name}", str(path)
+            )
+        havocfs.replace(tmp, path)
     except BaseException:
         try:
             os.unlink(tmp)
@@ -74,7 +89,7 @@ def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
 def _read_json(path: Path) -> Optional[Dict[str, Any]]:
     """Parse a JSON file, tolerating absence and torn/damaged content."""
     try:
-        record = json.loads(path.read_text())
+        record = json.loads(havocfs.read_bytes(path).decode("utf-8"))
     except (OSError, ValueError):
         return None
     return record if isinstance(record, dict) else None
@@ -105,6 +120,10 @@ class LeaseQueue:
     death or a multi-second freeze ever loses a lease. ``max_attempts``
     is the poison budget — total tries (first claim + steals) before a
     cell is quarantined.
+
+    ``clock`` is the lease clock (defaults to the farm clock, which is
+    ``time.time`` unless a havoc plan skews it) — injectable so tests can
+    model drifting hosts without sleeping.
     """
 
     def __init__(
@@ -113,11 +132,13 @@ class LeaseQueue:
         lease_ttl: float = 15.0,
         max_attempts: int = 3,
         worker_id: Optional[str] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if lease_ttl <= 0:
             raise ValueError("lease_ttl must be > 0 seconds")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        self._clock = clock if clock is not None else havocproc.farm_time
         self.root = Path(root)
         self.lease_ttl = lease_ttl
         self.max_attempts = max_attempts
@@ -261,8 +282,24 @@ class LeaseQueue:
         except OSError:
             return None
         else:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(json.dumps(lease_record(0), sort_keys=True))
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    havocfs.write(
+                        handle,
+                        json.dumps(lease_record(0), sort_keys=True),
+                        lease_path,
+                    )
+            except OSError:
+                # Fail closed: a half-written first claim must not sit as a
+                # torn lease charging the cell a steal — remove it and
+                # re-raise so the worker loop can count the storage failure
+                # (and eventually abort) instead of spinning on a queue it
+                # can never claim from.
+                try:
+                    os.unlink(lease_path)
+                except OSError:
+                    pass
+                raise
             return Lease(
                 fingerprint, spec, self.worker_id, token, 0, now + self.lease_ttl
             )
@@ -301,10 +338,13 @@ class LeaseQueue:
         """Claim the next open cell, stealing expired leases on the way.
 
         Returns None when nothing is claimable right now — every open cell
-        is held by a live lease (or the queue is drained).
+        is held by a live lease (or the queue is drained). Raises
+        ``OSError`` when the claim *write* fails (disk full, EIO): the
+        cell stays open, nothing torn is left behind, and the caller can
+        tell a broken disk from an empty queue.
         """
         self.ensure()
-        now = time.time()
+        now = self._clock()
         for task in self._open_tasks():
             lease = self._try_claim(task, now)
             if lease is not None:
@@ -323,7 +363,7 @@ class LeaseQueue:
         current = _read_json(lease_path)
         if current is None or current.get("token") != lease.token:
             return False
-        current["expires"] = time.time() + self.lease_ttl
+        current["expires"] = self._clock() + self.lease_ttl
         _atomic_write_json(lease_path, current)
         lease.expires = current["expires"]
         return True

@@ -22,9 +22,25 @@ underneath fans cells out to workers); the shared result cache makes an
 identical resubmission settle entirely from cache — ``cached == cells``,
 zero re-executions — which is the service's core promise.
 
-SIGTERM/SIGINT shut the server down cleanly: stop accepting, let the
-in-flight job finish (its cache/journal writes are durable anyway), close
-event streams, exit 0.
+The service is hardened for hostile conditions (exercised by
+``tests/test_farm_hostile.py`` and the havoc soak):
+
+- **admission control** — at most ``max_pending`` jobs may be queued or
+  running; submissions beyond the bound get ``429`` with ``Retry-After``
+  (the resilient client backs off and retries), and ``/healthz`` reports
+  ``degraded`` while saturated instead of waiting to fall over;
+- **read timeouts** — a client that stalls mid-request (slowloris, a
+  wedged uploader) gets ``408`` and its connection closed after
+  ``read_timeout`` seconds; it never pins a handler;
+- **malformed input is a 4xx, never a 500** — unparseable request lines,
+  lying ``Content-Length`` headers, oversized bodies, bad JSON, and
+  unknown routes all get their proper 4xx, and an unexpected handler
+  exception answers 500 *for that connection only* — the event loop and
+  every other stream keep running;
+- **graceful drain** — SIGTERM/SIGINT stop accepting, reject new
+  submissions with ``503`` + ``Retry-After``, let the in-flight job run
+  to completion (leased cells finish; their cache/journal writes are
+  durable), close event streams, exit 0.
 """
 
 from __future__ import annotations
@@ -33,15 +49,22 @@ import asyncio
 import json
 import signal
 import sys
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Set, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.farm.jobs import TERMINAL_STATES, Job, JobStore
+from repro.havoc import http as havochttp
 from repro.runner.engine import ParallelRunner
 from repro.version import __version__
 
 #: Submitted payloads above this are rejected with 413 before parsing.
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Default bound on queued + running jobs (admission control).
+DEFAULT_MAX_PENDING = 32
+
+#: Default seconds a client may stall mid-request before 408 + close.
+DEFAULT_READ_TIMEOUT = 10.0
 
 _STATUS_TEXT = {
     200: "OK",
@@ -49,11 +72,23 @@ _STATUS_TEXT = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 RunnerFactory = Callable[[Job], ParallelRunner]
+
+
+class _BadRequest(Exception):
+    """An unservable request: mapped to its 4xx and a closed connection."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
 
 
 class FarmService:
@@ -71,17 +106,27 @@ class FarmService:
         host: str = "127.0.0.1",
         port: int = 8642,
         store: Optional[JobStore] = None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        read_timeout: float = DEFAULT_READ_TIMEOUT,
     ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if read_timeout <= 0:
+            raise ValueError("read_timeout must be > 0 seconds")
         self.store = store if store is not None else JobStore()
         self.runner_factory = runner_factory
         self.host = host
         self.port = port
+        self.max_pending = max_pending
+        self.read_timeout = read_timeout
         self._server: Optional[asyncio.base_events.Server] = None
         self._stopping = asyncio.Event()
         #: One job at a time: the queue executor underneath provides the
         #: parallelism; serialising jobs keeps cache/journal contention
         #: trivial to reason about.
         self._job_lock = asyncio.Lock()
+        #: Live job-execution tasks — awaited during graceful drain.
+        self._tasks: Set["asyncio.Task[None]"] = set()
 
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> None:
@@ -100,12 +145,21 @@ class FarmService:
         self._stopping.set()
 
     async def serve_until_stopped(self) -> None:
-        """Serve until :meth:`request_stop` (usually a signal handler)."""
+        """Serve until :meth:`request_stop` (usually a signal handler).
+
+        Stopping is a *drain*: the listener closes first (no new
+        connections, new submissions answered 503 on the ones still
+        open), then in-flight jobs are awaited to completion — their
+        leased cells finish and their journal/cache writes land — before
+        the coroutine returns and the process exits 0.
+        """
         assert self._server is not None, "start() first"
         async with self._server:
             await self._stopping.wait()
             self._server.close()
             await self._server.wait_closed()
+        if self._tasks:
+            await asyncio.gather(*tuple(self._tasks), return_exceptions=True)
 
     # ------------------------------------------------------- job execution
     async def _execute(self, job: Job) -> None:
@@ -134,13 +188,32 @@ class FarmService:
     ) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as exc:
+                    await self._send_json(
+                        writer, exc.status, {"error": exc.message}
+                    )
+                    break  # the stream may hold garbage: never reuse it
                 if request is None:
                     break
                 method, target, headers, body = request
-                keep_alive = await self._dispatch(
-                    writer, method, target, headers, body
-                )
+                try:
+                    keep_alive = await self._dispatch(
+                        writer, method, target, headers, body
+                    )
+                except _BadRequest as exc:
+                    await self._send_json(
+                        writer, exc.status, {"error": exc.message}
+                    )
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    raise
+                except Exception as exc:  # never let hostile input kill
+                    await self._send_json(  # the event loop
+                        writer, 500, {"error": f"internal error: {exc!r}"}
+                    )
+                    break
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -152,28 +225,73 @@ class FarmService:
             except (ConnectionError, OSError):
                 pass
 
-    @staticmethod
     async def _read_request(
-        reader: asyncio.StreamReader,
+        self, reader: asyncio.StreamReader
     ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one request, policing size, shape, and time.
+
+        Returns None on a clean EOF or an *idle* keep-alive connection
+        (closed silently — idling between requests is normal, not a
+        stall); raises :class:`_BadRequest` for anything that cannot or
+        must not be served — including a client that stalls longer than
+        ``read_timeout`` once a request has *started* arriving (408) and
+        a header section the stream limit rejects (400).
+        """
         try:
-            head = await reader.readuntil(b"\r\n\r\n")
-        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
-            return None
+            first = await asyncio.wait_for(
+                reader.readexactly(1), self.read_timeout
+            )
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+            return None  # idle between requests, or clean EOF
+        try:
+            head = first + await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), self.read_timeout
+            )
+        except asyncio.TimeoutError:
+            raise _BadRequest(
+                408, f"request head not received within {self.read_timeout:g}s"
+            ) from None
+        except asyncio.IncompleteReadError:
+            raise _BadRequest(400, "truncated request head") from None
+        except asyncio.LimitOverrunError:
+            raise _BadRequest(400, "request head too large") from None
         lines = head.decode("latin-1").split("\r\n")
         parts = lines[0].split()
-        if len(parts) != 3:
-            return None
+        if len(parts) != 3 or not parts[0].isalpha():
+            raise _BadRequest(400, f"malformed request line {lines[0]!r:.120}")
         method, target = parts[0].upper(), parts[1]
         headers: Dict[str, str] = {}
         for line in lines[1:]:
             if ":" in line:
                 key, value = line.split(":", 1)
                 headers[key.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _BadRequest(
+                400, f"unparseable Content-Length {raw_length!r:.40}"
+            ) from None
+        if length < 0:
+            raise _BadRequest(400, "negative Content-Length")
         if length > MAX_BODY_BYTES:
-            return method, target, headers, b"\x00"  # sentinel: too large
-        body = await reader.readexactly(length) if length else b""
+            raise _BadRequest(
+                413, f"body of {length} bytes exceeds {MAX_BODY_BYTES}"
+            )
+        if not length:
+            return method, target, headers, b""
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), self.read_timeout
+            )
+        except asyncio.TimeoutError:
+            raise _BadRequest(
+                408,
+                f"declared body of {length} bytes not received within "
+                f"{self.read_timeout:g}s",
+            ) from None
+        except asyncio.IncompleteReadError:
+            raise _BadRequest(400, "connection dropped mid-body") from None
         return method, target, headers, body
 
     async def _dispatch(
@@ -187,17 +305,26 @@ class FarmService:
         url = urlsplit(target)
         path = url.path.rstrip("/") or "/"
         query = parse_qs(url.query)
-        if body == b"\x00":
-            await self._send_json(
-                writer, 413, {"error": "body exceeds MAX_BODY_BYTES"}
-            )
-            return False
 
         if path == "/healthz" and method == "GET":
+            pending = self.store.pending_count()
+            if self._stopping.is_set():
+                state = "draining"
+            elif pending >= self.max_pending:
+                state = "degraded"
+            else:
+                state = "ok"
             await self._send_json(
                 writer,
                 200,
-                {"ok": True, "version": __version__, "jobs": self.store.counts()},
+                {
+                    "ok": state == "ok",
+                    "state": state,
+                    "version": __version__,
+                    "jobs": self.store.counts(),
+                    "pending": pending,
+                    "max_pending": self.max_pending,
+                },
             )
             return True
         if path == "/jobs" and method == "POST":
@@ -249,22 +376,51 @@ class FarmService:
             writer, 404 if method == "GET" else 405,
             {"error": f"cannot {method} {path}"},
         )
-        return True
+        return False  # a lost client; don't hold its connection open
 
     async def _submit(
         self, writer: asyncio.StreamWriter, body: bytes
     ) -> bool:
+        if self._stopping.is_set():
+            await self._send_json(
+                writer,
+                503,
+                {"error": "service is draining; resubmit elsewhere or later"},
+                headers={"Retry-After": "5"},
+            )
+            return False
+        pending = self.store.pending_count()
+        if pending >= self.max_pending:
+            # Shed load *before* parsing or accepting the spec: a saturated
+            # server answers fast and cheap, and the resilient client's
+            # seeded backoff turns the 429 into a short wait, not an error.
+            await self._send_json(
+                writer,
+                429,
+                {
+                    "error": (
+                        f"{pending} jobs pending >= max_pending="
+                        f"{self.max_pending}; retry after backoff"
+                    ),
+                    "pending": pending,
+                    "max_pending": self.max_pending,
+                },
+                headers={"Retry-After": "1"},
+            )
+            return True
         try:
             payload = json.loads(body.decode("utf-8") or "null")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             await self._send_json(writer, 400, {"error": f"bad JSON: {exc}"})
-            return True
+            return False
         try:
             job = self.store.submit(payload)
         except ValueError as exc:
             await self._send_json(writer, 400, {"error": str(exc)})
-            return True
-        asyncio.get_running_loop().create_task(self._execute(job))
+            return False
+        task = asyncio.get_running_loop().create_task(self._execute(job))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
         await self._send_json(writer, 202, {"job": job.summary()})
         return True
 
@@ -285,6 +441,14 @@ class FarmService:
                 None, self.store.events_after, job, cursor, 0.5
             )
             for event in events:
+                fault = havochttp.stream_fault("events", job.id)
+                if fault is not None and fault.kind == "sse_drop":
+                    # Havoc: sever the transport mid-stream with no ``end``
+                    # frame — the client must reconnect from Last-Event-ID.
+                    writer.transport.abort()
+                    return
+                if fault is not None and fault.kind == "sse_stall":
+                    await asyncio.sleep(fault.delay_s)
                 cursor = event["seq"]
                 frame = (
                     f"id: {event['seq']}\n"
@@ -303,16 +467,24 @@ class FarmService:
 
     @staticmethod
     async def _send_json(
-        writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
-        ).encode("latin-1")
-        writer.write(head + b"\r\n" + body)
-        await writer.drain()
+        )
+        for name, value in (headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        writer.write(head.encode("latin-1") + b"\r\n" + body)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # the peer already hung up; nothing left to tell them
 
 
 async def _amain(service: FarmService, announce: bool) -> int:
@@ -336,16 +508,30 @@ def run_service(
     host: str = "127.0.0.1",
     port: int = 8642,
     announce: bool = True,
+    max_pending: int = DEFAULT_MAX_PENDING,
+    read_timeout: float = DEFAULT_READ_TIMEOUT,
 ) -> int:
     """Blocking entry point for ``python -m repro serve``; returns 0."""
-    service = FarmService(runner_factory, host=host, port=port)
+    service = FarmService(
+        runner_factory,
+        host=host,
+        port=port,
+        max_pending=max_pending,
+        read_timeout=read_timeout,
+    )
     try:
         return asyncio.run(_amain(service, announce))
     except KeyboardInterrupt:  # pragma: no cover — belt and braces
         return 0
 
 
-__all__ = ["FarmService", "MAX_BODY_BYTES", "run_service"]
+__all__ = [
+    "DEFAULT_MAX_PENDING",
+    "DEFAULT_READ_TIMEOUT",
+    "FarmService",
+    "MAX_BODY_BYTES",
+    "run_service",
+]
 
 
 if __name__ == "__main__":  # pragma: no cover

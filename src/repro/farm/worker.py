@@ -32,11 +32,16 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Union
 
 from repro.farm.queue import Lease, LeaseQueue, default_worker_id
+from repro.havoc import proc as havocproc
 from repro.runner.cache import ResultCache
 from repro.runner.execute import run_task
 from repro.runner.retry import RetryPolicy
 
 ProgressSink = Callable[..., None]
+
+#: Consecutive storage failures before a worker concludes the disk is
+#: gone for good and aborts cleanly instead of spinning on ENOSPC.
+MAX_CONSECUTIVE_IO_ERRORS = 5
 
 
 @dataclass
@@ -51,6 +56,11 @@ class WorkerStats:
     #: Cells abandoned because the lease was stolen mid-run (we froze).
     lost: int = 0
     retries: int = 0
+    #: Storage failures installing markers/results (disk full, EIO): the
+    #: cell's lease was released for someone (or a later pass) to redo.
+    io_errors: int = 0
+    #: True when the loop aborted on persistent storage failure.
+    aborted: bool = False
     wall_s: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
@@ -62,6 +72,8 @@ class WorkerStats:
             "failed": self.failed,
             "lost": self.lost,
             "retries": self.retries,
+            "io_errors": self.io_errors,
+            "aborted": self.aborted,
             "wall_s": round(self.wall_s, 3),
         }
 
@@ -115,6 +127,31 @@ def run_leased_cell(
         if progress is not None:
             progress("farm", message, **data)
 
+    def install(kind: str, action: Callable[[], None]) -> bool:
+        """Install a terminal marker, degrading on storage failure.
+
+        A failed install (disk full, EIO) releases the lease so the cell
+        re-runs — on this worker once the fault clears, or on any other
+        claimer. The half-computed state never becomes a torn or
+        duplicate result; it simply never becomes a result at all.
+        """
+        try:
+            action()
+            return True
+        except OSError as exc:
+            stats.io_errors += 1
+            emit(
+                f"storage failure installing {kind} marker for {lease.name} "
+                f"(releasing lease): {exc}",
+                cell=lease.name,
+                error=repr(exc),
+            )
+            try:
+                queue.release(lease)
+            except OSError:
+                pass  # the TTL reclaims it
+            return False
+
     keeper = _LeaseKeeper(queue, lease)
     keeper.start()
     started = time.perf_counter()
@@ -123,12 +160,16 @@ def run_leased_cell(
         if cache is not None:
             hit = cache.load(lease.spec)
             if hit is not None:
-                queue.complete(
-                    lease, {"result": hit, "wall_s": 0.0, "events": None},
-                    source="cached",
-                )
-                stats.cached += 1
-                emit(f"cached {lease.name}", cell=lease.name, status="cached")
+                if install(
+                    "done",
+                    lambda: queue.complete(
+                        lease,
+                        {"result": hit, "wall_s": 0.0, "events": None},
+                        source="cached",
+                    ),
+                ):
+                    stats.cached += 1
+                    emit(f"cached {lease.name}", cell=lease.name, status="cached")
                 return
         while True:
             if keeper.lost.is_set():
@@ -145,15 +186,18 @@ def run_leased_cell(
                 error = repr(exc)
                 deterministic = policy.classify(exc) == "deterministic"
                 if deterministic or attempt + 1 >= policy.max_attempts:
-                    queue.fail(
-                        lease, error, kind="error", attempts=attempt + 1
-                    )
-                    stats.failed += 1
-                    emit(
-                        f"failed {lease.name}: {error}",
-                        cell=lease.name,
-                        status="failed",
-                    )
+                    if install(
+                        "failed",
+                        lambda: queue.fail(
+                            lease, error, kind="error", attempts=attempt + 1
+                        ),
+                    ):
+                        stats.failed += 1
+                        emit(
+                            f"failed {lease.name}: {error}",
+                            cell=lease.name,
+                            status="failed",
+                        )
                     return
                 delay = policy.delay(lease.fingerprint, attempt)
                 stats.retries += 1
@@ -168,16 +212,26 @@ def run_leased_cell(
                 time.sleep(delay)
                 continue
             if cache is not None:
-                cache.store(lease.spec, reply["result"])
-            queue.complete(lease, reply)
-            stats.executed += 1
-            emit(
-                f"done {lease.name}", cell=lease.name, wall_s=reply["wall_s"]
-            )
+                try:
+                    cache.store(lease.spec, reply["result"])
+                except OSError as exc:
+                    # Cache is an optimisation: a full disk degrades the
+                    # next run to re-execution, never this cell's result.
+                    emit(
+                        f"cache store failed for {lease.name} (degrading): {exc}",
+                        cell=lease.name,
+                        error=repr(exc),
+                    )
+            if install("done", lambda: queue.complete(lease, reply)):
+                stats.executed += 1
+                emit(
+                    f"done {lease.name}", cell=lease.name, wall_s=reply["wall_s"]
+                )
             return
     finally:
         keeper.stop()
         stats.wall_s += time.perf_counter() - started
+        havocproc.checkpoint("cell_done", lease.name)
 
 
 def drain_queue(
@@ -209,6 +263,7 @@ def drain_queue(
     )
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     stats = WorkerStats(worker=queue.worker_id)
+    consecutive_io = 0
 
     def emit(message: str, **data: Any) -> None:
         if progress is not None:
@@ -220,8 +275,24 @@ def drain_queue(
             break
         if max_cells is not None and stats.claimed >= max_cells:
             break
-        lease = queue.claim()
+        io_errors_before = stats.io_errors
+        try:
+            lease = queue.claim()
+        except OSError as exc:  # queue root unreadable/unwritable
+            stats.io_errors += 1
+            emit(f"claim failed (storage): {exc}", error=repr(exc))
+            lease = None
         if lease is None:
+            if stats.io_errors - io_errors_before >= 1:
+                consecutive_io += 1
+                if consecutive_io >= MAX_CONSECUTIVE_IO_ERRORS:
+                    stats.aborted = True
+                    emit(
+                        f"aborting after {consecutive_io} consecutive "
+                        "storage failures (disk full or gone?)",
+                        io_errors=stats.io_errors,
+                    )
+                    break
             if queue.unfinished() == 0 and not follow:
                 break  # grid drained
             # Open cells are all held by live leases (or none exist yet).
@@ -232,6 +303,22 @@ def drain_queue(
                 time.sleep(poll_s)
             continue
         stats.claimed += 1
+        havocproc.checkpoint("claimed", lease.name)
         run_leased_cell(queue, lease, cache, policy, stats, progress)
+        if stats.io_errors > io_errors_before:
+            consecutive_io += 1
+            if consecutive_io >= MAX_CONSECUTIVE_IO_ERRORS:
+                stats.aborted = True
+                emit(
+                    f"aborting after {consecutive_io} consecutive storage "
+                    "failures (disk full or gone?)",
+                    io_errors=stats.io_errors,
+                )
+                break
+            # Back off before re-claiming: a transient ENOSPC window (logs
+            # being rotated, another job cleaning up) often clears.
+            time.sleep(min(poll_s * (2 ** consecutive_io), 2.0))
+        else:
+            consecutive_io = 0
     emit(f"worker {queue.worker_id} detached", **stats.to_dict())
     return stats

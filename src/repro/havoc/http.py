@@ -1,0 +1,144 @@
+"""The HTTP seam: service-side connection faults and hostile-client tools.
+
+Two halves:
+
+- **Server side** — :func:`stream_fault` is consulted by
+  :meth:`repro.farm.service.FarmService._stream_events` once per SSE
+  frame; an active ``sse_drop`` event makes the service abort the
+  connection mid-stream (no terminal frame), and ``sse_stall`` delays the
+  frame. This is how the soak test drops a live SSE subscription at a
+  deterministic frame index and proves the client's ``Last-Event-ID``
+  reconnect actually resumes.
+
+- **Client side** — raw-socket helpers for the hostile-input tests:
+  sending malformed request lines, truncated bodies, and stalled reads
+  that a well-behaved ``urllib`` client can never produce. These don't
+  need an active plan; they *are* the fault.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import List, Optional, Tuple
+
+from repro.havoc.plan import HTTP_KINDS, HavocEvent, HavocPlan
+
+
+class HavocHttp:
+    """Deterministic per-stream frame-fault decisions."""
+
+    def __init__(self, plan: HavocPlan) -> None:
+        self.plan = plan
+        self._events: Tuple[HavocEvent, ...] = plan.for_kinds(HTTP_KINDS)
+        self._matched: List[int] = [0] * len(self._events)
+        self.log: List[Tuple[str, int, str, str]] = []
+
+    def stream_fault(self, stream: str, label: str = "") -> Optional[HavocEvent]:
+        """The event firing for this frame of ``stream``, if any."""
+        fired: Optional[HavocEvent] = None
+        for i, event in enumerate(self._events):
+            if not event.matches(stream, label):
+                continue
+            index = self._matched[i]
+            self._matched[i] += 1
+            if fired is None and event.start <= index < event.start + event.count:
+                fired = event
+                self.log.append((stream, index, label, event.kind))
+        return fired
+
+
+_ACTIVE: Optional[HavocHttp] = None
+
+
+def install(http: Optional[HavocHttp]) -> None:
+    global _ACTIVE
+    _ACTIVE = http
+
+
+def current() -> Optional[HavocHttp]:
+    return _ACTIVE
+
+
+def stream_fault(stream: str, label: str = "") -> Optional[HavocEvent]:
+    """The fault for the next frame of ``stream`` (None when inactive)."""
+    if _ACTIVE is None:
+        return None
+    return _ACTIVE.stream_fault(stream, label)
+
+
+# ------------------------------------------------------- hostile-client side
+def raw_request(
+    host: str,
+    port: int,
+    payload: bytes,
+    timeout: float = 10.0,
+    read: bool = True,
+) -> bytes:
+    """Send raw bytes to a server and return whatever it answers.
+
+    The escape hatch below ``urllib``: request lines that don't parse,
+    headers that lie, bodies that never arrive. Returns ``b""`` when the
+    server (correctly) just closes the connection.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(payload)
+        if not read:
+            return b""
+        chunks = []
+        try:
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except socket.timeout:
+            pass
+        return b"".join(chunks)
+
+
+def stalled_request(
+    host: str,
+    port: int,
+    head: bytes,
+    timeout: float = 30.0,
+) -> bytes:
+    """Send request head claiming a body, then stall — never send the body.
+
+    Models a client that wedges mid-upload. A hardened server must answer
+    (408) or close within its read timeout instead of pinning the
+    connection handler forever; whatever it sent back is returned.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(head)
+        chunks = []
+        try:
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except socket.timeout:
+            pass
+        return b"".join(chunks)
+
+
+def drop_mid_body(
+    host: str,
+    port: int,
+    head: bytes,
+    partial_body: bytes,
+) -> None:
+    """Send headers plus part of the declared body, then hard-close.
+
+    A mid-body connection drop: RST where possible (SO_LINGER 0), so the
+    server sees the connection die rather than a clean half-close.
+    """
+    conn = socket.create_connection((host, port), timeout=10.0)
+    try:
+        conn.sendall(head + partial_body)
+        conn.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    finally:
+        conn.close()

@@ -1,0 +1,78 @@
+"""The process seam: checkpoints, self-inflicted death, and clock skew.
+
+The farm worker announces its cell-boundary progress through
+:func:`checkpoint`; an active plan's ``kill`` / ``stall`` events fire at
+chosen boundaries ("SIGKILL yourself while holding your 2nd lease"),
+which is how the soak test kills workers at *deterministic* points
+instead of racing a timer against the grid.
+
+``clock_skew`` events offset :func:`farm_time`, the clock
+:class:`repro.farm.queue.LeaseQueue` reads lease expiries from — a
+skewed worker believes other workers' leases expired early (or its own
+never will), exactly the failure a drifting host clock produces in a
+real fleet. The token-confirmed steal protocol must hold regardless.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import List, Optional, Tuple
+
+from repro.havoc.plan import PROC_KINDS, HavocEvent, HavocPlan
+
+
+class HavocProc:
+    """Deterministic process-fault decisions, counted per checkpoint."""
+
+    def __init__(self, plan: HavocPlan) -> None:
+        self.plan = plan
+        self._events: Tuple[HavocEvent, ...] = plan.for_kinds(PROC_KINDS)
+        self._matched: List[int] = [0] * len(self._events)
+        self.skew_s: float = sum(
+            e.skew_s for e in self._events if e.kind == "clock_skew"
+        )
+        self.log: List[Tuple[str, int, str, str]] = []
+
+    def checkpoint(self, name: str, label: str = "") -> None:
+        """Fire any kill/stall event matching this (checkpoint, label)."""
+        for i, event in enumerate(self._events):
+            if event.kind == "clock_skew" or not event.matches(name, label):
+                continue
+            index = self._matched[i]
+            self._matched[i] += 1
+            if not event.start <= index < event.start + event.count:
+                continue
+            self.log.append((name, index, label, event.kind))
+            if event.kind == "stall":
+                time.sleep(event.delay_s)
+            elif event.kind == "kill":
+                # SIGKILL, not sys.exit: no atexit, no finally blocks, no
+                # lease release — the worker dies exactly like an OOM kill.
+                os.kill(os.getpid(), signal.SIGKILL)
+
+
+_ACTIVE: Optional[HavocProc] = None
+
+
+def install(proc: Optional[HavocProc]) -> None:
+    global _ACTIVE
+    _ACTIVE = proc
+
+
+def current() -> Optional[HavocProc]:
+    return _ACTIVE
+
+
+def checkpoint(name: str, label: str = "") -> None:
+    """Announce a process boundary (no-op unless a plan is active)."""
+    if _ACTIVE is not None:
+        _ACTIVE.checkpoint(name, label)
+
+
+def farm_time() -> float:
+    """The farm's lease clock: ``time.time()`` plus any active skew."""
+    if _ACTIVE is None or _ACTIVE.skew_s == 0.0:
+        return time.time()
+    return time.time() + _ACTIVE.skew_s

@@ -35,6 +35,7 @@ closes the same race up to a much smaller window.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import tempfile
@@ -42,6 +43,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, Optional, Union
 
+from repro.havoc import fs as havocfs
 from repro.runner.taskspec import SPEC_SCHEMA, TaskSpec
 from repro.sim.simulator import KERNEL_BEHAVIOR_VERSION
 from repro.version import __version__
@@ -139,8 +141,8 @@ class ResultCache:
         """
         path = self.path_for(spec)
         try:
-            raw = path.read_bytes()
-        except OSError:  # absent (the common miss) or unreadable
+            raw = havocfs.read_bytes(path)
+        except OSError:  # absent (the common miss) or unreadable (EIO)
             self.misses += 1
             return None
         try:
@@ -200,14 +202,24 @@ class ResultCache:
         # half-written file, and readers only ever see complete entries.
         # The install rename happens under the advisory lock so it cannot
         # interleave with a quarantine's re-verify/rename pair.
+        text = json.dumps(payload, indent=2, sort_keys=True)
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".{spec.fingerprint}.", suffix=".tmp", dir=self.root
         )
         try:
             with os.fdopen(fd, "w") as handle:
-                handle.write(json.dumps(payload, indent=2, sort_keys=True))
+                havocfs.write(handle, text, path)
+            # Fail closed on a lying disk: verify the temp file before the
+            # install rename, so ENOSPC-shortened bytes raise here instead
+            # of becoming a (self-healing, but avoidable) corrupt entry.
+            if havocfs.read_bytes(tmp_name) != text.encode("utf-8"):
+                raise OSError(
+                    errno.EIO,
+                    f"torn write detected installing cache entry {path.name}",
+                    str(path),
+                )
             with self._lock():
-                os.replace(tmp_name, path)
+                havocfs.replace(tmp_name, path)
         except BaseException:
             try:
                 os.unlink(tmp_name)

@@ -162,6 +162,7 @@ class ParallelRunner:
         self.last_report: Optional[RunnerReport] = None
         self._interrupts = 0
         self._backoff_total = 0.0
+        self._journal_broken = False
 
     # ------------------------------------------------------------- internals
     def _emit(self, message: str, **data: Any) -> None:
@@ -174,15 +175,39 @@ class ParallelRunner:
         return self.cache.load(spec)
 
     def _store(self, spec: TaskSpec, result: Dict[str, Any]) -> None:
-        if self.cache is not None:
+        if self.cache is None:
+            return
+        try:
             self.cache.store(spec, result)
+        except OSError as exc:
+            # A full disk must not fail a cell that already computed a
+            # correct result: the cache degrades to re-execution on the
+            # next run, the grid keeps its answer.
+            self._emit(
+                f"cache store failed for {spec.name} (degrading): {exc}",
+                cell=spec.name,
+                error=repr(exc),
+            )
 
-    @staticmethod
     def _journal(
-        journal: Optional[RunJournal], record_kind: str, **fields: Any
+        self, journal: Optional[RunJournal], record_kind: str, **fields: Any
     ) -> None:
-        if journal is not None:
+        if journal is None or self._journal_broken:
+            return
+        try:
             journal.record(record_kind, **fields)
+        except OSError as exc:
+            # Fail closed: stop journaling entirely rather than appending
+            # after a torn line (replay only tolerates a torn *tail*). The
+            # grid completes with correct results; a later --resume simply
+            # re-runs whatever the truncated journal no longer proves.
+            self._journal_broken = True
+            self._emit(
+                f"journal write failed ({exc}); disabling journal for this "
+                "run — results remain correct, resume will re-run unproven "
+                "cells",
+                error=repr(exc),
+            )
 
     def _open_journal(
         self, specs: Sequence[TaskSpec], resume: Optional[Union[RunJournal, str, Path]]
@@ -251,6 +276,7 @@ class ParallelRunner:
         started = time.perf_counter()
         self._interrupts = 0
         self._backoff_total = 0.0
+        self._journal_broken = False
         if self.jobs_requested == 0:
             self._emit(
                 f"jobs auto-detected: {self.jobs} (os.cpu_count)", jobs=self.jobs
@@ -331,15 +357,15 @@ class ParallelRunner:
                     error="interrupted before completion"
                     + (" (resumable from the run journal)" if journal else ""),
                 )
-        if journal is not None:
-            if interrupted:
-                journal.record(
-                    "interrupt",
-                    mode="abandon" if self._interrupts >= 2 else "drain",
-                    unfinished=interrupted,
-                )
-            else:
-                journal.record("close", cells=len(specs))
+        if interrupted:
+            self._journal(
+                journal,
+                "interrupt",
+                mode="abandon" if self._interrupts >= 2 else "drain",
+                unfinished=interrupted,
+            )
+        else:
+            self._journal(journal, "close", cells=len(specs))
 
         final = [o for o in outcomes if o is not None]
         assert len(final) == len(specs)

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Set, Union
 
+from repro.havoc import fs as havocfs
 from repro.runner.retry import RetryPolicy
 from repro.runner.taskspec import TaskSpec, fingerprint_of
 from repro.sim.simulator import KERNEL_BEHAVIOR_VERSION
@@ -136,14 +137,36 @@ class RunJournal:
                 }
             )
         lines.append({"t": record_kind, **fields})
+        # A previous run may have died mid-append (ENOSPC, SIGKILL),
+        # leaving a torn final line with no newline. Terminate it before
+        # appending, or the new record would merge into the garbage and be
+        # lost with it — replay() skips exactly one bad line either way,
+        # but it must be the *torn* one, not ours.
+        terminate_torn_tail = self._tail_is_unterminated()
+        # The write/fsync pair goes through the havoc fs seam: an injected
+        # (or real) ENOSPC mid-append leaves at most a torn final line,
+        # which replay() skips — the crash-safety contract under test.
         with open(self.path, "a") as handle:
+            if terminate_torn_tail:
+                havocfs.write(handle, "\n", self.path)
             for line in lines:
-                handle.write(
-                    json.dumps(line, sort_keys=True, separators=(",", ":")) + "\n"
+                havocfs.write(
+                    handle,
+                    json.dumps(line, sort_keys=True, separators=(",", ":")) + "\n",
+                    self.path,
                 )
             handle.flush()
-            os.fsync(handle.fileno())
+            havocfs.fsync(handle.fileno(), str(self.path))
         self.records_written += len(lines)
+
+    def _tail_is_unterminated(self) -> bool:
+        """True when the file ends mid-line (a torn append to repair)."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except (OSError, ValueError):  # absent or empty: nothing torn
+            return False
 
     # -------------------------------------------------------------- reading
     def replay(self) -> JournalState:

@@ -1,0 +1,255 @@
+"""Hostile-conditions coverage for the farm HTTP service.
+
+Malformed, oversized, stalled, and dropped requests must land as 4xx (or
+a closed connection) — never a 500, never a dead event loop — and a
+saturated service must shed load with 429 + ``Retry-After`` that the
+resilient client turns into a short wait.
+
+Uses the raw-socket helpers from :mod:`repro.havoc.http` to produce
+byte-level abuse a well-behaved urllib client cannot.
+"""
+
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.farm import client
+from repro.havoc import http as havochttp
+from repro.runner.retry import RetryPolicy
+
+
+def _spawn_server(tmp_path, *extra):
+    env = dict(os.environ)
+    src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "--port", "0",
+            "--cache-dir", str(tmp_path / "cache"), *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"http://([0-9.]+):(\d+)", line)
+    if match is None:
+        proc.kill()
+        pytest.fail(f"server did not announce an address: {line!r}")
+    return proc, match.group(0), match.group(1), int(match.group(2))
+
+
+@pytest.fixture(scope="class")
+def hostile_server(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("farm-hostile")
+    proc, url, host, port = _spawn_server(
+        tmp_path, "--read-timeout", "1.5", "--max-pending", "8"
+    )
+    yield url, host, port
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=20) == 0  # survived every abuse, exited clean
+
+
+def _status_of(response: bytes) -> int:
+    """The HTTP status in a raw response (0 for a bare connection close)."""
+    match = re.match(rb"HTTP/1\.1 (\d{3}) ", response)
+    return int(match.group(1)) if match else 0
+
+
+class TestMalformedRequests:
+    def test_garbage_request_line_gets_400(self, hostile_server):
+        url, host, port = hostile_server
+        reply = havochttp.raw_request(host, port, b"]]NOT HTTP[[\r\n\r\n")
+        assert _status_of(reply) == 400
+
+    def test_nonnumeric_content_length_gets_400(self, hostile_server):
+        url, host, port = hostile_server
+        reply = havochttp.raw_request(
+            host, port,
+            b"POST /jobs HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        )
+        assert _status_of(reply) == 400
+
+    def test_negative_content_length_gets_400(self, hostile_server):
+        url, host, port = hostile_server
+        reply = havochttp.raw_request(
+            host, port,
+            b"POST /jobs HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+        )
+        assert _status_of(reply) == 400
+
+    def test_oversized_declared_body_gets_413(self, hostile_server):
+        url, host, port = hostile_server
+        reply = havochttp.raw_request(
+            host, port,
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n",
+        )
+        assert _status_of(reply) == 413
+
+    def test_unknown_route_gets_404(self, hostile_server):
+        url, host, port = hostile_server
+        reply = havochttp.raw_request(host, port, b"GET /nope HTTP/1.1\r\n\r\n")
+        assert _status_of(reply) == 404
+
+    def test_wrong_method_gets_405(self, hostile_server):
+        url, host, port = hostile_server
+        reply = havochttp.raw_request(
+            host, port, b"DELETE /jobs HTTP/1.1\r\n\r\n"
+        )
+        assert _status_of(reply) == 405
+
+    def test_bad_json_submit_gets_400_with_detail(self, hostile_server):
+        url, host, port = hostile_server
+        body = b"{not json"
+        reply = havochttp.raw_request(
+            host, port,
+            b"POST /jobs HTTP/1.1\r\nContent-Length: "
+            + str(len(body)).encode() + b"\r\n\r\n" + body,
+        )
+        assert _status_of(reply) == 400
+        payload = json.loads(reply.split(b"\r\n\r\n", 1)[1])
+        assert "bad JSON" in payload["error"]
+
+    def test_stalled_body_gets_408_within_read_timeout(self, hostile_server):
+        url, host, port = hostile_server
+        started = time.monotonic()
+        reply = havochttp.stalled_request(
+            host, port,
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 100\r\n\r\n",
+            timeout=30.0,
+        )
+        elapsed = time.monotonic() - started
+        assert _status_of(reply) == 408
+        assert elapsed < 10.0  # 1.5s timeout + margin, not a pinned handler
+
+    def test_stalled_head_gets_408(self, hostile_server):
+        url, host, port = hostile_server
+        reply = havochttp.stalled_request(
+            host, port, b"GET /healthz HTT", timeout=30.0
+        )
+        assert _status_of(reply) == 408
+
+    def test_mid_body_drop_does_not_kill_the_service(self, hostile_server):
+        url, host, port = hostile_server
+        havochttp.drop_mid_body(
+            host, port,
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\n",
+            b"{only half",
+        )
+        assert client.health(url)["ok"] is True
+
+    def test_client_error_carries_server_detail(self, hostile_server):
+        url, host, port = hostile_server
+        with pytest.raises(client.FarmClientError) as info:
+            client.job(url, "no-such-job")
+        assert info.value.status == 404
+        assert "no-such-job" in str(info.value)  # the server's own message
+
+    def test_unreachable_server_raises_client_error(self, hostile_server):
+        url, host, port = hostile_server
+        fast = RetryPolicy(retries=1, backoff_base_s=0.01)
+        with pytest.raises(client.FarmClientError, match="cannot reach"):
+            client._request(
+                f"http://127.0.0.1:1", "/healthz", timeout=2.0, policy=fast
+            )
+
+    @given(chunk=st.binary(min_size=0, max_size=200))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_fuzzed_bytes_never_yield_500(self, hostile_server, chunk):
+        url, host, port = hostile_server
+        # Terminate the head so the server parses immediately instead of
+        # waiting out its read timeout on every example.
+        reply = havochttp.raw_request(host, port, chunk + b"\r\n\r\n")
+        status = _status_of(reply)
+        assert status < 500  # 4xx, 2xx, or a bare close — never a 5xx
+        assert b"Traceback" not in reply
+
+    def test_service_is_healthy_after_the_hostilities(self, hostile_server):
+        url, host, port = hostile_server
+        health = client.health(url)
+        assert health["ok"] is True
+        assert health["state"] == "ok"
+
+
+class TestBackpressure:
+    @pytest.fixture(scope="class")
+    def saturated(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("farm-saturated")
+        proc, url, host, port = _spawn_server(tmp_path, "--max-pending", "1")
+        yield url, host, port
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+
+    def _submit_raw(self, url, payload):
+        """One submission with NO retries — to observe the raw 429."""
+        request = urllib.request.Request(
+            url + "/jobs",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        return urllib.request.urlopen(request, timeout=10)
+
+    def test_saturated_service_sheds_load_and_recovers(self, saturated):
+        url, host, port = saturated
+        slow = {"grid": "selftest", "cells": 1, "sleep_s": 3.0}
+        first = client.submit(url, slow)
+
+        # The admission bound is hit: a raw (retry-free) submit gets 429
+        # with Retry-After, and /healthz reports degraded — load is shed
+        # *before* the service falls over, not after.
+        with pytest.raises(urllib.error.HTTPError) as info:
+            self._submit_raw(url, {"grid": "selftest", "cells": 1})
+        assert info.value.code == 429
+        assert float(info.value.headers["Retry-After"]) > 0
+        body = json.loads(info.value.read())
+        assert body["pending"] >= body["max_pending"]
+
+        health = client.health(url)
+        assert health["state"] == "degraded"
+        assert health["ok"] is False
+        assert health["pending"] >= health["max_pending"]
+
+        # The resilient client backs off (honouring Retry-After) and
+        # succeeds once the slow job finishes — a 429 is a wait, not an
+        # error.
+        patient = RetryPolicy(retries=8, backoff_base_s=0.5, backoff_max_s=2.0)
+        second = client.submit(
+            url, {"grid": "selftest", "cells": 2, "payload": 5}, policy=patient
+        )
+        assert client.wait(url, first["id"], timeout=60)["state"] == "done"
+        assert client.wait(url, second["id"], timeout=60)["state"] == "done"
+        assert client.health(url)["state"] == "ok"
+
+
+class TestGracefulDrain:
+    def test_sigterm_finishes_inflight_job_then_exits_zero(self, tmp_path):
+        proc, url, host, port = _spawn_server(tmp_path)
+        try:
+            job = client.submit(
+                url, {"grid": "selftest", "cells": 1, "sleep_s": 2.0}
+            )
+            proc.send_signal(signal.SIGTERM)
+            # Drain: the in-flight job runs to completion before exit 0 —
+            # its cache/journal writes land, nothing is abandoned.
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert job["state"] in ("queued", "running")

@@ -1,0 +1,227 @@
+"""The havoc filesystem seam and the fail-closed storage it hardens.
+
+The contract under test: any injected ENOSPC / EIO / torn write may cost
+a retry or a cache miss, but never yields a wrong result, a torn marker
+that parses, or a duplicate completion.
+"""
+
+import errno
+import json
+
+import pytest
+
+import repro.havoc as havoc
+from repro.farm.queue import LeaseQueue
+from repro.farm.worker import WorkerStats, drain_queue, run_leased_cell
+from repro.havoc import HavocEvent, HavocPlan
+from repro.havoc import fs as havocfs
+from repro.runner import ParallelRunner
+from repro.runner.cache import ResultCache
+from repro.runner.retry import RetryPolicy
+from repro.runner.taskspec import selftest_spec
+
+
+def plan_of(*events, seed=0):
+    return HavocPlan(events=tuple(events), seed=seed, name="test")
+
+
+@pytest.fixture(autouse=True)
+def _clean_seams():
+    yield
+    havoc.deactivate()
+
+
+class TestHavocFSDecisions:
+    def test_window_covers_exact_op_indices(self, tmp_path):
+        plan = plan_of(HavocEvent(kind="enospc", op="write", start=1, count=2))
+        with havoc.active(plan):
+            for index in range(4):
+                target = tmp_path / f"f{index}"
+                with open(target, "w") as handle:
+                    if index in (1, 2):
+                        with pytest.raises(OSError) as info:
+                            havocfs.write(handle, "data")
+                        assert info.value.errno == errno.ENOSPC
+                    else:
+                        havocfs.write(handle, "data")
+
+    def test_decision_log_is_reproducible(self, tmp_path):
+        plan = plan_of(
+            HavocEvent(kind="eio", op="read", scope="victim", start=0)
+        )
+        target = tmp_path / "victim.json"
+        target.write_bytes(b"x")
+        logs = []
+        for _ in range(2):
+            with havoc.active(plan) as injector:
+                with pytest.raises(OSError):
+                    havocfs.read_bytes(target)
+                assert havocfs.read_bytes(tmp_path / "victim.json") == b"x"
+                logs.append(list(injector.log))
+        assert logs[0] == logs[1]
+        assert logs[0] == [("read", 0, str(target), "eio")]
+
+    def test_torn_write_leaves_a_genuine_prefix(self, tmp_path):
+        plan = plan_of(HavocEvent(kind="torn", op="write", start=0))
+        target = tmp_path / "torn.json"
+        with havoc.active(plan):
+            with open(target, "w") as handle:
+                with pytest.raises(OSError) as info:
+                    havocfs.write(handle, "0123456789")
+            assert info.value.errno == errno.ENOSPC
+        content = target.read_bytes()
+        assert content == b"01234"  # half landed, exactly like a full disk
+
+    def test_scope_filters_by_path_substring(self, tmp_path):
+        plan = plan_of(
+            HavocEvent(kind="enospc", op="write", scope="queue", count=99)
+        )
+        with havoc.active(plan):
+            with open(tmp_path / "cache-entry", "w") as handle:
+                havocfs.write(handle, "ok")  # out of scope: untouched
+            with open(tmp_path / "queue-marker", "w") as handle:
+                with pytest.raises(OSError):
+                    havocfs.write(handle, "boom")
+
+    def test_passthrough_when_inactive(self, tmp_path):
+        target = tmp_path / "plain"
+        with open(target, "w") as handle:
+            havocfs.write(handle, "plain")
+        assert havocfs.read_bytes(target) == b"plain"
+        assert havocfs.current() is None
+
+
+class TestEnvActivation:
+    def test_env_round_trip(self, tmp_path):
+        plan = havoc.generate_plan(17)
+        restored = HavocPlan.from_json(plan.to_json())
+        assert restored == plan
+
+    def test_malformed_env_plan_fails_loudly(self):
+        from repro.havoc import _activate_from_env
+        import os
+
+        os.environ[havoc.ENV_VAR] = "{broken"
+        try:
+            with pytest.raises(ValueError):
+                _activate_from_env()
+        finally:
+            del os.environ[havoc.ENV_VAR]
+
+
+class TestFailClosedQueue:
+    def test_enospc_on_marker_releases_lease_not_torn_result(self, tmp_path):
+        """A failed ``done`` install must degrade to re-execution."""
+        queue = LeaseQueue(tmp_path / "q", lease_ttl=5.0)
+        spec = selftest_spec(0)
+        queue.put(spec, 0)
+        # Window sized to break the *first* done-marker write only.
+        plan = plan_of(
+            HavocEvent(kind="enospc", op="write", scope="done", count=1)
+        )
+        stats = WorkerStats()
+        with havoc.active(plan):
+            lease = queue.claim()
+            assert lease is not None
+            run_leased_cell(queue, lease, None, RetryPolicy(), stats)
+        assert stats.io_errors == 1
+        assert stats.executed == 0
+        assert queue.unfinished() == 1  # released, not torn-completed
+        # The fault window has passed: a clean pass drains it.
+        stats2 = drain_queue(tmp_path / "q", lease_ttl=5.0)
+        assert stats2.executed == 1
+        assert queue.unfinished() == 0
+
+    def test_torn_marker_never_parses_as_done(self, tmp_path):
+        queue = LeaseQueue(tmp_path / "q", lease_ttl=5.0)
+        spec = selftest_spec(1)
+        queue.put(spec, 0)
+        plan = plan_of(
+            HavocEvent(kind="torn", op="write", scope="done", count=1)
+        )
+        stats = WorkerStats()
+        with havoc.active(plan):
+            lease = queue.claim()
+            run_leased_cell(queue, lease, None, RetryPolicy(), stats)
+        # The torn temp file was cleaned up; no half-written marker exists.
+        done_files = list((tmp_path / "q" / "done").glob("*.json"))
+        assert done_files == []
+        assert stats.io_errors == 1
+        assert queue.unfinished() == 1
+
+    def test_torn_first_claim_does_not_charge_a_steal(self, tmp_path):
+        queue = LeaseQueue(tmp_path / "q", lease_ttl=5.0, max_attempts=2)
+        queue.put(selftest_spec(2), 0)
+        plan = plan_of(
+            HavocEvent(kind="torn", op="write", scope="leases", count=1)
+        )
+        with havoc.active(plan):
+            with pytest.raises(OSError):  # fail closed, loudly
+                queue.claim()
+        # No torn lease file survives to be "stolen" (which would burn
+        # half the poison budget on a fault that ran nothing).
+        assert list((tmp_path / "q" / "leases").glob("*.json")) == []
+        lease = queue.claim()
+        assert lease is not None and lease.attempt == 0
+
+    def test_worker_aborts_after_persistent_storage_failure(self, tmp_path):
+        from repro.farm.worker import MAX_CONSECUTIVE_IO_ERRORS
+
+        queue = LeaseQueue(tmp_path / "q", lease_ttl=5.0)
+        queue.put(selftest_spec(3), 0)
+        # The disk never comes back: every write fails.
+        plan = plan_of(
+            HavocEvent(kind="enospc", op="write", count=10_000)
+        )
+        with havoc.active(plan):
+            stats = drain_queue(tmp_path / "q", lease_ttl=5.0, poll_s=0.01)
+        assert stats.aborted is True
+        assert stats.io_errors >= MAX_CONSECUTIVE_IO_ERRORS
+        assert stats.executed == 0
+
+
+class TestFailClosedCache:
+    def test_torn_store_raises_and_installs_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = selftest_spec(0)
+        plan = plan_of(HavocEvent(kind="torn", op="write", count=1))
+        with havoc.active(plan):
+            with pytest.raises(OSError):
+                cache.store(spec, {"value": 1})
+        # Fail closed: no entry, no temp litter, and a later store works.
+        assert list((tmp_path / "cache").glob("*.json")) == []
+        assert list((tmp_path / "cache").glob("*.tmp")) == []
+        cache.store(spec, {"value": 1})
+        assert cache.load(spec) == {"value": 1}
+
+    def test_eio_load_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = selftest_spec(1)
+        cache.store(spec, {"value": 2})
+        plan = plan_of(
+            HavocEvent(kind="eio", op="read", scope=spec.fingerprint)
+        )
+        with havoc.active(plan):
+            assert cache.load(spec) is None  # miss, not a crash
+        assert cache.load(spec) == {"value": 2}  # entry itself unharmed
+
+
+class TestZeroFaultIdentity:
+    def test_empty_plan_is_bit_identical_to_no_plan(self, tmp_path):
+        specs = [selftest_spec(i) for i in range(3)]
+        plain = ParallelRunner(jobs=1).run(specs)
+        with havoc.active(plan_of()) as injector:
+            under_plan = ParallelRunner(jobs=1).run(specs)
+            assert injector.injected == 0
+        assert [o.result for o in under_plan] == [o.result for o in plain]
+
+    def test_queue_json_identical_under_empty_plan(self, tmp_path):
+        spec = selftest_spec(9)
+        queue_a = LeaseQueue(tmp_path / "qa", lease_ttl=5.0)
+        queue_a.put(spec, 0)
+        with havoc.active(plan_of()):
+            queue_b = LeaseQueue(tmp_path / "qb", lease_ttl=5.0)
+            queue_b.put(spec, 0)
+        task_a = next((tmp_path / "qa" / "tasks").glob("*.json"))
+        task_b = next((tmp_path / "qb" / "tasks").glob("*.json"))
+        assert json.loads(task_a.read_text()) == json.loads(task_b.read_text())

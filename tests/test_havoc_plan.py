@@ -1,0 +1,111 @@
+"""Havoc plans: validation, matching, serialisation, seeded generation."""
+
+import pytest
+
+from repro.havoc import HavocEvent, HavocPlan, generate_plan
+from repro.havoc.plan import FS_KINDS, HAVOC_KINDS, HTTP_KINDS, PROC_KINDS
+
+
+class TestEventValidation:
+    def test_every_kind_belongs_to_exactly_one_seam(self):
+        assert set(HAVOC_KINDS) == set(FS_KINDS) | set(PROC_KINDS) | set(
+            HTTP_KINDS
+        )
+        assert len(HAVOC_KINDS) == len(FS_KINDS) + len(PROC_KINDS) + len(
+            HTTP_KINDS
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown havoc kind"):
+            HavocEvent(kind="meteor")
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="start"):
+            HavocEvent(kind="enospc", start=-1)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            HavocEvent(kind="enospc", count=0)
+
+    def test_stall_without_delay_rejected(self):
+        for kind in ("slow_fsync", "stall", "sse_stall"):
+            with pytest.raises(ValueError, match="delay_s"):
+                HavocEvent(kind=kind)
+
+    def test_unknown_dict_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown HavocEvent keys"):
+            HavocEvent.from_dict({"kind": "enospc", "colour": "red"})
+
+
+class TestEventMatching:
+    def test_empty_filters_match_everything(self):
+        event = HavocEvent(kind="enospc")
+        assert event.matches("write", "/any/path")
+        assert event.matches("fsync", "")
+
+    def test_op_filter_is_exact(self):
+        event = HavocEvent(kind="enospc", op="write")
+        assert event.matches("write", "x")
+        assert not event.matches("fsync", "x")
+
+    def test_scope_filter_is_substring(self):
+        event = HavocEvent(kind="enospc", scope="journal")
+        assert event.matches("write", "/run/journal/abc.jsonl")
+        assert not event.matches("write", "/run/cache/abc.json")
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        plan = HavocPlan(
+            events=(
+                HavocEvent(kind="torn", op="write", scope="q", start=2),
+                HavocEvent(kind="kill", op="claimed", start=1),
+                HavocEvent(kind="sse_stall", op="events", delay_s=0.5),
+            ),
+            seed=9,
+            name="trip",
+        )
+        assert HavocPlan.from_json(plan.to_json()) == plan
+
+    def test_canonical_json_is_stable(self):
+        plan = generate_plan(3)
+        assert plan.to_json() == HavocPlan.from_json(plan.to_json()).to_json()
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            HavocPlan.from_json("{nope")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            HavocPlan.from_json("[1, 2]")
+
+    def test_for_kinds_partitions_by_seam(self):
+        plan = generate_plan(5, enospc_windows=2, kills=1, sse_drops=1)
+        assert len(plan.for_kinds(FS_KINDS)) == 2
+        assert len(plan.for_kinds(PROC_KINDS)) == 1
+        assert len(plan.for_kinds(HTTP_KINDS)) == 1
+
+
+class TestGeneratePlan:
+    def test_same_seed_same_plan(self):
+        assert generate_plan(42) == generate_plan(42)
+        assert generate_plan(42).to_json() == generate_plan(42).to_json()
+
+    def test_different_seeds_differ(self):
+        produced = {generate_plan(seed).to_json() for seed in range(20)}
+        assert len(produced) > 1
+
+    def test_requested_event_counts(self):
+        plan = generate_plan(7, enospc_windows=3, kills=2, sse_drops=1)
+        kinds = [event.kind for event in plan.events]
+        assert kinds.count("enospc") == 3
+        assert kinds.count("kill") == 2
+        assert kinds.count("sse_drop") == 1
+
+    def test_plan_is_independent_of_global_random_state(self):
+        import random
+
+        random.seed(123)
+        first = generate_plan(11)
+        random.seed(999)
+        assert generate_plan(11) == first

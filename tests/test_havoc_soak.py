@@ -1,0 +1,181 @@
+"""The havoc soak: a chaos grid completes bit-identically under havoc.
+
+The acceptance test for the whole havoc layer. A small chaos grid runs
+through the full farm stack — HTTP service, lease queue, external worker
+processes — while a seeded havoc schedule:
+
+- SIGKILLs a worker at its first lease (``kill`` @ checkpoint
+  ``claimed``): the lease expires and the cell is stolen;
+- opens an ENOSPC window on the surviving worker's storage: marker
+  installs fail, leases are released, the cell re-runs after the window;
+- drops the client's live SSE subscription mid-stream (``sse_drop``):
+  the client must reconnect from ``Last-Event-ID``.
+
+Despite all of it, the job must finish with trace digests bit-identical
+to an undisturbed in-process run — infrastructure faults may cost time,
+never results. And because every schedule is a pure function of its
+seed, a failing soak is replayed exactly by quoting the seed.
+"""
+
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.farm import client, specs_from_payload
+from repro.havoc import ENV_VAR, HavocEvent, HavocPlan
+from repro.runner import ParallelRunner
+
+FAST = dict(
+    n_controls=2, control_interval_s=4.0, converge_seconds=30.0,
+    drain_seconds=10.0,
+)
+
+CHAOS_PAYLOAD = {
+    "grid": "chaos",
+    "variants": ["tele", "re-tele"],
+    "scenario": "crash-churn",
+    "intensities": [0.5],
+    "seeds": [1],
+    "schedule": FAST,
+}
+
+#: The three injections the soak must actually observe.
+SERVER_PLAN = HavocPlan(
+    events=(HavocEvent(kind="sse_drop", op="events", start=3),),
+    seed=101, name="soak-server",
+)
+VICTIM_PLAN = HavocPlan(
+    events=(HavocEvent(kind="kill", op="claimed", start=0),),
+    seed=102, name="soak-victim",
+)
+SURVIVOR_PLAN = HavocPlan(
+    events=(
+        HavocEvent(kind="enospc", op="write", scope="done", start=0, count=1),
+    ),
+    seed=103, name="soak-survivor",
+)
+
+
+def _env(extra=None):
+    env = dict(os.environ)
+    src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(ENV_VAR, None)
+    if extra:
+        env.update(extra)
+    return env
+
+
+def _spawn_server(tmp_path, plan):
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "--port", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--queue-dir", str(tmp_path / "queues"),
+            "--no-self-drain",
+            "--lease-ttl", "2.0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_env({ENV_VAR: plan.to_json()}),
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"http://\S+", line)
+    if match is None:
+        proc.kill()
+        pytest.fail(f"server did not announce an address: {line!r}")
+    return proc, match.group(0)
+
+
+def _spawn_worker(tmp_path, queue_dir, plan):
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "farm", "worker",
+            "--queue-dir", str(queue_dir),
+            "--cache-dir", str(tmp_path / "worker-cache"),
+            "--lease-ttl", "2.0",
+            "--follow",
+            "--quiet",
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=_env({ENV_VAR: plan.to_json()}),
+    )
+
+
+class TestHavocSoak:
+    def test_chaos_grid_survives_the_schedule_bit_identically(self, tmp_path):
+        # Reference: the same grid, in-process, no farm, no havoc.
+        specs = specs_from_payload(CHAOS_PAYLOAD)
+        reference = ParallelRunner(jobs=1).run(specs)
+        expected = [o.result["trace_digest"] for o in reference]
+
+        server, url = _spawn_server(tmp_path, SERVER_PLAN)
+        workers = []
+        try:
+            job = client.submit(url, CHAOS_PAYLOAD)
+            # The per-grid queue directory appears once the job dispatches.
+            queues = tmp_path / "queues"
+            deadline = time.monotonic() + 30
+            queue_dir = None
+            while time.monotonic() < deadline:
+                candidates = list(queues.glob("*/tasks"))
+                if candidates:
+                    queue_dir = candidates[0].parent
+                    break
+                time.sleep(0.1)
+            assert queue_dir is not None, "job never enqueued cells"
+
+            victim = _spawn_worker(tmp_path, queue_dir, VICTIM_PLAN)
+            workers.append(victim)
+            survivor = _spawn_worker(tmp_path, queue_dir, SURVIVOR_PLAN)
+            workers.append(survivor)
+
+            # Watch the SSE stream through the injected drop; the client
+            # must resume from Last-Event-ID, not restart or die.
+            reconnects = []
+            seen_seqs = []
+            for event in client.watch(
+                url, job["id"], timeout=240,
+                on_reconnect=lambda n, cursor: reconnects.append(cursor),
+            ):
+                if "seq" in event:
+                    seen_seqs.append(event["seq"])
+
+            status = client.wait(url, job["id"], timeout=60)
+            assert status["state"] == "done", status
+
+            payload = client.results(url, job["id"])
+            digests = [cell["trace_digest"] for cell in payload["results"]]
+            assert digests == expected  # bit-identical under havoc
+
+            # The schedule actually fired: the victim died by SIGKILL...
+            assert victim.wait(timeout=30) == -signal.SIGKILL
+            # ...and the SSE stream was dropped and resumed at least once,
+            # with no event replayed after the resume cursor.
+            assert len(reconnects) >= 1
+            assert seen_seqs == sorted(set(seen_seqs))
+        finally:
+            for worker in workers:
+                if worker.poll() is None:
+                    worker.terminate()
+                    worker.wait(timeout=15)
+            server.send_signal(signal.SIGTERM)
+            assert server.wait(timeout=30) == 0
+
+    def test_same_seed_reproduces_the_same_schedule(self):
+        from repro.havoc import generate_plan
+
+        for seed in (0, 7, 12345):
+            assert generate_plan(seed).to_json() == generate_plan(seed).to_json()
+        # And the soak's own pinned plans serialise stably.
+        for plan in (SERVER_PLAN, VICTIM_PLAN, SURVIVOR_PLAN):
+            assert HavocPlan.from_json(plan.to_json()) == plan

@@ -159,3 +159,99 @@ class TestRunnerIntegration:
         assert "quarantined in journal" in resumed[1].error
         assert [o.status for o in (resumed[0], resumed[2])] == ["journal"] * 2
         assert second.last_report.quarantined()[0].label == poison.name
+
+
+class TestTornTailResume:
+    """ENOSPC mid-append: the journal stays a resumable prefix."""
+
+    def test_enospc_torn_line_resumes_cleanly(self, specs, tmp_path):
+        import repro.havoc as havoc
+        from repro.havoc import HavocEvent, HavocPlan
+
+        reference = ParallelRunner(jobs=1).run(specs)
+        journal = RunJournal.for_grid(tmp_path, specs, RetryPolicy())
+        journal.record(
+            "done",
+            cell=specs[0].fingerprint,
+            index=0,
+            attempts=1,
+            requeues=0,
+            wall_s=0.01,
+            events=None,
+            source="executed",
+            result=reference[0].result,
+        )
+        # The disk fills mid-append of the second done record: a genuine
+        # torn line (prefix + no newline) lands on disk.
+        plan = HavocPlan(
+            events=(HavocEvent(kind="torn", op="write", scope=".jsonl"),),
+            name="torn-journal",
+        )
+        with havoc.active(plan):
+            with pytest.raises(OSError):
+                journal.record(
+                    "done",
+                    cell=specs[1].fingerprint,
+                    index=1,
+                    attempts=1,
+                    requeues=0,
+                    wall_s=0.01,
+                    events=None,
+                    source="executed",
+                    result=reference[1].result,
+                )
+        havoc.deactivate()
+        assert not journal.path.read_text().endswith("\n")  # genuinely torn
+        state = journal.replay()
+        assert state.truncated
+        assert set(state.completed) == {specs[0].fingerprint}
+        # --resume: the journaled cell is served, the torn one re-runs,
+        # and results are bit-identical to the uninterrupted reference.
+        runner = ParallelRunner(jobs=1, journal_dir=tmp_path, resume=True)
+        outcomes = runner.run(specs)
+        assert [o.status for o in outcomes] == ["journal", "executed", "executed"]
+        assert [o.result for o in outcomes] == [o.result for o in reference]
+        # The resume's own appends terminated the torn line: replay now
+        # sees every new record and exactly one skipped torn line.
+        final = RunJournal(journal.path, grid=journal.grid).replay()
+        assert final.truncated
+        assert set(final.completed) == {s.fingerprint for s in specs}
+        assert final.closed
+
+    def test_append_after_torn_tail_does_not_merge(self, specs, tmp_path):
+        journal = RunJournal.for_grid(tmp_path, specs, RetryPolicy())
+        journal.record("dispatch", cell="a", index=0, attempt=0)
+        with open(journal.path, "a") as handle:
+            handle.write('{"t":"done","cell":"b","resu')  # torn, no newline
+        journal.record("done", cell="c", index=2, result={"v": 3}, attempts=1)
+        state = journal.replay()
+        # The record appended after the torn line must survive intact.
+        assert set(state.completed) == {"c"}
+        assert state.truncated
+
+    def test_engine_disables_journal_after_write_failure(self, specs, tmp_path):
+        import repro.havoc as havoc
+        from repro.havoc import HavocEvent, HavocPlan
+
+        reference = ParallelRunner(jobs=1).run(specs)
+        # Every journal append after the header fails: the run must still
+        # complete (results unharmed), disabling journalling rather than
+        # crashing or padding the file with garbage.
+        plan = HavocPlan(
+            events=(
+                HavocEvent(
+                    kind="enospc", op="write", scope=".jsonl", start=1,
+                    count=10_000,
+                ),
+            ),
+            name="journal-dead",
+        )
+        with havoc.active(plan):
+            runner = ParallelRunner(jobs=1, journal_dir=tmp_path)
+            outcomes = runner.run(specs)
+        havoc.deactivate()
+        assert [o.result for o in outcomes] == [o.result for o in reference]
+        # The journal is a clean parseable prefix (header at least).
+        state = RunJournal.for_grid(tmp_path, specs, RetryPolicy()).replay()
+        assert state.records >= 1
+        assert not state.closed
