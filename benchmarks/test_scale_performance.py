@@ -1,0 +1,107 @@
+"""City-scale throughput canary: the spatial index must keep paying off.
+
+One converge+control scale cell (:func:`repro.experiments.scale.scale_point`)
+is timed and normalised against the bare event loop measured in the same
+process — the ratio cancels machine speed and isolates per-event stack cost,
+exactly like the kernel canary. The JSON artefact (``BENCH_scale.json``)
+carries raw events/sec so dashboards can watch the headline number: a
+10 000-node cell completing in minutes on one machine.
+
+Scales: ``REPRO_BENCH_SCALE=smoke`` (CI's scale-smoke job: ~2k nodes, a
+shortened schedule) or ``full`` (default: the pinned 2k golden cell).
+Enforcement is opt-in via ``REPRO_PERF_ENFORCE=1`` and deliberately loose
+(50% of the committed normalised baseline): scale cells run minutes, so
+the floor only catches "the index stopped working" regressions, not noise.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.sim import Simulator
+
+#: Per-tier scale cells. Smoke stays under ~a minute of CI wall clock;
+#: full is the corpus 2k cell (same arguments as tests/golden's forest-2k).
+SCALE_CELLS = {
+    "smoke": dict(
+        topo="forest", size=2000, seed=1,
+        n_controls=3, control_interval_s=10.0,
+        converge_seconds=120.0, drain_seconds=20.0,
+    ),
+    "full": dict(
+        topo="forest", size=2000, seed=1,
+        n_controls=5, control_interval_s=10.0,
+        converge_seconds=240.0, drain_seconds=30.0,
+    ),
+}
+
+BASELINE_PATH = "benchmarks/baselines/scale_baseline.json"
+
+
+def _event_loop_rate(n_events=100_000):
+    """Bare-kernel chained dispatch: the machine-speed normaliser."""
+    sim = Simulator(seed=1)
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < n_events:
+            sim.schedule(10, tick)
+
+    sim.schedule(0, tick)
+    started = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - started
+    return count[0] / wall if wall > 0 else 0.0
+
+
+def test_scale_throughput_canary():
+    """Events/sec for one city-scale cell; emits BENCH_scale.json."""
+    from repro.experiments.scale import scale_point
+
+    scale = os.environ.get("REPRO_BENCH_SCALE", "full")
+    cell = SCALE_CELLS[scale]
+
+    norm_rate = _event_loop_rate()
+    result = scale_point(**cell)
+    assert result["converged"], "scale cell failed to converge — not a perf issue"
+    assert result["pdr"] is not None and result["pdr"] > 0.5
+
+    normalized = round(result["events_per_sec"] / norm_rate, 4) if norm_rate else None
+    measured = {
+        "nodes": result["size"],
+        "events": result["events_executed"],
+        "wall_s": result["wall_s"],
+        "events_per_s": result["events_per_sec"],
+        "normalized": normalized,
+        "event_loop_events_per_s": round(norm_rate, 1),
+    }
+
+    baseline_file = Path(__file__).resolve().parent.parent / BASELINE_PATH
+    baseline = json.loads(baseline_file.read_text()) if baseline_file.exists() else {}
+    base_scale = baseline.get("scales", {}).get(scale, {})
+
+    payload = {
+        "scale": scale,
+        "cell": cell,
+        "measured": measured,
+        "baseline": base_scale,
+        "baseline_label": baseline.get("label"),
+    }
+    Path("BENCH_scale.json").write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nscale throughput ({scale}): {json.dumps(measured)}")
+
+    if os.environ.get("REPRO_PERF_ENFORCE"):
+        base_norm = base_scale.get("normalized")
+        if base_norm and normalized:
+            floor = 0.5 * base_norm
+            assert normalized >= floor, (
+                f"scale perf regression: normalized events/sec {normalized} "
+                f"fell below 50% of the committed baseline {base_norm} "
+                f"(floor {floor:.4f}). The spatial index (or the stack above "
+                f"it) got much slower per event at city scale. If a PR "
+                f"legitimately adds per-event physics, re-record "
+                f"{BASELINE_PATH} and justify it; otherwise find the "
+                f"regression."
+            )

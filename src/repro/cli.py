@@ -372,6 +372,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.grid == "chaos":
         return _cmd_run_chaos(args)
+    if args.grid == "scale":
+        return _cmd_run_scale(args)
 
     variants = _RUN_GRIDS[args.grid]
     channels = args.channels
@@ -383,8 +385,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             variant,
             zigbee_channel=channel,
             seed=seed,
-            n_controls=args.controls,
-            control_interval_s=args.interval,
+            n_controls=args.controls if args.controls is not None else 20,
+            control_interval_s=args.interval if args.interval is not None else 60.0,
             **schedule,
         )
         for channel in channels
@@ -471,8 +473,8 @@ def _cmd_run_chaos(args: argparse.Namespace) -> int:
         args.intensities,
         args.seeds,
         scenario=args.scenario,
-        n_controls=args.controls,
-        control_interval_s=args.interval,
+        n_controls=args.controls if args.controls is not None else 20,
+        control_interval_s=args.interval if args.interval is not None else 60.0,
         **_schedule_overrides(args),
     )
     runner = _build_runner(args)
@@ -538,6 +540,83 @@ def _cmd_run_chaos(args: argparse.Namespace) -> int:
             ),
         )
     )
+    print()
+    print(runner.last_report.summary_table())
+    _write_csv(args.csv, headers, rows)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        print(f"(results written to {args.out})")
+    return _finish_run(runner.last_report)
+
+
+def _cmd_run_scale(args: argparse.Namespace) -> int:
+    """City-scale grid: topology generator × network size × seed.
+
+    Each cell is one converge+control workload on a generated multi-thousand
+    node deployment with the grid-hash spatial index enabled (``--dense``
+    switches the brute-force O(N²) channel back on for A/B timing — same
+    digests, very different wall clock; see docs/performance.md).
+    """
+    import json
+
+    from repro.runner import scale_spec
+
+    schedule = _schedule_overrides(args)
+    if args.controls is not None:
+        schedule["n_controls"] = args.controls
+    if args.interval is not None:
+        schedule["control_interval_s"] = args.interval
+    specs = [
+        scale_spec(
+            topo,
+            size=size,
+            seed=seed,
+            spatial_index=not args.dense,
+            **schedule,
+        )
+        for topo in args.topos
+        for size in args.sizes
+        for seed in args.seeds
+    ]
+    runner = _build_runner(args)
+    outcomes = runner.run(specs)
+
+    results = []
+    rows = []
+    for outcome in outcomes:
+        params = outcome.spec.params
+        if outcome.result is None:
+            rows.append(
+                [params["topo"], params["size"], params["seed"], outcome.status]
+                + ["-"] * 5
+            )
+            continue
+        result = outcome.result
+        results.append(result)
+        rows.append(
+            [
+                result["topology"],
+                result["size"],
+                result["seed"],
+                outcome.status,
+                f"{result['pdr']:.3f}" if result["pdr"] is not None else "n/a",
+                (
+                    f"{result['mean_latency_s']:.3f}"
+                    if result["mean_latency_s"] is not None
+                    else "n/a"
+                ),
+                "yes" if result["converged"] else "NO",
+                result["events_executed"],
+                f"{result['events_per_sec']:,.0f}",
+            ]
+        )
+
+    headers = [
+        "topo", "nodes", "seed", "status",
+        "pdr", "latency_s", "converged", "events", "events/s",
+    ]
+    print(report.ascii_table(headers, rows, title="Scale grid: per-cell results"))
     print()
     print(runner.last_report.summary_table())
     _write_csv(args.csv, headers, rows)
@@ -855,7 +934,7 @@ def build_parser() -> argparse.ArgumentParser:
             "'chaos' grid sweeps fault intensity under a --scenario preset."
         ),
     )
-    p.add_argument("grid", choices=sorted([*_RUN_GRIDS, "chaos"]))
+    p.add_argument("grid", choices=sorted([*_RUN_GRIDS, "chaos", "scale"]))
     p.add_argument(
         "--jobs", type=_job_count, default=1,
         help="worker processes (1 = serial, 0 = auto-detect cpu count)",
@@ -867,8 +946,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--channels", type=int, nargs="+", choices=(26, 19), default=None,
         help="override the grid's default ZigBee channels",
     )
-    p.add_argument("--controls", type=int, default=20)
-    p.add_argument("--interval", type=float, default=60.0)
+    p.add_argument(
+        "--controls", type=int, default=None,
+        help="control packets per cell (default: 20; scale grid: 5)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=None,
+        help="seconds between controls (default: 60; scale grid: 10)",
+    )
     p.add_argument(
         "--converge", type=float, default=None,
         help="override the grid's convergence window (simulated seconds)",
@@ -943,6 +1028,24 @@ def build_parser() -> argparse.ArgumentParser:
         choices=tuple(variant_names()),
         default=["tele", "re-tele"],
         help="chaos grid only: protocol variants",
+    )
+    scale_group = p.add_argument_group(
+        "scale", "city-scale grid: generated multi-thousand-node deployments "
+        "on the spatial-index channel (see docs/performance.md)"
+    )
+    scale_group.add_argument(
+        "--sizes", type=int, nargs="+", default=[2000],
+        help="scale grid only: approximate node counts to sweep",
+    )
+    scale_group.add_argument(
+        "--topos", nargs="+", default=["forest"],
+        choices=("forest", "city-blocks", "clustered"),
+        help="scale grid only: deployment generators to sweep",
+    )
+    scale_group.add_argument(
+        "--dense", action="store_true",
+        help="scale grid only: disable the spatial index (brute-force O(N²) "
+        "channel build — same results, much slower at scale)",
     )
     p.set_defaults(func=_cmd_run)
 

@@ -47,6 +47,7 @@ def chaos_config(
     zigbee_channel: int = 26,
     n_controls: int = CHAOS_DEFAULTS["n_controls"],
     control_interval_s: float = CHAOS_DEFAULTS["control_interval_s"],
+    spatial_index: object = None,
 ) -> NetworkConfig:
     """The :class:`NetworkConfig` one chaos cell runs on.
 
@@ -76,6 +77,7 @@ def chaos_config(
         auto_arm=False,
     )
     config.faults = plan
+    config.spatial_index = spatial_index
     return config
 
 
@@ -120,6 +122,7 @@ def run_chaos(
     control_interval_s: float = CHAOS_DEFAULTS["control_interval_s"],
     converge_seconds: float = CHAOS_DEFAULTS["converge_seconds"],
     drain_seconds: float = CHAOS_DEFAULTS["drain_seconds"],
+    spatial_index: object = None,
 ) -> Dict[str, Any]:
     """Run one chaos cell and return its JSON-ready result dict."""
     config = chaos_config(
@@ -130,6 +133,7 @@ def run_chaos(
         zigbee_channel,
         n_controls=n_controls,
         control_interval_s=control_interval_s,
+        spatial_index=spatial_index,
     )
     net = Network(config)
     net.sim.tracer.enable(TRACE_CATEGORIES)

@@ -33,10 +33,14 @@ from repro.net.node import NodeStack
 from repro.protocols import REGISTRY, ControlProtocolAdapter
 from repro.radio.channel import Channel
 from repro.radio.noise import ConstantNoise, CPMNoiseModel, synthesize_meyer_like_trace
+from repro.radio.spatial import SpatialChannel, SpatialIndexParams
 from repro.sim.simulator import Simulator
 from repro.sim.units import MINUTE, SECOND
 from repro.topology import (
     Deployment,
+    city_blocks,
+    clustered_field,
+    forest,
     indoor_testbed,
     random_uniform,
     sparse_linear,
@@ -49,6 +53,9 @@ _TOPOLOGIES: Dict[str, Callable[[int], Deployment]] = {
     "tight-grid": tight_grid,
     "sparse-linear": sparse_linear,
     "indoor-testbed": indoor_testbed,
+    "city-blocks": city_blocks,
+    "clustered-field": clustered_field,
+    "forest": forest,
 }
 
 
@@ -86,8 +93,18 @@ class NetworkConfig:
     fading_sigma_db: float = 2.0
     #: Fault-injection plan (see :mod:`repro.faults`); None = no faults.
     faults: Optional[FaultPlan] = None
+    #: Spatial channel dispatch (see docs/performance.md): None/False keeps
+    #: the dense all-pairs gain path; True enables grid-hash culling with
+    #: default :class:`SpatialIndexParams`; a params instance (or dict, for
+    #: specs round-tripped through JSON) tunes the interference floor, the
+    #: shadowing margin, and the cell size. Behaviour is bit-identical
+    #: either way (the golden corpus holds both paths to the same digests);
+    #: only memory and time change — which is why the field is part of the
+    #: config fingerprint only when enabled.
+    spatial_index: Union[None, bool, Dict[str, Any], SpatialIndexParams] = None
 
     def __post_init__(self) -> None:
+        self.spatial_index = _normalize_spatial_index(self.spatial_index)
         # Fail fast on an unknown protocol (or bad per-protocol params) at
         # config time — long before a channel, stacks, or a runner worker
         # exist. Registered plugins pass; see repro.protocols.
@@ -102,9 +119,9 @@ class NetworkConfig:
         the output is stable across field/insertion order and suitable for
         content-addressed cache keys (see :mod:`repro.runner.taskspec`).
 
-        ``faults`` is omitted entirely when None, so fault-free configs keep
-        the fingerprints (and thus cache entries) they had before the faults
-        layer existed.
+        ``faults`` is omitted entirely when None, and ``spatial_index`` when
+        disabled, so configs keep the fingerprints (and thus cache entries)
+        they had before those layers existed.
         """
         out = {
             f.name: _canonical_value(getattr(self, f.name))
@@ -112,7 +129,27 @@ class NetworkConfig:
         }
         if out["faults"] is None:
             del out["faults"]
+        if out["spatial_index"] is None:
+            del out["spatial_index"]
         return out
+
+
+def _normalize_spatial_index(
+    value: Union[None, bool, Dict[str, Any], SpatialIndexParams],
+) -> Optional[SpatialIndexParams]:
+    """Coerce the ``spatial_index`` knob to params-or-None.
+
+    Accepts the ergonomic forms (``True``/``False``) and the JSON form a
+    runner worker deserialises from a task spec, so every representation
+    fingerprints identically.
+    """
+    if value is None or isinstance(value, SpatialIndexParams):
+        return value
+    if isinstance(value, bool):
+        return SpatialIndexParams() if value else None
+    if isinstance(value, dict):
+        return SpatialIndexParams(**value)
+    raise TypeError(f"spatial_index must be None, bool, dict, or SpatialIndexParams; got {value!r}")
 
 
 def _canonical_value(value: Any) -> Any:
@@ -143,6 +180,7 @@ class Network:
             setattr(config, key, value)
         if isinstance(config.faults, dict):
             config.faults = FaultPlan.from_dict(config.faults)
+        config.spatial_index = _normalize_spatial_index(config.spatial_index)
         # Overrides bypass __post_init__; re-validate before building anything.
         REGISTRY.validate_config(config)
         self.config = config
@@ -169,12 +207,36 @@ class Network:
             noise_model = ConstantNoise()
         else:
             raise ValueError(f"unknown noise model {config.noise!r}")
-        self.channel = Channel(
-            self.sim,
-            self.deployment.gains(),
-            noise_model=noise_model,
-            fading_sigma_db=config.fading_sigma_db,
-        )
+        if config.spatial_index is not None:
+            # Spatial dispatch: derive audible lists from grid-hash culling
+            # instead of materialising N² gains. The culling floor sits
+            # 3·fading_sigma below the interference floor — exactly the
+            # channel's audible floor — so the candidate set is a superset
+            # of every audible pair (up to the shadowing margin) and the
+            # derived channel state is bit-identical to the dense build.
+            params = config.spatial_index
+            spatial = SpatialChannel(
+                self.deployment.positions,
+                self.deployment.propagation,
+                cull_floor_dbm=params.interference_floor_dbm
+                - 3.0 * config.fading_sigma_db,
+                shadow_sigma_multiple=params.shadow_sigma_multiple,
+                cell_size_m=params.cell_size_m,
+            )
+            self.channel = Channel(
+                self.sim,
+                noise_model=noise_model,
+                fading_sigma_db=config.fading_sigma_db,
+                interference_floor_dbm=params.interference_floor_dbm,
+                spatial=spatial,
+            )
+        else:
+            self.channel = Channel(
+                self.sim,
+                self.deployment.gains(),
+                noise_model=noise_model,
+                fading_sigma_db=config.fading_sigma_db,
+            )
         self.interferer: Optional[WifiInterferer] = None
         if config.zigbee_channel != 26 or config.wifi_params is not None:
             params = config.wifi_params or WifiParams.zigbee_channel(

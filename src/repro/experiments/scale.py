@@ -1,0 +1,166 @@
+"""City-scale experiment cells: thousands of nodes on the spatial channel.
+
+The paper's evaluation tops out at 225 nodes; these cells run the same
+converge-then-control workload on 2k–10k-node generated deployments
+(:func:`repro.topology.forest`, ``city_blocks``, ``clustered_field``) with
+the grid-hash spatial index enabled — the workload the index exists for.
+The profile mirrors :func:`repro.experiments.sweep.network_size_point`
+(always-on radios, no collection traffic, no fading): protocol cost, not
+LPL polling, is what should scale.
+
+Determinism token: the tracer stays **off** at this scale (it accumulates
+records in memory), so :func:`scale_state_digest` reduces the run to the
+kernel clock/event counters, every node's radio/MAC counters, and the
+control delivery timeline — any divergence in event order or RNG
+consumption shifts those within a handful of events. The 2k/10k corpus in
+``tests/golden/scale_digests.json`` pins these digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Any, Dict, Optional
+
+from repro.experiments.harness import Network, NetworkConfig
+from repro.sim.units import SECOND
+from repro.topology import Deployment, city_blocks, clustered_field, forest
+from repro.workloads.control import ControlSchedule
+
+#: Default schedule for one scale cell. Converge is generous (deep trees at
+#: 10k nodes need many Trickle rounds); control is a short round so the
+#: whole cell stays minutes of wall clock on one machine.
+SCALE_DEFAULTS: Dict[str, Any] = {
+    "n_controls": 5,
+    "control_interval_s": 10.0,
+    "converge_seconds": 240.0,
+    "drain_seconds": 30.0,
+}
+
+#: Generator names accepted by :func:`scale_deployment`.
+SCALE_TOPOLOGIES = ("forest", "city-blocks", "clustered")
+
+
+def scale_deployment(topo: str, size: int, seed: int) -> Deployment:
+    """Build a ~``size``-node deployment for one scale cell.
+
+    ``city-blocks`` and ``clustered`` quantise to whole blocks/clusters, so
+    the actual node count (``deployment.size``) can differ slightly from
+    the request; results report the actual count.
+    """
+    if topo == "forest":
+        return forest(n=size, seed=seed)
+    if topo == "city-blocks":
+        per_block = 12
+        blocks = max(1, round((size / per_block) ** 0.5))
+        return city_blocks(
+            blocks_x=blocks, blocks_y=blocks, nodes_per_block=per_block, seed=seed
+        )
+    if topo == "clustered":
+        per_cluster = 25
+        return clustered_field(
+            clusters=max(1, size // per_cluster),
+            nodes_per_cluster=per_cluster,
+            seed=seed,
+        )
+    raise ValueError(f"unknown scale topology {topo!r}; choose from {SCALE_TOPOLOGIES}")
+
+
+def scale_state_digest(net: Network) -> str:
+    """Tracer-free determinism token for a finished scale run."""
+    sim = net.sim
+    state = {
+        "now": sim.now,
+        "events": sim.events_executed,
+        "nodes": [
+            [
+                node_id,
+                stack.radio.tx_count,
+                stack.radio.on_time(),
+                stack.mac.trains_sent,
+                stack.mac.copies_sent,
+                stack.mac.acks_sent,
+                stack.mac.frames_delivered,
+            ]
+            for node_id, stack in sorted(net.stacks.items())
+        ],
+        "controls": [
+            [r.index, r.destination, r.sent_at, r.delivered_at, r.acked_at, r.athx]
+            for r in net.control_metrics.records
+        ],
+    }
+    payload = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def scale_config(
+    topo: str = "forest",
+    size: int = 2000,
+    seed: int = 1,
+    spatial_index: object = True,
+) -> NetworkConfig:
+    """The :class:`NetworkConfig` one scale cell runs on (fingerprintable)."""
+    return NetworkConfig(
+        topology=scale_deployment(topo, size, seed),
+        protocol="tele",
+        seed=seed,
+        always_on=True,
+        collection_ipi=None,
+        fading_sigma_db=0.0,
+        spatial_index=spatial_index,
+    )
+
+
+def scale_point(
+    topo: str = "forest",
+    size: int = 2000,
+    seed: int = 1,
+    n_controls: int = SCALE_DEFAULTS["n_controls"],
+    control_interval_s: float = SCALE_DEFAULTS["control_interval_s"],
+    converge_seconds: float = SCALE_DEFAULTS["converge_seconds"],
+    drain_seconds: float = SCALE_DEFAULTS["drain_seconds"],
+    spatial_index: object = True,
+    config: Optional[NetworkConfig] = None,
+) -> Dict[str, Any]:
+    """Run one converge+control scale cell and return its JSON-ready result.
+
+    ``events_per_sec`` (kernel events dispatched per wall second, whole
+    cell including network construction) is the number the
+    ``BENCH_scale.json`` canary tracks.
+    """
+    if config is None:
+        config = scale_config(topo, size, seed, spatial_index=spatial_index)
+    started = time.perf_counter()
+    net = Network(config)
+    converged = net.converge(max_seconds=converge_seconds, target=0.95)
+    net.metrics.mark()
+    schedule = ControlSchedule(
+        net.sim,
+        send=lambda destination, index: net.send_control(
+            destination, payload={"index": index}
+        ),
+        destinations=net.non_sink_nodes(),
+        interval=round(control_interval_s * SECOND),
+        count=n_controls,
+        rng_name=f"scale-controls-{topo}-{size}-{seed}",
+    )
+    schedule.start(initial_delay=1 * SECOND)
+    net.run(n_controls * control_interval_s + drain_seconds)
+    wall_s = time.perf_counter() - started
+    metrics = net.control_metrics
+    return {
+        "topology": topo,
+        "size": net.deployment.size,
+        "seed": seed,
+        "spatial_index": config.spatial_index is not None,
+        "converged": bool(converged),
+        "coded_fraction": net.coded_fraction(),
+        "n_controls": len(metrics),
+        "pdr": metrics.pdr(),
+        "mean_latency_s": metrics.mean_latency(),
+        "events_executed": net.sim.events_executed,
+        "wall_s": round(wall_s, 3),
+        "events_per_sec": round(net.sim.events_executed / wall_s, 1) if wall_s > 0 else 0.0,
+        "state_digest": scale_state_digest(net),
+    }

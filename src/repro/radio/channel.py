@@ -20,12 +20,13 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Protocol, Set, Tuple
 
 from repro.radio.cc2420 import CC2420, packet_airtime
 from repro.radio.frame import Frame
 from repro.radio.noise import CPMNoiseModel, ConstantNoise
 from repro.radio.radio import Radio, RadioState
+from repro.radio.spatial import SpatialChannel, get_numpy
 from repro.sim.simulator import Simulator
 
 
@@ -77,22 +78,33 @@ class Channel:
     ``gains[(a, b)]`` is the channel gain in dB from ``a`` to ``b``; pairs
     missing from the dict are out of range. The channel derives static
     neighbour sets from the gains to avoid all-pairs scans per packet.
+
+    At city scale, pass ``spatial`` (a :class:`SpatialChannel`) instead of a
+    dense gain dict: audible-neighbour lists are then derived from grid-hash
+    candidate queries — identical lists, O(local density) construction — and
+    only audible-pair gains are materialised. ``interference_floor_dbm``
+    (default: the deaf threshold) is the received power below which links
+    are culled before any per-receiver SNR work.
     """
 
     #: Below this received power a transmission is inaudible (not even noise).
     DEAF_THRESHOLD_DBM = -110.0
 
+    #: Audible-list length from which the vectorised rx-map path pays off.
+    _NUMPY_MIN_AUDIBLE = 32
+
     def __init__(
         self,
         sim: Simulator,
-        gains: Dict[Tuple[int, int], float],
+        gains: Optional[Dict[Tuple[int, int], float]] = None,
         noise_model: Optional[CPMNoiseModel] = None,
         cca_threshold_dbm: float = CC2420.CCA_THRESHOLD_DBM,
         fading_sigma_db: float = 0.0,
         fading_coherence: int = 5_000_000,
+        interference_floor_dbm: Optional[float] = None,
+        spatial: Optional[SpatialChannel] = None,
     ) -> None:
         self.sim = sim
-        self.gains = gains
         self.cca_threshold_dbm = cca_threshold_dbm
         #: Slow flat fading: a zero-mean Gaussian offset per (link, coherence
         #: bucket), symmetric across directions. This is the "link
@@ -118,18 +130,50 @@ class Channel:
         self._pending: Dict[int, _PendingReception] = {}  # receiver -> reception
         self._interferers: List[Interferer] = []
         self._rng = sim.rng("channel")
-        # Static audible-neighbour lists derived from gains (tx power agnostic:
-        # assume max 0 dBm; per-packet power still gates actual reception).
-        # Fading can lift a link a few sigma above its mean, so keep margin.
-        # Entries are (neighbor, gain, fading_key) triples: the unordered link
-        # key is precomputed once here instead of being rebuilt per packet in
-        # the transmit hot loop (it doubles as the link-fault key).
-        audible_floor = self.DEAF_THRESHOLD_DBM - 3.0 * fading_sigma_db
+        # Static audible-neighbour lists (tx power agnostic: assume max
+        # 0 dBm; per-packet power still gates actual reception). Fading can
+        # lift a link a few sigma above its mean, so keep margin below the
+        # interference floor. Entries are (neighbor, gain, fading_key)
+        # triples: the unordered link key is precomputed once here instead
+        # of being rebuilt per packet in the transmit hot loop (it doubles
+        # as the link-fault key).
+        floor = (
+            self.DEAF_THRESHOLD_DBM
+            if interference_floor_dbm is None
+            else float(interference_floor_dbm)
+        )
+        self.interference_floor_dbm = floor
+        self._audible_floor = floor - 3.0 * fading_sigma_db
+        self._spatial = spatial
+        # Per-source (ids, gains) numpy columns mirroring _audible, built
+        # lazily for the vectorised rx-map path; dropped whenever the
+        # corresponding audible row is rebuilt.
+        self._audible_np: Dict[int, Tuple[Any, Any]] = {}
         self._audible: Dict[int, List[Tuple[int, float, Tuple[int, int]]]] = {}
-        for (a, b), gain in gains.items():
-            if gain >= audible_floor:
-                fkey = (a, b) if a <= b else (b, a)
-                self._audible.setdefault(a, []).append((b, gain, fkey))
+        if spatial is not None:
+            if gains:
+                raise ValueError("pass dense gains or a spatial index, not both")
+            if spatial.cull_floor_dbm > self._audible_floor + 1e-9:
+                raise ValueError(
+                    "spatial culling floor above the channel's audible floor: "
+                    f"{spatial.cull_floor_dbm} > {self._audible_floor} dB — "
+                    "culling would drop audible links"
+                )
+            # Derive audible rows from grid candidates: per source, candidates
+            # come back in ascending id order — the same order the dense
+            # builder's (a, b) iteration produces — and each gain is the
+            # exact scalar float gain_matrix would have computed. Only
+            # audible-pair gains are materialised (the sparse win: O(N·density)
+            # memory instead of O(N²)).
+            self.gains = {}
+            self._build_audible_from_spatial()
+        else:
+            self.gains = gains if gains is not None else {}
+            audible_floor = self._audible_floor
+            for (a, b), gain in self.gains.items():
+                if gain >= audible_floor:
+                    fkey = (a, b) if a <= b else (b, a)
+                    self._audible.setdefault(a, []).append((b, gain, fkey))
         #: Observers called for every delivered frame: (receiver, frame, rssi).
         self.delivery_observers: List[Callable[[int, Frame, float], None]] = []
         #: Fault-injection hook: extra attenuation (dB) per unordered link
@@ -139,6 +183,45 @@ class Channel:
         #: consulted *after* the PRR draw, so an empty list leaves the
         #: channel RNG stream — and thus fault-free behaviour — untouched.
         self.reception_filters: List[Callable[[int, int, Frame], bool]] = []
+
+    def _build_audible_from_spatial(self) -> None:
+        spatial = self._spatial
+        assert spatial is not None
+        audible_floor = self._audible_floor
+        gains = self.gains
+        pos = spatial.index._positions
+        link_gain_db = spatial.propagation.link_gain_db
+        audible = self._audible
+        for a in range(len(spatial)):
+            pos_a = pos[a]
+            entries = []
+            for b in spatial.candidates(a):
+                gain = link_gain_db(a, b, pos_a, pos[b])
+                if gain >= audible_floor:
+                    entries.append((b, gain, (a, b) if a <= b else (b, a)))
+                    gains[(a, b)] = gain
+            if entries:
+                audible[a] = entries
+
+    def _rebuild_audible_row(self, a: int, touched: Set[int]) -> None:
+        """Recompute ``_audible[a]`` from ``self.gains`` after gain updates.
+
+        ``touched`` names neighbour ids whose (a, b) gain may have appeared,
+        changed, or vanished; surviving entries keep ascending-id order so
+        rx-map iteration (and thus RNG consumption) stays deterministic.
+        """
+        old = self._audible.get(a, ())
+        ids = sorted({entry[0] for entry in old} | touched)
+        entries = []
+        for b in ids:
+            gain = self.gains.get((a, b))
+            if gain is not None and gain >= self._audible_floor:
+                entries.append((b, gain, (a, b) if a <= b else (b, a)))
+        if entries:
+            self._audible[a] = entries
+        else:
+            self._audible.pop(a, None)
+        self._audible_np.pop(a, None)
 
     # ------------------------------------------------------------ attachment
     def attach(self, radio: Radio) -> None:
@@ -234,7 +317,27 @@ class Channel:
                 if rx_power >= deaf:
                     rx_map[neighbor_id] = rx_power
         else:
-            for neighbor_id, gain, fkey in self._audible.get(src, ()):
+            entries = self._audible.get(src, ())
+            if not link_faults and len(entries) >= self._NUMPY_MIN_AUDIBLE:
+                np = get_numpy()
+                if np is not None:
+                    # Vectorised fast path, bit-identical to the loop below:
+                    # tx_power + gain is the same IEEE-754 add elementwise,
+                    # the >= compare is exact, and .tolist() hands back the
+                    # native Python ints/floats the scalar loop would have
+                    # produced (np.float64 must never leak into rx maps — it
+                    # would poison trace records and JSON encoding).
+                    columns = self._audible_np.get(src)
+                    if columns is None:
+                        columns = (
+                            np.asarray([e[0] for e in entries], dtype=np.intp),
+                            np.asarray([e[1] for e in entries], dtype=np.float64),
+                        )
+                        self._audible_np[src] = columns
+                    rx = tx_power + columns[1]
+                    keep = rx >= deaf
+                    return dict(zip(columns[0][keep].tolist(), rx[keep].tolist()))
+            for neighbor_id, gain, fkey in entries:
                 rx_power = tx_power + gain
                 if link_faults:
                     rx_power -= link_faults.get(fkey, 0.0)
@@ -370,10 +473,76 @@ class Channel:
         # is folded into the cached powers.
         self._fault_epoch += 1
 
+    # ------------------------------------------------------------- mobility
+    def move_node(self, node_id: int, new_pos: Tuple[float, float]) -> None:
+        """Relocate a node (spatial mode): recompute links, drop stale caches.
+
+        The grid cell, the sparse gain entries, the audible rows of every
+        old and new neighbour, and — via the epoch bump — every memoised
+        per-source rx-power map are refreshed, so no packet is ever priced
+        with pre-move powers. Per-link shadowing stays pinned to the node
+        pair (it models the environment between two endpoints, and keeping
+        it stable is what makes moves reproducible).
+        """
+        spatial = self._spatial
+        if spatial is None:
+            raise ValueError(
+                "move_node requires a spatial index; dense channels patch "
+                "links with update_link_gains"
+            )
+        old_neighbors = {entry[0] for entry in self._audible.get(node_id, ())}
+        for b in old_neighbors:
+            del self.gains[(node_id, b)]
+            del self.gains[(b, node_id)]
+        spatial.move(node_id, new_pos)
+        pos = spatial.index._positions
+        pos_a = pos[node_id]
+        link_gain_db = spatial.propagation.link_gain_db
+        new_neighbors: Set[int] = set()
+        for b in spatial.candidates(node_id):
+            gain = link_gain_db(node_id, b, pos_a, pos[b])
+            if gain >= self._audible_floor:
+                # Gains are symmetric (distance + unordered-pair shadowing).
+                self.gains[(node_id, b)] = gain
+                self.gains[(b, node_id)] = gain
+                new_neighbors.add(b)
+        self._rebuild_audible_row(node_id, new_neighbors)
+        for b in old_neighbors | new_neighbors:
+            self._rebuild_audible_row(b, {node_id})
+        self._fault_epoch += 1
+
+    def update_link_gains(
+        self, updates: Dict[Tuple[int, int], Optional[float]]
+    ) -> None:
+        """Patch per-directed-link gains in place (``None`` removes a link).
+
+        The dense-mode counterpart of :meth:`move_node`: audible rows of
+        every touched source are rebuilt and the epoch bump invalidates all
+        memoised rx-power maps.
+        """
+        touched: Dict[int, Set[int]] = {}
+        for (a, b), gain in updates.items():
+            if gain is None:
+                self.gains.pop((a, b), None)
+            else:
+                self.gains[(a, b)] = gain
+            touched.setdefault(a, set()).add(b)
+        for a, ids in touched.items():
+            self._rebuild_audible_row(a, ids)
+        self._fault_epoch += 1
+
     # --------------------------------------------------------------- queries
     def link_gain(self, src: int, dst: int) -> Optional[float]:
-        """Static gain in dB from ``src`` to ``dst``, or None if out of range."""
-        return self.gains.get((src, dst))
+        """Static gain in dB from ``src`` to ``dst``, or None if out of range.
+
+        In spatial mode only audible-pair gains are materialised; pairs
+        inside the culling radius but below the audible floor are computed
+        on demand so the query answers exactly what the dense map would.
+        """
+        gain = self.gains.get((src, dst))
+        if gain is None and self._spatial is not None and src != dst:
+            return self._spatial.link_gain(src, dst)
+        return gain
 
     def audible_neighbors(self, node_id: int) -> List[int]:
         """Nodes that can hear ``node_id`` at all (static, power-agnostic)."""
@@ -381,7 +550,7 @@ class Channel:
 
     def expected_prr(self, src: int, dst: int, frame_bytes: int = 40) -> float:
         """Clean-channel PRR estimate for a link (no interference), for tests."""
-        gain = self.gains.get((src, dst))
+        gain = self.link_gain(src, dst)
         if gain is None:
             return 0.0
         radio = self._radios.get(src)

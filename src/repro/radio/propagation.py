@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 Position = Tuple[float, float]
 
@@ -74,6 +74,31 @@ class LogDistancePathLoss:
         """Deterministic (pre-shadowing) path loss in dB at ``distance`` metres."""
         d = max(distance, self.d0)
         return self.pl_d0 + 10.0 * self.path_loss_exponent * math.log10(d / self.d0)
+
+    def path_loss_db_batch(self, distances: Sequence[float]) -> List[float]:
+        """:meth:`path_loss_db` over many distances, one element per input.
+
+        Kept scalar-exact: each element equals the scalar call bit for bit
+        (the batch is a convenience for per-receiver loops like the WiFi
+        interferer's coupling table, where values enter the simulation and
+        must not depend on whether numpy is installed).
+        """
+        return [self.path_loss_db(d) for d in distances]
+
+    def max_range_m(self, budget_db: float) -> float:
+        """Largest distance whose deterministic path loss fits ``budget_db``.
+
+        Inverse of :meth:`path_loss_db`: the culling radius for a link
+        budget of ``tx_power − floor (+ margins)`` dB. At or below the
+        reference path loss the range collapses to ``d0``; a non-positive
+        exponent (free-space-degenerate configs in tests) means no distance
+        attenuates, so the range is unbounded.
+        """
+        if budget_db <= self.pl_d0:
+            return self.d0
+        if self.path_loss_exponent <= 0:
+            return math.inf
+        return self.d0 * 10.0 ** ((budget_db - self.pl_d0) / (10.0 * self.path_loss_exponent))
 
     def link_gain_db(
         self, a: int, b: int, pos_a: Position, pos_b: Position

@@ -55,6 +55,7 @@ from repro.runner.taskspec import (
     comparison_spec,
     fingerprint_of,
     network_size_spec,
+    scale_spec,
     selftest_spec,
     wake_interval_spec,
 )
@@ -88,6 +89,7 @@ __all__ = [
     "network_size_spec",
     "resolve_jobs",
     "run_task",
+    "scale_spec",
     "selftest_spec",
     "wake_interval_spec",
 ]

@@ -153,6 +153,19 @@ def _execute_network_size(params: Mapping[str, Any]) -> Dict[str, Any]:
     return point.to_dict()
 
 
+def _execute_scale(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.scale import scale_point
+
+    spatial = params["spatial_index"]
+    return scale_point(
+        params["topo"],
+        size=params["size"],
+        seed=params["seed"],
+        spatial_index=dict(spatial) if spatial is not None else None,
+        **params["schedule"],
+    )
+
+
 def _execute_selftest(params: Mapping[str, Any]) -> Dict[str, Any]:
     if params["sleep_s"]:
         time.sleep(params["sleep_s"])
@@ -167,6 +180,7 @@ _EXECUTORS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {
     "chaos": _execute_chaos,
     "wake-interval": _execute_wake_interval,
     "network-size": _execute_network_size,
+    "scale": _execute_scale,
     "selftest": _execute_selftest,
 }
 
@@ -185,6 +199,13 @@ def sim_seconds_estimate(spec: TaskSpec) -> float:
         return p["converge_seconds"] + p["n_controls"] * 45.0 + 60.0
     if spec.kind == "network-size":
         return 300.0 + p["n_controls"] * 20.0 + 60.0
+    if spec.kind == "scale":
+        s = p["schedule"]
+        return (
+            s["converge_seconds"]
+            + s["n_controls"] * s["control_interval_s"]
+            + s["drain_seconds"]
+        )
     return 0.0
 
 

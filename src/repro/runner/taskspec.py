@@ -227,6 +227,45 @@ def network_size_spec(
     )
 
 
+def scale_spec(
+    topo: str = "forest",
+    size: int = 2000,
+    seed: int = 1,
+    spatial_index: object = True,
+    **kwargs: Any,
+) -> TaskSpec:
+    """Spec for one city-scale cell (:func:`repro.experiments.scale.scale_point`).
+
+    ``topo``/``size``/``seed`` deterministically rebuild the deployment in
+    the worker (like ``network-size``), so positions need not ride in the
+    params; ``spatial_index`` is part of the fingerprint because toggling
+    the index must never be able to alias a cached brute-force run.
+    """
+    from repro.experiments.harness import _normalize_spatial_index
+    from repro.experiments.scale import SCALE_DEFAULTS, SCALE_TOPOLOGIES
+
+    if topo not in SCALE_TOPOLOGIES:
+        raise ValueError(f"unknown scale topology {topo!r}; choose from {SCALE_TOPOLOGIES}")
+    schedule = dict(SCALE_DEFAULTS)
+    for key, value in kwargs.items():
+        if key not in schedule:
+            raise TypeError(f"unknown scale_point argument: {key!r}")
+        schedule[key] = value
+    normalized = _normalize_spatial_index(spatial_index)
+    return TaskSpec(
+        kind="scale",
+        params={
+            "topo": topo,
+            "size": int(size),
+            "seed": int(seed),
+            "spatial_index": None if normalized is None else normalized.to_dict(),
+            "schedule": schedule,
+        },
+        label=f"scale/{topo}/n{size}/seed{seed}"
+        + ("" if normalized is not None else "/dense"),
+    )
+
+
 def selftest_spec(
     index: int, sleep_s: float = 0.0, payload: int = 0, **extra: Any
 ) -> TaskSpec:

@@ -1,4 +1,4 @@
-"""Deployment topologies used in the paper's evaluation.
+"""Deployment topologies used in the paper's evaluation and at city scale.
 
 - ``tight_grid`` — 225 nodes in a 200 m × 200 m field divided 15×15, high
   gain, sink at the centre (paper's *Tight-grid*).
@@ -7,10 +7,22 @@
 - ``indoor_testbed`` — 40 TelosB-like nodes: 22 on a 2×11 board plus 18
   scattered nearby, CC2420 power level 2, up to 6 hops.
 - ``random_uniform`` — generic random deployment for examples and tests.
+
+City-scale generators (the spatial-index workloads, see docs/performance.md):
+
+- ``city_blocks`` — Manhattan street plan: nodes uniform inside square
+  blocks, empty streets the radio must bridge.
+- ``clustered_field`` — dense clusters chained along a random backbone,
+  connected by construction.
+- ``forest`` — multi-thousand-node uniform field at a target density with a
+  minimum pairwise separation.
 """
 
 from repro.topology.deployments import (
     Deployment,
+    city_blocks,
+    clustered_field,
+    forest,
     indoor_testbed,
     random_uniform,
     sparse_linear,
@@ -23,4 +35,7 @@ __all__ = [
     "sparse_linear",
     "indoor_testbed",
     "random_uniform",
+    "city_blocks",
+    "clustered_field",
+    "forest",
 ]

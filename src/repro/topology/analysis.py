@@ -28,7 +28,24 @@ def link_graph(
     """
     graph = nx.Graph()
     graph.add_nodes_from(range(deployment.size))
-    gains = deployment.gains()
+    if deployment.size > 512:
+        # City scale: all-pairs gains are O(N²) memory. Links below the radio
+        # sensitivity can never carry a usable PRR, so build only the pairs
+        # that could clear it (grid-hash culling with the standard shadowing
+        # margin) — the resulting graph is identical.
+        from repro.radio.spatial import sparse_gain_matrix
+
+        max_tx = max(
+            [deployment.tx_power_dbm, *deployment.tx_power_overrides.values()]
+        )
+        gains, _ = sparse_gain_matrix(
+            deployment.propagation,
+            deployment.positions,
+            max_tx_power_dbm=max_tx,
+            interference_floor_dbm=CC2420.SENSITIVITY_DBM,
+        )
+    else:
+        gains = deployment.gains()
     for (a, b), gain in gains.items():
         if a >= b:
             continue

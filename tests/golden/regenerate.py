@@ -110,7 +110,7 @@ def _scenario_digest(
 
 # ---------------------------------------------------------- pinned configs
 
-def _grid_tele() -> str:
+def _grid_tele(spatial_index: object = None) -> str:
     """Plain small grid, clean channel, TeleAdjusting (the default stack)."""
     from repro.experiments.harness import NetworkConfig
     from repro.topology import random_uniform
@@ -120,53 +120,64 @@ def _grid_tele() -> str:
             topology=random_uniform(25, 80.0, 80.0, seed=7),
             protocol="tele",
             seed=7,
+            spatial_index=spatial_index,
         )
     )
 
 
-def _testbed_drip() -> str:
+def _testbed_drip(spatial_index: object = None) -> str:
     """Indoor testbed running the Drip dissemination baseline."""
     from repro.experiments.harness import NetworkConfig
 
     return _scenario_digest(
-        NetworkConfig(topology="indoor-testbed", protocol="drip", seed=2),
-        converge_s=30.0,
-    )
-
-
-def _testbed_rpl() -> str:
-    """Indoor testbed running the storing-mode RPL baseline."""
-    from repro.experiments.harness import NetworkConfig
-
-    return _scenario_digest(
-        NetworkConfig(topology="indoor-testbed", protocol="rpl", seed=2),
-        converge_s=30.0,
-    )
-
-
-def _testbed_orpl() -> str:
-    """Indoor testbed running the ORPL (bloom-filter) baseline."""
-    from repro.experiments.harness import NetworkConfig
-
-    return _scenario_digest(
-        NetworkConfig(topology="indoor-testbed", protocol="orpl", seed=2),
-        converge_s=30.0,
-    )
-
-
-def _interference_ch19() -> str:
-    """WiFi-interfered channel 19: exercises interferers + SINR accounting."""
-    from repro.experiments.harness import NetworkConfig
-
-    return _scenario_digest(
         NetworkConfig(
-            topology="indoor-testbed", protocol="tele", seed=1, zigbee_channel=19
+            topology="indoor-testbed", protocol="drip", seed=2,
+            spatial_index=spatial_index,
         ),
         converge_s=30.0,
     )
 
 
-def _always_on_tele() -> str:
+def _testbed_rpl(spatial_index: object = None) -> str:
+    """Indoor testbed running the storing-mode RPL baseline."""
+    from repro.experiments.harness import NetworkConfig
+
+    return _scenario_digest(
+        NetworkConfig(
+            topology="indoor-testbed", protocol="rpl", seed=2,
+            spatial_index=spatial_index,
+        ),
+        converge_s=30.0,
+    )
+
+
+def _testbed_orpl(spatial_index: object = None) -> str:
+    """Indoor testbed running the ORPL (bloom-filter) baseline."""
+    from repro.experiments.harness import NetworkConfig
+
+    return _scenario_digest(
+        NetworkConfig(
+            topology="indoor-testbed", protocol="orpl", seed=2,
+            spatial_index=spatial_index,
+        ),
+        converge_s=30.0,
+    )
+
+
+def _interference_ch19(spatial_index: object = None) -> str:
+    """WiFi-interfered channel 19: exercises interferers + SINR accounting."""
+    from repro.experiments.harness import NetworkConfig
+
+    return _scenario_digest(
+        NetworkConfig(
+            topology="indoor-testbed", protocol="tele", seed=1, zigbee_channel=19,
+            spatial_index=spatial_index,
+        ),
+        converge_s=30.0,
+    )
+
+
+def _always_on_tele(spatial_index: object = None) -> str:
     """Always-on radios (no LPL duty cycle): the broadcast-cap MAC path."""
     from repro.experiments.harness import NetworkConfig
     from repro.topology import random_uniform
@@ -177,12 +188,13 @@ def _always_on_tele() -> str:
             protocol="tele",
             seed=5,
             always_on=True,
+            spatial_index=spatial_index,
         ),
         converge_s=30.0,
     )
 
 
-def _chaos_crash_churn() -> str:
+def _chaos_crash_churn(spatial_index: object = None) -> str:
     """Chaos preset: crash/reboot churn with recovery countermeasures."""
     from repro.experiments.chaos import run_chaos
 
@@ -195,13 +207,16 @@ def _chaos_crash_churn() -> str:
         control_interval_s=4.0,
         converge_seconds=30.0,
         drain_seconds=10.0,
+        spatial_index=spatial_index,
     )
     payload = json.dumps(result, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-#: name -> digest producer. Every entry is pinned in digests.json.
-GOLDEN: Dict[str, Callable[[], str]] = {
+#: name -> digest producer. Every entry is pinned in digests.json; each
+#: producer also accepts ``spatial_index`` so the differential suite can
+#: hold the spatially-indexed channel to the same pinned digests.
+GOLDEN: Dict[str, Callable[..., str]] = {
     "grid-tele-clean": _grid_tele,
     "testbed-drip": _testbed_drip,
     "testbed-rpl": _testbed_rpl,
@@ -212,9 +227,9 @@ GOLDEN: Dict[str, Callable[[], str]] = {
 }
 
 
-def compute_digest(name: str) -> str:
+def compute_digest(name: str, spatial_index: object = None) -> str:
     """Run one pinned config and return its state digest."""
-    return GOLDEN[name]()
+    return GOLDEN[name](spatial_index=spatial_index)
 
 
 def load_pinned() -> Dict[str, Any]:

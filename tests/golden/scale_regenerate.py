@@ -1,0 +1,123 @@
+"""City-scale golden digests: pinned bit-identity tokens at 2k and 10k nodes.
+
+The paper-scale corpus (``digests.json``) proves the spatial index is
+behaviour-invisible where the dense channel can still be built. This corpus
+pins behaviour at the scales the index exists for — 2 000 and 10 000 node
+``forest`` deployments running the standard converge+control scale cell
+(:func:`repro.experiments.scale.scale_point`) — where the digest is the
+tracer-free :func:`repro.experiments.scale.scale_state_digest` (kernel
+clock/event counters, every node's radio/MAC counters, the control
+timeline; the tracer stays off because it accumulates records in memory).
+
+Regeneration policy — same as ``regenerate.py``
+-----------------------------------------------
+
+Regenerate **only** when a PR intends to change simulated behaviour
+(protocol fix, model change, RNG layout change), bump
+:data:`repro.sim.KERNEL_BEHAVIOR_VERSION`, and say so in the PR. A mismatch
+after a performance/refactor PR is a bug in that PR: the spatial channel,
+the generators, or the scale cell changed event order, RNG consumption, or
+float arithmetic. Fix the change; do not regenerate.
+
+These cells take minutes (that is the point: a 10k-node converge+control
+workload on one machine), so enforcement is opt-in:
+``REPRO_SCALE=1 pytest tests/golden/test_scale_digests.py`` checks the 2k
+cell (the CI ``scale-smoke`` job's gate); ``REPRO_SCALE=full`` adds 10k.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/scale_regenerate.py          # rewrite
+    PYTHONPATH=src python tests/golden/scale_regenerate.py --check  # verify
+    PYTHONPATH=src python tests/golden/scale_regenerate.py --quick  # 2k only
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+DIGEST_FILE = Path(__file__).with_name("scale_digests.json")
+
+#: name -> scale_point arguments. Schedules are the canonical SCALE_DEFAULTS
+#: (embedded explicitly so editing the defaults cannot silently re-pin).
+SCALE_GOLDEN: Dict[str, Dict[str, Any]] = {
+    "forest-2k": {
+        "topo": "forest",
+        "size": 2000,
+        "seed": 1,
+        "n_controls": 5,
+        "control_interval_s": 10.0,
+        "converge_seconds": 240.0,
+        "drain_seconds": 30.0,
+    },
+    "forest-10k": {
+        "topo": "forest",
+        "size": 10000,
+        "seed": 1,
+        "n_controls": 5,
+        "control_interval_s": 10.0,
+        "converge_seconds": 240.0,
+        "drain_seconds": 30.0,
+    },
+}
+
+#: The subset cheap enough for CI's scale-smoke job and ``--quick``.
+QUICK = ("forest-2k",)
+
+
+def compute_cell(name: str, spatial_index: object = True) -> Dict[str, Any]:
+    """Run one pinned scale cell and return its full result dict."""
+    from repro.experiments.scale import scale_point
+
+    return scale_point(spatial_index=spatial_index, **SCALE_GOLDEN[name])
+
+
+def compute_digest(name: str, spatial_index: object = True) -> str:
+    """Run one pinned scale cell and return its state digest."""
+    return compute_cell(name, spatial_index=spatial_index)["state_digest"]
+
+
+def load_pinned() -> Dict[str, Any]:
+    """The pinned digests as stored in ``scale_digests.json``."""
+    return json.loads(DIGEST_FILE.read_text())
+
+
+def main(argv: list) -> int:
+    check = "--check" in argv
+    names = QUICK if "--quick" in argv else sorted(SCALE_GOLDEN)
+    pinned = load_pinned() if DIGEST_FILE.exists() else {}
+    out: Dict[str, Any] = dict(pinned) if "--quick" in argv else {}
+    failures = []
+    for name in names:
+        started = time.perf_counter()
+        result = compute_cell(name)
+        wall = time.perf_counter() - started
+        digest = result["state_digest"]
+        out[name] = {
+            "digest": digest,
+            "events": result["events_executed"],
+            "nodes": result["size"],
+        }
+        status = ""
+        if check:
+            expected = pinned.get(name, {}).get("digest")
+            status = "ok" if digest == expected else f"MISMATCH (pinned {expected})"
+            if digest != expected:
+                failures.append(name)
+        print(
+            f"{name:14s} {digest[:16]}…  {wall:6.1f}s  "
+            f"{result['events_executed']:>9d} ev  {status}"
+        )
+    if check:
+        print("check " + ("passed" if not failures else f"FAILED: {failures}"))
+        return 1 if failures else 0
+    DIGEST_FILE.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {DIGEST_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,73 @@
+"""Scale golden enforcement: 2k/10k cells must stay bit-identical.
+
+These cells take minutes each (they are real 2 000- and 10 000-node
+converge+control runs), so they are opt-in:
+
+- ``REPRO_SCALE=1``    — check the 2k cell (CI's ``scale-smoke`` job);
+- ``REPRO_SCALE=full`` — also check the 10k cell and the 2k dense-channel
+  A/B (the brute-force O(N²) build must reproduce the same digest).
+
+Regeneration policy: see ``scale_regenerate.py`` — never regenerate to
+absorb a perf-PR mismatch.
+"""
+
+import os
+
+import pytest
+
+from tests.golden import scale_regenerate
+
+SCALE_ENV = os.environ.get("REPRO_SCALE", "")
+
+pytestmark = pytest.mark.skipif(
+    not SCALE_ENV,
+    reason="city-scale digest cells take minutes; set REPRO_SCALE=1 (2k) "
+    "or REPRO_SCALE=full (2k + 10k + dense A/B)",
+)
+
+
+def _pinned(name):
+    pinned = scale_regenerate.load_pinned()
+    assert name in pinned, (
+        f"{name} missing from scale_digests.json; regenerate with "
+        "PYTHONPATH=src python tests/golden/scale_regenerate.py"
+    )
+    return pinned[name]
+
+
+def test_every_cell_is_pinned():
+    assert sorted(scale_regenerate.load_pinned()) == sorted(
+        scale_regenerate.SCALE_GOLDEN
+    )
+
+
+def test_forest_2k_digest():
+    result = scale_regenerate.compute_cell("forest-2k")
+    expected = _pinned("forest-2k")
+    assert result["state_digest"] == expected["digest"], (
+        "2k scale cell diverged from the pinned digest — the spatial "
+        "channel, a generator, or the kernel changed behaviour. See "
+        "scale_regenerate.py before even thinking about regenerating."
+    )
+    assert result["events_executed"] == expected["events"]
+
+
+@pytest.mark.skipif(SCALE_ENV != "full", reason="10k cell only at REPRO_SCALE=full")
+def test_forest_10k_digest():
+    result = scale_regenerate.compute_cell("forest-10k")
+    expected = _pinned("forest-10k")
+    assert result["state_digest"] == expected["digest"]
+    assert result["events_executed"] == expected["events"]
+
+
+@pytest.mark.skipif(
+    SCALE_ENV != "full",
+    reason="dense 2k A/B builds the O(N²) gain matrix; REPRO_SCALE=full only",
+)
+def test_forest_2k_dense_matches_spatial():
+    """The brute-force channel reproduces the spatial digest at 2k nodes."""
+    result = scale_regenerate.compute_cell("forest-2k", spatial_index=None)
+    assert result["state_digest"] == _pinned("forest-2k")["digest"], (
+        "dense and spatial channels diverged at 2k nodes — the spatial "
+        "index is not behaviour-invisible"
+    )

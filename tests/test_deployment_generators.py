@@ -1,0 +1,120 @@
+"""Property tests for the city-scale deployment generators.
+
+Guarantees held for ``city_blocks``, ``clustered_field``, and ``forest``
+(the spatial-index workloads): seeded determinism (same seed, same field,
+byte for byte), no duplicate coordinates, the declared minimum pairwise
+separation, geometry bounds, and — after the deterministic repair pass —
+every node connected to the sink over usable (PRR ≥ 0.5) links.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import city_blocks, clustered_field, forest
+from repro.topology.analysis import unreachable_nodes
+
+GENERATORS = {
+    "city-blocks": lambda seed: city_blocks(
+        blocks_x=3, blocks_y=3, nodes_per_block=8, seed=seed
+    ),
+    "clustered": lambda seed: clustered_field(
+        clusters=5, nodes_per_cluster=10, seed=seed
+    ),
+    "forest": lambda seed: forest(n=120, seed=seed),
+}
+
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+def min_pairwise_distance(positions):
+    return min(
+        math.dist(a, b)
+        for i, a in enumerate(positions)
+        for b in positions[i + 1 :]
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestGeneratorContract:
+    @given(seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_seeded_determinism(self, name, seed):
+        first = GENERATORS[name](seed)
+        second = GENERATORS[name](seed)
+        assert first.positions == second.positions
+        assert first.sink == second.sink
+        assert first.to_dict() == second.to_dict()
+
+    @given(seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_no_duplicate_positions(self, name, seed):
+        deployment = GENERATORS[name](seed)
+        assert len(set(deployment.positions)) == deployment.size
+
+    @given(seed=seeds)
+    @settings(max_examples=6, deadline=None)
+    def test_connected_to_sink(self, name, seed):
+        deployment = GENERATORS[name](seed)
+        assert unreachable_nodes(deployment) == []
+
+    @given(seed=seeds)
+    @settings(max_examples=4, deadline=None)
+    def test_different_seeds_differ(self, name, seed):
+        a = GENERATORS[name](seed)
+        b = GENERATORS[name](seed + 1)
+        assert a.positions != b.positions
+
+
+class TestGeometryBounds:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=6, deadline=None)
+    def test_forest_density_and_separation(self, seed):
+        density = 170.0
+        deployment = forest(n=150, density_m2_per_node=density, seed=seed)
+        side = math.sqrt(150 * density)
+        assert deployment.size == 150
+        # The connectivity repair pass may re-home a stranded node up to
+        # 12 m outside the sampled field; bounds hold up to that slack.
+        slack = 12.0 + 1e-9
+        for x, y in deployment.positions:
+            assert -slack <= x <= side + slack and -slack <= y <= side + slack
+        # The repair pass may re-home stranded nodes closer than the sampled
+        # separation (it heals connectivity, not spacing), but never closer
+        # than its own floor of the generator's min_separation_m.
+        assert min_pairwise_distance(deployment.positions) >= 2.0 - 1e-9
+
+    def test_forest_node_count_scales_area(self):
+        small = forest(n=100, seed=3)
+        large = forest(n=400, seed=3)
+        small_side = max(x for x, _ in small.positions)
+        large_side = max(x for x, _ in large.positions)
+        assert large_side > small_side * 1.5  # area tracks n · density
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=6, deadline=None)
+    def test_city_blocks_inside_street_plan(self, seed):
+        blocks, block_m, street_m = 3, 40.0, 12.0
+        deployment = city_blocks(
+            blocks_x=blocks, blocks_y=blocks, nodes_per_block=8,
+            block_m=block_m, street_m=street_m, seed=seed,
+        )
+        assert deployment.size == blocks * blocks * 8
+        extent = blocks * block_m + (blocks - 1) * street_m
+        slack = 12.0 + 1e-9  # connectivity-repair re-homing slack
+        for x, y in deployment.positions:
+            assert -slack <= x <= extent + slack
+            assert -slack <= y <= extent + slack
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=6, deadline=None)
+    def test_clustered_field_counts(self, seed):
+        deployment = clustered_field(clusters=4, nodes_per_cluster=9, seed=seed)
+        assert deployment.size == 4 * 9
+
+    def test_sink_is_a_valid_node(self):
+        for name, build in GENERATORS.items():
+            deployment = build(0)
+            assert 0 <= deployment.sink < deployment.size, name

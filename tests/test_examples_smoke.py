@@ -40,6 +40,14 @@ def test_forest_monitoring_runs(capsys):
     assert "Remote adjustment successful." in out
 
 
+def test_city_scale_runs(capsys):
+    # 5x5 blocks (300 nodes): the full spatial-index code path in seconds.
+    run_example("examples/city_scale.py", ["5", "1"])
+    out = capsys.readouterr().out
+    assert "Spatial index: culling radius" in out
+    assert "City-scale remote control successful." in out
+
+
 def test_debugging_example_runs(capsys):
     run_example("examples/debugging_a_delivery.py", ["1"])
     out = capsys.readouterr().out

@@ -40,6 +40,7 @@ ALTERNATES = {
     "faults": FaultPlan(
         events=(FaultEvent(kind="stun", at_s=1.0, node=1, duration_s=2.0),)
     ),
+    "spatial_index": True,
 }
 
 
@@ -49,11 +50,14 @@ def fingerprint(config: NetworkConfig) -> str:
 
 class TestNetworkConfigToDict:
     def test_covers_every_field(self):
-        # ``faults`` is omitted when None so that fault-free configs keep the
-        # fingerprints (and cache entries) they had before the faults layer.
+        # ``faults`` and ``spatial_index`` are omitted when None so configs
+        # predating those layers keep the fingerprints (and cache entries)
+        # they had before.
         fields = {f.name for f in dataclasses.fields(NetworkConfig)}
-        assert set(NetworkConfig().to_dict()) == fields - {"faults"}
-        assert set(NetworkConfig(faults=FaultPlan()).to_dict()) == fields
+        assert set(NetworkConfig().to_dict()) == fields - {"faults", "spatial_index"}
+        assert (
+            set(NetworkConfig(faults=FaultPlan(), spatial_index=True).to_dict()) == fields
+        )
 
     def test_keys_sorted_at_every_level(self):
         def check(value):
