@@ -1,0 +1,116 @@
+"""Endurance throughput canary: soaks must stay fast enough to be routine.
+
+One soak cell (:func:`repro.experiments.soak.run_soak` — mobility churn,
+battery depletion, streaming windowed metrics) is timed and normalised
+against the bare event loop measured in the same process, cancelling
+machine speed exactly like the kernel and scale canaries. The JSON
+artefact (``BENCH_soak.json``) carries raw soak events/sec so dashboards
+can watch the headline number: 24 h of sim time in well under an hour of
+wall clock on one machine.
+
+Scales: ``REPRO_BENCH_SCALE=smoke`` (CI's soak-smoke job: 30 min of sim
+time) or ``full`` (default: 4 h). Enforcement is opt-in via
+``REPRO_PERF_ENFORCE=1`` and loose (50% of the committed normalised
+baseline): the floor catches "the endurance layer made every event
+expensive" regressions — an accidental per-event mobility hook, an O(n)
+scan per packet — not scheduling jitter.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.sim import Simulator
+
+#: Per-tier soak cells. Smoke stays around half a minute of CI wall
+#: clock; full runs a longer afternoon-scale soak with the same knobs.
+SOAK_CELLS = {
+    "smoke": dict(
+        variant="tele", seed=1,
+        duration_s=1800.0, window_s=300.0,
+        control_interval_s=30.0, converge_seconds=120.0,
+        churn_intensity=1.0, battery_mah=0.6, reclaim_ttl_s=300.0,
+        tail_windows=8,
+    ),
+    "full": dict(
+        variant="tele", seed=1,
+        duration_s=4 * 3600.0, window_s=600.0,
+        control_interval_s=60.0, converge_seconds=240.0,
+        churn_intensity=1.0, battery_mah=2.0, reclaim_ttl_s=600.0,
+        tail_windows=24,
+    ),
+}
+
+BASELINE_PATH = "benchmarks/baselines/soak_baseline.json"
+
+
+def _event_loop_rate(n_events=100_000):
+    """Bare-kernel chained dispatch: the machine-speed normaliser."""
+    sim = Simulator(seed=1)
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < n_events:
+            sim.schedule(10, tick)
+
+    sim.schedule(0, tick)
+    started = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - started
+    return count[0] / wall if wall > 0 else 0.0
+
+
+def test_soak_throughput_canary():
+    """Events/sec for one endurance cell; emits BENCH_soak.json."""
+    from repro.experiments.soak import run_soak
+
+    scale = os.environ.get("REPRO_BENCH_SCALE", "full")
+    cell = SOAK_CELLS[scale]
+
+    norm_rate = _event_loop_rate()
+    result = run_soak(**cell)
+    assert result["converged"], "soak cell failed to converge — not a perf issue"
+    assert result["windows"] > 0
+
+    normalized = round(result["events_per_sec"] / norm_rate, 4) if norm_rate else None
+    measured = {
+        "nodes": result["size"],
+        "sim_s": cell["duration_s"],
+        "windows": result["windows"],
+        "deaths": result["deaths"],
+        "events": result["events_executed"],
+        "wall_s": result["wall_s"],
+        "events_per_s": result["events_per_sec"],
+        "normalized": normalized,
+        "event_loop_events_per_s": round(norm_rate, 1),
+    }
+
+    baseline_file = Path(__file__).resolve().parent.parent / BASELINE_PATH
+    baseline = json.loads(baseline_file.read_text()) if baseline_file.exists() else {}
+    base_scale = baseline.get("scales", {}).get(scale, {})
+
+    payload = {
+        "scale": scale,
+        "cell": cell,
+        "measured": measured,
+        "baseline": base_scale,
+        "baseline_label": baseline.get("label"),
+    }
+    Path("BENCH_soak.json").write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nsoak throughput ({scale}): {json.dumps(measured)}")
+
+    if os.environ.get("REPRO_PERF_ENFORCE"):
+        base_norm = base_scale.get("normalized")
+        if base_norm and normalized:
+            floor = 0.5 * base_norm
+            assert normalized >= floor, (
+                f"soak perf regression: normalized events/sec {normalized} "
+                f"fell below 50% of the committed baseline {base_norm} "
+                f"(floor {floor:.4f}). The endurance layer (mobility steps, "
+                f"battery checks, window draining) got much more expensive "
+                f"per event. If a PR legitimately adds per-event physics, "
+                f"re-record {BASELINE_PATH} and justify it; otherwise find "
+                f"the regression."
+            )

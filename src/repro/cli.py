@@ -374,6 +374,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _cmd_run_chaos(args)
     if args.grid == "scale":
         return _cmd_run_scale(args)
+    if args.grid == "soak":
+        return _cmd_run_soak(args)
 
     variants = _RUN_GRIDS[args.grid]
     channels = args.channels
@@ -617,6 +619,148 @@ def _cmd_run_scale(args: argparse.Namespace) -> int:
         "pdr", "latency_s", "converged", "events", "events/s",
     ]
     print(report.ascii_table(headers, rows, title="Scale grid: per-cell results"))
+    print()
+    print(runner.last_report.summary_table())
+    _write_csv(args.csv, headers, rows)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        print(f"(results written to {args.out})")
+    return _finish_run(runner.last_report)
+
+
+def _cmd_run_soak(args: argparse.Namespace) -> int:
+    """Endurance grid: protocol variant × churn intensity × seed.
+
+    Each cell is one multi-hour/multi-day soak under mobility churn and
+    battery depletion with memory-flat streaming metrics; the report shows
+    the whole-run summary plus the degradation tail of the slowest-decaying
+    cell (see docs/soak.md).
+    """
+    import json
+
+    from repro.experiments.soak import soak_grid_rows
+    from repro.runner import soak_spec
+
+    schedule = {}
+    if args.duration is not None:
+        schedule["duration_s"] = args.duration
+    if args.window is not None:
+        schedule["window_s"] = args.window
+    if args.battery_mah is not None:
+        schedule["battery_mah"] = args.battery_mah or None
+    if args.interval is not None:
+        schedule["control_interval_s"] = args.interval
+    if args.converge is not None:
+        schedule["converge_seconds"] = args.converge
+    specs = [
+        soak_spec(
+            variant,
+            seed=seed,
+            zigbee_channel=26,
+            churn_intensity=intensity,
+            **schedule,
+        )
+        for variant in args.variants
+        for intensity in args.intensities
+        for seed in args.seeds
+    ]
+    runner = _build_runner(args)
+    outcomes = runner.run(specs)
+
+    results = []
+    rows = []
+    for outcome in outcomes:
+        params = outcome.spec.params
+        if outcome.result is None:
+            rows.append(
+                [
+                    params["variant"],
+                    f"{params['schedule']['churn_intensity']:g}",
+                    params["seed"],
+                    outcome.status,
+                ]
+                + ["-"] * 6
+            )
+            continue
+        result = outcome.result
+        results.append(result)
+        rows.append(
+            [
+                result["variant"],
+                f"{result['churn_intensity']:g}",
+                result["seed"],
+                outcome.status,
+                (
+                    f"{result['delivery']:.3f}"
+                    if result["delivery"] is not None
+                    else "n/a"
+                ),
+                (
+                    f"{result['mean_latency_s']:.3f}"
+                    if result["mean_latency_s"] is not None
+                    else "n/a"
+                ),
+                result["deaths"],
+                result["positions_reclaimed"],
+                result["events_executed"],
+                f"{result['events_per_sec']:,.0f}",
+            ]
+        )
+
+    headers = [
+        "variant", "churn", "seed", "status",
+        "delivery", "latency_s", "deaths", "reclaimed", "events", "events/s",
+    ]
+    print(report.ascii_table(headers, rows, title="Soak grid: per-cell results"))
+    if results:
+        # Degradation tail of the worst cell (lowest whole-run delivery):
+        # the curve the short grids cannot show.
+        worst = min(
+            results,
+            key=lambda r: r["delivery"] if r["delivery"] is not None else 1.0,
+        )
+        tail_rows = [
+            [
+                f"{row['t_s']:.0f}",
+                (
+                    f"{row['delivery']:.3f}"
+                    if row["delivery"] is not None
+                    else "n/a"
+                ),
+                (
+                    f"{row['latency_mean_s']:.3f}"
+                    if row["latency_mean_s"] is not None
+                    else "n/a"
+                ),
+                (
+                    f"{row['duty_cycle'] * 100:.2f}"
+                    if row["duty_cycle"] is not None
+                    else "n/a"
+                ),
+                row["re_tele"],
+                row["backtracks"],
+                row["alive"] if row["alive"] is not None else "n/a",
+                row["reclaimed"],
+            ]
+            for row in soak_grid_rows(worst)
+        ]
+        if tail_rows:
+            print()
+            print(
+                report.ascii_table(
+                    [
+                        "t_s", "delivery", "latency_s", "duty%",
+                        "re_tele", "backtracks", "alive", "reclaimed",
+                    ],
+                    tail_rows,
+                    title=(
+                        f"Degradation tail: {worst['variant']} "
+                        f"churn={worst['churn_intensity']:g} "
+                        f"seed={worst['seed']}"
+                    ),
+                )
+            )
     print()
     print(runner.last_report.summary_table())
     _write_csv(args.csv, headers, rows)
@@ -934,7 +1078,7 @@ def build_parser() -> argparse.ArgumentParser:
             "'chaos' grid sweeps fault intensity under a --scenario preset."
         ),
     )
-    p.add_argument("grid", choices=sorted([*_RUN_GRIDS, "chaos", "scale"]))
+    p.add_argument("grid", choices=sorted([*_RUN_GRIDS, "chaos", "scale", "soak"]))
     p.add_argument(
         "--jobs", type=_job_count, default=1,
         help="worker processes (1 = serial, 0 = auto-detect cpu count)",
@@ -1021,13 +1165,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--intensities", type=float, nargs="+", default=[0.25, 0.5, 1.0],
-        help="chaos grid only: fault intensities to sweep",
+        help="chaos/soak grids: fault or churn intensities to sweep",
     )
     p.add_argument(
         "--variants", nargs="+",
         choices=tuple(variant_names()),
         default=["tele", "re-tele"],
-        help="chaos grid only: protocol variants",
+        help="chaos/soak grids: protocol variants",
     )
     scale_group = p.add_argument_group(
         "scale", "city-scale grid: generated multi-thousand-node deployments "
@@ -1046,6 +1190,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--dense", action="store_true",
         help="scale grid only: disable the spatial index (brute-force O(N²) "
         "channel build — same results, much slower at scale)",
+    )
+    soak_group = p.add_argument_group(
+        "soak", "endurance grid: multi-day sim-time soaks under mobility "
+        "churn and battery depletion with streaming metrics (see docs/soak.md)"
+    )
+    soak_group.add_argument(
+        "--duration", type=float, default=None,
+        help="soak grid only: simulated seconds per cell (default: 86400)",
+    )
+    soak_group.add_argument(
+        "--window", type=float, default=None,
+        help="soak grid only: streaming-metrics window in simulated seconds "
+        "(default: 600)",
+    )
+    soak_group.add_argument(
+        "--battery-mah", type=float, default=None,
+        help="soak grid only: mean per-node battery budget in mAh "
+        "(0 disables depletion; default: 5)",
     )
     p.set_defaults(func=_cmd_run)
 

@@ -53,6 +53,13 @@ class AllocationParams:
     #: cascade when several children/extensions change at once; each beacon
     #: is a full LPL train, so coalescing is an energy lever).
     beacon_debounce: int = 150 * MILLISECOND
+    #: Reclaim a child's position after this long (ticks) with no evidence
+    #: of the child being alive; None disables reclamation (the default, so
+    #: existing runs fingerprint and behave exactly as before). In endurance
+    #: soaks with battery deaths this is what keeps code space from leaking.
+    #: Must comfortably exceed CTP's maximum beacon interval (~4 min under
+    #: Trickle) or live-but-quiet children get evicted; ≥ 600 s is safe.
+    reclaim_child_ttl: Optional[int] = None
 
 
 class AllocationEngine:
@@ -98,6 +105,9 @@ class AllocationEngine:
         self.code_assigned_at: Optional[int] = None  # first code acquisition
         self.code_changes = 0
         self.tele_beacons_sent = 0
+        #: Positions freed because the child went silent past the reclaim
+        #: TTL (cumulative; survives reboots like the other metrics).
+        self.positions_reclaimed = 0
         #: Hooks fired whenever our own code changes (new value or None).
         self.on_code_change: List[Callable[[Optional[PathCode]], None]] = []
 
@@ -167,6 +177,7 @@ class AllocationEngine:
         self._schedule_round_check()
         if self.code is None:
             self._maybe_request_position()
+        self._reclaim_stale_children()
         if self._initial_done:
             return
         assert self._last_new_child_at is not None
@@ -181,6 +192,29 @@ class AllocationEngine:
         if stable_for < self.params.stability_rounds * self.params.round_duration:
             return
         self._initial_allocation()
+
+    def _reclaim_stale_children(self) -> None:
+        """Free positions of children silent past the reclaim TTL.
+
+        Battery-dead (or long-gone) children never confirm, beacon, or
+        route through us again; without reclamation their positions leak
+        and the space extends forever under churn. A reclaimed child that
+        turns out alive simply requests a fresh position — the same path a
+        rebooted node takes. Runs every round; a no-op (one attribute read)
+        when the TTL is disabled, so default-config digests are untouched.
+        """
+        ttl = self.params.reclaim_child_ttl
+        if ttl is None or len(self.children) == 0:
+            return
+        now = self.sim.now
+        stale = [
+            entry.child
+            for entry in self.children.entries()
+            if now - max(entry.last_heard, entry.allocated_at) > ttl
+        ]
+        for child in stale:
+            self.children.remove(child)
+            self.positions_reclaimed += 1
 
     def _initial_allocation(self) -> None:
         """Algorithm 1: size the space, allocate, broadcast two beacons."""
@@ -279,6 +313,7 @@ class AllocationEngine:
             self.neighbor_codes.update_code(beacon.origin, beacon.code, self.sim.now)
         self.neighbor_codes.heard_from(beacon.origin, self.sim.now)
         self._alloc_seen_from.add(beacon.origin)
+        self._note_child_alive(beacon.origin)
         if beacon.origin != self.stack.routing.parent:
             return
         for entry in beacon.entries:
@@ -385,7 +420,14 @@ class AllocationEngine:
         confirmation: Confirmation = frame.payload
         if confirmation.parent != self.node_id:
             return
+        self._note_child_alive(confirmation.child)
         self.children.confirm(confirmation.child, confirmation.position)
+
+    def _note_child_alive(self, origin: int) -> None:
+        """Refresh the reclamation clock for a child we just heard."""
+        entry = self.children.entry(origin)
+        if entry is not None:
+            entry.last_heard = self.sim.now
 
     # ------------------------------------- routing-beacon piggyback (§III-B5)
     def fill_routing_beacon(self, beacon: RoutingBeacon) -> None:
@@ -398,6 +440,7 @@ class AllocationEngine:
         """Algorithm 2 (parent side) driven by child routing beacons."""
         origin = beacon.origin
         self.neighbor_codes.heard_from(origin, self.sim.now)
+        self._note_child_alive(origin)
         if beacon.tele_code is not None:
             value, length = beacon.tele_code
             self.neighbor_codes.update_code(

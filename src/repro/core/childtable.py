@@ -14,6 +14,11 @@ class ChildEntry:
     position: int
     confirmed: bool = False
     allocated_at: int = 0
+    #: Last tick the parent heard any evidence of this child (routing or
+    #: TeleAdjusting beacon, confirmation). Drives code-space reclamation:
+    #: a child silent past the reclaim TTL is presumed dead and its
+    #: position is freed for newcomers.
+    last_heard: int = 0
 
 
 class SpaceExhausted(RuntimeError):
@@ -114,7 +119,9 @@ class ChildTable:
             self.space_bits = self.required_space_bits(1)
         if not self.has_free_position():
             self.extend_space()
-        entry = ChildEntry(child=child, position=self._next_free(), allocated_at=now)
+        entry = ChildEntry(
+            child=child, position=self._next_free(), allocated_at=now, last_heard=now
+        )
         self._entries[child] = entry
         return entry
 

@@ -24,13 +24,14 @@ from repro.core import Controller
 from repro.core.allocation import AllocationParams
 from repro.core.forwarding import ForwardingParams
 from repro.core.messages import reset_serials
-from repro.faults.injector import FaultInjector
+from repro.faults.injector import ChurnGuard, FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.mac.lpl import MacParams
 from repro.metrics.control import ControlMetrics, ControlRecord
 from repro.metrics.network import NetworkMetrics
 from repro.net.node import NodeStack
 from repro.protocols import REGISTRY, ControlProtocolAdapter
+from repro.radio.battery import BatteryParams, DepletionMonitor
 from repro.radio.channel import Channel
 from repro.radio.noise import ConstantNoise, CPMNoiseModel, synthesize_meyer_like_trace
 from repro.radio.spatial import SpatialChannel, SpatialIndexParams
@@ -46,6 +47,7 @@ from repro.topology import (
     sparse_linear,
     tight_grid,
 )
+from repro.topology.mobility import MobilityDriver, MobilityParams
 from repro.workloads.collection import CollectionWorkload
 from repro.workloads.interference import WifiInterferer, WifiParams
 
@@ -102,9 +104,17 @@ class NetworkConfig:
     #: only memory and time change — which is why the field is part of the
     #: config fingerprint only when enabled.
     spatial_index: Union[None, bool, Dict[str, Any], SpatialIndexParams] = None
+    #: Mobility process (see :mod:`repro.topology.mobility`); None = every
+    #: node stays put, bit-identical to pre-mobility behaviour.
+    mobility: Union[None, Dict[str, Any], MobilityParams] = None
+    #: Battery depletion (see :mod:`repro.radio.battery`); None = nodes
+    #: never run out of charge, bit-identical to pre-battery behaviour.
+    battery: Union[None, Dict[str, Any], BatteryParams] = None
 
     def __post_init__(self) -> None:
         self.spatial_index = _normalize_spatial_index(self.spatial_index)
+        self.mobility = _normalize_params(self.mobility, MobilityParams, "mobility")
+        self.battery = _normalize_params(self.battery, BatteryParams, "battery")
         # Fail fast on an unknown protocol (or bad per-protocol params) at
         # config time — long before a channel, stacks, or a runner worker
         # exist. Registered plugins pass; see repro.protocols.
@@ -131,6 +141,12 @@ class NetworkConfig:
             del out["faults"]
         if out["spatial_index"] is None:
             del out["spatial_index"]
+        # Same omit-when-None rule: soak-free configs keep the fingerprints
+        # (and cache entries) they had before the endurance layer existed.
+        if out["mobility"] is None:
+            del out["mobility"]
+        if out["battery"] is None:
+            del out["battery"]
         return out
 
 
@@ -150,6 +166,20 @@ def _normalize_spatial_index(
     if isinstance(value, dict):
         return SpatialIndexParams(**value)
     raise TypeError(f"spatial_index must be None, bool, dict, or SpatialIndexParams; got {value!r}")
+
+
+def _normalize_params(value: Any, cls: type, label: str) -> Any:
+    """Coerce an optional params field to instance-or-None.
+
+    Accepts the JSON dict form a runner worker deserialises from a task
+    spec (via the class's ``from_dict``), so every representation
+    fingerprints identically.
+    """
+    if value is None or isinstance(value, cls):
+        return value
+    if isinstance(value, dict):
+        return cls.from_dict(value)
+    raise TypeError(f"{label} must be None, dict, or {cls.__name__}; got {value!r}")
 
 
 def _canonical_value(value: Any) -> Any:
@@ -181,6 +211,8 @@ class Network:
         if isinstance(config.faults, dict):
             config.faults = FaultPlan.from_dict(config.faults)
         config.spatial_index = _normalize_spatial_index(config.spatial_index)
+        config.mobility = _normalize_params(config.mobility, MobilityParams, "mobility")
+        config.battery = _normalize_params(config.battery, BatteryParams, "battery")
         # Overrides bypass __post_init__; re-validate before building anything.
         REGISTRY.validate_config(config)
         self.config = config
@@ -236,6 +268,8 @@ class Network:
                 self.deployment.gains(),
                 noise_model=noise_model,
                 fading_sigma_db=config.fading_sigma_db,
+                positions=self.deployment.positions,
+                propagation=self.deployment.propagation,
             )
         self.interferer: Optional[WifiInterferer] = None
         if config.zigbee_channel != 26 or config.wifi_params is not None:
@@ -283,9 +317,25 @@ class Network:
         #: destination disagreed with the node's live code (stale-address
         #: forwarding attempts — a churn metric).
         self.stale_code_sends = 0
+        #: Cross-source parent-kick dedupe (faults vs mobility). Always
+        #: present: with no mobility it only ever sees fault kicks, which it
+        #: never suppresses, so pre-guard runs replay bit-identically.
+        self.churn_guard = ChurnGuard(self.sim)
         self.fault_injector: Optional[FaultInjector] = None
         if config.faults is not None:
             self.fault_injector = FaultInjector(self, config.faults)
+        self.mobility: Optional[MobilityDriver] = None
+        if config.mobility is not None:
+            self.mobility = MobilityDriver(self, config.mobility)
+        self.battery: Optional[DepletionMonitor] = None
+        if config.battery is not None:
+            if self.fault_injector is None:
+                # Battery deaths thread through the injector's crash
+                # machinery; give it an empty, never-armed plan.
+                self.fault_injector = FaultInjector(
+                    self, FaultPlan(events=(), auto_arm=False, name="battery")
+                )
+            self.battery = DepletionMonitor(self, config.battery)
 
     # ---------------------------------------------------------------- wiring
     def _build_protocol(self) -> None:
@@ -309,7 +359,11 @@ class Network:
             self.collection.start()
         if self.interferer is not None:
             self.interferer.start()
-        if self.fault_injector is not None and self.config.faults.auto_arm:
+        if self.mobility is not None:
+            self.mobility.start()
+        if self.battery is not None:
+            self.battery.start()
+        if self.fault_injector is not None and self.fault_injector.plan.auto_arm:
             self.fault_injector.arm()
 
     def run(self, seconds: float) -> None:
@@ -401,6 +455,31 @@ class Network:
             raise RuntimeError(f"protocol {self.config.protocol!r} cannot send controls")
         adapter.send_control(record, destination, payload)
         return record
+
+    def drain_control_records(self, before_tick: int) -> List[ControlRecord]:
+        """Remove and return control records sent before ``before_tick``.
+
+        The memory-flatness primitive for endurance soaks: records old
+        enough to have settled are pulled out of both per-run accumulators
+        (the metrics list and the protocol pending-key map) and handed to
+        the caller for windowed aggregation, so a multi-day run holds at
+        most a couple of windows' worth of records at any instant. Normal
+        experiments never call this — their accumulators behave exactly as
+        before.
+        """
+        kept: List[ControlRecord] = []
+        drained: List[ControlRecord] = []
+        for record in self.control_metrics.records:
+            (drained if record.sent_at < before_tick else kept).append(record)
+        if drained:
+            self.control_metrics.records = kept
+            drained_ids = {id(record) for record in drained}
+            self._records_by_key = {
+                key: record
+                for key, record in self._records_by_key.items()
+                if id(record) not in drained_ids
+            }
+        return drained
 
     # -------------------------------------------------------------- helpers
     def non_sink_nodes(self) -> List[int]:

@@ -1,0 +1,333 @@
+"""Endurance soaks: multi-day sim-time runs under churn and depletion.
+
+The paper's evaluation is minutes of sim time on static, mains-fed nodes;
+a soak asks the question the short grids cannot: *do path codes stay
+usable — and recover cheaply — when the tree churns continuously and nodes
+die for good?* One soak cell runs a protocol variant (``tele``/``drip``/
+``rpl``/``orpl`` via the registry) for hours-to-days of sim time with
+
+- **mobility** (:mod:`repro.topology.mobility`) walking a fraction of the
+  nodes, continuously re-pricing links and kicking re-parenting;
+- **battery depletion** (:mod:`repro.radio.battery`) draining per-node
+  budgets until nodes brown out permanently (threaded through the fault
+  injector's crash machinery);
+- **code-space reclamation** (``AllocationParams.reclaim_child_ttl``)
+  freeing dead children's positions so the space doesn't leak.
+
+Metrics stream: the run is chopped into fixed windows; each boundary
+drains the settled control records out of the in-memory accumulators and
+folds them — with duty-cycle/charge deltas and churn counters — into one
+flat JSONL line (:class:`repro.metrics.streaming.StreamingMetrics`). Peak
+memory is O(nodes), independent of soak length; the running SHA-256 over
+the emitted lines plus the end-state counters gives a determinism token
+(:func:`soak_digest`) without retaining the stream.
+
+Zero-mobility, zero-depletion soaks build networks whose configs
+fingerprint exactly as before this module existed, and the golden corpus
+pins that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.core.allocation import AllocationParams
+from repro.experiments.comparison import config_for
+from repro.experiments.harness import _TOPOLOGIES, Network, NetworkConfig
+from repro.metrics.streaming import StreamingMetrics
+from repro.radio.battery import BatteryParams
+from repro.sim.units import SECOND, to_seconds
+from repro.topology.mobility import MobilityParams
+
+#: Default schedule for one soak cell: 24 h of sim time, 10-minute
+#: windows, one control a minute (the paper's cadence). Smoke cells (CI)
+#: override duration down to minutes.
+SOAK_DEFAULTS: Dict[str, Any] = {
+    "duration_s": 86_400.0,
+    "window_s": 600.0,
+    "control_interval_s": 60.0,
+    "converge_seconds": 240.0,
+    "churn_intensity": 1.0,
+    "battery_mah": 5.0,
+    "reclaim_ttl_s": 600.0,
+    "tail_windows": 48,
+}
+
+#: Fraction of non-sink nodes walking at churn intensity 1.0.
+_BASE_MOVER_FRACTION = 0.15
+
+
+def soak_mobility(
+    churn_intensity: float, converge_seconds: float
+) -> Optional[MobilityParams]:
+    """Mobility knobs for a churn intensity (None when intensity is 0)."""
+    if churn_intensity <= 0.0:
+        return None
+    return MobilityParams(
+        model="waypoint",
+        fraction=min(1.0, _BASE_MOVER_FRACTION * churn_intensity),
+        speed_mps=(0.5, 1.5),
+        # Higher intensity pauses less: more churn per mover, not just
+        # more movers.
+        pause_s=(
+            10.0 / max(churn_intensity, 1.0),
+            60.0 / max(churn_intensity, 1.0),
+        ),
+        step_s=2.0,
+        start_s=converge_seconds,
+        kick_routing=True,
+    )
+
+
+def soak_battery(
+    battery_mah: Optional[float], n_nodes: int, sink: int
+) -> Optional[BatteryParams]:
+    """Battery knobs: staggered per-node budgets (None disables depletion).
+
+    Budgets spread deterministically over ``[0.7, 1.3] × battery_mah`` by
+    node id, so deaths stagger across the run instead of landing in one
+    window — that staggering *is* the degradation curve.
+    """
+    if battery_mah is None or battery_mah <= 0.0:
+        return None
+    spread = {}
+    others = [n for n in range(n_nodes) if n != sink]
+    span = max(len(others) - 1, 1)
+    for rank, node in enumerate(others):
+        spread[node] = round(battery_mah * (0.7 + 0.6 * rank / span), 6)
+    return BatteryParams(
+        capacity_mah=battery_mah,
+        per_node_mah=spread,
+        check_interval_s=30.0,
+        sink_powered=True,
+    )
+
+
+def soak_config(
+    variant: str = "tele",
+    seed: int = 0,
+    zigbee_channel: int = 26,
+    churn_intensity: float = SOAK_DEFAULTS["churn_intensity"],
+    battery_mah: Optional[float] = SOAK_DEFAULTS["battery_mah"],
+    reclaim_ttl_s: Optional[float] = SOAK_DEFAULTS["reclaim_ttl_s"],
+    converge_seconds: float = SOAK_DEFAULTS["converge_seconds"],
+) -> NetworkConfig:
+    """The :class:`NetworkConfig` one soak cell runs on (fingerprintable).
+
+    Starts from the comparison grid's config (indoor testbed, duty-cycled
+    LPL, collection traffic — the paper's stand) and layers the endurance
+    knobs on top. With ``churn_intensity=0`` and ``battery_mah=None`` the
+    returned config is *identical* to the comparison config: no mobility,
+    no battery, no reclamation, same fingerprint fields.
+    """
+    config = config_for(variant, zigbee_channel, seed)
+    config.mobility = soak_mobility(churn_intensity, converge_seconds)
+    if isinstance(config.topology, str):
+        deployment = _TOPOLOGIES[config.topology](seed)
+    else:
+        deployment = config.topology
+    config.battery = soak_battery(battery_mah, deployment.size, deployment.sink)
+    if (
+        reclaim_ttl_s is not None
+        and (config.mobility is not None or config.battery is not None)
+    ):
+        params = config.allocation_params or AllocationParams()
+        params.reclaim_child_ttl = round(reclaim_ttl_s * SECOND)
+        config.allocation_params = params
+    return config
+
+
+def soak_digest(net: Network, stream_digest: str) -> str:
+    """Determinism token for a finished soak.
+
+    Control records were drained window-by-window, so unlike
+    ``scale_state_digest`` the end state cannot carry them — instead the
+    streaming hash (which folded every drained record's outcome into its
+    window lines) stands in for the timeline, and the kernel clock/event
+    counters plus every node's radio/MAC counters pin the end state.
+    """
+    sim = net.sim
+    state = {
+        "stream": stream_digest,
+        "now": sim.now,
+        "events": sim.events_executed,
+        "nodes": [
+            [
+                node_id,
+                stack.radio.tx_count,
+                stack.radio.on_time(),
+                stack.mac.trains_sent,
+                stack.mac.copies_sent,
+                stack.mac.acks_sent,
+                stack.mac.frames_delivered,
+            ]
+            for node_id, stack in sorted(net.stacks.items())
+        ],
+    }
+    payload = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def run_soak(
+    variant: str = "tele",
+    seed: int = 0,
+    zigbee_channel: int = 26,
+    duration_s: float = SOAK_DEFAULTS["duration_s"],
+    window_s: float = SOAK_DEFAULTS["window_s"],
+    control_interval_s: float = SOAK_DEFAULTS["control_interval_s"],
+    converge_seconds: float = SOAK_DEFAULTS["converge_seconds"],
+    churn_intensity: float = SOAK_DEFAULTS["churn_intensity"],
+    battery_mah: Optional[float] = SOAK_DEFAULTS["battery_mah"],
+    reclaim_ttl_s: Optional[float] = SOAK_DEFAULTS["reclaim_ttl_s"],
+    tail_windows: int = SOAK_DEFAULTS["tail_windows"],
+    jsonl_path: Optional[str] = None,
+    config: Optional[NetworkConfig] = None,
+) -> Dict[str, Any]:
+    """Run one endurance soak cell and return its JSON-ready result.
+
+    The degradation curve itself is *streamed*, not returned: every window
+    goes to ``jsonl_path`` (when given) the moment it closes, and only the
+    last ``tail_windows`` windows ride along in the result for display.
+    Running totals (delivery, latency) are folded incrementally. ``config``
+    overrides the whole network config (the endurance knobs still shape
+    the schedule around it).
+    """
+    if duration_s <= 0.0:
+        raise ValueError("duration_s must be positive")
+    if window_s <= 0.0:
+        raise ValueError("window_s must be positive")
+    if config is None:
+        config = soak_config(
+            variant,
+            seed,
+            zigbee_channel,
+            churn_intensity=churn_intensity,
+            battery_mah=battery_mah,
+            reclaim_ttl_s=reclaim_ttl_s,
+            converge_seconds=converge_seconds,
+        )
+    started = time.perf_counter()
+    net = Network(config)
+    converged = net.converge(max_seconds=converge_seconds, target=0.9)
+
+    jsonl_file = open(jsonl_path, "w", encoding="utf-8") if jsonl_path else None
+    tail: deque = deque(maxlen=max(tail_windows, 1))
+    totals = {"sent": 0, "delivered": 0, "acked": 0, "latency_sum": 0.0}
+
+    def write_window(window: Dict[str, Any]) -> None:
+        tail.append(window)
+        totals["sent"] += window["sent"]
+        totals["delivered"] += window["delivered"]
+        totals["acked"] += window["acked"]
+        if window["latency_mean_s"] is not None:
+            totals["latency_sum"] += window["latency_mean_s"] * window["delivered"]
+        if jsonl_file is not None:
+            jsonl_file.write(json.dumps(window, sort_keys=True, allow_nan=False))
+            jsonl_file.write("\n")
+            jsonl_file.flush()
+
+    streamer = StreamingMetrics(net, window_s, writer=write_window)
+
+    # Control workload: the paper's one-control-a-minute cadence, from a
+    # fresh named stream (destinations include nodes that later die — the
+    # resulting delivery drop IS the degradation signal). Deliberately not
+    # ControlSchedule: its history list grows per control.
+    rng = net.sim.rng(f"soak-controls-{variant}-{zigbee_channel}-{seed}")
+    destinations = net.non_sink_nodes()
+    interval_ticks = round(control_interval_s * SECOND)
+    deadline = net.sim.now + round(duration_s * SECOND)
+
+    def fire_control() -> None:
+        if net.sim.now >= deadline:
+            return
+        net.send_control(rng.choice(destinations), payload=None)
+        net.sim.schedule(interval_ticks, fire_control)
+
+    net.sim.schedule(1 * SECOND, fire_control)
+
+    # Window loop: run one window, drain what has settled, stream it.
+    window_ticks = round(window_s * SECOND)
+    try:
+        while net.sim.now < deadline:
+            net.run(to_seconds(min(window_ticks, deadline - net.sim.now)))
+            # One window of grace: records younger than a window may still
+            # have acks in flight; they settle into the next window.
+            drained = net.drain_control_records(net.sim.now - window_ticks)
+            streamer.close_window(drained)
+        # Flush stragglers (no grace — the run is over).
+        drained = net.drain_control_records(net.sim.now + 1)
+        if drained:
+            streamer.close_window(drained)
+    finally:
+        if jsonl_file is not None:
+            jsonl_file.close()
+
+    wall_s = time.perf_counter() - started
+    stream_digest = streamer.stream_digest
+    reclaimed = 0
+    for adapter in net.protocols.values():
+        allocation = getattr(adapter, "allocation", None)
+        if allocation is not None:
+            reclaimed += allocation.positions_reclaimed
+    sent = totals["sent"]
+    delivered = totals["delivered"]
+    return {
+        "variant": variant,
+        "seed": seed,
+        "zigbee_channel": zigbee_channel,
+        "size": net.deployment.size,
+        "duration_s": duration_s,
+        "window_s": window_s,
+        "churn_intensity": churn_intensity,
+        "battery_mah": battery_mah,
+        "converged": bool(converged),
+        "windows": streamer.windows_emitted,
+        "controls_sent": sent,
+        "controls_delivered": delivered,
+        "delivery": (delivered / sent) if sent else None,
+        "mean_latency_s": (
+            round(totals["latency_sum"] / delivered, 6) if delivered else None
+        ),
+        "mobility": net.mobility.summary() if net.mobility is not None else None,
+        "battery": net.battery.summary() if net.battery is not None else None,
+        "deaths": len(net.fault_injector.deaths) if net.fault_injector else 0,
+        "positions_reclaimed": reclaimed,
+        "kicks_suppressed": (
+            (net.mobility.kicks_suppressed if net.mobility is not None else 0)
+            + (
+                net.fault_injector.parent_kicks_suppressed
+                if net.fault_injector is not None
+                else 0
+            )
+        ),
+        "tail": list(tail),
+        "events_executed": net.sim.events_executed,
+        "wall_s": round(wall_s, 3),
+        "events_per_sec": (
+            round(net.sim.events_executed / wall_s, 1) if wall_s > 0 else 0.0
+        ),
+        "stream_digest": stream_digest,
+        "soak_digest": soak_digest(net, stream_digest),
+    }
+
+
+def soak_grid_rows(result: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The tail windows as flat rows for table rendering (CLI report)."""
+    return [
+        {
+            "t_s": w["t_s"],
+            "delivery": w["delivery"],
+            "latency_mean_s": w["latency_mean_s"],
+            "first_control_s": w["first_control_s"],
+            "duty_cycle": w["duty_cycle"],
+            "re_tele": w["re_tele"],
+            "backtracks": w["backtracks"],
+            "alive": w["alive"],
+            "reclaimed": w["reclaimed"],
+        }
+        for w in result.get("tail", ())
+    ]

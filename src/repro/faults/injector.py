@@ -18,7 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.plan import (
+    PARENT_SWITCH_CHURN_WINDOW_S,
+    FaultEvent,
+    FaultPlan,
+)
 from repro.sim.units import SECOND
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -31,6 +35,42 @@ BLACKOUT_DB = 500.0
 
 #: Fault kinds that disrupt delivery (used for recovery-latency sampling).
 DISRUPTIVE_KINDS = ("crash", "stun", "link", "parent_switch", "packet_loss")
+
+
+class ChurnGuard:
+    """Cross-source dedupe for parent kicks within one churn window.
+
+    With both a fault plan and mobility active, the same node can be told
+    "your parent is unreachable" twice within seconds — once by a
+    ``parent_switch`` event and once by a mobility arrival — which
+    double-counts churn and makes degradation curves incomparable across
+    runs. The guard records the last kick per node and *suppresses only
+    cross-source repeats* (plus mobility-vs-mobility, which self-dedupes):
+    fault-vs-fault repeats are never suppressed at runtime, because plans
+    dedupe those at build time (:data:`repro.faults.plan.
+    PARENT_SWITCH_CHURN_WINDOW_S`) and suppressing them here would change
+    the replay of pinned plans. Pure dict bookkeeping, no RNG, no
+    scheduling — zero-mobility runs stay bit-identical.
+    """
+
+    def __init__(self, sim: Any, window_s: float = PARENT_SWITCH_CHURN_WINDOW_S) -> None:
+        self.sim = sim
+        self.window_ticks = round(window_s * SECOND)
+        self._last: Dict[int, Tuple[int, str]] = {}
+
+    def note(self, node: int, source: str) -> None:
+        """Record that ``node`` was just kicked by ``source``."""
+        self._last[node] = (self.sim.now, source)
+
+    def blocked(self, node: int, source: str) -> bool:
+        """Should a kick of ``node`` from ``source`` be suppressed?"""
+        entry = self._last.get(node)
+        if entry is None:
+            return False
+        tick, prev_source = entry
+        if self.sim.now - tick >= self.window_ticks:
+            return False
+        return prev_source != source or source == "mobility"
 
 
 @dataclass
@@ -72,6 +112,11 @@ class FaultInjector:
         self.disruption_times: List[int] = []
         #: (time, kind, node) log of everything that fired.
         self.fired: List[Tuple[int, str, Optional[int]]] = []
+        #: (time, node) for every permanent kill (battery deaths). Kept off
+        #: :class:`FaultStats` — its dict is part of pinned chaos digests.
+        self.deaths: List[Tuple[int, int]] = []
+        #: Parent kicks the churn guard swallowed (cross-source repeats).
+        self.parent_kicks_suppressed = 0
         #: Per-link stack of active attenuations (a link can fault twice).
         self._link_db: Dict[Tuple[int, int], List[float]] = {}
         self._armed = False
@@ -167,9 +212,36 @@ class FaultInjector:
         self.network.channel.set_link_fault(key[0], key[1], total if total else None)
 
     def _do_parent_switch(self, index: int, event: FaultEvent) -> None:
+        guard = getattr(self.network, "churn_guard", None)
+        if guard is not None and guard.blocked(event.node, "faults"):
+            self.parent_kicks_suppressed += 1
+            return
         stack = self.network.stacks[event.node]
         stack.routing.parent_unreachable()
         self.stats.parent_kicks += 1
+        if guard is not None:
+            guard.note(event.node, "faults")
+
+    # -------------------------------------------------------------- killing
+    def kill_node(self, node: int, reason: str = "death") -> None:
+        """Permanent crash: power the node down with no scheduled reboot.
+
+        The battery monitor's death path. Reuses the crash machinery's
+        radio ``fail()`` (TX-in-flight drains safely) but never reboots;
+        CTP staleness, allocation reclamation, and mobility all observe
+        the corpse through the same signals a crashed node emits. Tracked
+        in :attr:`deaths`, not in :class:`FaultStats` — the stats dict is
+        pinned by the chaos golden digest and battery-free runs must hash
+        identically.
+        """
+        stack = self.network.stacks[node]
+        stack.radio.fail()
+        sim = self.network.sim
+        self.deaths.append((sim.now, node))
+        self.fired.append((sim.now, reason, node))
+        self.disruption_times.append(sim.now)
+        if sim.tracer.enabled:
+            sim.tracer.emit("faults", "death", node=node, reason=reason)
 
     def _do_packet_loss(self, index: int, event: FaultEvent) -> None:
         # A lazily created named stream per event: stable under plan edits

@@ -47,6 +47,15 @@ FAULT_KINDS = ("crash", "stun", "link", "parent_switch", "packet_loss")
 #: Preset scenario names understood by :func:`chaos_plan`.
 CHAOS_SCENARIOS = ("crash-churn", "stun", "link-blackout", "packet-loss", "mixed")
 
+#: Two parent kicks of the same node closer than this are one churn event,
+#: not two: CTP needs a few beacon exchanges to settle on a new parent, so
+#: a second kick inside the window re-counts the same disruption.
+#: :func:`chaos_plan` dedupes its own kicks against this window at build
+#: time; the injector's :class:`~repro.faults.injector.ChurnGuard` uses the
+#: same window to arbitrate *cross-source* repeats (fault plan vs mobility)
+#: at runtime.
+PARENT_SWITCH_CHURN_WINDOW_S = 10.0
+
 
 @dataclass(frozen=True)
 class FaultEvent:
@@ -175,6 +184,9 @@ class FaultPlan:
 
 
 # ------------------------------------------------------------------ presets
+_INF = float("inf")
+
+
 def _spread(rng: random.Random, start_s: float, window_s: float, n: int) -> list:
     """``n`` event times jittered across ``[start_s, start_s + window_s)``."""
     times = []
@@ -245,8 +257,24 @@ def chaos_plan(
             attenuation_db=None,  # blackout
         )
 
+    last_kick: Dict[int, float] = {}
+
     def kick(at: float) -> FaultEvent:
-        return FaultEvent(kind="parent_switch", at_s=at, node=rng.choice(nodes))
+        # No double-churn: a node kicked within the churn window is one
+        # churn event, so redraw among the quiet nodes. Rejection sampling
+        # keeps the RNG stream untouched for every plan that never had a
+        # conflict — which includes the pinned golden chaos plans.
+        node = rng.choice(nodes)
+        if at - last_kick.get(node, -_INF) < PARENT_SWITCH_CHURN_WINDOW_S:
+            quiet = [
+                n
+                for n in nodes
+                if at - last_kick.get(n, -_INF) >= PARENT_SWITCH_CHURN_WINDOW_S
+            ]
+            if quiet:
+                node = rng.choice(quiet)
+        last_kick[node] = at
+        return FaultEvent(kind="parent_switch", at_s=at, node=node)
 
     def loss(at: float) -> FaultEvent:
         return FaultEvent(

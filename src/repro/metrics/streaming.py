@@ -1,0 +1,187 @@
+"""Memory-flat windowed metrics for endurance soaks.
+
+A multi-day simulated soak cannot afford per-event (or even per-control)
+accumulation: a 24 h run at paper scale emits hundreds of millions of
+events and thousands of control records. :class:`StreamingMetrics` keeps
+O(nodes) state only — per-radio cumulative-counter snapshots and a handful
+of running totals — and converts it once per *window* into one flat dict
+that is immediately handed to a writer callback (JSONL checkpointing) and
+folded into a running SHA-256. Nothing about a window survives except the
+line written and the hash folded, so peak memory is independent of soak
+length, yet same-seed runs still produce a verifiable stream digest.
+
+Control records are *drained*: each window boundary the soak harness
+removes records old enough to have settled (sent before the previous
+boundary — one full window of grace for in-flight acks) from the network's
+accumulators and passes them here for aggregation. Duty cycle and charge
+come from cumulative ``radio.on_time()`` / ``tx_count`` deltas, so nothing
+may call ``NetworkMetrics.mark()`` (which zeroes on-time) mid-soak.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from repro.radio.cc2420 import packet_airtime
+from repro.radio.energy import interval_charge_mc
+from repro.sim.units import to_seconds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import Network
+    from repro.metrics.control import ControlRecord
+
+#: Adapter summary counters folded into the churn columns when present.
+_CHURN_KEYS = ("backtracks", "re_tele_invocations", "code_changes")
+
+
+class StreamingMetrics:
+    """Windowed, incrementally computed soak metrics (O(nodes) state)."""
+
+    def __init__(
+        self,
+        network: "Network",
+        window_s: float,
+        writer: Optional[Callable[[Dict[str, Any]], None]] = None,
+        average_frame_bytes: int = 40,
+    ) -> None:
+        self.network = network
+        self.window_s = float(window_s)
+        self.writer = writer
+        self._airtime = packet_airtime(average_frame_bytes)
+        self._hash = hashlib.sha256()
+        self.windows_emitted = 0
+        # Cumulative-counter snapshots, one slot per node id (radios never
+        # disappear; dead radios just stop accumulating).
+        self._last_on: Dict[int, int] = {}
+        self._last_tx: Dict[int, int] = {}
+        sim = network.sim
+        self._last_tick = sim.now
+        self._last_events = sim.events_executed
+        self._last_churn: Dict[str, int] = {k: 0 for k in _CHURN_KEYS}
+        for node_id, stack in network.stacks.items():
+            self._last_on[node_id] = stack.radio.on_time()
+            self._last_tx[node_id] = stack.radio.tx_count
+
+    # ------------------------------------------------------------------ hash
+    @property
+    def stream_digest(self) -> str:
+        """SHA-256 over every window line emitted so far (hex)."""
+        return self._hash.hexdigest()
+
+    # ---------------------------------------------------------------- window
+    def _churn_totals(self) -> Dict[str, int]:
+        """Current cumulative churn counters summed over all adapters."""
+        totals = {k: 0 for k in _CHURN_KEYS}
+        for adapter in self.network.protocols.values():
+            summary = adapter.summary()
+            for key in _CHURN_KEYS:
+                value = summary.get(key)
+                if value is not None:
+                    totals[key] += value
+        return totals
+
+    def close_window(self, drained: List["ControlRecord"]) -> Dict[str, Any]:
+        """Aggregate one window and stream it out.
+
+        ``drained`` holds the control records that settled this window (the
+        harness removed them from the per-run accumulators — they are gone
+        after this call). Returns the flat window dict it wrote.
+        """
+        network = self.network
+        sim = network.sim
+        now = sim.now
+        interval = now - self._last_tick
+        window_start = self._last_tick
+
+        # --- control outcomes (from the drained, settled records) ---
+        sent = len(drained)
+        delivered = [r for r in drained if r.delivered]
+        acked = [r for r in drained if r.acked_at is not None]
+        latencies = [r.latency_s for r in delivered if r.latency_s is not None]
+        rtts = [r.rtt_s for r in acked if r.rtt_s is not None]
+        first_delivery = min(
+            (r.delivered_at for r in delivered), default=None
+        )
+
+        # --- radio duty / charge (cumulative deltas, O(nodes)) ---
+        duty_sum = 0.0
+        charge_mc = 0.0
+        n_radios = 0
+        if interval > 0:
+            for node_id, stack in network.stacks.items():
+                radio = stack.radio
+                on = radio.on_time()
+                tx = radio.tx_count
+                d_on = max(0, on - self._last_on[node_id])
+                d_tx = max(0, tx - self._last_tx[node_id])
+                self._last_on[node_id] = on
+                self._last_tx[node_id] = tx
+                duty_sum += d_on / interval
+                charge_mc += interval_charge_mc(
+                    d_on, d_tx * self._airtime, interval, radio.tx_power_dbm
+                )
+                n_radios += 1
+
+        # --- churn deltas ---
+        churn_now = self._churn_totals()
+        churn_delta = {
+            k: churn_now[k] - self._last_churn[k] for k in _CHURN_KEYS
+        }
+        self._last_churn = churn_now
+
+        # --- endurance counters (cumulative, cheap) ---
+        mobility = network.mobility
+        battery = network.battery
+        injector = network.fault_injector
+        reclaimed = 0
+        for adapter in network.protocols.values():
+            allocation = getattr(adapter, "allocation", None)
+            if allocation is not None:
+                reclaimed += allocation.positions_reclaimed
+
+        window = {
+            "w": self.windows_emitted,
+            "t_s": round(to_seconds(now), 6),
+            "sent": sent,
+            "delivered": len(delivered),
+            "acked": len(acked),
+            "delivery": (len(delivered) / sent) if sent else None,
+            "latency_mean_s": (
+                round(sum(latencies) / len(latencies), 6) if latencies else None
+            ),
+            "latency_max_s": round(max(latencies), 6) if latencies else None,
+            "rtt_mean_s": round(sum(rtts) / len(rtts), 6) if rtts else None,
+            "first_control_s": (
+                round(to_seconds(first_delivery - window_start), 6)
+                if first_delivery is not None
+                else None
+            ),
+            "duty_cycle": round(duty_sum / n_radios, 9) if n_radios else None,
+            "charge_mc": round(charge_mc, 6),
+            "backtracks": churn_delta["backtracks"],
+            "re_tele": churn_delta["re_tele_invocations"],
+            "code_changes": churn_delta["code_changes"],
+            "moves": mobility.moves if mobility is not None else 0,
+            "kicks": mobility.kicks if mobility is not None else 0,
+            "kicks_suppressed": (
+                (mobility.kicks_suppressed if mobility is not None else 0)
+                + (injector.parent_kicks_suppressed if injector is not None else 0)
+            ),
+            "deaths": len(injector.deaths) if injector is not None else 0,
+            "alive": battery.alive_count() if battery is not None else None,
+            "reclaimed": reclaimed,
+            "events": sim.events_executed - self._last_events,
+        }
+        self._last_tick = now
+        self._last_events = sim.events_executed
+        self.windows_emitted += 1
+        # Canonical line: sorted keys, no NaN — the same bytes every run,
+        # which is what makes the stream digest a determinism token.
+        line = json.dumps(window, sort_keys=True, allow_nan=False)
+        self._hash.update(line.encode("utf-8"))
+        self._hash.update(b"\n")
+        if self.writer is not None:
+            self.writer(window)
+        return window

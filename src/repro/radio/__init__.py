@@ -12,8 +12,11 @@ This package replaces the TOSSIM radio stack the paper simulated on:
   external interferers (e.g. WiFi).
 - :mod:`repro.radio.radio` — per-node half-duplex radio device with
   on/off/TX/RX states and energy (on-time) accounting.
+- :mod:`repro.radio.battery` — per-node charge budgets drained by duty
+  cycle; exhausted nodes die permanently (endurance soaks, docs/soak.md).
 """
 
+from repro.radio.battery import BatteryParams, DepletionMonitor
 from repro.radio.cc2420 import CC2420, packet_airtime
 from repro.radio.channel import Channel
 from repro.radio.frame import BROADCAST, Frame, FrameType
@@ -22,6 +25,8 @@ from repro.radio.propagation import LogDistancePathLoss
 from repro.radio.radio import Radio, RadioState
 
 __all__ = [
+    "BatteryParams",
+    "DepletionMonitor",
     "CC2420",
     "packet_airtime",
     "Channel",

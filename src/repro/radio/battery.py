@@ -1,0 +1,198 @@
+"""Battery depletion: per-node charge budgets drained by duty cycle.
+
+Each monitored node starts with a charge budget (mAh). A periodic check
+samples the radio's cumulative on-time and transmission count, converts the
+deltas to charge with the same :func:`~repro.radio.energy.interval_charge_mc`
+core the whole-run energy report uses, and drains the budget. When the
+budget runs out the node *dies*: the death is threaded through the fault
+injector's crash machinery (:meth:`FaultInjector.kill_node` — a crash that
+never reboots), so radios power down mid-flight safely, CTP staleness and
+allocation reclamation see exactly what a real brown-out produces, and
+mobility stops walking the corpse.
+
+The monitor keeps O(N) state only — per-node budgets and last samples, a
+death counter, no per-event history — so multi-day soaks stay memory-flat.
+
+Determinism: the check loop is a self-rescheduling simulator event with no
+RNG at all; charge arithmetic is pure float work in a fixed order. Configs
+without a battery never construct a monitor, so zero-depletion runs stay
+bit-identical to the golden digests.
+
+Caveat: the monitor reads ``radio.on_time()`` incrementally, so callers
+must not call ``NetworkMetrics.mark()`` (which zeroes on-time) mid-run;
+deltas are clamped at zero defensively, but a reset still under-counts the
+interval it lands in. The soak harness samples cumulative counters instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.radio.cc2420 import packet_airtime
+from repro.radio.energy import interval_charge_mc
+from repro.sim.units import SECOND, to_seconds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import Network
+
+#: 1 mAh = 3.6 C = 3600 mC.
+MC_PER_MAH = 3600.0
+
+
+@dataclass
+class BatteryParams:
+    """Charge budgets and the depletion check cadence (config-embeddable)."""
+
+    #: Default per-node budget, mAh. Real TelosB batteries are ~2600 mAh;
+    #: soaks use small budgets so depletion happens within the run.
+    capacity_mah: float = 2600.0
+    #: Per-node overrides, node id -> mAh (JSON round-trips via str keys).
+    per_node_mah: Optional[Dict[int, float]] = None
+    #: Depletion check cadence, seconds of sim time.
+    check_interval_s: float = 60.0
+    #: Frame size used to reconstruct TX time from the radio's tx counter
+    #: (same convention as :func:`repro.radio.energy.energy_report`).
+    average_frame_bytes: int = 40
+    #: Mains-powered sink: the root never dies (the paper's controller).
+    sink_powered: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0.0:
+            raise ValueError("capacity_mah must be positive")
+        if self.check_interval_s <= 0.0:
+            raise ValueError("check_interval_s must be positive")
+        if self.per_node_mah is not None:
+            self.per_node_mah = {
+                int(node): float(mah) for node, mah in self.per_node_mah.items()
+            }
+            for node, mah in self.per_node_mah.items():
+                if mah <= 0.0:
+                    raise ValueError(f"node {node}: battery capacity must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "average_frame_bytes": self.average_frame_bytes,
+            "capacity_mah": self.capacity_mah,
+            "check_interval_s": self.check_interval_s,
+            "per_node_mah": (
+                {str(k): v for k, v in sorted(self.per_node_mah.items())}
+                if self.per_node_mah is not None
+                else None
+            ),
+            "sink_powered": self.sink_powered,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BatteryParams":
+        return cls(**data)
+
+    def budget_mc(self, node: int) -> float:
+        """The node's starting budget in milliCoulombs."""
+        mah = self.capacity_mah
+        if self.per_node_mah is not None:
+            mah = self.per_node_mah.get(node, mah)
+        return mah * MC_PER_MAH
+
+
+@dataclass
+class _NodeCharge:
+    """Incremental accounting for one monitored node (O(1) state)."""
+
+    budget_mc: float
+    used_mc: float = 0.0
+    last_on_time: int = 0
+    last_tx_count: int = 0
+    last_check: int = 0
+
+
+class DepletionMonitor:
+    """Drains per-node budgets and kills nodes whose battery runs out."""
+
+    def __init__(self, network: "Network", params: BatteryParams) -> None:
+        self.network = network
+        self.params = params
+        self.sim = network.sim
+        self._airtime = packet_airtime(params.average_frame_bytes)
+        self._nodes: Dict[int, _NodeCharge] = {}
+        for node in sorted(network.stacks):
+            if params.sink_powered and node == network.sink:
+                continue
+            self._nodes[node] = _NodeCharge(budget_mc=params.budget_mc(node))
+        #: (tick, node) for every battery death, in death order. Bounded by
+        #: the node count, not the event count.
+        self.deaths: List[Tuple[int, int]] = []
+        self._started = False
+
+    # ------------------------------------------------------------------ start
+    def start(self) -> None:
+        """Begin the periodic depletion checks (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        now = self.sim.now
+        for node, state in self._nodes.items():
+            radio = self.network.stacks[node].radio
+            state.last_on_time = radio.on_time()
+            state.last_tx_count = radio.tx_count
+            state.last_check = now
+        self._schedule_check()
+
+    def _schedule_check(self) -> None:
+        self.sim.schedule(
+            round(self.params.check_interval_s * SECOND), self._check
+        )
+
+    # ------------------------------------------------------------------ check
+    def _check(self) -> None:
+        now = self.sim.now
+        dead: List[int] = []
+        for node, state in self._nodes.items():
+            radio = self.network.stacks[node].radio
+            interval = now - state.last_check
+            if interval <= 0:  # pragma: no cover - defensive
+                continue
+            # Clamp deltas at zero: a mid-run reset_on_time() (metrics
+            # warm-up boundary) must never produce negative charge.
+            d_on = max(0, radio.on_time() - state.last_on_time)
+            d_tx = max(0, radio.tx_count - state.last_tx_count)
+            state.used_mc += interval_charge_mc(
+                d_on, d_tx * self._airtime, interval, radio.tx_power_dbm
+            )
+            state.last_on_time = radio.on_time()
+            state.last_tx_count = radio.tx_count
+            state.last_check = now
+            if state.used_mc >= state.budget_mc:
+                dead.append(node)
+        for node in dead:
+            del self._nodes[node]
+            self.deaths.append((now, node))
+            injector = self.network.fault_injector
+            assert injector is not None, "battery wiring guarantees an injector"
+            injector.kill_node(node, reason="battery")
+        if self._nodes:
+            self._schedule_check()
+
+    # ---------------------------------------------------------------- queries
+    def alive_count(self) -> int:
+        """Monitored nodes still above zero charge."""
+        return len(self._nodes)
+
+    def charge_used_mc(self, node: int) -> Optional[float]:
+        """Charge drawn so far by a still-alive monitored node."""
+        state = self._nodes.get(node)
+        return state.used_mc if state is not None else None
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat counters for reports (no per-event state)."""
+        first_death_s = (
+            to_seconds(self.deaths[0][0]) if self.deaths else None
+        )
+        remaining = [s.budget_mc - s.used_mc for s in self._nodes.values()]
+        return {
+            "monitored": len(self._nodes) + len(self.deaths),
+            "alive": len(self._nodes),
+            "deaths": len(self.deaths),
+            "first_death_s": first_death_s,
+            "min_remaining_mc": min(remaining) if remaining else 0.0,
+        }

@@ -103,6 +103,8 @@ class Channel:
         fading_coherence: int = 5_000_000,
         interference_floor_dbm: Optional[float] = None,
         spatial: Optional[SpatialChannel] = None,
+        positions: Optional[List[Tuple[float, float]]] = None,
+        propagation: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.cca_threshold_dbm = cca_threshold_dbm
@@ -145,6 +147,18 @@ class Channel:
         self.interference_floor_dbm = floor
         self._audible_floor = floor - 3.0 * fading_sigma_db
         self._spatial = spatial
+        # Dense-mode mobility support: with node positions and a propagation
+        # model the channel can recompute a moved node's gain row itself
+        # (the dense counterpart of the spatial move path). The list is
+        # copied — moves must never mutate the caller's deployment.
+        if spatial is not None and positions is not None:
+            raise ValueError("positions belong to the spatial index in spatial mode")
+        self._positions: Optional[List[Tuple[float, float]]] = (
+            [(float(x), float(y)) for x, y in positions]
+            if positions is not None
+            else None
+        )
+        self._propagation = propagation
         # Per-source (ids, gains) numpy columns mirroring _audible, built
         # lazily for the vectorised rx-map path; dropped whenever the
         # corresponding audible row is rebuilt.
@@ -475,21 +489,24 @@ class Channel:
 
     # ------------------------------------------------------------- mobility
     def move_node(self, node_id: int, new_pos: Tuple[float, float]) -> None:
-        """Relocate a node (spatial mode): recompute links, drop stale caches.
+        """Relocate a node: recompute its links, drop stale caches.
 
-        The grid cell, the sparse gain entries, the audible rows of every
-        old and new neighbour, and — via the epoch bump — every memoised
-        per-source rx-power map are refreshed, so no packet is ever priced
-        with pre-move powers. Per-link shadowing stays pinned to the node
-        pair (it models the environment between two endpoints, and keeping
-        it stable is what makes moves reproducible).
+        The sparse gain entries (or, in dense mode, the full gain row), the
+        audible rows of every old and new neighbour, and — via the epoch
+        bump — every memoised per-source rx-power map are refreshed, so no
+        packet is ever priced with pre-move powers. Per-link shadowing stays
+        pinned to the node pair (it models the environment between two
+        endpoints, and keeping it stable is what makes moves reproducible).
+
+        Dense channels need ``positions`` and ``propagation`` at
+        construction; the row recompute is O(N) per move but uses the exact
+        scalar gains the spatial path produces, so both modes expose
+        identical audible state after the same move sequence.
         """
         spatial = self._spatial
         if spatial is None:
-            raise ValueError(
-                "move_node requires a spatial index; dense channels patch "
-                "links with update_link_gains"
-            )
+            self._move_node_dense(node_id, new_pos)
+            return
         old_neighbors = {entry[0] for entry in self._audible.get(node_id, ())}
         for b in old_neighbors:
             del self.gains[(node_id, b)]
@@ -510,6 +527,38 @@ class Channel:
         for b in old_neighbors | new_neighbors:
             self._rebuild_audible_row(b, {node_id})
         self._fault_epoch += 1
+
+    def _move_node_dense(self, node_id: int, new_pos: Tuple[float, float]) -> None:
+        """Dense-mode move: recompute the node's full gain row from geometry.
+
+        Dense channels materialise *every* pair (including sub-audible ones,
+        matching ``gain_matrix``), so the whole row is refreshed — each gain
+        is the same scalar ``link_gain_db`` call the spatial path makes,
+        which is what keeps the two modes bit-identical under mobility. The
+        patch is routed through :meth:`update_link_gains` so audible rows
+        and the rx-cache epoch follow automatically.
+        """
+        if self._positions is None or self._propagation is None:
+            raise ValueError(
+                "dense move_node needs positions= and propagation= at channel "
+                "construction (or use a spatial index); callers without a "
+                "geometry model patch links with update_link_gains"
+            )
+        pos = self._positions
+        if not (0 <= node_id < len(pos)):
+            raise ValueError(f"unknown node {node_id}")
+        pos_a = (float(new_pos[0]), float(new_pos[1]))
+        pos[node_id] = pos_a
+        link_gain_db = self._propagation.link_gain_db
+        updates: Dict[Tuple[int, int], Optional[float]] = {}
+        for b in range(len(pos)):
+            if b == node_id:
+                continue
+            # Gains are symmetric (distance + unordered-pair shadowing).
+            gain = link_gain_db(node_id, b, pos_a, pos[b])
+            updates[(node_id, b)] = gain
+            updates[(b, node_id)] = gain
+        self.update_link_gains(updates)
 
     def update_link_gains(
         self, updates: Dict[Tuple[int, int], Optional[float]]

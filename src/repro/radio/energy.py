@@ -53,6 +53,35 @@ def tx_current_ma(tx_power_dbm: float) -> float:
     return RX_CURRENT_MA  # pragma: no cover - unreachable
 
 
+def interval_charge_mc(
+    on_time_ticks: int,
+    tx_time_ticks: int,
+    interval_ticks: int,
+    tx_power_dbm: float,
+) -> float:
+    """Charge (mC) drawn over an interval, from raw radio-time accounting.
+
+    The pure core of :func:`energy_report`, shared with the battery
+    depletion monitor so incremental window-by-window draining sums to
+    exactly what a single whole-run report would compute. ``tx_time`` is
+    clamped into ``on_time`` and ``on_time`` into the interval, mirroring
+    the report's defensive clamps; the float operation order (tx, then rx,
+    then sleep) is part of the bit-identity contract.
+    """
+    if interval_ticks <= 0:
+        raise ValueError("interval must be positive")
+    on_time = min(on_time_ticks, interval_ticks)
+    tx_time = min(tx_time_ticks, on_time)
+    rx_time = on_time - tx_time
+    off_time = interval_ticks - on_time
+    tx_ma = tx_current_ma(tx_power_dbm)
+    return (
+        to_seconds(tx_time) * tx_ma
+        + to_seconds(rx_time) * RX_CURRENT_MA
+        + to_seconds(off_time) * SLEEP_CURRENT_MA
+    )
+
+
 @dataclass
 class EnergyReport:
     """Charge breakdown for one node over an interval."""
@@ -90,13 +119,8 @@ def energy_report(
     if tx_time_ticks is None:
         tx_time_ticks = radio.tx_count * packet_airtime(average_frame_bytes)
     tx_time = min(tx_time_ticks, on_time)
-    rx_time = on_time - tx_time
-    off_time = interval_ticks - on_time
-    tx_ma = tx_current_ma(radio.tx_power_dbm)
-    charge_mc = (
-        to_seconds(tx_time) * tx_ma
-        + to_seconds(rx_time) * RX_CURRENT_MA
-        + to_seconds(off_time) * SLEEP_CURRENT_MA
+    charge_mc = interval_charge_mc(
+        on_time, tx_time, interval_ticks, radio.tx_power_dbm
     )
     interval_s = to_seconds(interval_ticks)
     return EnergyReport(

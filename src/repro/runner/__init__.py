@@ -57,6 +57,7 @@ from repro.runner.taskspec import (
     network_size_spec,
     scale_spec,
     selftest_spec,
+    soak_spec,
     wake_interval_spec,
 )
 from repro.runner.telemetry import CellTelemetry, RunnerReport
@@ -91,5 +92,6 @@ __all__ = [
     "run_task",
     "scale_spec",
     "selftest_spec",
+    "soak_spec",
     "wake_interval_spec",
 ]

@@ -166,6 +166,17 @@ def _execute_scale(params: Mapping[str, Any]) -> Dict[str, Any]:
     )
 
 
+def _execute_soak(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.soak import run_soak
+
+    return run_soak(
+        params["variant"],
+        seed=params["seed"],
+        zigbee_channel=params["zigbee_channel"],
+        **params["schedule"],
+    )
+
+
 def _execute_selftest(params: Mapping[str, Any]) -> Dict[str, Any]:
     if params["sleep_s"]:
         time.sleep(params["sleep_s"])
@@ -181,6 +192,7 @@ _EXECUTORS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {
     "wake-interval": _execute_wake_interval,
     "network-size": _execute_network_size,
     "scale": _execute_scale,
+    "soak": _execute_soak,
     "selftest": _execute_selftest,
 }
 
@@ -206,6 +218,9 @@ def sim_seconds_estimate(spec: TaskSpec) -> float:
             + s["n_controls"] * s["control_interval_s"]
             + s["drain_seconds"]
         )
+    if spec.kind == "soak":
+        s = p["schedule"]
+        return s["converge_seconds"] + s["duration_s"]
     return 0.0
 
 

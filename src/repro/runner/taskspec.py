@@ -266,6 +266,52 @@ def scale_spec(
     )
 
 
+def soak_spec(
+    variant: str = "tele",
+    seed: int = 0,
+    zigbee_channel: int = 26,
+    **kwargs: Any,
+) -> TaskSpec:
+    """Spec for one endurance cell (:func:`repro.experiments.soak.run_soak`).
+
+    The fingerprint covers the derived :class:`NetworkConfig` *including
+    the mobility/battery/reclamation knobs* (via its canonical ``to_dict``),
+    so a zero-churn zero-depletion soak fingerprints exactly like the
+    comparison config plus the soak schedule — and any change to how the
+    endurance knobs map onto a config invalidates cached cells.
+    """
+    from repro.experiments.soak import SOAK_DEFAULTS, soak_config
+
+    schedule = dict(SOAK_DEFAULTS)
+    for key, value in kwargs.items():
+        if key not in schedule:
+            raise TypeError(f"unknown run_soak argument: {key!r}")
+        schedule[key] = value
+    config = soak_config(
+        variant,
+        seed,
+        zigbee_channel,
+        churn_intensity=schedule["churn_intensity"],
+        battery_mah=schedule["battery_mah"],
+        reclaim_ttl_s=schedule["reclaim_ttl_s"],
+        converge_seconds=schedule["converge_seconds"],
+    )
+    return TaskSpec(
+        kind="soak",
+        params={
+            "variant": variant,
+            "seed": seed,
+            "zigbee_channel": zigbee_channel,
+            "schedule": schedule,
+            "config": config.to_dict(),
+        },
+        label=(
+            f"soak/{variant}/i{schedule['churn_intensity']:g}"
+            f"/{schedule['duration_s']:g}s/seed{seed}"
+        ),
+    )
+
+
 def selftest_spec(
     index: int, sleep_s: float = 0.0, payload: int = 0, **extra: Any
 ) -> TaskSpec:

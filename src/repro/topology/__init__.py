@@ -16,8 +16,14 @@ City-scale generators (the spatial-index workloads, see docs/performance.md):
   connected by construction.
 - ``forest`` — multi-thousand-node uniform field at a target density with a
   minimum pairwise separation.
+
+Mobility (endurance soaks, see docs/soak.md):
+
+- :mod:`repro.topology.mobility` — deterministic random-waypoint and
+  commuter walks compiled onto the simulator queue.
 """
 
+from repro.topology.mobility import MobilityDriver, MobilityParams
 from repro.topology.deployments import (
     Deployment,
     city_blocks,
@@ -38,4 +44,6 @@ __all__ = [
     "city_blocks",
     "clustered_field",
     "forest",
+    "MobilityDriver",
+    "MobilityParams",
 ]

@@ -1,0 +1,276 @@
+"""Deterministic node mobility, compiled onto the simulator event queue.
+
+Two classic models drive endurance soaks:
+
+- ``waypoint`` — random waypoint inside the deployment's bounding box:
+  pick a destination uniformly, walk there at a uniformly drawn speed,
+  pause, repeat. The workhorse churn generator.
+- ``commuter`` — each mover oscillates between its home (its deployed
+  position) and a per-node "work" anchor drawn within
+  ``commute_radius_m``, with pauses at both ends. Models the daily
+  back-and-forth of body-worn or vehicle-mounted nodes: churn is
+  recurrent, so path codes that were correct yesterday become correct
+  again tomorrow — the regime where Re-Tele repair cost matters most.
+
+Like fault plans, mobility is *compiled onto the queue*: the driver
+schedules discrete position updates every ``step_s`` of walk time, each
+one calling :meth:`Channel.move_node` (spatial or dense — PR 9 gave the
+dense channel its own move path), so link gains, audible rows, and
+memoised rx maps always price the node where it currently stands.
+
+Determinism: every draw comes from the simulator's named ``"mobility"``
+RNG stream, which is created lazily — configs without mobility never
+touch it, so enabling the layer cannot perturb any pre-existing stream
+and zero-mobility runs stay bit-identical to the golden digests.
+
+Arriving at a waypoint optionally kicks the node's CTP re-parenting
+(``kick_routing``): the node noticed its link budget changed and asks for
+a fresh parent instead of waiting out beacon staleness. Kicks go through
+the network's :class:`~repro.faults.injector.ChurnGuard` so a fault plan's
+``parent_switch`` and mobility never double-churn one node within the
+guard window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.sim.units import SECOND
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import Network
+
+MOBILITY_MODELS = ("waypoint", "commuter")
+
+
+@dataclass
+class MobilityParams:
+    """Knobs for a deterministic mobility process (config-embeddable)."""
+
+    #: One of :data:`MOBILITY_MODELS`.
+    model: str = "waypoint"
+    #: Explicit mover ids; None draws ``fraction`` of the non-sink nodes.
+    nodes: Optional[List[int]] = None
+    #: Fraction of non-sink nodes that move when ``nodes`` is None.
+    fraction: float = 0.25
+    #: Uniform speed range in m/s (pedestrian by default).
+    speed_mps: Tuple[float, float] = (0.5, 1.5)
+    #: Uniform pause range at each waypoint, seconds.
+    pause_s: Tuple[float, float] = (10.0, 60.0)
+    #: Walk-step granularity: one ``move_node`` per this many seconds of
+    #: motion. Smaller = smoother gains, more events.
+    step_s: float = 2.0
+    #: Commuter model: max distance from home to the work anchor (m).
+    commute_radius_m: float = 60.0
+    #: Movers start walking only after this much sim time (lets the
+    #: network converge on the deployed topology first).
+    start_s: float = 0.0
+    #: Kick CTP re-parenting on waypoint arrival (guard-deduplicated).
+    kick_routing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.model not in MOBILITY_MODELS:
+            raise ValueError(
+                f"unknown mobility model {self.model!r}; choose from {MOBILITY_MODELS}"
+            )
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        if self.speed_mps[0] <= 0.0 or self.speed_mps[1] < self.speed_mps[0]:
+            raise ValueError("speed_mps must be a positive (low, high) range")
+        if self.pause_s[0] < 0.0 or self.pause_s[1] < self.pause_s[0]:
+            raise ValueError("pause_s must be a non-negative (low, high) range")
+        if self.step_s <= 0.0:
+            raise ValueError("step_s must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "commute_radius_m": self.commute_radius_m,
+            "fraction": self.fraction,
+            "kick_routing": self.kick_routing,
+            "model": self.model,
+            "nodes": list(self.nodes) if self.nodes is not None else None,
+            "pause_s": list(self.pause_s),
+            "speed_mps": list(self.speed_mps),
+            "start_s": self.start_s,
+            "step_s": self.step_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MobilityParams":
+        kwargs = dict(data)
+        for key in ("speed_mps", "pause_s"):
+            if key in kwargs and kwargs[key] is not None:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
+
+@dataclass
+class _MoverState:
+    """Where one mover is and where it's headed."""
+
+    pos: Tuple[float, float]
+    target: Optional[Tuple[float, float]] = None
+    speed: float = 0.0
+    #: Commuter phase: the anchor we will walk to *next*.
+    heading_to_work: bool = True
+
+
+class MobilityDriver:
+    """Compiles one :class:`MobilityParams` process onto a network's queue."""
+
+    def __init__(self, network: "Network", params: MobilityParams) -> None:
+        self.network = network
+        self.params = params
+        self.sim = network.sim
+        self._rng = self.sim.rng("mobility")
+        positions = network.deployment.positions
+        xs = [p[0] for p in positions]
+        ys = [p[1] for p in positions]
+        self._bbox = (min(xs), min(ys), max(xs), max(ys))
+        self.movers: List[int] = self._pick_movers()
+        self._state: Dict[int, _MoverState] = {
+            n: _MoverState(pos=(float(positions[n][0]), float(positions[n][1])))
+            for n in self.movers
+        }
+        #: Commuter anchors: node -> (home, work).
+        self._anchors: Dict[int, Tuple[Tuple[float, float], Tuple[float, float]]] = {}
+        if params.model == "commuter":
+            for n in self.movers:
+                home = self._state[n].pos
+                self._anchors[n] = (home, self._draw_work_anchor(home))
+        # Counters (flat — soaks never accumulate per-move logs).
+        self.moves = 0
+        self.waypoints = 0
+        self.kicks = 0
+        self.kicks_suppressed = 0
+        self.dead_movers = 0
+        self._started = False
+
+    # -------------------------------------------------------------- selection
+    def _pick_movers(self) -> List[int]:
+        candidates = [n for n in range(self.network.deployment.size)
+                      if n != self.network.sink]
+        if self.params.nodes is not None:
+            chosen = sorted(set(self.params.nodes))
+            for n in chosen:
+                if n == self.network.sink:
+                    raise ValueError("the sink does not move")
+                if not 0 <= n < self.network.deployment.size:
+                    raise ValueError(f"unknown mover node {n}")
+            return chosen
+        count = round(len(candidates) * self.params.fraction)
+        if count <= 0:
+            return []
+        # sample() keeps draw count deterministic in the mover count.
+        return sorted(self._rng.sample(candidates, count))
+
+    def _draw_work_anchor(self, home: Tuple[float, float]) -> Tuple[float, float]:
+        min_x, min_y, max_x, max_y = self._bbox
+        radius = self.params.commute_radius_m
+        x = home[0] + self._rng.uniform(-radius, radius)
+        y = home[1] + self._rng.uniform(-radius, radius)
+        return (min(max(x, min_x), max_x), min(max(y, min_y), max_y))
+
+    # ------------------------------------------------------------------ start
+    def start(self) -> None:
+        """Schedule the first leg of every mover (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        start_ticks = round(self.params.start_s * SECOND)
+        for n in self.movers:
+            # Desynchronise departures across one pause window so movers
+            # don't all recompute links on the same tick.
+            jitter = round(self._rng.uniform(0.0, self.params.pause_s[1]) * SECOND)
+            self.sim.schedule(start_ticks + jitter, self._depart, n)
+
+    # ------------------------------------------------------------------- legs
+    def _alive(self, node: int) -> bool:
+        return not self.network.stacks[node].radio.failed
+
+    def _depart(self, node: int) -> None:
+        """Pick the next waypoint and start walking toward it."""
+        if not self._alive(node):
+            # Dead nodes stop consuming events; one counter, no log.
+            self.dead_movers += 1
+            return
+        state = self._state[node]
+        if self.params.model == "commuter":
+            home, work = self._anchors[node]
+            state.target = work if state.heading_to_work else home
+            state.heading_to_work = not state.heading_to_work
+        else:
+            min_x, min_y, max_x, max_y = self._bbox
+            state.target = (
+                self._rng.uniform(min_x, max_x),
+                self._rng.uniform(min_y, max_y),
+            )
+        state.speed = self._rng.uniform(*self.params.speed_mps)
+        self._schedule_step(node)
+
+    def _schedule_step(self, node: int) -> None:
+        self.sim.schedule(round(self.params.step_s * SECOND), self._step, node)
+
+    def _step(self, node: int) -> None:
+        """Advance one walk step; on arrival, pause then depart again."""
+        if not self._alive(node):
+            self.dead_movers += 1
+            return
+        state = self._state[node]
+        target = state.target
+        if target is None:  # pragma: no cover - defensive
+            return
+        x, y = state.pos
+        dx = target[0] - x
+        dy = target[1] - y
+        dist = (dx * dx + dy * dy) ** 0.5
+        step_m = state.speed * self.params.step_s
+        if dist <= step_m:
+            state.pos = target
+            state.target = None
+            self._apply_move(node, target)
+            self._arrived(node)
+            return
+        frac = step_m / dist
+        state.pos = (x + dx * frac, y + dy * frac)
+        self._apply_move(node, state.pos)
+        self._schedule_step(node)
+
+    def _apply_move(self, node: int, pos: Tuple[float, float]) -> None:
+        self.network.channel.move_node(node, pos)
+        self.moves += 1
+
+    def _arrived(self, node: int) -> None:
+        self.waypoints += 1
+        if self.params.kick_routing:
+            guard = self.network.churn_guard
+            if guard is not None and guard.blocked(node, "mobility"):
+                self.kicks_suppressed += 1
+            else:
+                self.network.stacks[node].routing.parent_unreachable()
+                if guard is not None:
+                    guard.note(node, "mobility")
+                self.kicks += 1
+        pause = self._rng.uniform(*self.params.pause_s)
+        self.sim.schedule(round(pause * SECOND), self._depart, node)
+
+    # ---------------------------------------------------------------- queries
+    def position(self, node: int) -> Tuple[float, float]:
+        """Current position of a mover (deployment position otherwise)."""
+        state = self._state.get(node)
+        if state is not None:
+            return state.pos
+        p = self.network.deployment.positions[node]
+        return (float(p[0]), float(p[1]))
+
+    def summary(self) -> Dict[str, int]:
+        """Flat counters for reports (no per-move state)."""
+        return {
+            "movers": len(self.movers),
+            "moves": self.moves,
+            "waypoints": self.waypoints,
+            "kicks": self.kicks,
+            "kicks_suppressed": self.kicks_suppressed,
+            "dead_movers": self.dead_movers,
+        }

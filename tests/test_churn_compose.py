@@ -1,0 +1,188 @@
+"""Churn composition: fault-plan kicks and mobility must not double-churn.
+
+Two regression surfaces guard PR 9's endurance layer:
+
+- *Build time*: :func:`chaos_plan` never schedules two ``parent_switch``
+  events for the same node within the churn window (rejection-sampled at
+  plan construction). The pinned crash-churn plan digest proves the
+  dedupe never re-draws on conflict-free seeds — the golden chaos digests
+  depend on that plan being bit-identical to its pre-dedupe form.
+- *Run time*: the :class:`ChurnGuard` suppresses a mobility kick landing
+  on a node a fault plan just kicked (and vice versa), but NEVER
+  suppresses fault-vs-fault (plans dedupe themselves; runtime suppression
+  would change which planned events fire and break the pinned digests).
+"""
+
+import pytest
+
+from repro.experiments.harness import Network, NetworkConfig
+from repro.faults import FaultEvent, FaultPlan, chaos_plan
+from repro.faults.injector import ChurnGuard, FaultInjector
+from repro.faults.plan import PARENT_SWITCH_CHURN_WINDOW_S
+from repro.runner import fingerprint_of
+from repro.sim.units import SECOND
+from repro.topology.mobility import MobilityParams
+
+#: chaos_plan('crash-churn', 1.0, n_nodes=40, sink=0, seed=3) — the plan
+#: behind the golden ``chaos-crash-churn`` digest. Pinned so the build-time
+#: kick dedupe (which only re-draws on an actual same-node conflict) can
+#: never silently reshape it.
+PINNED_CRASH_CHURN_FP = (
+    "e031fcca8572b423bded65ac8fa6db4e1806f47ed8cc85f0d1058e0422faf696"
+)
+
+
+class _StubSim:
+    """Just enough simulator for guard unit tests: a settable clock."""
+
+    def __init__(self) -> None:
+        self.now = 0
+
+
+# ----------------------------------------------------------- plan dedupe
+
+class TestPlanKickDedupe:
+    def test_pinned_plan_unchanged(self):
+        plan = chaos_plan("crash-churn", 1.0, n_nodes=40, sink=0, seed=3)
+        assert fingerprint_of(plan.to_dict()) == PINNED_CRASH_CHURN_FP
+
+    @pytest.mark.parametrize("intensity", [1.0, 2.5])
+    def test_no_double_churn_within_window(self, intensity):
+        for seed in range(20):
+            plan = chaos_plan(
+                "crash-churn", intensity, n_nodes=12, sink=0, seed=seed
+            )
+            last = {}
+            for event in plan.events:
+                if event.kind != "parent_switch":
+                    continue
+                previous = last.get(event.node)
+                if previous is not None:
+                    assert event.at_s - previous >= PARENT_SWITCH_CHURN_WINDOW_S, (
+                        f"seed {seed}: node {event.node} kicked at {previous}s "
+                        f"and again at {event.at_s}s"
+                    )
+                last[event.node] = event.at_s
+
+    def test_saturated_window_still_schedules(self):
+        """When every node was kicked recently the builder must fall back
+        to repeating one rather than dropping the event (plan length is
+        part of the intensity contract)."""
+        plan = chaos_plan("crash-churn", 2.5, n_nodes=3, sink=0, seed=1)
+        kicks = [e for e in plan.events if e.kind == "parent_switch"]
+        assert len(kicks) > 0
+
+
+# ---------------------------------------------------------- guard window
+
+class TestChurnGuard:
+    def test_cross_source_blocked_within_window(self):
+        sim = _StubSim()
+        guard = ChurnGuard(sim)
+        guard.note(4, "faults")
+        sim.now += round(1.0 * SECOND)
+        assert guard.blocked(4, "mobility")
+        assert not guard.blocked(5, "mobility")
+
+    def test_mobility_vs_mobility_blocked(self):
+        sim = _StubSim()
+        guard = ChurnGuard(sim)
+        guard.note(4, "mobility")
+        sim.now += round(1.0 * SECOND)
+        assert guard.blocked(4, "mobility")
+
+    def test_fault_vs_fault_never_blocked(self):
+        # Plans dedupe at build time; runtime suppression of planned
+        # events would change what fires and break pinned chaos digests.
+        sim = _StubSim()
+        guard = ChurnGuard(sim)
+        guard.note(4, "faults")
+        sim.now += round(0.5 * SECOND)
+        assert not guard.blocked(4, "faults")
+
+    def test_window_ages_out(self):
+        sim = _StubSim()
+        guard = ChurnGuard(sim)
+        guard.note(4, "faults")
+        sim.now += round((PARENT_SWITCH_CHURN_WINDOW_S + 0.1) * SECOND)
+        assert not guard.blocked(4, "mobility")
+
+
+# ------------------------------------------------------- run-time wiring
+
+def _small_net(**overrides) -> Network:
+    net = Network(
+        NetworkConfig(
+            topology="indoor-testbed", protocol="tele", seed=4, **overrides
+        )
+    )
+    net.converge(max_seconds=120)
+    return net
+
+
+class TestRuntimeComposition:
+    def test_fault_kick_suppresses_mobility_kick(self):
+        net = _small_net(
+            mobility=MobilityParams(model="waypoint", nodes=[10])
+        )
+        # A fault-plan kick just hit node 10 …
+        net.churn_guard.note(10, "faults")
+        # … so the mobility arrival right after must not re-kick it.
+        before = net.mobility.kicks
+        net.mobility._arrived(10)
+        assert net.mobility.kicks == before
+        assert net.mobility.kicks_suppressed == 1
+
+    def test_mobility_kick_suppresses_fault_kick(self):
+        net = _small_net(faults=FaultPlan(events=(), auto_arm=False))
+        injector = net.fault_injector
+        net.churn_guard.note(10, "mobility")
+        event = FaultEvent(kind="parent_switch", at_s=1.0, node=10)
+        injector._do_parent_switch(0, event)
+        assert injector.parent_kicks_suppressed == 1
+
+    def test_fault_kick_fires_without_recent_churn(self):
+        net = _small_net(faults=FaultPlan(events=(), auto_arm=False))
+        injector = net.fault_injector
+        parent_before = net.stacks[10].routing.parent
+        event = FaultEvent(kind="parent_switch", at_s=1.0, node=10)
+        injector._do_parent_switch(0, event)
+        assert injector.parent_kicks_suppressed == 0
+        assert net.stacks[10].routing.parent is None or (
+            net.stacks[10].routing.parent != parent_before
+        )
+
+    def test_kill_node_is_permanent(self):
+        net = _small_net(faults=FaultPlan(events=(), auto_arm=False))
+        injector = net.fault_injector
+        injector.kill_node(10, reason="battery")
+        assert net.stacks[10].radio.failed
+        assert injector.deaths == [(net.sim.now, 10)]
+        assert injector.fired[-1] == (net.sim.now, "battery", 10)
+        net.run(10 * 60)
+        # Unlike a crash fault there is no reboot: the radio stays down.
+        assert net.stacks[10].radio.failed
+
+
+class TestZeroChurnIdentity:
+    def test_guard_absent_from_unfaulted_runs(self):
+        """A network with no faults/mobility/battery constructs no injector
+        and no drivers — nothing endurance-related can perturb it."""
+        net = Network(NetworkConfig(topology="indoor-testbed", protocol="tele", seed=4))
+        assert net.fault_injector is None
+        assert net.mobility is None
+        assert net.battery is None
+        assert isinstance(net.churn_guard, ChurnGuard)
+
+    def test_battery_only_config_gets_synthetic_injector(self):
+        net = Network(
+            NetworkConfig(
+                topology="indoor-testbed",
+                protocol="tele",
+                seed=4,
+                battery={"capacity_mah": 1.0},
+            )
+        )
+        assert isinstance(net.fault_injector, FaultInjector)
+        assert net.fault_injector.plan.events == ()
+        assert not net.fault_injector.plan.auto_arm

@@ -1,0 +1,176 @@
+"""Dense-channel mobility: ``move_node`` without a spatial index.
+
+The dense counterpart of the spatial move path recomputes the moved node's
+gain row from the deployment geometry. These tests pin the equivalence
+contract: after an identical move sequence, a dense channel and a spatial
+channel built over the same positions/propagation expose identical audible
+rows, link gains, and rx-power maps — mobility must not care which channel
+representation the run picked.
+"""
+
+import pytest
+
+from repro.radio.channel import Channel
+from repro.radio.frame import Frame, FrameType
+from repro.radio.noise import ConstantNoise
+from repro.radio.propagation import LogDistancePathLoss
+from repro.radio.radio import Radio
+from repro.radio.spatial import SpatialChannel
+from repro.sim import Simulator
+
+POSITIONS = [
+    (0.0, 0.0),
+    (12.0, 0.0),
+    (0.0, 14.0),
+    (25.0, 18.0),
+    (60.0, 60.0),
+    (400.0, 400.0),  # starts out of everyone's range
+]
+
+
+def make_pair(positions, seed=1, shadowing_sigma=3.0):
+    """A dense channel and a spatial channel over the same geometry."""
+    propagation = LogDistancePathLoss(
+        pl_d0=40.0, seed=seed, shadowing_sigma=shadowing_sigma
+    )
+    dense = Channel(
+        Simulator(seed=seed),
+        propagation.gain_matrix(positions),
+        noise_model=ConstantNoise(),
+        positions=positions,
+        propagation=propagation,
+    )
+    spatial = Channel(
+        Simulator(seed=seed),
+        noise_model=ConstantNoise(),
+        spatial=SpatialChannel(positions, propagation, cull_floor_dbm=-110.0),
+    )
+    return dense, spatial
+
+
+def audible_state(channel):
+    """The full audible topology: per-source (neighbor, gain) rows."""
+    return {
+        src: [(b, gain) for b, gain, _ in entries]
+        for src, entries in channel._audible.items()
+    }
+
+
+MOVES = [
+    (5, (30.0, 30.0)),   # out-of-range node walks into the field
+    (1, (3.0, 1.0)),     # short hop, neighbourhood mostly unchanged
+    (4, (1000.0, 0.0)),  # walks out of range entirely
+    (1, (12.0, 0.0)),    # returns exactly to its start position
+    (0, (24.0, 17.0)),   # lands next to node 3
+]
+
+
+class TestDenseSpatialEquivalence:
+    def test_audible_state_identical_after_moves(self):
+        dense, spatial = make_pair(POSITIONS)
+        assert audible_state(dense) == audible_state(spatial)
+        for node, pos in MOVES:
+            dense.move_node(node, pos)
+            spatial.move_node(node, pos)
+            assert audible_state(dense) == audible_state(spatial), (
+                f"audible rows diverged after moving {node} to {pos}"
+            )
+
+    def test_audible_gains_are_exact_geometry_gains(self):
+        # Every audible gain in both modes is the same scalar the
+        # propagation model computes from scratch — no drift across moves.
+        dense, spatial = make_pair(POSITIONS)
+        for node, pos in MOVES:
+            dense.move_node(node, pos)
+            spatial.move_node(node, pos)
+        propagation = dense._propagation
+        positions = dense._positions
+        for (a, b), gain in dense.gains.items():
+            expected = propagation.link_gain_db(a, b, positions[a], positions[b])
+            assert gain == expected
+        for (a, b), gain in spatial.gains.items():
+            assert gain == dense.gains[(a, b)]
+
+    def test_rx_maps_identical_after_moves(self):
+        dense, spatial = make_pair(POSITIONS)
+        for channel in (dense, spatial):
+            radios = [Radio(channel.sim, channel, i) for i in range(len(POSITIONS))]
+            for r in radios:
+                r.turn_on()
+        for node, pos in MOVES:
+            dense.move_node(node, pos)
+            spatial.move_node(node, pos)
+        for channel in (dense, spatial):
+            channel._radios[0].transmit(Frame(src=0, dst=3, type=FrameType.DATA))
+            channel.sim.run(until=channel.sim.now + 10_000_000)
+        assert dense._rx_cache[0][3] == spatial._rx_cache[0][3]
+
+
+class TestDenseMoveSemantics:
+    def test_move_back_restores_links_exactly(self):
+        dense, _ = make_pair(POSITIONS)
+        gain_before = dense.link_gain(0, 1)
+        dense.move_node(1, (4000.0, 0.0))
+        assert dense.link_gain(0, 1) is not None  # dense keeps sub-audible gains
+        assert 1 not in dense.audible_neighbors(0)
+        dense.move_node(1, (12.0, 0.0))
+        # Shadowing is pinned to the node pair, so the gain comes back exact.
+        assert dense.link_gain(0, 1) == gain_before
+        assert 1 in dense.audible_neighbors(0)
+
+    def test_move_invalidates_rx_cache(self):
+        dense, _ = make_pair(POSITIONS)
+        radios = [Radio(dense.sim, dense, i) for i in range(len(POSITIONS))]
+        for r in radios:
+            r.turn_on()
+        radios[0].transmit(Frame(src=0, dst=1, type=FrameType.DATA))
+        dense.sim.run(until=dense.sim.now + 10_000_000)
+        old_map = dense._rx_cache[0][3]
+        assert 1 in old_map
+        epoch_before = dense._fault_epoch
+        dense.move_node(1, (5000.0, 5000.0))
+        assert dense._fault_epoch > epoch_before
+        radios[0].transmit(Frame(src=0, dst=2, type=FrameType.DATA))
+        dense.sim.run(until=dense.sim.now + 10_000_000)
+        new_map = dense._rx_cache[0][3]
+        assert new_map is not old_map
+        assert 1 not in new_map, "moved node still priced at its old position"
+
+    def test_positions_copied_from_caller(self):
+        positions = [list(p) for p in POSITIONS]  # also accepts sequences
+        propagation = LogDistancePathLoss(pl_d0=40.0, seed=1, shadowing_sigma=0.0)
+        dense = Channel(
+            Simulator(seed=1),
+            propagation.gain_matrix([tuple(p) for p in positions]),
+            noise_model=ConstantNoise(),
+            positions=positions,
+            propagation=propagation,
+        )
+        dense.move_node(0, (99.0, 99.0))
+        assert positions[0] == [0.0, 0.0], "move mutated the caller's deployment"
+        assert dense._positions[0] == (99.0, 99.0)
+
+    def test_dense_move_without_geometry_raises(self):
+        propagation = LogDistancePathLoss(pl_d0=40.0, seed=1, shadowing_sigma=0.0)
+        channel = Channel(
+            Simulator(seed=1),
+            propagation.gain_matrix([(0.0, 0.0), (10.0, 0.0)]),
+            noise_model=ConstantNoise(),
+        )
+        with pytest.raises(ValueError, match="update_link_gains"):
+            channel.move_node(0, (1.0, 1.0))
+
+    def test_unknown_node_rejected(self):
+        dense, _ = make_pair(POSITIONS)
+        with pytest.raises(ValueError, match="unknown node"):
+            dense.move_node(len(POSITIONS), (0.0, 0.0))
+
+    def test_positions_exclusive_with_spatial(self):
+        propagation = LogDistancePathLoss(pl_d0=40.0, seed=1, shadowing_sigma=0.0)
+        with pytest.raises(ValueError, match="spatial"):
+            Channel(
+                Simulator(seed=1),
+                noise_model=ConstantNoise(),
+                spatial=SpatialChannel(POSITIONS, propagation),
+                positions=POSITIONS,
+            )

@@ -1,0 +1,158 @@
+"""Charge-accounting properties of :func:`interval_charge_mc`.
+
+The battery depletion monitor and the streaming soak metrics both drain
+window-by-window through this one pure core; these properties are what
+make that sound: monotonicity in radio on-time, physical bounds between
+the sleep-only and listen-only extremes, exact additivity across window
+splits (so incremental draining sums to the whole-run figure), and
+agreement with the per-level CC2420 TX currents under LPL wake cycles.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.harness import Network, NetworkConfig
+from repro.radio.cc2420 import CC2420, packet_airtime
+from repro.radio.energy import (
+    RX_CURRENT_MA,
+    SLEEP_CURRENT_MA,
+    TX_CURRENT_MA,
+    energy_report,
+    interval_charge_mc,
+    tx_current_ma,
+)
+from repro.sim.units import SECOND, to_seconds
+
+INTERVAL = 60 * SECOND
+
+ticks = st.integers(min_value=0, max_value=INTERVAL)
+powers = st.floats(min_value=-30.0, max_value=5.0, allow_nan=False)
+
+
+class TestChargeProperties:
+    @given(on_a=ticks, on_b=ticks, tx=ticks, power=powers)
+    @settings(max_examples=200, deadline=None)
+    def test_charge_monotone_in_on_time(self, on_a, on_b, tx, power):
+        """More radio on-time can never cost less charge (RX > sleep)."""
+        low, high = sorted((on_a, on_b))
+        assert interval_charge_mc(low, tx, INTERVAL, power) <= (
+            interval_charge_mc(high, tx, INTERVAL, power) + 1e-12
+        )
+
+    @given(on=ticks, tx=ticks, power=powers)
+    @settings(max_examples=200, deadline=None)
+    def test_charge_bounded_by_extremes(self, on, tx, power):
+        charge = interval_charge_mc(on, tx, INTERVAL, power)
+        sleep_only = to_seconds(INTERVAL) * SLEEP_CURRENT_MA
+        listen_only = to_seconds(INTERVAL) * RX_CURRENT_MA
+        assert sleep_only - 1e-12 <= charge <= listen_only + 1e-12
+
+    @given(on=ticks, tx=ticks, power=powers)
+    @settings(max_examples=200, deadline=None)
+    def test_tx_time_never_raises_charge(self, on, tx, power):
+        """Every CC2420 TX current sits below RX current, so converting
+        listen time into transmit time can only reduce the draw."""
+        assert interval_charge_mc(on, tx, INTERVAL, power) <= (
+            interval_charge_mc(on, 0, INTERVAL, power) + 1e-12
+        )
+
+    @given(
+        split=st.integers(min_value=1, max_value=INTERVAL - 1),
+        duty=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        power=powers,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_window_split_additivity(self, split, duty, power):
+        """Draining two sub-windows sums to the whole window (what makes
+        the depletion monitor and the streaming metrics agree with a
+        single whole-run energy report)."""
+        a, b = split, INTERVAL - split
+        on_a = round(a * duty)
+        on_b = round(b * duty)
+        whole = interval_charge_mc(on_a + on_b, 0, INTERVAL, power)
+        parts = interval_charge_mc(on_a, 0, a, power) + interval_charge_mc(
+            on_b, 0, b, power
+        )
+        assert parts == pytest.approx(whole, rel=1e-9, abs=1e-9)
+
+    def test_clamps_and_validation(self):
+        # tx_time clamps into on_time, on_time into the interval.
+        assert interval_charge_mc(INTERVAL * 2, 0, INTERVAL, 0.0) == (
+            interval_charge_mc(INTERVAL, 0, INTERVAL, 0.0)
+        )
+        assert interval_charge_mc(SECOND, INTERVAL, INTERVAL, 0.0) == (
+            interval_charge_mc(SECOND, SECOND, INTERVAL, 0.0)
+        )
+        with pytest.raises(ValueError, match="interval"):
+            interval_charge_mc(0, 0, 0, 0.0)
+
+
+class TestPerLevelTxCurrents:
+    @pytest.mark.parametrize("dbm,ma", sorted(TX_CURRENT_MA.items()))
+    def test_datasheet_anchors(self, dbm, ma):
+        assert tx_current_ma(dbm) == ma
+
+    @pytest.mark.parametrize("level", [3, 7, 11, 15, 19, 23, 27, 31])
+    def test_power_levels_interpolate_within_table(self, level):
+        dbm = CC2420.power_level_to_dbm(level)
+        ma = tx_current_ma(dbm)
+        assert TX_CURRENT_MA[-25.0] <= ma <= TX_CURRENT_MA[0.0]
+
+    def test_higher_power_draws_more(self):
+        levels = [CC2420.power_level_to_dbm(lvl) for lvl in (3, 11, 19, 27, 31)]
+        currents = [tx_current_ma(dbm) for dbm in levels]
+        assert currents == sorted(currents)
+
+    @given(power=powers)
+    @settings(max_examples=100, deadline=None)
+    def test_charge_monotone_in_tx_power(self, power):
+        lo = interval_charge_mc(SECOND, SECOND, INTERVAL, power)
+        hi = interval_charge_mc(SECOND, SECOND, INTERVAL, power + 1.0)
+        assert lo <= hi + 1e-12
+
+
+class TestLplWakeCycles:
+    """Charge accounting against a real LPL-duty-cycled network."""
+
+    @pytest.fixture(scope="class")
+    def net(self):
+        network = Network(
+            NetworkConfig(topology="indoor-testbed", protocol="tele", seed=6)
+        )
+        network.converge(max_seconds=120)
+        network.run(120)
+        return network
+
+    def test_lpl_duty_cycle_between_extremes(self, net):
+        for node, stack in net.stacks.items():
+            if node == net.sink:  # the root listens continuously
+                continue
+            radio = stack.radio
+            duty = radio.on_time() / net.sim.now
+            assert 0.0 < duty < 1.0
+
+    def test_report_equals_pure_core(self, net):
+        interval = net.sim.now
+        for stack in net.stacks.values():
+            radio = stack.radio
+            report = energy_report(radio, interval)
+            expected = interval_charge_mc(
+                min(radio.on_time(), interval),
+                radio.tx_count * packet_airtime(40),
+                interval,
+                radio.tx_power_dbm,
+            )
+            assert report.charge_mc == expected
+
+    def test_wake_cycles_dominate_idle_charge(self, net):
+        """An idle LPL node's draw sits well below always-listening but
+        above pure sleep — the wake cycles are visible in the charge."""
+        interval = net.sim.now
+        quietest = min(
+            (stack.radio for stack in net.stacks.values()),
+            key=lambda r: r.on_time(),
+        )
+        report = energy_report(quietest, interval)
+        assert report.average_current_ma > SLEEP_CURRENT_MA
+        assert report.average_current_ma < RX_CURRENT_MA / 2

@@ -1,0 +1,79 @@
+"""CI soak-smoke acceptance: memory-flat, reclaiming, bit-identical.
+
+Gated behind ``REPRO_SOAK=1`` (CI's ``soak-smoke`` job — soaks take tens
+of seconds each). Three promises from docs/soak.md are asserted on real
+runs:
+
+1. **Flat memory** — peak RSS is independent of soak length: a 3× longer
+   soak may not grow the process peak by more than a small slack, and the
+   absolute peak stays bounded. (Streaming windows + record draining are
+   what make this true; an accumulating history would fail the ratio.)
+2. **Reclamation works** — battery deaths produce nonzero code-space
+   reclamation counters.
+3. **Same-seed stability** — repeating a soak bit-identically reproduces
+   both the stream digest and the end-state soak digest.
+"""
+
+import os
+import resource
+import sys
+
+import pytest
+
+from repro.experiments.soak import run_soak
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_SOAK"),
+    reason="endurance smoke runs tens of seconds per soak; set REPRO_SOAK=1",
+)
+
+SMOKE = dict(
+    variant="tele", seed=1,
+    window_s=300.0, control_interval_s=30.0, converge_seconds=120.0,
+    churn_intensity=1.0, battery_mah=0.6, reclaim_ttl_s=300.0,
+    tail_windows=8,
+)
+
+#: Peak-RSS ceiling for the 40-node paper-scale soak, bytes. Generous —
+#: the observed peak is ~40 MB — but low enough that any per-event or
+#: per-window accumulation over a multi-hour soak blows through it.
+RSS_CEILING_BYTES = 512 * 1024 * 1024
+
+
+def _peak_rss_bytes() -> int:
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return rss if sys.platform == "darwin" else rss * 1024
+
+
+def test_soak_smoke_acceptance():
+    short = run_soak(duration_s=1800.0, **SMOKE)
+    peak_after_short = _peak_rss_bytes()
+
+    # 2: depletion ran and the allocation space was reclaimed.
+    assert short["converged"]
+    assert short["deaths"] > 0
+    assert short["positions_reclaimed"] > 0
+    assert short["mobility"]["moves"] > 0
+
+    # 3: same-seed repeat is bit-identical.
+    again = run_soak(duration_s=1800.0, **SMOKE)
+    assert again["stream_digest"] == short["stream_digest"]
+    assert again["soak_digest"] == short["soak_digest"]
+    assert again["events_executed"] == short["events_executed"]
+
+    # 1: a 3x longer soak must not need meaningfully more memory.
+    longer = run_soak(duration_s=5400.0, **SMOKE)
+    assert longer["windows"] > short["windows"]
+    peak_after_long = _peak_rss_bytes()
+    assert peak_after_long < RSS_CEILING_BYTES, (
+        f"peak RSS {peak_after_long / 2**20:.0f} MiB exceeds the "
+        f"{RSS_CEILING_BYTES / 2**20:.0f} MiB soak ceiling"
+    )
+    slack = 96 * 1024 * 1024
+    assert peak_after_long <= peak_after_short * 1.25 + slack, (
+        f"peak RSS grew from {peak_after_short / 2**20:.0f} MiB to "
+        f"{peak_after_long / 2**20:.0f} MiB on a 3x longer soak — "
+        "streaming metrics are supposed to make memory independent of "
+        "soak length (see docs/soak.md)"
+    )

@@ -13,6 +13,8 @@ from repro.core.forwarding import ForwardingParams
 from repro.experiments.harness import NetworkConfig
 from repro.faults import FaultEvent, FaultPlan
 from repro.mac.lpl import MacParams
+from repro.radio.battery import BatteryParams
+from repro.topology.mobility import MobilityParams
 from repro.runner import canonical_json, comparison_spec, fingerprint_of
 from repro.topology import random_uniform
 from repro.workloads.interference import WifiParams
@@ -41,6 +43,8 @@ ALTERNATES = {
         events=(FaultEvent(kind="stun", at_s=1.0, node=1, duration_s=2.0),)
     ),
     "spatial_index": True,
+    "mobility": MobilityParams(fraction=0.5),
+    "battery": BatteryParams(capacity_mah=1.0),
 }
 
 
@@ -50,14 +54,19 @@ def fingerprint(config: NetworkConfig) -> str:
 
 class TestNetworkConfigToDict:
     def test_covers_every_field(self):
-        # ``faults`` and ``spatial_index`` are omitted when None so configs
-        # predating those layers keep the fingerprints (and cache entries)
-        # they had before.
+        # ``faults``, ``spatial_index``, ``mobility``, and ``battery`` are
+        # omitted when None so configs predating those layers keep the
+        # fingerprints (and cache entries) they had before.
+        omitted_when_none = {"faults", "spatial_index", "mobility", "battery"}
         fields = {f.name for f in dataclasses.fields(NetworkConfig)}
-        assert set(NetworkConfig().to_dict()) == fields - {"faults", "spatial_index"}
-        assert (
-            set(NetworkConfig(faults=FaultPlan(), spatial_index=True).to_dict()) == fields
+        assert set(NetworkConfig().to_dict()) == fields - omitted_when_none
+        full = NetworkConfig(
+            faults=FaultPlan(),
+            spatial_index=True,
+            mobility=MobilityParams(),
+            battery=BatteryParams(),
         )
+        assert set(full.to_dict()) == fields
 
     def test_keys_sorted_at_every_level(self):
         def check(value):
