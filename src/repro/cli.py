@@ -376,6 +376,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _cmd_run_scale(args)
     if args.grid == "soak":
         return _cmd_run_soak(args)
+    if args.grid == "lora":
+        return _cmd_run_lora(args)
 
     variants = _RUN_GRIDS[args.grid]
     channels = args.channels
@@ -542,6 +544,115 @@ def _cmd_run_chaos(args: argparse.Namespace) -> int:
             ),
         )
     )
+    print()
+    print(runner.last_report.summary_table())
+    _write_csv(args.csv, headers, rows)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        print(f"(results written to {args.out})")
+    return _finish_run(runner.last_report)
+
+
+def _cmd_run_lora(args: argparse.Namespace) -> int:
+    """Long-range grid: tele-vs-drip over a profile-derived km-scale field.
+
+    Each cell is one :func:`repro.experiments.lora.run_lora` call — the same
+    control protocols as the comparison grid, but priced by the long-range
+    radio profile (sub-kbps airtime, multi-km links, p-CSMA MAC). The
+    default schedule is already stretched for sub-kbps links, so
+    ``--controls``/``--interval`` default to the lora schedule rather than
+    the comparison one.
+    """
+    import json
+
+    from repro.experiments.lora import LORA_DEFAULTS, lora_grid_specs
+    from repro.experiments.sweep import AggregateMetric
+
+    specs = lora_grid_specs(
+        args.lora_variants,
+        args.seeds,
+        radio_profile=args.radio_profile,
+        n_controls=(
+            args.controls
+            if args.controls is not None
+            else LORA_DEFAULTS["n_controls"]
+        ),
+        control_interval_s=(
+            args.interval
+            if args.interval is not None
+            else LORA_DEFAULTS["control_interval_s"]
+        ),
+        **_schedule_overrides(args),
+    )
+    runner = _build_runner(args)
+    outcomes = runner.run(specs)
+
+    results = []
+    rows = []
+    aggregates: Dict[tuple, Dict[str, AggregateMetric]] = {}
+    for outcome in outcomes:
+        params = outcome.spec.params
+        key = (params["variant"],)
+        if outcome.result is None:
+            rows.append([*key, params["seed"], outcome.status, "-", "-", "-"])
+            continue
+        result = outcome.result
+        results.append(result)
+        rows.append(
+            [
+                result["variant"],
+                result["seed"],
+                outcome.status,
+                f"{result['pdr']:.3f}" if result["pdr"] is not None else "n/a",
+                (
+                    f"{result['mean_latency_s']:.1f}"
+                    if result["mean_latency_s"] is not None
+                    else "n/a"
+                ),
+                (
+                    f"{result['tx_per_control']:.2f}"
+                    if result["tx_per_control"]
+                    else "n/a"
+                ),
+            ]
+        )
+        cell = aggregates.setdefault(
+            key, {m: AggregateMetric() for m in ("pdr", "latency", "tx")}
+        )
+        cell["pdr"].add(result["pdr"])
+        cell["latency"].add(result["mean_latency_s"])
+        cell["tx"].add(result["tx_per_control"])
+
+    headers = ["variant", "seed", "status", "pdr", "latency_s", "tx/ctl"]
+    print(
+        report.ascii_table(
+            headers,
+            rows,
+            title=f"Long-range grid ({args.radio_profile}): per-cell results",
+        )
+    )
+    if len(args.seeds) > 1:
+        agg_rows = [
+            [
+                variant,
+                cell["pdr"].summary(),
+                cell["latency"].summary(),
+                cell["tx"].summary(),
+            ]
+            for (variant,), cell in sorted(aggregates.items())
+        ]
+        print()
+        print(
+            report.ascii_table(
+                ["variant", "pdr", "latency_s", "tx/ctl"],
+                agg_rows,
+                title=(
+                    f"Long-range grid ({args.radio_profile}, "
+                    f"n={len(args.seeds)} seeds)"
+                ),
+            )
+        )
     print()
     print(runner.last_report.summary_table())
     _write_csv(args.csv, headers, rows)
@@ -1078,7 +1189,9 @@ def build_parser() -> argparse.ArgumentParser:
             "'chaos' grid sweeps fault intensity under a --scenario preset."
         ),
     )
-    p.add_argument("grid", choices=sorted([*_RUN_GRIDS, "chaos", "scale", "soak"]))
+    p.add_argument(
+        "grid", choices=sorted([*_RUN_GRIDS, "chaos", "scale", "soak", "lora"])
+    )
     p.add_argument(
         "--jobs", type=_job_count, default=1,
         help="worker processes (1 = serial, 0 = auto-detect cpu count)",
@@ -1190,6 +1303,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--dense", action="store_true",
         help="scale grid only: disable the spatial index (brute-force O(N²) "
         "channel build — same results, much slower at scale)",
+    )
+    lora_group = p.add_argument_group(
+        "lora", "long-range grid: tele-vs-drip over a radio-profile-derived "
+        "km-scale field at sub-kbps rates (see docs/api.md)"
+    )
+    lora_group.add_argument(
+        "--radio-profile", type=str, default="lora",
+        help="lora grid only: registered radio profile to run on",
+    )
+    lora_group.add_argument(
+        "--lora-variants", nargs="+",
+        choices=tuple(variant_names()),
+        default=["tele", "drip"],
+        help="lora grid only: protocol variants",
     )
     soak_group = p.add_argument_group(
         "soak", "endurance grid: multi-day sim-time soaks under mobility "

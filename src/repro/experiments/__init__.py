@@ -14,6 +14,7 @@ from repro.experiments.codestats import (
     reverse_hop_counts,
 )
 from repro.experiments.comparison import ComparisonResult, run_comparison
+from repro.experiments.lora import lora_config, lora_grid_specs, run_lora
 
 __all__ = [
     "Network",
@@ -25,4 +26,7 @@ __all__ = [
     "reverse_hop_counts",
     "ComparisonResult",
     "run_comparison",
+    "lora_config",
+    "lora_grid_specs",
+    "run_lora",
 ]

@@ -48,6 +48,7 @@ def chaos_config(
     n_controls: int = CHAOS_DEFAULTS["n_controls"],
     control_interval_s: float = CHAOS_DEFAULTS["control_interval_s"],
     spatial_index: object = None,
+    radio_profile: object = None,
 ) -> NetworkConfig:
     """The :class:`NetworkConfig` one chaos cell runs on.
 
@@ -78,6 +79,10 @@ def chaos_config(
     )
     config.faults = plan
     config.spatial_index = spatial_index
+    # None means the default profile and is omitted from the fingerprint;
+    # the differential suite passes the default's name explicitly to prove
+    # the explicit spelling is behaviour-identical.
+    config.radio_profile = radio_profile
     return config
 
 
@@ -123,6 +128,7 @@ def run_chaos(
     converge_seconds: float = CHAOS_DEFAULTS["converge_seconds"],
     drain_seconds: float = CHAOS_DEFAULTS["drain_seconds"],
     spatial_index: object = None,
+    radio_profile: object = None,
 ) -> Dict[str, Any]:
     """Run one chaos cell and return its JSON-ready result dict."""
     config = chaos_config(
@@ -134,6 +140,7 @@ def run_chaos(
         n_controls=n_controls,
         control_interval_s=control_interval_s,
         spatial_index=spatial_index,
+        radio_profile=radio_profile,
     )
     net = Network(config)
     net.sim.tracer.enable(TRACE_CATEGORIES)

@@ -33,7 +33,7 @@ from repro.net.node import NodeStack
 from repro.protocols import REGISTRY, ControlProtocolAdapter
 from repro.radio.battery import BatteryParams, DepletionMonitor
 from repro.radio.channel import Channel
-from repro.radio.noise import ConstantNoise, CPMNoiseModel, synthesize_meyer_like_trace
+from repro.radio.profiles import get_radio_profile
 from repro.radio.spatial import SpatialChannel, SpatialIndexParams
 from repro.sim.simulator import Simulator
 from repro.sim.units import MINUTE, SECOND
@@ -110,11 +110,17 @@ class NetworkConfig:
     #: Battery depletion (see :mod:`repro.radio.battery`); None = nodes
     #: never run out of charge, bit-identical to pre-battery behaviour.
     battery: Union[None, Dict[str, Any], BatteryParams] = None
+    #: Radio profile name (see :mod:`repro.radio.profiles`); None = the
+    #: default CC2420 profile, bit-identical to pre-registry behaviour and
+    #: omitted from :meth:`to_dict` so existing fingerprints are unchanged.
+    radio_profile: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.spatial_index = _normalize_spatial_index(self.spatial_index)
         self.mobility = _normalize_params(self.mobility, MobilityParams, "mobility")
         self.battery = _normalize_params(self.battery, BatteryParams, "battery")
+        # Fail fast on an unknown radio profile, same as unknown protocols.
+        get_radio_profile(self.radio_profile)
         # Fail fast on an unknown protocol (or bad per-protocol params) at
         # config time — long before a channel, stacks, or a runner worker
         # exist. Registered plugins pass; see repro.protocols.
@@ -147,6 +153,10 @@ class NetworkConfig:
             del out["mobility"]
         if out["battery"] is None:
             del out["battery"]
+        # Default radio profile is omitted too: pre-registry configs keep
+        # their fingerprints (and cache entries) bit for bit.
+        if out["radio_profile"] is None:
+            del out["radio_profile"]
         return out
 
 
@@ -215,6 +225,8 @@ class Network:
         config.battery = _normalize_params(config.battery, BatteryParams, "battery")
         # Overrides bypass __post_init__; re-validate before building anything.
         REGISTRY.validate_config(config)
+        #: The resolved radio profile every PHY/MAC decision dispatches on.
+        self.radio_profile = get_radio_profile(config.radio_profile)
         self.config = config
         # Fresh network, fresh serial space: without this, repeating the same
         # run in one process stamps different control serials into traces and
@@ -232,13 +244,10 @@ class Network:
                 ) from None
             self.deployment = factory(config.seed)
         self.sim = Simulator(seed=config.seed)
-        if config.noise == "cpm":
-            trace = synthesize_meyer_like_trace(seed=config.seed)
-            noise_model = CPMNoiseModel(trace, seed=config.seed)
-        elif config.noise == "constant":
-            noise_model = ConstantNoise()
-        else:
-            raise ValueError(f"unknown noise model {config.noise!r}")
+        # Ambient noise is the profile's call: the default profile builds the
+        # historical CPM/constant models exactly; narrowband profiles (LoRa)
+        # substitute their own thermal floor.
+        noise_model = self.radio_profile.build_noise_model(config.noise, config.seed)
         if config.spatial_index is not None:
             # Spatial dispatch: derive audible lists from grid-hash culling
             # instead of materialising N² gains. The culling floor sits
@@ -261,6 +270,7 @@ class Network:
                 fading_sigma_db=config.fading_sigma_db,
                 interference_floor_dbm=params.interference_floor_dbm,
                 spatial=spatial,
+                profile=self.radio_profile,
             )
         else:
             self.channel = Channel(
@@ -270,6 +280,7 @@ class Network:
                 fading_sigma_db=config.fading_sigma_db,
                 positions=self.deployment.positions,
                 propagation=self.deployment.propagation,
+                profile=self.radio_profile,
             )
         self.interferer: Optional[WifiInterferer] = None
         if config.zigbee_channel != 26 or config.wifi_params is not None:
@@ -286,8 +297,10 @@ class Network:
             )
             self.channel.add_interferer(self.interferer)
         mac_params = config.mac_params
-        if mac_params is None and config.always_on:
-            mac_params = MacParams.always_on_network()
+        if mac_params is None:
+            # The profile's call: the default profile returns the historical
+            # always-on preset (or None, i.e. the MAC's own defaults).
+            mac_params = self.radio_profile.default_mac_params(config.always_on)
         self.sink = self.deployment.sink
         self.stacks: Dict[int, NodeStack] = {}
         for node_id in range(self.deployment.size):
@@ -299,6 +312,7 @@ class Network:
                 tx_power_dbm=self.deployment.node_tx_power(node_id),
                 mac_params=mac_params,
                 always_on=True if config.always_on else None,
+                profile=self.radio_profile,
             )
         self.controller = Controller(channel=self.channel)
         self.protocols: Dict[int, ControlProtocolAdapter] = {}

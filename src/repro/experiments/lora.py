@@ -1,0 +1,170 @@
+"""Long-range (LoRa-class) tele-vs-drip runs over a profile-derived field.
+
+The radio-profile registry's end-to-end proof: the same protocol stacks the
+paper evaluates on CC2420 run unchanged over a sub-kbps, km-range radio.
+One :func:`run_lora` call plays one cell of a {tele, drip, …} × seed grid
+on a :func:`~repro.topology.profile_field` deployment whose node spacing is
+derived from the profile's own usable link range — kilometres apart for
+LoRa, where a 40-byte frame costs ~0.57 s of airtime and the MAC is
+p-persistent CSMA rather than LPL.
+
+Every schedule number here is stretched relative to the CC2420 comparison:
+at 976 bps a control packet plus its feedback occupy the channel for
+seconds, so controls go out ~per-90-s, convergence gets tens of minutes,
+and the drain window is minutes rather than seconds. Radios run always-on
+(class-C style); duty-cycled LoRa wake-up would add nothing to what the
+comparison already measures and would multiply latency by the 12 s wake
+interval.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence
+
+from repro.baselines.drip import DripParams
+from repro.core.allocation import AllocationParams
+from repro.core.forwarding import ForwardingParams
+from repro.experiments.harness import Network, NetworkConfig
+from repro.protocols import resolve_variant
+from repro.sim.units import MILLISECOND, SECOND
+from repro.topology import profile_field
+from repro.workloads.control import ControlSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.taskspec import TaskSpec
+
+#: Default schedule of :func:`run_lora`, shared with the runner's
+#: :func:`repro.runner.taskspec.lora_spec` so a spec built with defaults
+#: hashes identically to a call made with defaults. A 25-node LoRa field
+#: converges in minutes of simulated time (beacons Trickle from 8 s), and
+#: sub-kbps forwarding needs a minutes-scale drain for in-flight feedback.
+LORA_DEFAULTS = {
+    "n_controls": 8,
+    "control_interval_s": 90.0,
+    "converge_seconds": 1800.0,
+    "drain_seconds": 300.0,
+}
+
+
+def lora_config(
+    variant: str,
+    seed: int = 0,
+    radio_profile: str = "lora",
+    n_nodes: int = 25,
+) -> NetworkConfig:
+    """The :class:`NetworkConfig` one long-range cell runs on.
+
+    Exposed (like :func:`repro.experiments.comparison.config_for`) so the
+    runner's cache key fingerprints the *derived* configuration — the
+    profile-derived field topology and every stretched protocol timer.
+
+    Protocol timers scale with airtime, not with the protocol logic: the
+    allocation round, request retry, beacon debounce, end-to-end timeout
+    and Drip's Trickle floor all grow by roughly the CC2420→LoRa airtime
+    ratio so the state machines see the same *relative* timing they were
+    designed for.
+    """
+    protocol, overrides = resolve_variant(variant)
+    deployment = profile_field(radio_profile, n=n_nodes, seed=seed)
+    forwarding = ForwardingParams(
+        e2e_timeout=300 * SECOND,
+        sink_retry_interval=60 * SECOND,
+        stale_ttl=60 * SECOND,
+        neighbor_fresh_ttl=300 * SECOND,
+        re_tele=bool(overrides.get("re_tele", False)),
+        opportunistic=bool(overrides.get("opportunistic", True)),
+    )
+    return NetworkConfig(
+        topology=deployment,
+        protocol=protocol,
+        seed=seed,
+        radio_profile=radio_profile,
+        # Class-C style: receivers always listening; the p-CSMA adapter
+        # still prices every transmission through the persistence gate.
+        always_on=True,
+        # A 10-minute-IPI collection flow would eat most of a 976 bps
+        # channel; the long-range cells measure control traffic only.
+        collection_ipi=None,
+        allocation_params=AllocationParams(
+            round_duration=4 * SECOND,
+            request_interval=20 * SECOND,
+            old_code_ttl=600 * SECOND,
+            beacon_debounce=2 * SECOND,
+        ),
+        forwarding_params=forwarding,
+        drip_params=DripParams(i_min=8 * SECOND),
+        **{
+            k: v
+            for k, v in overrides.items()
+            if k not in ("re_tele", "opportunistic")
+        },
+    )
+
+
+def lora_grid_specs(
+    variants: Sequence[str],
+    seeds: Sequence[int],
+    radio_profile: str = "lora",
+    **schedule: Any,
+) -> List["TaskSpec"]:
+    """The long-range grid as runner task specs: variant × seed.
+
+    One canonical grid builder shared by the CLI and tests, so the cell
+    ordering (and with it the grid's journal fingerprint) is identical
+    everywhere a lora grid is launched.
+    """
+    from repro.runner import lora_spec
+
+    return [
+        lora_spec(variant, seed=seed, radio_profile=radio_profile, **schedule)
+        for variant in variants
+        for seed in seeds
+    ]
+
+
+def run_lora(
+    variant: str,
+    seed: int = 0,
+    radio_profile: str = "lora",
+    n_controls: int = LORA_DEFAULTS["n_controls"],
+    control_interval_s: float = LORA_DEFAULTS["control_interval_s"],
+    converge_seconds: float = LORA_DEFAULTS["converge_seconds"],
+    drain_seconds: float = LORA_DEFAULTS["drain_seconds"],
+) -> Dict[str, Any]:
+    """Run one long-range cell and return its JSON-ready result dict."""
+    config = lora_config(variant, seed=seed, radio_profile=radio_profile)
+    net = Network(config)
+    converged = net.converge(max_seconds=converge_seconds, target=0.97)
+    settle = net.converge_settle_seconds()
+    if settle > 0:
+        net.run(settle)
+    net.metrics.mark()
+    schedule = ControlSchedule(
+        net.sim,
+        send=lambda destination, index: net.send_control(
+            destination, payload={"index": index}
+        ),
+        destinations=net.non_sink_nodes(),
+        interval=round(control_interval_s * SECOND),
+        count=n_controls,
+        rng_name=f"lora-controls-{variant}-{radio_profile}-{seed}",
+    )
+    schedule.start(initial_delay=1 * SECOND)
+    net.run(n_controls * control_interval_s + drain_seconds)
+    metrics = net.control_metrics
+    profile = net.radio_profile
+    return {
+        "variant": variant,
+        "radio_profile": radio_profile,
+        "seed": seed,
+        "converged": bool(converged),
+        "n_nodes": len(net.stacks),
+        "n_controls": len(metrics),
+        "pdr": metrics.pdr(),
+        "mean_latency_s": metrics.mean_latency(),
+        "tx_per_control": net.metrics.tx_per_control_packet(len(metrics)),
+        "duty_cycle": net.metrics.mean_duty_cycle(),
+        "airtime_40b_ms": profile.packet_airtime(40) // MILLISECOND,
+        "bit_rate_bps": profile.bit_rate_bps,
+        "events_executed": net.sim.events_executed,
+    }

@@ -10,6 +10,16 @@ packet by acknowledging first, with earlier ack slots given to nodes offering
 more routing progress.
 """
 
+from repro.mac.base import MacAdapter
 from repro.mac.lpl import AnycastDecision, LPLMac, MacParams, SendResult
+from repro.mac.pcsma import PCsmaMac, PCsmaParams
 
-__all__ = ["LPLMac", "MacParams", "SendResult", "AnycastDecision"]
+__all__ = [
+    "MacAdapter",
+    "LPLMac",
+    "MacParams",
+    "SendResult",
+    "AnycastDecision",
+    "PCsmaMac",
+    "PCsmaParams",
+]

@@ -1,0 +1,78 @@
+"""The MAC adapter seam: the contract every radio profile's MAC satisfies.
+
+Historically ``LPLMac`` was the only MAC and every layer above it called its
+concrete methods. :class:`MacAdapter` names that implicit contract so a
+:class:`~repro.radio.profiles.RadioProfile` can supply any MAC (LPL for the
+CC2420 profile, p-CSMA for the LoRa profile, something else for a plugin)
+and ``net/node.py``, the protocols, and the metrics layer keep working
+unchanged. ``tests/test_mac_conformance.py`` runs the same behavioural
+suite against every bundled adapter.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.radio.frame import Frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mac.lpl import AnycastDecision, SendResult
+
+
+class MacAdapter(ABC):
+    """Per-node MAC bound to one radio; the seam upper layers program to.
+
+    Concrete adapters must also expose the attributes the stack reads:
+
+    - ``receive_handler(frame, rssi)`` — upper-layer delivery callback for
+      every non-duplicate frame addressed to this node (or broadcast).
+    - ``anycast_handler(frame, rssi) -> AnycastDecision`` — consulted for
+      anycast frames; an accepting node acks in its priority slot.
+    - ``snoop_handler(frame, rssi)`` — promiscuous observer, called once per
+      decoded frame before addressing/duplicate filtering (acks excluded).
+    - ``node_id``, ``radio``, ``params`` — identity and timing knobs.
+    - Stats counters the metrics layer reads: ``trains_sent``,
+      ``copies_sent``, ``acks_sent``, ``frames_delivered``.
+    """
+
+    node_id: int
+    receive_handler: Optional[Callable[[Frame, float], None]]
+    anycast_handler: Optional[Callable[[Frame, float], "AnycastDecision"]]
+    snoop_handler: Optional[Callable[[Frame, float], None]]
+    trains_sent: int
+    copies_sent: int
+    acks_sent: int
+    frames_delivered: int
+
+    @abstractmethod
+    def start(self) -> None:
+        """Begin operating (duty cycling, or always-on for sink nodes)."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Reboot: cancel every pending send and forget dedup state."""
+
+    @abstractmethod
+    def resume(self) -> None:
+        """Power the radio back up after an injected failure was cleared."""
+
+    @abstractmethod
+    def send(
+        self, frame: Frame, done: Optional[Callable[["SendResult"], None]] = None
+    ) -> None:
+        """Unicast (acked) or broadcast (unacked) depending on ``frame.dst``."""
+
+    @abstractmethod
+    def send_anycast(
+        self, frame: Frame, done: Optional[Callable[["SendResult"], None]] = None
+    ) -> None:
+        """Anycast: broadcast-addressed but acked by the best eligible node."""
+
+    @abstractmethod
+    def cancel_matching(self, predicate: Callable[[Frame], bool]) -> int:
+        """Abort queued/in-progress sends matching ``predicate``; return count."""
+
+    @abstractmethod
+    def duty_cycle(self, since: int = 0) -> float:
+        """Fraction of time the radio has been on since ``since`` (ticks)."""

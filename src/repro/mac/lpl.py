@@ -4,13 +4,17 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional, Tuple
 
+from repro.mac.base import MacAdapter
 from repro.radio.cc2420 import packet_airtime
 from repro.radio.frame import BROADCAST, Frame, FrameType
 from repro.radio.radio import Radio, RadioState
 from repro.sim.simulator import Simulator
 from repro.sim.units import MILLISECOND
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.radio.profiles import RadioProfile
 
 
 @dataclass
@@ -106,7 +110,7 @@ class _TrainState:
     csma_tries: int = 0
 
 
-class LPLMac:
+class LPLMac(MacAdapter):
     """Per-node MAC instance bound to one :class:`Radio`.
 
     Upper layers register:
@@ -116,11 +120,18 @@ class LPLMac:
     - ``anycast_handler(frame, rssi) -> AnycastDecision`` — consulted for
       frames sent with :meth:`send_anycast`; an accepting node acknowledges
       in its priority slot and then receives the frame.
+
+    Ack airtime and the RX→TX turnaround come from the node's
+    :class:`~repro.radio.profiles.RadioProfile` (the default profile keeps
+    the historical CC2420 values, 544 and 192 ticks).
     """
 
     ACK_LENGTH = 11
-    #: On-air time of one acknowledgement frame (ACK_LENGTH + PHY overhead).
+    #: Historical CC2420 values, kept for back-compat; instances use the
+    #: profile-derived ``self.ack_airtime`` / ``self.turnaround``.
     ACK_AIRTIME = packet_airtime(ACK_LENGTH)
+    #: RX→TX turnaround before an ack (12 symbol periods on the CC2420).
+    TURNAROUND = 192
 
     def __init__(
         self,
@@ -128,7 +139,16 @@ class LPLMac:
         radio: Radio,
         params: Optional[MacParams] = None,
         always_on: bool = False,
+        profile: Optional["RadioProfile"] = None,
     ) -> None:
+        if profile is None:
+            from repro.radio.profiles import get_radio_profile
+
+            profile = get_radio_profile(None)
+        self.profile = profile
+        #: On-air time of one acknowledgement frame on this profile's PHY.
+        self.ack_airtime = profile.packet_airtime(self.ACK_LENGTH)
+        self.turnaround = profile.turnaround_ticks
         self.sim = sim
         self.radio = radio
         self.params = params or MacParams()
@@ -453,7 +473,7 @@ class LPLMac:
                     # listening gap: two co-winners whose first acks collided
                     # must dephase or they collide on every copy of the train.
                     reack_window = max(
-                        self.params.ack_gap - self.ACK_AIRTIME - 400, 1
+                        self.params.ack_gap - self.ack_airtime - 400, 1
                     )
                     self.sim.schedule(
                         self._rng.randrange(reack_window),
@@ -521,10 +541,7 @@ class LPLMac:
 
     def _send_ack(self, frame: Frame) -> None:
         """Queue the RX→TX turnaround, then put the ack on the air."""
-        self.sim.schedule(self.TURNAROUND, self._transmit_ack, frame)
-
-    #: RX→TX turnaround before an ack (12 symbol periods on the CC2420).
-    TURNAROUND = 192
+        self.sim.schedule(self.turnaround, self._transmit_ack, frame)
 
     def _transmit_ack(self, frame: Frame) -> None:
         if not self.radio.is_on or self.radio.state in (

@@ -1,0 +1,95 @@
+"""p-persistent CSMA MAC adapter for long-range, sub-kbps radios.
+
+LoRa-class links spend hundreds of milliseconds per frame, so the LPL
+recipe — dense 1 ms channel samples and aggressive immediate retries — is
+the wrong shape. Following the LoRaMesh idiom from SNIPPETS.md, senders
+here run *p-persistent* CSMA: each slot in which the channel is clear they
+transmit with probability ``p0 = (1 - 1/n0)^(n0 - 1)`` (the persistence
+that maximises slot utilisation for ``n0`` expected contenders) and
+otherwise defer a full slot. The slow query/confirm cadence of that stack
+maps onto the train machinery: ``ack_gap`` plays the response-wait (RTH)
+timer, the train deadline the confirm (CTH) bound, and ``csma_backoff`` is
+the slot width (500 ms in LoRaMesh).
+
+Everything else — trains, anycast slots, duplicate suppression, handover
+announcements — is inherited from :class:`~repro.mac.lpl.LPLMac`, so the
+adapter stays conformant with the shared MAC contract
+(``tests/test_mac_conformance.py`` runs both adapters through one suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mac.lpl import LPLMac, MacParams, _TrainState
+from repro.radio.radio import RadioState
+from repro.sim.units import MILLISECOND, SECOND
+
+
+@dataclass
+class PCsmaParams(MacParams):
+    """MAC timing for p-CSMA; defaults re-scaled for second-long airtimes."""
+
+    #: Expected number of contenders sharing the channel; sets the
+    #: persistence ``p0 = (1 - 1/n0)^(n0 - 1)`` (0.4096 for the default 5).
+    n0: int = 5
+
+    @property
+    def p0(self) -> float:
+        """Transmit probability per clear slot (p-persistent CSMA)."""
+        if self.n0 <= 1:
+            return 1.0
+        return (1.0 - 1.0 / self.n0) ** (self.n0 - 1)
+
+    @classmethod
+    def lora_defaults(cls) -> "PCsmaParams":
+        """Timing matched to ~0.6 s frame airtimes (SF10/125 kHz)."""
+        return cls(
+            wake_interval=12 * SECOND,
+            listen_window=1 * SECOND,
+            active_timeout=2 * SECOND,
+            ack_gap=1_200 * MILLISECOND,
+            anycast_slot=120 * MILLISECOND,
+            broadcast_gap=500 * MILLISECOND,
+            train_slack=2 * SECOND,
+            csma_attempts=12,
+            csma_backoff=500 * MILLISECOND,
+            broadcast_copies_cap=2,
+            n0=5,
+        )
+
+
+class PCsmaMac(LPLMac):
+    """LPL train machinery with the CSMA step replaced by p-persistence.
+
+    A clear slot transmits with probability ``p0``; a busy or deferred slot
+    costs one of ``csma_attempts`` tries and waits one ``csma_backoff``
+    slot. The deterministic per-node RNG stream (``mac-<node_id>``) drives
+    the persistence draws, so runs stay reproducible.
+    """
+
+    def _csma_then_send(self, train: Optional[_TrainState] = None) -> None:
+        if train is None:
+            train = self._train
+        if train is None or train is not self._train or train.finished:
+            return
+        if not self.radio.is_on:
+            self._finish_train(ok=False, reason="dead")
+            return
+        if self.radio.state in (RadioState.RECEIVING, RadioState.TX):
+            # Hold for the in-flight frame; at LoRa airtimes one slot is the
+            # natural re-check granularity, not the LPL 2 ms poll.
+            self.sim.schedule(self.params.csma_backoff, self._csma_then_send, train)
+            return
+        params = self.params
+        # Plain MacParams degrades to 1-persistence (always send when clear).
+        p0 = getattr(params, "p0", 1.0)
+        if not self.radio.cca_clear() or (p0 < 1.0 and self._rng.random() > p0):
+            train.csma_tries += 1
+            if train.csma_tries > params.csma_attempts:
+                self._finish_train(ok=False, reason="busy")
+                return
+            self.sim.schedule(params.csma_backoff, self._csma_then_send, train)
+            return
+        self._send_copy(train)

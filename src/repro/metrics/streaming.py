@@ -24,8 +24,8 @@ import hashlib
 import json
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
-from repro.radio.cc2420 import packet_airtime
 from repro.radio.energy import interval_charge_mc
+from repro.radio.profiles import get_radio_profile
 from repro.sim.units import to_seconds
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -49,7 +49,11 @@ class StreamingMetrics:
         self.network = network
         self.window_s = float(window_s)
         self.writer = writer
-        self._airtime = packet_airtime(average_frame_bytes)
+        # Charge and TX-time pricing follow the network's radio profile.
+        self._profile = getattr(network, "radio_profile", None) or get_radio_profile(
+            None
+        )
+        self._airtime = self._profile.packet_airtime(average_frame_bytes)
         self._hash = hashlib.sha256()
         self.windows_emitted = 0
         # Cumulative-counter snapshots, one slot per node id (radios never
@@ -120,7 +124,11 @@ class StreamingMetrics:
                 self._last_tx[node_id] = tx
                 duty_sum += d_on / interval
                 charge_mc += interval_charge_mc(
-                    d_on, d_tx * self._airtime, interval, radio.tx_power_dbm
+                    d_on,
+                    d_tx * self._airtime,
+                    interval,
+                    radio.tx_power_dbm,
+                    profile=self._profile,
                 )
                 n_radios += 1
 

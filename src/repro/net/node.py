@@ -4,24 +4,28 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from repro.mac.lpl import AnycastDecision, LPLMac, MacParams, SendResult
+from repro.mac.lpl import AnycastDecision, MacParams, SendResult
 from repro.net.ctp import CtpForwarding, CtpRouting
 from repro.net.linkest import LinkEstimator
 from repro.net.messages import RoutingBeacon
 from repro.net.trickle import CTP_BEACON_I_MAX_DOUBLINGS, CTP_BEACON_I_MIN
 from repro.radio.channel import Channel
 from repro.radio.frame import BROADCAST, Frame, FrameType
+from repro.radio.profiles import RadioProfile
 from repro.radio.radio import Radio
 from repro.sim.simulator import Simulator
 
 
 class NodeStack:
-    """Everything one mote runs: radio, LPL MAC, CTP, and one control protocol.
+    """Everything one mote runs: radio, MAC adapter, CTP, and one control protocol.
 
-    Control protocols (TeleAdjusting, Drip, RPL downward) plug in by
-    registering frame handlers with :meth:`register_handler`, beacon hooks
-    with :attr:`beacon_fillers` / :attr:`beacon_observers`, and — for
-    TeleAdjusting — the MAC anycast decision via :meth:`set_anycast_handler`.
+    The MAC comes from the radio profile (:meth:`RadioProfile.build_mac`) —
+    LPL on the default CC2420 profile, p-CSMA on the LoRa profile, whatever a
+    registered plugin supplies otherwise. Control protocols (TeleAdjusting,
+    Drip, RPL downward) plug in by registering frame handlers with
+    :meth:`register_handler`, beacon hooks with :attr:`beacon_fillers` /
+    :attr:`beacon_observers`, and — for TeleAdjusting — the MAC anycast
+    decision via :meth:`set_anycast_handler`.
     """
 
     def __init__(
@@ -33,14 +37,31 @@ class NodeStack:
         tx_power_dbm: float = 0.0,
         mac_params: Optional[MacParams] = None,
         always_on: Optional[bool] = None,
-        beacon_i_min: int = CTP_BEACON_I_MIN,
-        beacon_i_max_doublings: int = CTP_BEACON_I_MAX_DOUBLINGS,
+        beacon_i_min: Optional[int] = None,
+        beacon_i_max_doublings: Optional[int] = None,
+        profile: Optional[RadioProfile] = None,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
         self.is_root = is_root
+        # The profile defaults to the channel's (they were wired together by
+        # the harness); explicit beacon bounds win over profile suggestions,
+        # which win over the stack-wide CTP defaults.
+        if profile is None:
+            profile = channel.profile
+        self.profile = profile
+        if beacon_i_min is None:
+            beacon_i_min = (
+                CTP_BEACON_I_MIN if profile.beacon_i_min is None else profile.beacon_i_min
+            )
+        if beacon_i_max_doublings is None:
+            beacon_i_max_doublings = (
+                CTP_BEACON_I_MAX_DOUBLINGS
+                if profile.beacon_i_max_doublings is None
+                else profile.beacon_i_max_doublings
+            )
         self.radio = Radio(sim, channel, node_id, tx_power_dbm=tx_power_dbm)
-        self.mac = LPLMac(
+        self.mac = profile.build_mac(
             sim,
             self.radio,
             params=mac_params,

@@ -6,8 +6,13 @@ This package replaces the TOSSIM radio stack the paper simulated on:
   paper's setup) with static per-link shadowing.
 - :mod:`repro.radio.noise` — CPM-style (closest-pattern-matching) noise model
   trained on a synthetic heavy-tailed trace shaped like ``meyer-heavy.txt``.
+- :mod:`repro.radio.profiles` — the radio profile registry: one typed
+  object per PHY/MAC personality (airtime, PRR curve, thresholds, currents,
+  MAC adapter); ``"cc2420"`` is the default, plugins register more.
 - :mod:`repro.radio.cc2420` — CC2420 radio constants and the O-QPSK/DSSS
-  SNR→PRR curve TOSSIM uses.
+  SNR→PRR curve TOSSIM uses (the default profile's numbers).
+- :mod:`repro.radio.lora` — LoRa-class long-range profile (SF/BW airtime,
+  sub-noise-floor PRR, SX127x currents) under p-CSMA.
 - :mod:`repro.radio.channel` — shared medium with SINR-based reception and
   external interferers (e.g. WiFi).
 - :mod:`repro.radio.radio` — per-node half-duplex radio device with
@@ -20,7 +25,19 @@ from repro.radio.battery import BatteryParams, DepletionMonitor
 from repro.radio.cc2420 import CC2420, packet_airtime
 from repro.radio.channel import Channel
 from repro.radio.frame import BROADCAST, Frame, FrameType
+from repro.radio.lora import LoRaProfile
 from repro.radio.noise import CPMNoiseModel, synthesize_meyer_like_trace
+from repro.radio.profiles import (
+    DEFAULT_RADIO_PROFILE,
+    RADIO_REGISTRY,
+    CC2420Profile,
+    RadioProfile,
+    RadioProfileRegistry,
+    get_radio_profile,
+    radio_profile_names,
+    register_radio_profile,
+    unregister_radio_profile,
+)
 from repro.radio.propagation import LogDistancePathLoss
 from repro.radio.radio import Radio, RadioState
 
@@ -38,4 +55,14 @@ __all__ = [
     "LogDistancePathLoss",
     "Radio",
     "RadioState",
+    "RadioProfile",
+    "RadioProfileRegistry",
+    "CC2420Profile",
+    "LoRaProfile",
+    "DEFAULT_RADIO_PROFILE",
+    "RADIO_REGISTRY",
+    "register_radio_profile",
+    "unregister_radio_profile",
+    "get_radio_profile",
+    "radio_profile_names",
 ]

@@ -29,8 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
-from repro.radio.cc2420 import packet_airtime
 from repro.radio.energy import interval_charge_mc
+from repro.radio.profiles import get_radio_profile
 from repro.sim.units import SECOND, to_seconds
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -113,7 +113,12 @@ class DepletionMonitor:
         self.network = network
         self.params = params
         self.sim = network.sim
-        self._airtime = packet_airtime(params.average_frame_bytes)
+        # Airtime and per-state currents come from the network's radio
+        # profile — the same single source of truth the energy report uses.
+        self._profile = getattr(network, "radio_profile", None) or get_radio_profile(
+            None
+        )
+        self._airtime = self._profile.packet_airtime(params.average_frame_bytes)
         self._nodes: Dict[int, _NodeCharge] = {}
         for node in sorted(network.stacks):
             if params.sink_powered and node == network.sink:
@@ -157,7 +162,11 @@ class DepletionMonitor:
             d_on = max(0, radio.on_time() - state.last_on_time)
             d_tx = max(0, radio.tx_count - state.last_tx_count)
             state.used_mc += interval_charge_mc(
-                d_on, d_tx * self._airtime, interval, radio.tx_power_dbm
+                d_on,
+                d_tx * self._airtime,
+                interval,
+                radio.tx_power_dbm,
+                profile=self._profile,
             )
             state.last_on_time = radio.on_time()
             state.last_tx_count = radio.tx_count

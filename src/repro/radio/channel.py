@@ -11,8 +11,11 @@ ends, the channel computes
 
 with noise drawn from the CPM model and external interferers (e.g. the WiFi
 generator) queried for their current in-band power. The frame is delivered
-with probability ``PRR(SINR, length)`` from the CC2420 curve. Interference
-from concurrent packets is weighted by their temporal overlap with the frame.
+with probability ``PRR(SINR, length)`` from the radio profile's curve (the
+CC2420 O-QPSK curve on the default profile). Airtime, sensitivity, the CCA
+default, and the deaf threshold likewise come from the channel's
+:class:`~repro.radio.profiles.RadioProfile`. Interference from concurrent
+packets is weighted by their temporal overlap with the frame.
 """
 
 from __future__ import annotations
@@ -22,9 +25,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Protocol, Set, Tuple
 
-from repro.radio.cc2420 import CC2420, packet_airtime
 from repro.radio.frame import Frame
 from repro.radio.noise import CPMNoiseModel, ConstantNoise
+from repro.radio.profiles import RadioProfile, get_radio_profile
 from repro.radio.radio import Radio, RadioState
 from repro.radio.spatial import SpatialChannel, get_numpy
 from repro.sim.simulator import Simulator
@@ -87,7 +90,8 @@ class Channel:
     are culled before any per-receiver SNR work.
     """
 
-    #: Below this received power a transmission is inaudible (not even noise).
+    #: Historical CC2420 deaf threshold, kept for back-compat; instances use
+    #: the profile-derived ``self.deaf_threshold_dbm``.
     DEAF_THRESHOLD_DBM = -110.0
 
     #: Audible-list length from which the vectorised rx-map path pays off.
@@ -98,16 +102,30 @@ class Channel:
         sim: Simulator,
         gains: Optional[Dict[Tuple[int, int], float]] = None,
         noise_model: Optional[CPMNoiseModel] = None,
-        cca_threshold_dbm: float = CC2420.CCA_THRESHOLD_DBM,
+        cca_threshold_dbm: Optional[float] = None,
         fading_sigma_db: float = 0.0,
         fading_coherence: int = 5_000_000,
         interference_floor_dbm: Optional[float] = None,
         spatial: Optional[SpatialChannel] = None,
         positions: Optional[List[Tuple[float, float]]] = None,
         propagation: Optional[Any] = None,
+        profile: Optional[RadioProfile] = None,
     ) -> None:
         self.sim = sim
-        self.cca_threshold_dbm = cca_threshold_dbm
+        # PHY dispatch: airtime, PRR curve, and reception thresholds all come
+        # from the radio profile (default: CC2420, numerically identical to
+        # the historical hard-wired constants). The hot-path callables are
+        # bound once here so per-packet dispatch is one attribute load.
+        if profile is None:
+            profile = get_radio_profile(None)
+        self.profile = profile
+        self._airtime = profile.packet_airtime
+        self._prr = profile.prr
+        self._sensitivity = profile.sensitivity_dbm
+        self.deaf_threshold_dbm = profile.deaf_threshold_dbm
+        self.cca_threshold_dbm = (
+            profile.cca_threshold_dbm if cca_threshold_dbm is None else cca_threshold_dbm
+        )
         #: Slow flat fading: a zero-mean Gaussian offset per (link, coherence
         #: bucket), symmetric across directions. This is the "link
         #: burstiness" (Srinivasan et al., the paper's [21]) that makes
@@ -140,7 +158,7 @@ class Channel:
         # of being rebuilt per packet in the transmit hot loop (it doubles
         # as the link-fault key).
         floor = (
-            self.DEAF_THRESHOLD_DBM
+            self.deaf_threshold_dbm
             if interference_floor_dbm is None
             else float(interference_floor_dbm)
         )
@@ -317,7 +335,7 @@ class Channel:
         """
         rx_map: Dict[int, float] = {}
         link_faults = self.link_faults
-        deaf = self.DEAF_THRESHOLD_DBM
+        deaf = self.deaf_threshold_dbm
         if bucket >= 0:
             fading_cache = self._fading_cache
             for neighbor_id, gain, fkey in self._audible.get(src, ()):
@@ -363,7 +381,7 @@ class Channel:
         self, radio: Radio, frame: Frame, done: Optional[Callable[[], None]]
     ) -> None:
         """Put a frame on the air from ``radio``."""
-        airtime = packet_airtime(frame.length)
+        airtime = self._airtime(frame.length)
         now = self.sim.now
         src = radio.node_id
         tx_end = now + airtime
@@ -392,7 +410,7 @@ class Channel:
         radios = self._radios
         locked = tx.locked
         idle = RadioState.IDLE
-        sensitivity = CC2420.SENSITIVITY_DBM
+        sensitivity = self._sensitivity
         for receiver_id, rx_power in rx_map.items():
             pending = pending_map.get(receiver_id)
             if pending is not None:
@@ -458,7 +476,7 @@ class Channel:
             if airtime > 0:
                 noise_mw += reception.interference_mw_ticks / airtime
             sinr_db = reception.rx_power_dbm - mw_to_dbm(noise_mw)
-            prr = CC2420.prr(sinr_db, tx.frame.length)
+            prr = self._prr(sinr_db, tx.frame.length)
             if self._rng.random() < prr:
                 if self.reception_filters and not self._reception_allowed(
                     tx.src, receiver_id, tx.frame
@@ -604,7 +622,7 @@ class Channel:
             return 0.0
         radio = self._radios.get(src)
         tx_power = radio.tx_power_dbm if radio is not None else 0.0
-        snr_db = (tx_power + gain) - CC2420.NOISE_FLOOR_DBM
-        if tx_power + gain < CC2420.SENSITIVITY_DBM:
+        snr_db = (tx_power + gain) - self.profile.noise_floor_dbm
+        if tx_power + gain < self._sensitivity:
             return 0.0
-        return CC2420.prr(snr_db, frame_bytes)
+        return self._prr(snr_db, frame_bytes)

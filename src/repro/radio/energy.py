@@ -2,14 +2,17 @@
 
 The paper reports radio duty cycle (Figure 9) as its energy-efficiency
 proxy; this module converts the same accounting into charge and average
-current using CC2420/TelosB datasheet currents, so deployments can reason
-about battery lifetime directly.
+current using the radio profile's per-state currents, so deployments can
+reason about battery lifetime directly. The per-state current tables live
+on :class:`~repro.radio.profiles.RadioProfile` — the single source of truth
+this module and the battery depletion monitor both consume (historically
+each kept its own copy of the CC2420 numbers).
 
-The model is the standard three-state one: the radio draws ``rx_ma`` while
-listening/receiving, ``tx_ma`` while transmitting (level-dependent), and the
-MCU+radio sleep current otherwise. Transmit time is reconstructed from the
-radio's transmission counter and the airtime of an average frame; for exact
-figures pass the measured ``tx_time`` instead.
+The model is the standard three-state one: the radio draws the profile's RX
+current while listening/receiving, its (level-dependent) TX current while
+transmitting, and the MCU+radio sleep current otherwise. Transmit time is
+reconstructed from the radio's transmission counter and the airtime of an
+average frame; for exact figures pass the measured ``tx_time`` instead.
 """
 
 from __future__ import annotations
@@ -17,40 +20,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional
 
-from repro.radio.cc2420 import CC2420, packet_airtime
+from repro.radio.profiles import RadioProfile, get_radio_profile
 from repro.sim.units import to_seconds
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.radio.radio import Radio
 
 
-#: CC2420 datasheet currents (mA) at common output powers.
-TX_CURRENT_MA = {
-    0.0: 17.4,
-    -1.0: 16.5,
-    -3.0: 15.2,
-    -5.0: 13.9,
-    -7.0: 12.5,
-    -10.0: 11.2,
-    -15.0: 9.9,
-    -25.0: 8.5,
-}
-RX_CURRENT_MA = 19.7
-SLEEP_CURRENT_MA = 0.021  # radio off + MCU low-power mode (TelosB class)
+_CC2420_PROFILE = get_radio_profile(None)
+
+#: Back-compat aliases of the default (CC2420) profile's current table; the
+#: authoritative copy is ``RadioProfile.tx_current_ma_table`` and friends.
+TX_CURRENT_MA = dict(_CC2420_PROFILE.tx_current_ma_table)
+RX_CURRENT_MA = _CC2420_PROFILE.rx_current_ma
+SLEEP_CURRENT_MA = _CC2420_PROFILE.sleep_current_ma  # radio off + MCU LPM
 
 
-def tx_current_ma(tx_power_dbm: float) -> float:
+def tx_current_ma(
+    tx_power_dbm: float, profile: Optional[RadioProfile] = None
+) -> float:
     """Interpolated transmit current for an output power in dBm."""
-    anchors = sorted(TX_CURRENT_MA)
-    if tx_power_dbm <= anchors[0]:
-        return TX_CURRENT_MA[anchors[0]]
-    if tx_power_dbm >= anchors[-1]:
-        return TX_CURRENT_MA[anchors[-1]]
-    for low, high in zip(anchors, anchors[1:]):
-        if low <= tx_power_dbm <= high:
-            frac = (tx_power_dbm - low) / (high - low)
-            return TX_CURRENT_MA[low] + frac * (TX_CURRENT_MA[high] - TX_CURRENT_MA[low])
-    return RX_CURRENT_MA  # pragma: no cover - unreachable
+    return (profile or _CC2420_PROFILE).tx_current_ma(tx_power_dbm)
 
 
 def interval_charge_mc(
@@ -58,6 +48,7 @@ def interval_charge_mc(
     tx_time_ticks: int,
     interval_ticks: int,
     tx_power_dbm: float,
+    profile: Optional[RadioProfile] = None,
 ) -> float:
     """Charge (mC) drawn over an interval, from raw radio-time accounting.
 
@@ -70,15 +61,17 @@ def interval_charge_mc(
     """
     if interval_ticks <= 0:
         raise ValueError("interval must be positive")
+    if profile is None:
+        profile = _CC2420_PROFILE
     on_time = min(on_time_ticks, interval_ticks)
     tx_time = min(tx_time_ticks, on_time)
     rx_time = on_time - tx_time
     off_time = interval_ticks - on_time
-    tx_ma = tx_current_ma(tx_power_dbm)
+    tx_ma = profile.tx_current_ma(tx_power_dbm)
     return (
         to_seconds(tx_time) * tx_ma
-        + to_seconds(rx_time) * RX_CURRENT_MA
-        + to_seconds(off_time) * SLEEP_CURRENT_MA
+        + to_seconds(rx_time) * profile.rx_current_ma
+        + to_seconds(off_time) * profile.sleep_current_ma
     )
 
 
@@ -107,20 +100,24 @@ def energy_report(
     interval_ticks: int,
     average_frame_bytes: int = 40,
     tx_time_ticks: Optional[int] = None,
+    profile: Optional[RadioProfile] = None,
 ) -> EnergyReport:
     """Charge estimate for ``radio`` over the last ``interval_ticks``.
 
     ``tx_time_ticks`` overrides the reconstruction from ``radio.tx_count``
-    (each transmission assumed ``average_frame_bytes`` long).
+    (each transmission assumed ``average_frame_bytes`` long, priced at the
+    profile's airtime).
     """
     if interval_ticks <= 0:
         raise ValueError("interval must be positive")
+    if profile is None:
+        profile = _CC2420_PROFILE
     on_time = min(radio.on_time(), interval_ticks)
     if tx_time_ticks is None:
-        tx_time_ticks = radio.tx_count * packet_airtime(average_frame_bytes)
+        tx_time_ticks = radio.tx_count * profile.packet_airtime(average_frame_bytes)
     tx_time = min(tx_time_ticks, on_time)
     charge_mc = interval_charge_mc(
-        on_time, tx_time, interval_ticks, radio.tx_power_dbm
+        on_time, tx_time, interval_ticks, radio.tx_power_dbm, profile=profile
     )
     interval_s = to_seconds(interval_ticks)
     return EnergyReport(
@@ -135,10 +132,15 @@ def energy_report(
 
 
 def network_energy(
-    radios: Dict[int, "Radio"], interval_ticks: int, average_frame_bytes: int = 40
+    radios: Dict[int, "Radio"],
+    interval_ticks: int,
+    average_frame_bytes: int = 40,
+    profile: Optional[RadioProfile] = None,
 ) -> Dict[int, EnergyReport]:
     """Energy reports for a whole network, keyed by node id."""
     return {
-        node_id: energy_report(radio, interval_ticks, average_frame_bytes)
+        node_id: energy_report(
+            radio, interval_ticks, average_frame_bytes, profile=profile
+        )
         for node_id, radio in radios.items()
     }

@@ -54,6 +54,7 @@ from repro.runner.taskspec import (
     chaos_spec,
     comparison_spec,
     fingerprint_of,
+    lora_spec,
     network_size_spec,
     scale_spec,
     selftest_spec,
@@ -87,6 +88,7 @@ __all__ = [
     "comparison_spec",
     "execute_spec",
     "fingerprint_of",
+    "lora_spec",
     "network_size_spec",
     "resolve_jobs",
     "run_task",

@@ -128,6 +128,17 @@ def _execute_chaos(params: Mapping[str, Any]) -> Dict[str, Any]:
     )
 
 
+def _execute_lora(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.lora import run_lora
+
+    return run_lora(
+        params["variant"],
+        seed=params["seed"],
+        radio_profile=params["radio_profile"],
+        **params["schedule"],
+    )
+
+
 def _execute_wake_interval(params: Mapping[str, Any]) -> Dict[str, Any]:
     from repro.experiments.sweep import wake_interval_point
 
@@ -189,6 +200,7 @@ def _execute_selftest(params: Mapping[str, Any]) -> Dict[str, Any]:
 _EXECUTORS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {
     "comparison": _execute_comparison,
     "chaos": _execute_chaos,
+    "lora": _execute_lora,
     "wake-interval": _execute_wake_interval,
     "network-size": _execute_network_size,
     "scale": _execute_scale,
@@ -200,7 +212,7 @@ _EXECUTORS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {
 def sim_seconds_estimate(spec: TaskSpec) -> float:
     """Scheduled simulated seconds for one cell (telemetry's sim/wall ratio)."""
     p = spec.params
-    if spec.kind in ("comparison", "chaos"):
+    if spec.kind in ("comparison", "chaos", "lora"):
         s = p["schedule"]
         return (
             s["converge_seconds"]

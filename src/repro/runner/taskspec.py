@@ -183,6 +183,40 @@ def chaos_spec(
     )
 
 
+def lora_spec(
+    variant: str,
+    seed: int = 0,
+    radio_profile: str = "lora",
+    **kwargs: Any,
+) -> TaskSpec:
+    """Spec for one :func:`repro.experiments.lora.run_lora` cell.
+
+    The fingerprint covers the derived :class:`NetworkConfig` *including
+    the profile-derived field topology* (``config.to_dict()`` serialises
+    the deployment positions), so editing the profile's propagation or
+    PRR model — which moves the nodes — invalidates cached cells.
+    """
+    from repro.experiments.lora import LORA_DEFAULTS, lora_config
+
+    schedule = dict(LORA_DEFAULTS)
+    for key, value in kwargs.items():
+        if key not in schedule:
+            raise TypeError(f"unknown run_lora argument: {key!r}")
+        schedule[key] = value
+    config = lora_config(variant, seed=seed, radio_profile=radio_profile)
+    return TaskSpec(
+        kind="lora",
+        params={
+            "variant": variant,
+            "seed": seed,
+            "radio_profile": radio_profile,
+            "schedule": schedule,
+            "config": config.to_dict(),
+        },
+        label=f"lora/{radio_profile}/{variant}/seed{seed}",
+    )
+
+
 def wake_interval_spec(
     wake_ms: int,
     protocol: str = "tele",

@@ -7,6 +7,8 @@
 - ``indoor_testbed`` — 40 TelosB-like nodes: 22 on a 2×11 board plus 18
   scattered nearby, CC2420 power level 2, up to 6 hops.
 - ``random_uniform`` — generic random deployment for examples and tests.
+- ``profile_field`` — jittered grid whose spacing is derived from a radio
+  profile's usable link range (km-scale for LoRa, m-scale for CC2420).
 
 City-scale generators (the spatial-index workloads, see docs/performance.md):
 
@@ -30,6 +32,7 @@ from repro.topology.deployments import (
     clustered_field,
     forest,
     indoor_testbed,
+    profile_field,
     random_uniform,
     sparse_linear,
     tight_grid,
@@ -41,6 +44,7 @@ __all__ = [
     "sparse_linear",
     "indoor_testbed",
     "random_uniform",
+    "profile_field",
     "city_blocks",
     "clustered_field",
     "forest",

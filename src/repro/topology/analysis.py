@@ -13,19 +13,26 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
-from repro.radio.cc2420 import CC2420
+from repro.radio.profiles import RadioProfile, get_radio_profile
 from repro.topology.deployments import Deployment
 
 
 def link_graph(
-    deployment: Deployment, min_prr: float = 0.5, frame_bytes: int = 40
+    deployment: Deployment,
+    min_prr: float = 0.5,
+    frame_bytes: int = 40,
+    profile: Optional[RadioProfile] = None,
 ) -> "nx.Graph":
     """Undirected graph of links whose clean-channel PRR is ≥ ``min_prr``.
 
-    PRR is computed from the deployment's propagation model and each node's
-    transmit power, exactly like :meth:`repro.radio.channel.Channel.expected_prr`
-    but without building a simulator.
+    PRR is computed from the deployment's propagation model, each node's
+    transmit power, and the radio profile's sensitivity/noise/PRR curve
+    (default: CC2420) — exactly like
+    :meth:`repro.radio.channel.Channel.expected_prr` but without building a
+    simulator.
     """
+    if profile is None:
+        profile = get_radio_profile(None)
     graph = nx.Graph()
     graph.add_nodes_from(range(deployment.size))
     if deployment.size > 512:
@@ -42,7 +49,7 @@ def link_graph(
             deployment.propagation,
             deployment.positions,
             max_tx_power_dbm=max_tx,
-            interference_floor_dbm=CC2420.SENSITIVITY_DBM,
+            interference_floor_dbm=profile.sensitivity_dbm,
         )
     else:
         gains = deployment.gains()
@@ -52,30 +59,38 @@ def link_graph(
         power_ab = deployment.node_tx_power(a) + gain
         power_ba = deployment.node_tx_power(b) + gains[(b, a)]
         rx = min(power_ab, power_ba)
-        if rx < CC2420.SENSITIVITY_DBM:
+        if rx < profile.sensitivity_dbm:
             continue
-        snr = rx - CC2420.NOISE_FLOOR_DBM
-        prr = CC2420.prr(snr, frame_bytes)
+        snr = rx - profile.noise_floor_dbm
+        prr = profile.prr(snr, frame_bytes)
         if prr >= min_prr:
             graph.add_edge(a, b, prr=prr)
     return graph
 
 
-def is_connected(deployment: Deployment, min_prr: float = 0.5) -> bool:
+def is_connected(
+    deployment: Deployment,
+    min_prr: float = 0.5,
+    profile: Optional[RadioProfile] = None,
+) -> bool:
     """True when every node can reach the sink over usable links."""
-    graph = link_graph(deployment, min_prr)
+    graph = link_graph(deployment, min_prr, profile=profile)
     if deployment.size == 0:
         return True
     return nx.is_connected(graph)
 
 
-def hop_counts(deployment: Deployment, min_prr: float = 0.5) -> Dict[int, int]:
+def hop_counts(
+    deployment: Deployment,
+    min_prr: float = 0.5,
+    profile: Optional[RadioProfile] = None,
+) -> Dict[int, int]:
     """Shortest-path hop count from each node to the sink (graph distance).
 
     Nodes disconnected at ``min_prr`` are absent from the result. This is
     the lower bound the CTP tree converges toward on clean channels.
     """
-    graph = link_graph(deployment, min_prr)
+    graph = link_graph(deployment, min_prr, profile=profile)
     return dict(nx.single_source_shortest_path_length(graph, deployment.sink))
 
 
@@ -96,9 +111,13 @@ def articulation_nodes(deployment: Deployment, min_prr: float = 0.5) -> Set[int]
     return set(nx.articulation_points(graph))
 
 
-def unreachable_nodes(deployment: Deployment, min_prr: float = 0.5) -> List[int]:
+def unreachable_nodes(
+    deployment: Deployment,
+    min_prr: float = 0.5,
+    profile: Optional[RadioProfile] = None,
+) -> List[int]:
     """Nodes with no usable path to the sink at this PRR threshold."""
-    reachable = hop_counts(deployment, min_prr)
+    reachable = hop_counts(deployment, min_prr, profile=profile)
     return sorted(set(range(deployment.size)) - set(reachable))
 
 

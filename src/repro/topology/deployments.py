@@ -5,10 +5,13 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.radio.cc2420 import CC2420
 from repro.radio.propagation import LogDistancePathLoss
+
+if TYPE_CHECKING:  # runtime imports stay lazy: profiles registers MACs on import
+    from repro.radio.profiles import RadioProfile
 
 Position = Tuple[float, float]
 
@@ -218,6 +221,7 @@ def _ensure_connected(
     rng: random.Random,
     min_separation_m: float,
     max_rounds: int = 50,
+    profile: Optional[RadioProfile] = None,
 ) -> Deployment:
     """Deterministically re-home unreachable nodes next to reachable ones.
 
@@ -233,7 +237,7 @@ def _ensure_connected(
 
     positions = deployment.positions
     for _ in range(max_rounds):
-        bad = unreachable_nodes(deployment)
+        bad = unreachable_nodes(deployment, profile=profile)
         if not bad:
             return deployment
         good = sorted(set(range(deployment.size)) - set(bad))
@@ -431,6 +435,59 @@ def forest(
         ),
     )
     return _ensure_connected(deployment, rng, min_separation_m)
+
+
+def profile_field(
+    profile: Union[RadioProfile, str, None],
+    n: int = 25,
+    seed: int = 0,
+    tx_power_dbm: Optional[float] = None,
+) -> Deployment:
+    """Jittered grid scaled to a radio profile's usable link range.
+
+    The generic counterpart of :func:`tight_grid`: node spacing is derived
+    from the profile's own physics — the smallest received power whose
+    clean-channel PRR clears 0.5 (sensitivity- and waterfall-aware), turned
+    into metres by the profile's default propagation model — at 40 % of
+    that usable range, so any registered profile gets a multi-hop,
+    connected field without hand-tuned coordinates. A CC2420-class profile
+    lands at metre spacing; the LoRa profile at kilometre spacing. The sink
+    is the node nearest the field centre and connectivity is repaired per
+    seed like the city-scale generators.
+
+    ``profile`` is a :class:`~repro.radio.profiles.RadioProfile` or a
+    registered name.
+    """
+    from repro.radio.profiles import RadioProfile, get_radio_profile
+
+    if not isinstance(profile, RadioProfile):
+        profile = get_radio_profile(profile)
+    if n < 2:
+        raise ValueError("need at least a sink and one node")
+    tx = profile.default_tx_power_dbm if tx_power_dbm is None else tx_power_dbm
+    propagation = profile.default_propagation(seed)
+    # Smallest rx power (0.5 dB scan) with clean-channel PRR >= 0.5: the
+    # sensitivity floor alone under-states what waterfall curves need.
+    rx_dbm = profile.sensitivity_dbm
+    while (
+        profile.prr(rx_dbm - profile.noise_floor_dbm, 40) < 0.5
+        and rx_dbm < profile.sensitivity_dbm + 60.0
+    ):
+        rx_dbm += 0.5
+    usable_range_m = propagation.max_range_m(tx - rx_dbm)
+    spacing = 0.4 * usable_range_m
+    columns = math.ceil(math.sqrt(n))
+    rows = math.ceil(n / columns)
+    rng = random.Random(seed ^ 0x9A0F1E)
+    positions = _jittered_grid(columns, rows, spacing, spacing, rng)[:n]
+    deployment = Deployment(
+        name=f"{profile.name}-field-{n}",
+        positions=positions,
+        sink=_center_node(positions),
+        tx_power_dbm=tx,
+        propagation=propagation,
+    )
+    return _ensure_connected(deployment, rng, 1.0, profile=profile)
 
 
 def random_uniform(

@@ -110,7 +110,7 @@ def _scenario_digest(
 
 # ---------------------------------------------------------- pinned configs
 
-def _grid_tele(spatial_index: object = None) -> str:
+def _grid_tele(spatial_index: object = None, radio_profile: object = None) -> str:
     """Plain small grid, clean channel, TeleAdjusting (the default stack)."""
     from repro.experiments.harness import NetworkConfig
     from repro.topology import random_uniform
@@ -121,11 +121,12 @@ def _grid_tele(spatial_index: object = None) -> str:
             protocol="tele",
             seed=7,
             spatial_index=spatial_index,
+            radio_profile=radio_profile,
         )
     )
 
 
-def _testbed_drip(spatial_index: object = None) -> str:
+def _testbed_drip(spatial_index: object = None, radio_profile: object = None) -> str:
     """Indoor testbed running the Drip dissemination baseline."""
     from repro.experiments.harness import NetworkConfig
 
@@ -133,12 +134,13 @@ def _testbed_drip(spatial_index: object = None) -> str:
         NetworkConfig(
             topology="indoor-testbed", protocol="drip", seed=2,
             spatial_index=spatial_index,
+            radio_profile=radio_profile,
         ),
         converge_s=30.0,
     )
 
 
-def _testbed_rpl(spatial_index: object = None) -> str:
+def _testbed_rpl(spatial_index: object = None, radio_profile: object = None) -> str:
     """Indoor testbed running the storing-mode RPL baseline."""
     from repro.experiments.harness import NetworkConfig
 
@@ -146,12 +148,13 @@ def _testbed_rpl(spatial_index: object = None) -> str:
         NetworkConfig(
             topology="indoor-testbed", protocol="rpl", seed=2,
             spatial_index=spatial_index,
+            radio_profile=radio_profile,
         ),
         converge_s=30.0,
     )
 
 
-def _testbed_orpl(spatial_index: object = None) -> str:
+def _testbed_orpl(spatial_index: object = None, radio_profile: object = None) -> str:
     """Indoor testbed running the ORPL (bloom-filter) baseline."""
     from repro.experiments.harness import NetworkConfig
 
@@ -159,12 +162,13 @@ def _testbed_orpl(spatial_index: object = None) -> str:
         NetworkConfig(
             topology="indoor-testbed", protocol="orpl", seed=2,
             spatial_index=spatial_index,
+            radio_profile=radio_profile,
         ),
         converge_s=30.0,
     )
 
 
-def _interference_ch19(spatial_index: object = None) -> str:
+def _interference_ch19(spatial_index: object = None, radio_profile: object = None) -> str:
     """WiFi-interfered channel 19: exercises interferers + SINR accounting."""
     from repro.experiments.harness import NetworkConfig
 
@@ -172,12 +176,13 @@ def _interference_ch19(spatial_index: object = None) -> str:
         NetworkConfig(
             topology="indoor-testbed", protocol="tele", seed=1, zigbee_channel=19,
             spatial_index=spatial_index,
+            radio_profile=radio_profile,
         ),
         converge_s=30.0,
     )
 
 
-def _always_on_tele(spatial_index: object = None) -> str:
+def _always_on_tele(spatial_index: object = None, radio_profile: object = None) -> str:
     """Always-on radios (no LPL duty cycle): the broadcast-cap MAC path."""
     from repro.experiments.harness import NetworkConfig
     from repro.topology import random_uniform
@@ -189,12 +194,13 @@ def _always_on_tele(spatial_index: object = None) -> str:
             seed=5,
             always_on=True,
             spatial_index=spatial_index,
+            radio_profile=radio_profile,
         ),
         converge_s=30.0,
     )
 
 
-def _chaos_crash_churn(spatial_index: object = None) -> str:
+def _chaos_crash_churn(spatial_index: object = None, radio_profile: object = None) -> str:
     """Chaos preset: crash/reboot churn with recovery countermeasures."""
     from repro.experiments.chaos import run_chaos
 
@@ -208,14 +214,17 @@ def _chaos_crash_churn(spatial_index: object = None) -> str:
         converge_seconds=30.0,
         drain_seconds=10.0,
         spatial_index=spatial_index,
+        radio_profile=radio_profile,
     )
     payload = json.dumps(result, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 #: name -> digest producer. Every entry is pinned in digests.json; each
-#: producer also accepts ``spatial_index`` so the differential suite can
-#: hold the spatially-indexed channel to the same pinned digests.
+#: producer also accepts ``spatial_index`` (so the differential suite can
+#: hold the spatially-indexed channel to the same pinned digests) and
+#: ``radio_profile`` (so the profile-differential suite can hold the
+#: explicitly-named default profile to the same pinned digests).
 GOLDEN: Dict[str, Callable[..., str]] = {
     "grid-tele-clean": _grid_tele,
     "testbed-drip": _testbed_drip,
@@ -227,9 +236,11 @@ GOLDEN: Dict[str, Callable[..., str]] = {
 }
 
 
-def compute_digest(name: str, spatial_index: object = None) -> str:
+def compute_digest(
+    name: str, spatial_index: object = None, radio_profile: object = None
+) -> str:
     """Run one pinned config and return its state digest."""
-    return GOLDEN[name](spatial_index=spatial_index)
+    return GOLDEN[name](spatial_index=spatial_index, radio_profile=radio_profile)
 
 
 def load_pinned() -> Dict[str, Any]:

@@ -1,0 +1,34 @@
+"""Differential digests: the radio-profile seam must be behaviour-invisible.
+
+Every pinned golden config is re-run with ``radio_profile="cc2420"`` — the
+default profile spelled explicitly, dispatching airtime, PRR, thresholds,
+noise-model construction, MAC construction, and energy pricing through the
+:mod:`repro.radio.profiles` registry — and must reproduce the exact digest
+pinned for the pre-registry implicit default. This is the refactor's
+equivalence statement: extracting the PHY/MAC seam moved the constants, it
+did not change a single event, RNG draw, or float.
+
+A mismatch here (with ``test_golden_digests`` green) means the profile
+dispatch path diverged from the hard-wired one: a reordered float
+operation in the airtime/current math, an extra RNG draw in MAC
+construction, or a threshold resolved from the wrong place. Fix the
+profile plumbing; never regenerate the corpus to match it.
+"""
+
+import pytest
+
+from tests.golden import regenerate
+
+
+@pytest.mark.parametrize("name", sorted(regenerate.GOLDEN))
+def test_explicit_default_profile_reproduces_pinned_digest(name):
+    pinned = regenerate.load_pinned()[name]["digest"]
+    computed = regenerate.compute_digest(name, radio_profile="cc2420")
+    assert computed == pinned, (
+        f"golden config {name!r} diverged with radio_profile='cc2420':\n"
+        f"  pinned (implicit default): {pinned}\n"
+        f"  explicit profile:          {computed}\n"
+        "The radio-profile registry changed simulated behaviour — a "
+        "reordered float op, an extra RNG draw, or a misresolved "
+        "threshold. Fix the profile seam; do not regenerate the corpus."
+    )

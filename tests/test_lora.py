@@ -1,0 +1,160 @@
+"""LoRa profile: airtime formula, PRR waterfall, p-CSMA, and the grid.
+
+The numbers pinned here are the Semtech modem formula evaluated at the
+profile's defaults (SF10, 125 kHz, CR 4/5, 12-symbol preamble): one symbol
+is 8192 µs, a 40-byte frame is 53 payload symbols, and the whole frame
+occupies the channel for 567.296 ms — which is what makes every schedule
+in :mod:`repro.experiments.lora` minutes-scale.
+"""
+
+import pytest
+
+from repro.experiments.lora import LORA_DEFAULTS, lora_config, run_lora
+from repro.mac.pcsma import PCsmaParams
+from repro.radio.lora import SNR_FLOOR_DB, LoRaProfile
+from repro.radio.profiles import get_radio_profile
+from repro.topology import profile_field
+
+
+@pytest.fixture(scope="module")
+def lora():
+    return get_radio_profile("lora")
+
+
+class TestAirtime:
+    def test_symbol_time(self, lora):
+        # 2^10 / 125 kHz = 8.192 ms per chirp symbol.
+        assert lora.symbol_time_us() == 8192
+
+    def test_payload_symbols_pin(self, lora):
+        assert lora.payload_symbols(40) == 53
+        assert lora.payload_symbols(11) == 23
+
+    def test_airtime_pins(self, lora):
+        # preamble (12 + 4.25 symbols) + 53 payload symbols at 8192 µs.
+        assert lora.packet_airtime(40) == 567_296
+        assert lora.packet_airtime(11) == 321_536
+
+    def test_genuinely_sub_kbps(self, lora):
+        assert lora.bit_rate_bps < 1000
+        # Effective throughput of a 40-byte frame is even lower.
+        effective = 40 * 8 / (lora.packet_airtime(40) / 1e6)
+        assert effective < 600
+
+    def test_airtime_monotonic_in_length(self, lora):
+        airtimes = [lora.packet_airtime(n) for n in range(1, 256, 16)]
+        assert airtimes == sorted(airtimes)
+
+    def test_roughly_400x_slower_than_cc2420(self, lora):
+        cc2420 = get_radio_profile("cc2420")
+        ratio = lora.packet_airtime(40) / cc2420.packet_airtime(40)
+        assert 300 < ratio < 500
+
+
+class TestPrr:
+    def test_decodes_below_the_noise_floor(self, lora):
+        # The SF10 correlator works down to -15 dB SNR; at a comfortable
+        # margin above the floor the link is solid.
+        assert SNR_FLOOR_DB[lora.spreading_factor] == -15.0
+        assert lora.prr(-9.0, 40) == 1.0
+
+    def test_waterfall_clamps(self, lora):
+        assert lora.prr(-17.5, 40) == 0.0  # 2.5 dB below the floor
+        assert lora.prr(0.0, 40) == 1.0
+
+    def test_monotonic_in_snr(self, lora):
+        snrs = [-17.0 + i * 0.5 for i in range(17)]
+        prrs = [lora.prr(snr, 40) for snr in snrs]
+        assert prrs == sorted(prrs)
+        assert prrs[0] == 0.0 and prrs[-1] == 1.0
+
+    def test_longer_frames_are_more_fragile(self, lora):
+        # Mid-waterfall, more symbols mean more chances to lose one.
+        assert lora.prr(-12.0, 200) < lora.prr(-12.0, 11)
+
+
+class TestPcsma:
+    def test_p0_formula(self):
+        # p0 = (1 - 1/n0)^(n0-1): the LoRaMesh persistence that maximises
+        # slot success for n0 contenders.
+        assert PCsmaParams(n0=5).p0 == pytest.approx(0.4096)
+        assert PCsmaParams(n0=1).p0 == 1.0
+        assert PCsmaParams(n0=2).p0 == 0.5
+
+    def test_lora_defaults_scale_with_airtime(self, lora):
+        params = PCsmaParams.lora_defaults()
+        # The ack gap must hold a whole 11-byte ack plus turnaround.
+        assert params.ack_gap > lora.packet_airtime(11) + lora.turnaround_ticks
+        # Broadcast trains are capped: an uncapped 12 s train of 567 ms
+        # copies would occupy the channel for the whole wake interval.
+        assert params.broadcast_copies_cap is not None
+
+    def test_profile_builds_pcsma(self, lora):
+        from repro.mac.pcsma import PCsmaMac
+        from repro.radio.channel import Channel
+        from repro.radio.noise import ConstantNoise
+        from repro.radio.radio import Radio
+        from repro.sim import Simulator
+
+        sim = Simulator(seed=1)
+        channel = Channel(
+            sim, {(0, 1): -60.0, (1, 0): -60.0},
+            noise_model=ConstantNoise(lora.noise_floor_dbm), profile=lora,
+        )
+        mac = lora.build_mac(
+            sim, Radio(sim, channel, 0), params=lora.default_mac_params(True),
+            always_on=True,
+        )
+        assert isinstance(mac, PCsmaMac)
+        assert mac.ack_airtime == lora.packet_airtime(11)
+        assert mac.turnaround == lora.turnaround_ticks
+
+    def test_cca_threshold_sits_above_the_noise_floor(self, lora):
+        # Energy-detect CCA below the noise floor never reads clear — the
+        # network would be mute (this was a real bug).
+        assert lora.cca_threshold_dbm > lora.noise_floor_dbm
+
+
+class TestField:
+    def test_field_is_km_scale_and_connected(self):
+        field = profile_field("lora", n=25, seed=0)
+        xs = [p[0] for p in field.positions]
+        ys = [p[1] for p in field.positions]
+        assert max(xs) - min(xs) > 2_000.0  # kilometres, not metres
+        assert field.size == 25
+
+    def test_cc2420_field_is_metre_scale(self):
+        field = profile_field("cc2420", n=9, seed=0)
+        xs = [p[0] for p in field.positions]
+        assert max(xs) - min(xs) < 200.0
+
+
+class TestGrid:
+    def test_config_fingerprints_the_profile(self):
+        config = lora_config("tele", seed=0)
+        d = config.to_dict()
+        assert d["radio_profile"] == "lora"
+        assert d["collection_ipi"] is None
+        assert d["always_on"] is True
+
+    def test_run_lora_delivers_controls(self):
+        result = run_lora(
+            "tele",
+            seed=0,
+            n_controls=3,
+            control_interval_s=60.0,
+            converge_seconds=900.0,
+            drain_seconds=120.0,
+        )
+        assert result["converged"]
+        assert result["n_controls"] == 3
+        assert result["pdr"] is not None and result["pdr"] > 0.0
+        assert result["bit_rate_bps"] < 1000
+
+    def test_defaults_shared_with_spec_builder(self):
+        from repro.runner import lora_spec
+
+        spec = lora_spec("drip", seed=2)
+        assert spec.params["schedule"] == LORA_DEFAULTS
+        assert spec.params["config"]["radio_profile"] == "lora"
+        assert spec.kind == "lora"

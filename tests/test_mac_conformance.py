@@ -1,15 +1,18 @@
-"""MAC contract battery: the same behavioural guarantees across configs.
+"""MAC contract battery: the same behavioural guarantees across adapters.
 
 The protocols above the MAC rely on a handful of invariants — unicast
 delivers-or-times-out within one train window, broadcast reaches awake
 neighbours, anycast picks an acceptor, duplicates never reach the upper
-layer twice. This battery asserts them across materially different MAC
-configurations (wake intervals, always-on, announce off, broadcast caps).
+layer twice, a reset cancels cleanly and the adapter keeps working. This
+battery asserts them across materially different MAC configurations (wake
+intervals, always-on, announce off, broadcast caps) and across every
+:class:`repro.mac.MacAdapter` implementation (LPL and p-CSMA), so a new
+adapter inherits the whole contract by being added to ``ADAPTERS``.
 """
 
 import pytest
 
-from repro.mac import AnycastDecision, LPLMac, MacParams
+from repro.mac import AnycastDecision, LPLMac, MacAdapter, MacParams, PCsmaMac
 from repro.radio.channel import Channel
 from repro.radio.frame import BROADCAST, Frame, FrameType
 from repro.radio.noise import ConstantNoise
@@ -25,8 +28,16 @@ CONFIGS = {
     "capped-broadcast": MacParams(broadcast_copies_cap=4),
 }
 
+#: Every registered MAC adapter must pass the whole battery. With plain
+#: ``MacParams`` (no ``p0``) the p-CSMA adapter degrades to 1-persistent
+#: CSMA, so both run the same configs on the same CC2420-profile channel.
+ADAPTERS = {
+    "lpl": LPLMac,
+    "pcsma": PCsmaMac,
+}
 
-def build(params, n=3, spacing=8.0, seed=2, always_on_ids=(0,)):
+
+def build(params, mac_cls=LPLMac, n=3, spacing=8.0, seed=2, always_on_ids=(0,)):
     sim = Simulator(seed=seed)
     positions = [(i * spacing, 0.0) for i in range(n)]
     gains = LogDistancePathLoss(pl_d0=40.0, seed=seed, shadowing_sigma=0.0).gain_matrix(
@@ -35,7 +46,9 @@ def build(params, n=3, spacing=8.0, seed=2, always_on_ids=(0,)):
     channel = Channel(sim, gains, noise_model=ConstantNoise())
     macs = []
     for i in range(n):
-        mac = LPLMac(sim, Radio(sim, channel, i), params=params, always_on=(i in always_on_ids))
+        mac = mac_cls(
+            sim, Radio(sim, channel, i), params=params, always_on=(i in always_on_ids)
+        )
         macs.append(mac)
     for mac in macs:
         mac.start()
@@ -47,9 +60,16 @@ def config(request):
     return CONFIGS[request.param]
 
 
+@pytest.fixture(params=sorted(ADAPTERS), ids=sorted(ADAPTERS))
+def mac_cls(request):
+    cls = ADAPTERS[request.param]
+    assert issubclass(cls, MacAdapter)
+    return cls
+
+
 class TestContract:
-    def test_unicast_resolves_within_one_train_window(self, config):
-        sim, macs = build(config)
+    def test_unicast_resolves_within_one_train_window(self, config, mac_cls):
+        sim, macs = build(config, mac_cls)
         results = []
         sim.schedule(
             0,
@@ -64,8 +84,8 @@ class TestContract:
         assert result.ok
         assert result.finished - result.started <= config.wake_interval + config.train_slack
 
-    def test_unicast_to_silent_node_times_out(self, config):
-        sim, macs = build(config, spacing=200.0)
+    def test_unicast_to_silent_node_times_out(self, config, mac_cls):
+        sim, macs = build(config, mac_cls, spacing=200.0)
         results = []
         sim.schedule(
             0,
@@ -76,10 +96,10 @@ class TestContract:
         sim.run(until=config.wake_interval * 4)
         assert results and not results[0].ok
 
-    def test_broadcast_reaches_duty_cycled_neighbor(self, config):
+    def test_broadcast_reaches_duty_cycled_neighbor(self, config, mac_cls):
         if config.broadcast_copies_cap is not None:
             pytest.skip("capped broadcast targets always-on networks")
-        sim, macs = build(config)
+        sim, macs = build(config, mac_cls)
         received = []
         macs[1].receive_handler = lambda frame, rssi: received.append(frame.frame_id)
         sim.schedule(
@@ -91,8 +111,8 @@ class TestContract:
         sim.run(until=config.wake_interval * 4)
         assert received
 
-    def test_anycast_resolves_to_an_acceptor(self, config):
-        sim, macs = build(config)
+    def test_anycast_resolves_to_an_acceptor(self, config, mac_cls):
+        sim, macs = build(config, mac_cls)
         macs[1].anycast_handler = lambda frame, rssi: AnycastDecision(True, slot=1)
         macs[2].anycast_handler = lambda frame, rssi: AnycastDecision.reject()
         macs[1].receive_handler = lambda frame, rssi: None
@@ -108,8 +128,8 @@ class TestContract:
         assert results and results[0].ok
         assert results[0].acker == 1
 
-    def test_no_duplicate_deliveries(self, config):
-        sim, macs = build(config)
+    def test_no_duplicate_deliveries(self, config, mac_cls):
+        sim, macs = build(config, mac_cls)
         delivered = []
         macs[1].receive_handler = lambda frame, rssi: delivered.append(frame.frame_id)
         for _ in range(3):
@@ -122,10 +142,56 @@ class TestContract:
         sim.run(until=config.wake_interval * 8)
         assert len(delivered) == len(set(delivered))
 
-    def test_duty_cycle_of_idle_node_scales_with_wake_interval(self, config):
-        sim, macs = build(config)
+    def test_duty_cycle_of_idle_node_scales_with_wake_interval(self, config, mac_cls):
+        sim, macs = build(config, mac_cls)
         sim.run(until=60 * SECOND)
         idle_duty = macs[2].duty_cycle()
         # Roughly listen_window / wake_interval, within generous bounds.
         expected = config.listen_window / config.wake_interval
         assert idle_duty < expected * 4 + 0.02
+
+    def test_send_during_reception_resolves_without_radio_errors(
+        self, config, mac_cls
+    ):
+        # A node asked to send while its radio is mid-reception must defer
+        # (busy channel / RX state) rather than sample CCA into the ongoing
+        # frame or raise — and the send must still resolve.
+        sim, macs = build(config, mac_cls, always_on_ids=(0, 1))
+        results = []
+        sim.schedule(
+            0,
+            lambda: macs[0].send(
+                Frame(src=0, dst=BROADCAST, type=FrameType.ROUTING_BEACON, length=100)
+            ),
+        )
+        sim.schedule(
+            2 * MILLISECOND,
+            lambda: macs[1].send(
+                Frame(src=1, dst=0, type=FrameType.DATA, length=40), results.append
+            ),
+        )
+        sim.run(until=config.wake_interval * 8)
+        assert results, "send during reception never resolved"
+
+    def test_reset_cancels_pending_sends_and_recovers(self, config, mac_cls):
+        # Mid-train reset (the fault injector's reboot path): the pending
+        # send's callback fires with reason "cancelled", and the adapter
+        # keeps working — a fresh send after the fault succeeds.
+        sim, macs = build(config, mac_cls)
+        first, second = [], []
+        sim.schedule(
+            0,
+            lambda: macs[0].send(
+                Frame(src=0, dst=1, type=FrameType.DATA, length=40), first.append
+            ),
+        )
+        sim.schedule(1 * MILLISECOND, macs[0].reset)
+        sim.schedule(
+            config.wake_interval * 2,
+            lambda: macs[0].send(
+                Frame(src=0, dst=1, type=FrameType.DATA, length=40), second.append
+            ),
+        )
+        sim.run(until=config.wake_interval * 6)
+        assert first and not first[0].ok and first[0].reason == "cancelled"
+        assert second and second[0].ok

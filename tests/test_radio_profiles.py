@@ -1,0 +1,232 @@
+"""Radio profile registry: the PHY/MAC seam and its bit-identity contract.
+
+Three layers of guarantees:
+
+- **Registry semantics** — duplicate registration is an error, unknown
+  lookups name the known profiles, ``None`` resolves to the default.
+- **CC2420 identity** — the default profile reproduces the hard-wired
+  constants bit for bit: the pinned 40-byte/11-byte airtimes the MAC's
+  train timing is built on, the PRR curve (shared lru cache), and the
+  TX-current interpolation the energy model uses.
+- **Fingerprint stability** — ``NetworkConfig.to_dict()`` is pinned
+  field-for-field: the default config must not grow a ``radio_profile``
+  key (existing runner cache entries and golden fingerprints survive the
+  refactor), while a non-default profile must appear (a LoRa run can
+  never alias a cached CC2420 run).
+
+Plus the extension proof: a third-party profile registered through the
+public API runs end-to-end through ``Network``, the runner executors, and
+the CLI grid without the core knowing about it.
+"""
+
+import pytest
+
+from repro.experiments.harness import Network, NetworkConfig
+from repro.radio.cc2420 import CC2420, packet_airtime
+from repro.radio.energy import tx_current_ma
+from repro.radio.profiles import (
+    DEFAULT_RADIO_PROFILE,
+    CC2420Profile,
+    RadioProfileRegistry,
+    get_radio_profile,
+    radio_profile_names,
+    register_radio_profile,
+    unregister_radio_profile,
+)
+
+#: The exact key set of a default config's canonical dict, pinned from
+#: before the radio-profile registry existed. Any key appearing here —
+#: including ``radio_profile`` — changes every cached fingerprint, which
+#: is exactly what the omit-when-default rule exists to prevent.
+PRE_REGISTRY_CONFIG_KEYS = [
+    "allocation_params",
+    "always_on",
+    "collection_ipi",
+    "drip_params",
+    "fading_sigma_db",
+    "forwarding_params",
+    "mac_params",
+    "noise",
+    "opportunistic",
+    "orpl_params",
+    "protocol",
+    "re_tele",
+    "rpl_params",
+    "seed",
+    "topology",
+    "wifi_params",
+    "zigbee_channel",
+]
+
+
+class TestRegistry:
+    def test_default_profile_is_cc2420(self):
+        assert DEFAULT_RADIO_PROFILE == "cc2420"
+        assert get_radio_profile(None).name == "cc2420"
+        assert get_radio_profile("cc2420") is get_radio_profile(None)
+
+    def test_names_include_both_built_ins(self):
+        names = radio_profile_names()
+        assert "cc2420" in names and "lora" in names
+        assert names == sorted(names)
+
+    def test_duplicate_registration_is_an_error(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_radio_profile(CC2420Profile())
+
+    def test_replace_allows_reregistration(self):
+        registry = RadioProfileRegistry()
+        registry.register(CC2420Profile())
+        registry.register(CC2420Profile(), replace=True)
+        assert registry.names() == ["cc2420"]
+
+    def test_unknown_profile_error_names_the_known_ones(self):
+        with pytest.raises(ValueError, match="cc2420"):
+            get_radio_profile("nonexistent-radio")
+
+    def test_unknown_profile_fails_at_config_time(self):
+        with pytest.raises(ValueError, match="nonexistent-radio"):
+            NetworkConfig(radio_profile="nonexistent-radio")
+
+
+class TestCC2420Identity:
+    """The default profile is the old hard-wired implementation, bit for bit."""
+
+    def test_airtime_pins(self):
+        profile = get_radio_profile("cc2420")
+        # 40-byte frame: (40 + 6) * 8 bits at 250 kbps = 1472 µs. The MAC's
+        # train timing (ack gaps, anycast slots) is budgeted around this.
+        assert profile.packet_airtime(40) == 1472
+        # 11-byte ack — the LPL reack window and turnaround budget.
+        assert profile.packet_airtime(11) == 544
+
+    def test_airtime_matches_module_function_everywhere(self):
+        profile = get_radio_profile("cc2420")
+        for length in (1, 11, 28, 40, 100, 127):
+            assert profile.packet_airtime(length) == packet_airtime(length)
+
+    def test_prr_delegates_to_cc2420_curve(self):
+        profile = get_radio_profile("cc2420")
+        for snr in (-5.0, 0.0, 2.5, 5.0, 10.0):
+            assert profile.prr(snr, 40) == CC2420.prr(snr, 40)
+
+    def test_thresholds_match_cc2420_constants(self):
+        profile = get_radio_profile("cc2420")
+        assert profile.sensitivity_dbm == CC2420.SENSITIVITY_DBM
+        assert profile.cca_threshold_dbm == CC2420.CCA_THRESHOLD_DBM
+        assert profile.noise_floor_dbm == CC2420.NOISE_FLOOR_DBM
+        assert profile.turnaround_ticks == CC2420.TURNAROUND_US
+
+    def test_tx_current_interpolation_matches_energy_module(self):
+        profile = get_radio_profile("cc2420")
+        for dbm in (-30.0, -25.0, -8.2, -3.0, -0.5, 0.0, 5.0):
+            assert profile.tx_current_ma(dbm) == tx_current_ma(dbm)
+
+
+class TestFingerprintStability:
+    def test_default_config_keys_pinned_field_for_field(self):
+        assert sorted(NetworkConfig().to_dict()) == PRE_REGISTRY_CONFIG_KEYS
+
+    def test_explicit_none_profile_fingerprints_identically(self):
+        assert (
+            NetworkConfig(radio_profile=None).to_dict()
+            == NetworkConfig().to_dict()
+        )
+
+    def test_non_default_profile_is_part_of_the_fingerprint(self):
+        d = NetworkConfig(radio_profile="lora", always_on=True).to_dict()
+        assert d["radio_profile"] == "lora"
+        base = NetworkConfig(always_on=True).to_dict()
+        assert set(d) - set(base) == {"radio_profile"}
+
+
+# --------------------------------------------------------- third-party profile
+
+class ToyProfile(CC2420Profile):
+    """A plugin profile: CC2420 PHY maths under a different name, with its
+    own beacon floor — registered through the public API only."""
+
+    name = "toy-radio"
+    beacon_i_min = 1_024_000  # 1024 ms: provably not the CTP default
+
+
+@pytest.fixture
+def toy_profile():
+    profile = ToyProfile()
+    register_radio_profile(profile)
+    try:
+        yield profile
+    finally:
+        unregister_radio_profile("toy-radio")
+
+
+class TestThirdPartyProfile:
+    def test_runs_end_to_end_through_network(self, toy_profile):
+        from repro.topology import random_uniform
+
+        config = NetworkConfig(
+            topology=random_uniform(9, 50.0, 50.0, seed=3),
+            protocol="tele",
+            seed=3,
+            radio_profile="toy-radio",
+            always_on=True,
+            collection_ipi=None,
+        )
+        net = Network(config)
+        assert net.radio_profile is toy_profile
+        # The profile's beacon floor reached every node's Trickle timer.
+        stack = next(iter(net.stacks.values()))
+        assert stack.routing.trickle.i_min == 1_024_000
+        net.converge(max_seconds=60.0, target=0.9)
+        delivered = []
+        sink = net.config.topology.sink
+        target = [n for n in net.stacks if n != sink][0]
+        net.send_control(target, payload={"probe": 1})
+        net.run(20.0)
+        assert net.control_metrics.records, "control send never recorded"
+
+    def test_runs_through_runner_executor(self, toy_profile):
+        from repro.runner import execute_spec, lora_spec
+
+        spec = lora_spec(
+            "tele",
+            seed=1,
+            radio_profile="toy-radio",
+            n_controls=2,
+            control_interval_s=10.0,
+            converge_seconds=60.0,
+            drain_seconds=10.0,
+        )
+        assert spec.params["config"]["radio_profile"] == "toy-radio"
+        result = execute_spec(spec)
+        assert result["radio_profile"] == "toy-radio"
+        assert result["n_controls"] == 2
+
+    def test_runs_through_the_cli_grid(self, toy_profile, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "run",
+                "lora",
+                "--radio-profile",
+                "toy-radio",
+                "--seeds",
+                "1",
+                "--controls",
+                "2",
+                "--interval",
+                "10",
+                "--converge",
+                "60",
+                "--drain",
+                "10",
+                "--no-cache",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "toy-radio" in out

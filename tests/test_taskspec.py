@@ -45,6 +45,7 @@ ALTERNATES = {
     "spatial_index": True,
     "mobility": MobilityParams(fraction=0.5),
     "battery": BatteryParams(capacity_mah=1.0),
+    "radio_profile": "lora",
 }
 
 
@@ -54,10 +55,16 @@ def fingerprint(config: NetworkConfig) -> str:
 
 class TestNetworkConfigToDict:
     def test_covers_every_field(self):
-        # ``faults``, ``spatial_index``, ``mobility``, and ``battery`` are
-        # omitted when None so configs predating those layers keep the
-        # fingerprints (and cache entries) they had before.
-        omitted_when_none = {"faults", "spatial_index", "mobility", "battery"}
+        # ``faults``, ``spatial_index``, ``mobility``, ``battery``, and
+        # ``radio_profile`` are omitted when None so configs predating those
+        # layers keep the fingerprints (and cache entries) they had before.
+        omitted_when_none = {
+            "faults",
+            "spatial_index",
+            "mobility",
+            "battery",
+            "radio_profile",
+        }
         fields = {f.name for f in dataclasses.fields(NetworkConfig)}
         assert set(NetworkConfig().to_dict()) == fields - omitted_when_none
         full = NetworkConfig(
@@ -65,6 +72,7 @@ class TestNetworkConfigToDict:
             spatial_index=True,
             mobility=MobilityParams(),
             battery=BatteryParams(),
+            radio_profile="cc2420",
         )
         assert set(full.to_dict()) == fields
 
